@@ -1,0 +1,70 @@
+//! Criterion benches for the collectives: host-time cost of the real data
+//! movement (the simulated-time comparison lives in the figure harnesses).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlstar_collectives::{all_reduce_average, broadcast_model, tree_aggregate};
+use mlstar_linalg::DenseVector;
+use mlstar_sim::{
+    Activity, ClusterSpec, CostModel, GanttRecorder, NetworkSpec, NodeId, NodeSpec, RoundBuilder,
+    SimTime,
+};
+
+fn harness(k: usize) -> (CostModel, Vec<NodeId>, Vec<NodeId>) {
+    let cost = CostModel::new(ClusterSpec::uniform(k, NodeSpec::standard(), NetworkSpec::gbps1()));
+    let exec: Vec<NodeId> = (0..k).map(NodeId::Executor).collect();
+    let mut all = vec![NodeId::Driver];
+    all.extend(exec.iter().copied());
+    (cost, all, exec)
+}
+
+fn locals(k: usize, dim: usize) -> Vec<DenseVector> {
+    (0..k)
+        .map(|r| DenseVector::from_vec((0..dim).map(|i| ((r + i) % 17) as f64).collect()))
+        .collect()
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_reduce_average");
+    for &dim in &[10_000usize, 100_000] {
+        let (cost, _, exec) = harness(8);
+        let vs = locals(8, dim);
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            b.iter(|| {
+                let mut g = GanttRecorder::new();
+                let mut rb = RoundBuilder::new(&mut g, 0, SimTime::ZERO, &exec);
+                std::hint::black_box(all_reduce_average(&mut rb, &cost, &vs))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tree_aggregate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_aggregate_fanin");
+    let (cost, all, _) = harness(8);
+    let vs = locals(8, 100_000);
+    for &fanin in &[2usize, 3, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(fanin), &fanin, |b, _| {
+            b.iter(|| {
+                let mut g = GanttRecorder::new();
+                let mut rb = RoundBuilder::new(&mut g, 0, SimTime::ZERO, &all);
+                std::hint::black_box(tree_aggregate(&mut rb, &cost, &vs, fanin, Activity::SendModel))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let (cost, all, _) = harness(8);
+    c.bench_function("broadcast_100k", |b| {
+        b.iter(|| {
+            let mut g = GanttRecorder::new();
+            let mut rb = RoundBuilder::new(&mut g, 0, SimTime::ZERO, &all);
+            std::hint::black_box(broadcast_model(&mut rb, &cost, 100_000))
+        })
+    });
+}
+
+criterion_group!(benches, bench_allreduce, bench_tree_aggregate, bench_broadcast);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benches: host time of full (small) training runs per system.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlstar_core::{System, TrainConfig};
+use mlstar_data::SyntheticConfig;
+use mlstar_glm::LearningRate;
+use mlstar_sim::ClusterSpec;
+
+fn bench_systems(c: &mut Criterion) {
+    let ds = SyntheticConfig {
+        name: "e2e".into(),
+        num_instances: 2_000,
+        num_features: 2_000,
+        avg_nnz: 15,
+        feature_skew: 1.6,
+        margin_noise: 0.2,
+        flip_prob: 0.02,
+        binary_features: true,
+        margin_scale: 3.0,
+        informative_features: 0,
+        popular_fraction: 0.0,
+        seed: 11,
+    }
+    .generate();
+    let cluster = ClusterSpec::cluster1();
+    let cfg = TrainConfig {
+        lr: LearningRate::Constant(0.01),
+        max_rounds: 5,
+        eval_every: 5,
+        ..TrainConfig::default()
+    };
+    let mut group = c.benchmark_group("train_5_rounds_2000x2000");
+    group.sample_size(10);
+    for system in System::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(system.name()), &system, |b, s| {
+            b.iter(|| std::hint::black_box(s.train_default(&ds, &cluster, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_systems);
+criterion_main!(benches);

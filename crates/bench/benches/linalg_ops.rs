@@ -1,0 +1,97 @@
+//! Criterion microbenches for the vector kernels on the hot training path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use mlstar_linalg::{average, DenseVector, ScaledVector, SparseVector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_sparse(rng: &mut StdRng, dim: usize, nnz: usize) -> SparseVector {
+    let mut pairs = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        pairs.push((rng.gen_range(0..dim as u32), rng.gen_range(-1.0..1.0)));
+    }
+    SparseVector::from_pairs(dim, &pairs).expect("valid pairs")
+}
+
+fn random_dense(rng: &mut StdRng, dim: usize) -> DenseVector {
+    DenseVector::from_vec((0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+}
+
+fn bench_sparse_dot(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("sparse_dot_dense");
+    for &nnz in &[16usize, 128, 1024] {
+        let dim = 100_000;
+        let s = random_sparse(&mut rng, dim, nnz);
+        let d = random_dense(&mut rng, dim);
+        group.bench_with_input(BenchmarkId::from_parameter(nnz), &nnz, |b, _| {
+            b.iter(|| std::hint::black_box(d.dot_sparse(&s)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_axpy_sparse(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let dim = 100_000;
+    let s = random_sparse(&mut rng, dim, 128);
+    let d = random_dense(&mut rng, dim);
+    c.bench_function("axpy_sparse_128nnz", |b| {
+        b.iter_batched(
+            || d.clone(),
+            |mut v| {
+                v.axpy_sparse(0.1, &s);
+                v
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_scaled_vs_dense_shrink(c: &mut Criterion) {
+    // The core of the lazy-L2 trick: O(1) scale vs O(d) dense scale.
+    let mut rng = StdRng::seed_from_u64(3);
+    let dim = 100_000;
+    let d = random_dense(&mut rng, dim);
+    let mut group = c.benchmark_group("l2_shrink_step");
+    group.bench_function("lazy_scaled", |b| {
+        b.iter_batched(
+            || ScaledVector::from_dense(d.clone()),
+            |mut v| {
+                for _ in 0..100 {
+                    v.scale_by(0.999);
+                }
+                v
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("eager_dense", |b| {
+        b.iter_batched(
+            || d.clone(),
+            |mut v| {
+                for _ in 0..100 {
+                    v.scale(0.999);
+                }
+                v
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_average(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let vs: Vec<DenseVector> = (0..8).map(|_| random_dense(&mut rng, 50_000)).collect();
+    c.bench_function("average_8x50k", |b| b.iter(|| std::hint::black_box(average(&vs))));
+}
+
+criterion_group!(
+    benches,
+    bench_sparse_dot,
+    bench_axpy_sparse,
+    bench_scaled_vs_dense_shrink,
+    bench_average
+);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Criterion benches for the SGD epoch kernels — in particular the
+//! lazy-vs-eager L2 ablation (Bottou's trick) measured in real host time.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mlstar_data::SyntheticConfig;
+use mlstar_glm::{
+    batch_gradient, sgd_epoch_eager, sgd_epoch_lazy, LearningRate, Loss, Regularizer,
+};
+use mlstar_linalg::{DenseVector, ScaledVector};
+
+fn dataset() -> mlstar_data::SparseDataset {
+    SyntheticConfig {
+        name: "bench".into(),
+        num_instances: 2_000,
+        num_features: 20_000,
+        avg_nnz: 20,
+        feature_skew: 1.6,
+        margin_noise: 0.2,
+        flip_prob: 0.02,
+        binary_features: true,
+        margin_scale: 3.0,
+        informative_features: 0,
+        popular_fraction: 0.0,
+        seed: 7,
+    }
+    .generate()
+}
+
+fn bench_lazy_vs_eager_l2(c: &mut Criterion) {
+    let ds = dataset();
+    let order: Vec<usize> = (0..ds.len()).collect();
+    let reg = Regularizer::L2 { lambda: 0.1 };
+    let lr = LearningRate::Constant(0.01);
+    let mut group = c.benchmark_group("l2_sgd_epoch_2000x20000");
+    group.sample_size(20);
+    group.bench_function("lazy_scaled_vector", |b| {
+        b.iter_batched(
+            || ScaledVector::zeros(ds.num_features()),
+            |mut w| {
+                sgd_epoch_lazy(Loss::Hinge, reg, &mut w, ds.rows(), ds.labels(), &order, lr, 0);
+                w
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("eager_dense", |b| {
+        b.iter_batched(
+            || DenseVector::zeros(ds.num_features()),
+            |mut w| {
+                sgd_epoch_eager(Loss::Hinge, reg, &mut w, ds.rows(), ds.labels(), &order, lr, 0);
+                w
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_unregularized_epoch(c: &mut Criterion) {
+    let ds = dataset();
+    let order: Vec<usize> = (0..ds.len()).collect();
+    let lr = LearningRate::Constant(0.01);
+    c.bench_function("plain_sgd_epoch_2000x20000", |b| {
+        b.iter_batched(
+            || ScaledVector::zeros(ds.num_features()),
+            |mut w| {
+                sgd_epoch_lazy(
+                    Loss::Hinge,
+                    Regularizer::None,
+                    &mut w,
+                    ds.rows(),
+                    ds.labels(),
+                    &order,
+                    lr,
+                    0,
+                );
+                w
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_batch_gradient(c: &mut Criterion) {
+    let ds = dataset();
+    let w = DenseVector::zeros(ds.num_features());
+    let batch: Vec<usize> = (0..200).collect();
+    c.bench_function("batch_gradient_200", |b| {
+        b.iter(|| std::hint::black_box(batch_gradient(Loss::Hinge, &w, ds.rows(), ds.labels(), &batch)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_lazy_vs_eager_l2,
+    bench_unregularized_epoch,
+    bench_batch_gradient
+);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates one paper exhibit; see `mlstar_bench::figures`.
+fn main() {
+    mlstar_bench::figures::run_fig6();
+}

@@ -1,0 +1,87 @@
+//! Figure 4: MLlib vs MLlib\* on the four public datasets, with and
+//! without L2 regularization — objective vs. #communication steps and vs.
+//! simulated time.
+//!
+//! For each of the eight subfigures we report the paper's headline
+//! numbers: steps-to-threshold and time-to-threshold for both systems and
+//! the resulting step/time speedups (the `NX` annotations in the paper's
+//! plots), where the threshold is optimum + 0.01 as in the paper. Both
+//! systems are tuned per workload by grid search, following the paper's
+//! protocol.
+
+use mlstar_core::{reference_optimum, System};
+use mlstar_data::catalog;
+use mlstar_glm::{Loss, Regularizer};
+use mlstar_sim::ClusterSpec;
+
+use crate::figures::tuning::{quick_mode, tune_system};
+use crate::report::{
+    ascii_convergence, banner, fmt_opt, fmt_speedup, traces_to_csv, write_artifact, Table,
+};
+
+/// Regenerates the Figure 4 grid.
+pub fn run_fig4() {
+    banner("Figure 4 — MLlib vs MLlib* (4 public datasets × {L2=0.1, L2=0})");
+    let cluster = ClusterSpec::cluster1();
+    let seed = 42;
+    let ref_epochs = if quick_mode() { 5 } else { 25 };
+    let mut table = Table::new(&[
+        "dataset",
+        "reg",
+        "target f",
+        "MLlib steps",
+        "MLlib* steps",
+        "step speedup",
+        "MLlib time",
+        "MLlib* time",
+        "time speedup",
+    ]);
+    let mut all_csv = Vec::new();
+
+    for preset in catalog::public_presets() {
+        let ds = super::scale_for_quick(preset.clone()).generate();
+        for reg in [Regularizer::L2 { lambda: 0.1 }, Regularizer::None] {
+            let opt = reference_optimum(&ds, Loss::Hinge, reg, ref_epochs, seed);
+            let mllib = tune_system(System::Mllib, &ds, &cluster, reg, seed);
+            let star = tune_system(System::MllibStar, &ds, &cluster, reg, seed);
+            // The paper's threshold: accuracy loss 0.01 vs the optimum.
+            // Our reference may be looser than what the systems achieve, so
+            // take the min of all observed.
+            let best = [
+                opt,
+                mllib.trace.best_objective().unwrap_or(f64::INFINITY),
+                star.trace.best_objective().unwrap_or(f64::INFINITY),
+            ]
+            .into_iter()
+            .fold(f64::INFINITY, f64::min);
+            let target = best + 0.01;
+
+            table.row(&[
+                preset.name.clone(),
+                reg.label(),
+                format!("{target:.3}"),
+                mllib
+                    .trace
+                    .steps_to_reach(target)
+                    .map_or("—".into(), |s| s.to_string()),
+                star.trace
+                    .steps_to_reach(target)
+                    .map_or("—".into(), |s| s.to_string()),
+                fmt_speedup(star.trace.step_speedup_over(&mllib.trace, target)),
+                fmt_opt(mllib.trace.time_to_reach(target), "s"),
+                fmt_opt(star.trace.time_to_reach(target), "s"),
+                fmt_speedup(star.trace.speedup_over(&mllib.trace, target)),
+            ]);
+
+            println!("({}, {})", preset.name, reg.label());
+            print!("{}", ascii_convergence(&[&mllib.trace, &star.trace], 72, 12));
+            println!();
+            all_csv.push(mllib.trace);
+            all_csv.push(star.trace);
+        }
+    }
+    table.print();
+    let refs: Vec<&mlstar_core::ConvergenceTrace> = all_csv.iter().collect();
+    let path = write_artifact("fig4_mllib_vs_star.csv", &traces_to_csv(&refs));
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,19 @@
+//! One module per paper exhibit.
+
+mod ablation;
+mod fig1;
+mod fig3;
+mod fig4;
+mod fig5;
+mod fig6;
+mod table1;
+mod tuning;
+
+pub use ablation::run_ablation;
+pub use fig1::run_fig1;
+pub use fig3::run_fig3;
+pub use fig4::run_fig4;
+pub use fig5::run_fig5;
+pub use fig6::run_fig6;
+pub use table1::run_table1;
+pub use tuning::{paper_scale_cluster, quick_mode, scale_for_quick, tune_system, tune_system_scaled};

@@ -1,0 +1,211 @@
+//! Per-system hyperparameter tuning for the figure harnesses.
+//!
+//! The paper: "For each system, we also tune the hyper-parameters by grid
+//! search for fair comparison." [`tune_system`] runs exactly that — a
+//! small learning-rate grid per system per workload — and returns the
+//! winner: the run that reaches (global best over the grid + 0.01)
+//! fastest in simulated time, falling back to lowest final objective.
+
+use mlstar_core::{AngelConfig, PsSystemConfig, System, TrainConfig, TrainOutput};
+use mlstar_data::SyntheticConfig;
+use mlstar_glm::{LearningRate, Loss, Regularizer};
+use mlstar_sim::ClusterSpec;
+
+/// Rescales a cluster so that the *scaled-down* dataset experiences the
+/// *paper-scale* compute and communication times: dividing every node's
+/// FLOP rate and the network bandwidth by `data_scale` is exactly
+/// equivalent to multiplying the data volume and model size by
+/// `data_scale` (fixed per-task overheads and latencies are unchanged —
+/// they are real constants). Used by the Figure 6 harness, where the
+/// compute-vs-overhead ratio drives the scalability shape.
+pub fn paper_scale_cluster(mut cluster: ClusterSpec, data_scale: f64) -> ClusterSpec {
+    assert!(data_scale >= 1.0, "data_scale must be ≥ 1");
+    for e in &mut cluster.executors {
+        e.gflops /= data_scale;
+    }
+    cluster.driver.gflops /= data_scale;
+    cluster.network.bandwidth_bps /= data_scale;
+    cluster
+}
+
+/// True when `MLSTAR_QUICK` is set: figure harnesses shrink datasets and
+/// budgets so CI / smoke runs finish in seconds.
+pub fn quick_mode() -> bool {
+    std::env::var("MLSTAR_QUICK").is_ok()
+}
+
+/// Applies quick-mode scaling to a preset.
+pub fn scale_for_quick(cfg: SyntheticConfig) -> SyntheticConfig {
+    if quick_mode() {
+        cfg.scaled_down(16)
+    } else {
+        cfg
+    }
+}
+
+fn budget(rounds: u64) -> u64 {
+    if quick_mode() {
+        (rounds / 16).max(4)
+    } else {
+        rounds
+    }
+}
+
+/// The per-system training schedule: round budget, evaluation cadence,
+/// batch fraction and the learning-rate grid searched.
+pub(crate) fn system_schedule(system: System, k: usize) -> (u64, u64, f64, Vec<f64>) {
+    match system {
+        // SendGradient needs thousands of single-update rounds and large
+        // rates (one aggregated gradient step per round).
+        System::Mllib => (budget(3000), 25, 0.01, vec![0.2, 1.0, 4.0, 16.0]),
+        // Full local pass per round: few rounds, moderate constant rates.
+        // Wider clusters dilute each averaging step (each local model sees
+        // 1/k of the data), so the round budget grows with k.
+        System::MllibMa | System::MllibStar => {
+            let rounds = 40 * (k as u64 / 8).clamp(1, 4);
+            (budget(rounds), 1, 1.0, vec![0.005, 0.02, 0.1, 0.5])
+        }
+        // Per-batch clocks.
+        System::Petuum | System::PetuumStar => (budget(1200), 20, 0.05, vec![0.005, 0.02, 0.1, 0.5]),
+        // L-BFGS: few outer iterations; the learning-rate grid is
+        // irrelevant (line search chooses steps), so a single entry.
+        System::SparkMl => (budget(30), 1, 1.0, vec![1.0]),
+        // Per-epoch clocks; servers SUM k deltas, so stable rates scale
+        // like 1/k (calibrated at k = 8). Wide clusters use coarser
+        // batches (fewer dense GD steps per epoch) and a bigger epoch
+        // budget — the paper tunes Angel's batch size per workload too.
+        System::Angel => {
+            let kf = k as f64;
+            let batch_frac = if k > 16 { 0.05 } else { 0.01 };
+            let epochs = if k > 16 { 240 } else { 120 };
+            (budget(epochs), 1, batch_frac, vec![0.024 / kf, 0.08 / kf, 0.24 / kf])
+        }
+    }
+}
+
+/// Grid-searches the learning rate for `system` on `(ds, cluster, reg)`
+/// and returns the winning run.
+pub fn tune_system(
+    system: System,
+    ds: &mlstar_data::SparseDataset,
+    cluster: &ClusterSpec,
+    reg: Regularizer,
+    seed: u64,
+) -> TrainOutput {
+    tune_system_scaled(system, ds, cluster, reg, seed, 1.0)
+}
+
+/// Like [`tune_system`] for a cluster whose compute/network rates have
+/// been divided by `data_scale` (see [`paper_scale_cluster`]): Angel's
+/// allocation bandwidth is scaled the same way, and MLlib's round budget
+/// is capped (it will not converge within the paper's window anyway).
+pub fn tune_system_scaled(
+    system: System,
+    ds: &mlstar_data::SparseDataset,
+    cluster: &ClusterSpec,
+    reg: Regularizer,
+    seed: u64,
+    data_scale: f64,
+) -> TrainOutput {
+    let k = cluster.num_executors();
+    let (mut max_rounds, eval_every, batch_frac, etas) = system_schedule(system, k);
+    if data_scale > 1.0 && system == System::Mllib {
+        max_rounds = max_rounds.min(1200);
+    }
+    let ps = PsSystemConfig { num_servers: 2, staleness: 2, ..PsSystemConfig::default() };
+    let angel = AngelConfig {
+        num_servers: 2,
+        staleness: 1,
+        alloc_bandwidth_bps: 2e8 / data_scale,
+        ..AngelConfig::default()
+    };
+
+    let outputs: Vec<TrainOutput> = etas
+        .iter()
+        .map(|&eta| {
+            let cfg = TrainConfig {
+                loss: Loss::Hinge,
+                reg,
+                lr: LearningRate::Constant(eta),
+                batch_frac,
+                max_rounds,
+                eval_every,
+                target_objective: None,
+                tree_fanin: 3,
+                seed,
+                ..TrainConfig::default()
+            };
+            system.train(ds, cluster, &cfg, &ps, &angel)
+        })
+        .collect();
+
+    let global_best = outputs
+        .iter()
+        .filter_map(|o| o.trace.best_objective())
+        .fold(f64::INFINITY, f64::min);
+    let target = global_best + 0.01;
+    outputs
+        .into_iter()
+        .min_by(|a, b| {
+            let score = |o: &TrainOutput| {
+                (
+                    o.trace.time_to_reach(target).unwrap_or(f64::INFINITY),
+                    o.trace.final_objective().unwrap_or(f64::INFINITY),
+                )
+            };
+            score(a)
+                .partial_cmp(&score(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .expect("grid was nonempty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_sane() {
+        for system in System::ALL {
+            let (rounds, eval_every, batch_frac, etas) = system_schedule(system, 8);
+            assert!(rounds >= 4, "{system}");
+            assert!(eval_every >= 1);
+            assert!(batch_frac > 0.0 && batch_frac <= 1.0);
+            assert!(!etas.is_empty());
+            assert!(etas.iter().all(|e| *e > 0.0));
+        }
+    }
+
+    #[test]
+    fn angel_rates_scale_inversely_with_k() {
+        let (_, _, _, e8) = system_schedule(System::Angel, 8);
+        let (_, _, _, e32) = system_schedule(System::Angel, 32);
+        assert!((e8[0] / e32[0] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_scaling_divides_rates() {
+        let base = ClusterSpec::cluster1();
+        let scaled = paper_scale_cluster(base.clone(), 100.0);
+        assert!((scaled.executors[0].gflops - base.executors[0].gflops / 100.0).abs() < 1e-12);
+        assert!(
+            (scaled.network.bandwidth_bps - base.network.bandwidth_bps / 100.0).abs() < 1e-3
+        );
+        // Overheads and latency are real constants — unchanged.
+        assert_eq!(scaled.executors[0].task_overhead, base.executors[0].task_overhead);
+        assert_eq!(scaled.network.latency, base.network.latency);
+    }
+
+    #[test]
+    fn tune_picks_a_converging_run() {
+        let ds = SyntheticConfig::small("tune", 160, 20).generate();
+        let cluster = ClusterSpec::uniform(
+            4,
+            mlstar_sim::NodeSpec::standard(),
+            mlstar_sim::NetworkSpec::gbps1(),
+        );
+        let out = tune_system(System::MllibStar, &ds, &cluster, Regularizer::None, 7);
+        let f = out.trace.final_objective().unwrap();
+        assert!(f.is_finite() && f < 1.0, "tuned run should converge: {f}");
+    }
+}

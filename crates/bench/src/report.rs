@@ -1,0 +1,256 @@
+//! Report formatting and CSV output shared by the figure harnesses.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use mlstar_core::ConvergenceTrace;
+
+/// The output directory for CSV artifacts (`bench_results/` by default,
+/// overridable via `MLSTAR_OUT`). Created on first use.
+pub fn out_dir() -> PathBuf {
+    let dir = std::env::var("MLSTAR_OUT").unwrap_or_else(|_| "bench_results".to_owned());
+    let path = PathBuf::from(dir);
+    std::fs::create_dir_all(&path).expect("create bench output directory");
+    path
+}
+
+/// Writes `content` to `<out_dir>/<name>` and returns the path.
+pub fn write_artifact(name: &str, content: &str) -> PathBuf {
+    let path = out_dir().join(name);
+    let mut f = std::fs::File::create(&path).expect("create artifact file");
+    f.write_all(content.as_bytes()).expect("write artifact");
+    path
+}
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!();
+    println!("=== {title} ===");
+    println!();
+}
+
+/// A simple fixed-width table printer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (padded/truncated to the header count).
+    pub fn row(&mut self, cells: &[String]) {
+        let mut row: Vec<String> = cells.to_vec();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..ncols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::from("| ");
+            for (c, cell) in cells.iter().enumerate() {
+                line.push_str(&format!("{:<w$} | ", cell, w = widths[c]));
+            }
+            line.trim_end().to_owned()
+        };
+        let mut out = fmt_row(&self.headers);
+        out.push('\n');
+        let sep: String = widths.iter().map(|w| format!("|{}", "-".repeat(w + 2))).collect();
+        out.push_str(&format!("{sep}|\n"));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats an optional value, using `"—"` for `None` (the paper's figures
+/// mark systems that never reach the threshold the same way).
+pub fn fmt_opt(v: Option<f64>, unit: &str) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x:.2}{unit}"),
+        Some(_) => "∞".to_owned(),
+        None => "—".to_owned(),
+    }
+}
+
+/// Formats a speedup multiplier (`"12.3×"`, `"∞"`, or `"—"`).
+pub fn fmt_speedup(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x:.1}×"),
+        Some(_) => "∞".to_owned(),
+        None => "—".to_owned(),
+    }
+}
+
+/// Concatenates trace CSVs (single header).
+pub fn traces_to_csv(traces: &[&ConvergenceTrace]) -> String {
+    let mut out = String::from("system,workload,step,time_s,objective,total_updates\n");
+    for t in traces {
+        let csv = t.to_csv();
+        // Skip the per-trace header line.
+        for line in csv.lines().skip(1) {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Renders an ASCII convergence plot (objective vs. log₁₀ time), one
+/// letter per system — a terminal rendition of the paper's right-hand
+/// subplots.
+pub fn ascii_convergence(traces: &[&ConvergenceTrace], width: usize, height: usize) -> String {
+    let width = width.max(20);
+    let height = height.max(5);
+    let mut tmin = f64::INFINITY;
+    let mut tmax: f64 = 0.0;
+    let mut fmin = f64::INFINITY;
+    let mut fmax = f64::NEG_INFINITY;
+    for t in traces {
+        for p in &t.points {
+            let secs = p.time.as_secs_f64().max(1e-3);
+            tmin = tmin.min(secs);
+            tmax = tmax.max(secs);
+            if p.objective.is_finite() {
+                fmin = fmin.min(p.objective);
+                fmax = fmax.max(p.objective);
+            }
+        }
+    }
+    if !tmin.is_finite() || fmin >= fmax {
+        return String::from("(no plottable data)\n");
+    }
+    let (ltmin, ltmax) = (tmin.log10(), tmax.log10().max(tmin.log10() + 1e-9));
+    let mut grid = vec![vec![' '; width]; height];
+    for (idx, t) in traces.iter().enumerate() {
+        let code = t.system.chars().next().unwrap_or('?');
+        let code = if idx > 0 && traces[..idx].iter().any(|u| u.system.starts_with(code)) {
+            // Disambiguate systems sharing an initial (MLlib vs MLlib*).
+            char::from_digit(idx as u32 % 10, 10).unwrap_or('?')
+        } else {
+            code
+        };
+        for p in &t.points {
+            if !p.objective.is_finite() {
+                continue;
+            }
+            let secs = p.time.as_secs_f64().max(1e-3);
+            let x = ((secs.log10() - ltmin) / (ltmax - ltmin) * (width - 1) as f64).round() as usize;
+            let y = ((fmax - p.objective) / (fmax - fmin) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - y.min(height - 1)][x.min(width - 1)] = code;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("objective {fmax:.3} (top) → {fmin:.3} (bottom); time {tmin:.2}s → {tmax:.1}s (log)\n"));
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push_str("|\n");
+    }
+    // Legend.
+    out.push_str("legend: ");
+    for (idx, t) in traces.iter().enumerate() {
+        let code = t.system.chars().next().unwrap_or('?');
+        let code = if idx > 0 && traces[..idx].iter().any(|u| u.system.starts_with(code)) {
+            char::from_digit(idx as u32 % 10, 10).unwrap_or('?')
+        } else {
+            code
+        };
+        out.push_str(&format!("{code}={} ", t.system));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlstar_core::TracePoint;
+    use mlstar_sim::{SimDuration, SimTime};
+
+    fn trace(name: &str, pts: &[(u64, f64, f64)]) -> ConvergenceTrace {
+        let mut t = ConvergenceTrace::new(name, "w");
+        for &(step, secs, obj) in pts {
+            t.push(TracePoint {
+                step,
+                time: SimTime::ZERO + SimDuration::from_secs_f64(secs),
+                objective: obj,
+                total_updates: step,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["longer-name".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("| name        | value |"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_opt(Some(1.5), "s"), "1.50s");
+        assert_eq!(fmt_opt(Some(f64::INFINITY), "s"), "∞");
+        assert_eq!(fmt_opt(None, "s"), "—");
+        assert_eq!(fmt_speedup(Some(12.34)), "12.3×");
+        assert_eq!(fmt_speedup(None), "—");
+    }
+
+    #[test]
+    fn csv_concatenation_has_single_header() {
+        let a = trace("A", &[(0, 0.1, 1.0), (1, 1.0, 0.5)]);
+        let b = trace("B", &[(0, 0.1, 1.0)]);
+        let csv = traces_to_csv(&[&a, &b]);
+        assert_eq!(csv.lines().filter(|l| l.starts_with("system,")).count(), 1);
+        assert_eq!(csv.lines().count(), 4);
+    }
+
+    #[test]
+    fn ascii_plot_contains_both_series() {
+        let a = trace("MLlib", &[(0, 0.1, 1.0), (1, 10.0, 0.8)]);
+        let b = trace("MLlib*", &[(0, 0.1, 1.0), (1, 1.0, 0.2)]);
+        let plot = ascii_convergence(&[&a, &b], 40, 10);
+        assert!(plot.contains('M'));
+        assert!(plot.contains('1'), "second trace disambiguated: {plot}");
+        assert!(plot.contains("legend:"));
+    }
+
+    #[test]
+    fn ascii_plot_handles_degenerate_input() {
+        let a = trace("X", &[(0, 1.0, 0.5)]);
+        let plot = ascii_convergence(&[&a], 40, 10);
+        assert!(plot.contains("no plottable data"));
+    }
+
+    #[test]
+    fn artifacts_are_written() {
+        std::env::set_var("MLSTAR_OUT", std::env::temp_dir().join("mlstar_bench_test"));
+        let p = write_artifact("probe.csv", "a,b\n1,2\n");
+        assert!(p.exists());
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "a,b\n1,2\n");
+        std::fs::remove_file(p).ok();
+        std::env::remove_var("MLSTAR_OUT");
+    }
+}

@@ -1,0 +1,159 @@
+//! BSP superstep composition.
+
+use std::collections::BTreeMap;
+
+use crate::gantt::{Activity, GanttRecorder, NodeId};
+use crate::time::{SimDuration, SimTime};
+
+/// Builds one BSP communication round as a sequence of per-node work
+/// phases separated by barriers, recording Gantt spans as it goes.
+///
+/// Each participating node carries a local clock; `work` advances one
+/// node's clock, `barrier` aligns every clock to the maximum (recording
+/// [`Activity::Wait`] spans for early finishers — the visible idle bars of
+/// Figure 3(a)).
+#[derive(Debug)]
+pub struct RoundBuilder<'a> {
+    gantt: &'a mut GanttRecorder,
+    round: u64,
+    clocks: BTreeMap<NodeId, SimTime>,
+}
+
+impl<'a> RoundBuilder<'a> {
+    /// Starts a round at `start` for the given nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty.
+    pub fn new(gantt: &'a mut GanttRecorder, round: u64, start: SimTime, nodes: &[NodeId]) -> Self {
+        assert!(!nodes.is_empty(), "a round needs at least one node");
+        let clocks = nodes.iter().map(|&n| (n, start)).collect();
+        RoundBuilder { gantt, round, clocks }
+    }
+
+    /// The local clock of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not part of this round.
+    pub fn clock(&self, node: NodeId) -> SimTime {
+        *self.clocks.get(&node).expect("node participates in round")
+    }
+
+    /// Performs `duration` of `activity` on `node`, recording the span and
+    /// advancing the node's clock. Zero-duration work records nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not part of this round.
+    pub fn work(&mut self, node: NodeId, activity: Activity, duration: SimDuration) {
+        let clock = self.clocks.get_mut(&node).expect("node participates in round");
+        if duration > SimDuration::ZERO {
+            self.gantt.record(node, activity, *clock, *clock + duration, self.round);
+        }
+        *clock += duration;
+    }
+
+    /// Aligns every node to the latest clock, recording `Wait` spans for
+    /// the nodes that arrive early. Returns the barrier time.
+    pub fn barrier(&mut self) -> SimTime {
+        let latest = self.clocks.values().copied().max().expect("nonempty");
+        for (&node, clock) in self.clocks.iter_mut() {
+            if *clock < latest {
+                self.gantt.record(node, Activity::Wait, *clock, latest, self.round);
+                *clock = latest;
+            }
+        }
+        latest
+    }
+
+    /// Finishes the round: implicit final barrier, returning the round end
+    /// time.
+    pub fn finish(mut self) -> SimTime {
+        self.barrier()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimDuration {
+        SimDuration::from_secs_f64(s)
+    }
+
+    #[test]
+    fn work_advances_only_that_node() {
+        let mut g = GanttRecorder::new();
+        let nodes = [NodeId::Executor(0), NodeId::Executor(1)];
+        let mut rb = RoundBuilder::new(&mut g, 0, SimTime::ZERO, &nodes);
+        rb.work(NodeId::Executor(0), Activity::Compute, secs(2.0));
+        assert!((rb.clock(NodeId::Executor(0)).as_secs_f64() - 2.0).abs() < 1e-9);
+        assert_eq!(rb.clock(NodeId::Executor(1)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn barrier_aligns_and_records_wait() {
+        let mut g = GanttRecorder::new();
+        let nodes = [NodeId::Executor(0), NodeId::Executor(1)];
+        let mut rb = RoundBuilder::new(&mut g, 0, SimTime::ZERO, &nodes);
+        rb.work(NodeId::Executor(0), Activity::Compute, secs(3.0));
+        rb.work(NodeId::Executor(1), Activity::Compute, secs(1.0));
+        let t = rb.barrier();
+        assert!((t.as_secs_f64() - 3.0).abs() < 1e-9);
+        assert_eq!(rb.clock(NodeId::Executor(1)), t);
+        // Executor 2 waited 1→3.
+        let wait = g
+            .spans()
+            .iter()
+            .find(|s| s.activity == Activity::Wait)
+            .expect("wait span recorded");
+        assert_eq!(wait.node, NodeId::Executor(1));
+        assert!((wait.start.as_secs_f64() - 1.0).abs() < 1e-9);
+        assert!((wait.end.as_secs_f64() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chained_phases_accumulate() {
+        let mut g = GanttRecorder::new();
+        let nodes = [NodeId::Driver, NodeId::Executor(0)];
+        let mut rb = RoundBuilder::new(&mut g, 5, SimTime::ZERO, &nodes);
+        rb.work(NodeId::Driver, Activity::Broadcast, secs(1.0));
+        rb.barrier();
+        rb.work(NodeId::Executor(0), Activity::Compute, secs(2.0));
+        rb.barrier();
+        rb.work(NodeId::Driver, Activity::DriverUpdate, secs(0.5));
+        let end = rb.finish();
+        assert!((end.as_secs_f64() - 3.5).abs() < 1e-9);
+        // All spans carry the round number.
+        assert!(g.spans().iter().all(|s| s.round == 5));
+    }
+
+    #[test]
+    fn zero_duration_work_records_no_span() {
+        let mut g = GanttRecorder::new();
+        let nodes = [NodeId::Executor(0)];
+        let mut rb = RoundBuilder::new(&mut g, 0, SimTime::ZERO, &nodes);
+        rb.work(NodeId::Executor(0), Activity::Compute, SimDuration::ZERO);
+        assert!(g.spans().is_empty());
+    }
+
+    #[test]
+    fn rounds_can_start_at_nonzero_time() {
+        let mut g = GanttRecorder::new();
+        let start = SimTime::ZERO + secs(10.0);
+        let nodes = [NodeId::Executor(0)];
+        let mut rb = RoundBuilder::new(&mut g, 1, start, &nodes);
+        rb.work(NodeId::Executor(0), Activity::Compute, secs(1.0));
+        let end = rb.finish();
+        assert!((end.as_secs_f64() - 11.0).abs() < 1e-9);
+        assert!((g.spans()[0].start.as_secs_f64() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_round_rejected() {
+        let mut g = GanttRecorder::new();
+        let _ = RoundBuilder::new(&mut g, 0, SimTime::ZERO, &[]);
+    }
+}

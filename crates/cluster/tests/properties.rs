@@ -1,0 +1,140 @@
+//! Property-based tests for the simulation substrate.
+
+use mlstar_sim::{
+    Activity, ClusterSpec, CostModel, EventQueue, GanttRecorder, NetworkSpec, NodeId, NodeSpec,
+    RoundBuilder, SeedStream, SimDuration, SimTime,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// The event queue is a stable priority queue: pops come out sorted by
+    /// time, FIFO within ties.
+    #[test]
+    fn event_queue_pops_sorted_stable(times in proptest::collection::vec(0u64..100, 1..60)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), i);
+        }
+        let mut popped: Vec<(SimTime, usize)> = Vec::new();
+        while let Some(e) = q.pop() {
+            popped.push(e);
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "times sorted");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO within ties");
+            }
+        }
+    }
+
+    /// SimTime arithmetic: addition is monotone and saturating-subtraction
+    /// never goes negative.
+    #[test]
+    fn sim_time_arithmetic(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_nanos(a);
+        let d = SimDuration::from_nanos(b);
+        let t2 = t + d;
+        prop_assert!(t2 >= t);
+        prop_assert_eq!((t2 - t).as_nanos(), b);
+        prop_assert_eq!((t - t2).as_nanos(), 0, "saturating");
+    }
+
+    /// Seed streams: distinct indices produce distinct seeds; derivation is
+    /// stable.
+    #[test]
+    fn seed_streams_are_distinct_and_stable(seed in 0u64..u64::MAX, i in 0u64..1000, j in 0u64..1000) {
+        let root = SeedStream::new(seed);
+        prop_assert_eq!(root.child_idx(i).seed(), SeedStream::new(seed).child_idx(i).seed());
+        if i != j {
+            prop_assert_ne!(root.child_idx(i).seed(), root.child_idx(j).seed());
+        }
+    }
+
+    /// Cost model: compute time is monotone in flops; transfer time is
+    /// monotone in bytes; serialized transfers dominate single transfers.
+    #[test]
+    fn cost_model_is_monotone(
+        flops_a in 0.0f64..1e12,
+        flops_b in 0.0f64..1e12,
+        bytes in 1usize..1_000_000_000,
+        count in 1usize..64,
+    ) {
+        let cost = CostModel::new(ClusterSpec::uniform(
+            4,
+            NodeSpec::standard(),
+            NetworkSpec::gbps1(),
+        ));
+        let (lo, hi) = if flops_a <= flops_b { (flops_a, flops_b) } else { (flops_b, flops_a) };
+        prop_assert!(cost.driver_compute(lo) <= cost.driver_compute(hi));
+        prop_assert!(cost.transfer(bytes) <= cost.transfer(bytes * 2));
+        prop_assert!(cost.serialized_transfers(bytes, count) >= cost.transfer(bytes).mul_f64(0.99));
+        prop_assert!(
+            cost.serialized_transfers(bytes, count + 1) >= cost.serialized_transfers(bytes, count)
+        );
+    }
+
+    /// RoundBuilder: after a barrier all clocks agree, equal the maximum,
+    /// and per-node spans never overlap.
+    #[test]
+    fn round_builder_invariants(
+        durations in proptest::collection::vec(0u64..2_000_000_000, 1..8),
+    ) {
+        let nodes: Vec<NodeId> = (0..durations.len()).map(NodeId::Executor).collect();
+        let mut gantt = GanttRecorder::new();
+        let mut rb = RoundBuilder::new(&mut gantt, 0, SimTime::ZERO, &nodes);
+        for (r, &d) in durations.iter().enumerate() {
+            rb.work(NodeId::Executor(r), Activity::Compute, SimDuration::from_nanos(d));
+        }
+        let barrier = rb.barrier();
+        let max = durations.iter().copied().max().unwrap_or(0);
+        prop_assert_eq!(barrier.as_nanos(), max);
+        for (r, _) in durations.iter().enumerate() {
+            prop_assert_eq!(rb.clock(NodeId::Executor(r)).as_nanos(), max);
+        }
+        drop(rb);
+        // Per-node spans are non-overlapping and within [0, max].
+        for node in nodes {
+            let mut spans: Vec<_> = gantt
+                .spans()
+                .iter()
+                .filter(|s| s.node == node)
+                .collect();
+            spans.sort_by_key(|s| s.start);
+            for w in spans.windows(2) {
+                prop_assert!(w[0].end <= w[1].start, "spans overlap on {node}");
+            }
+            for s in spans {
+                prop_assert!(s.end.as_nanos() <= max);
+            }
+        }
+    }
+
+    /// Straggler draws from cluster2 are positive and deterministic per
+    /// seed.
+    #[test]
+    fn heterogeneous_cluster_is_reproducible(k in 1usize..40, seed in 0u64..500) {
+        let a = ClusterSpec::cluster2(k, seed);
+        let b = ClusterSpec::cluster2(k, seed);
+        prop_assert_eq!(&a, &b);
+        for e in &a.executors {
+            prop_assert!(e.gflops > 0.0);
+        }
+    }
+
+    /// Gantt utilization is always within [0, 1].
+    #[test]
+    fn utilization_bounded(work in proptest::collection::vec((0u64..5, 0u64..1_000_000u64), 1..20)) {
+        let mut g = GanttRecorder::new();
+        let mut t = SimTime::ZERO;
+        for &(node, dur) in &work {
+            let end = t + SimDuration::from_nanos(dur);
+            g.record(NodeId::Executor(node as usize), Activity::Compute, t, end, 0);
+            t = end;
+        }
+        for node in g.nodes() {
+            let u = g.utilization(node);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&u), "{u}");
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Wire encoding for vectors crossing the (simulated) network.
+//!
+//! The size model in [`crate::dense_bytes`] / [`crate::sparse_bytes`] is
+//! not a guess: it is the exact length of this encoding (16-byte header +
+//! packed little-endian payload). The collectives charge simulated time
+//! from those sizes; this module provides the actual round-trippable
+//! bytes for users persisting models or bridging to real transports.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! dense:  magic u32 | kind=1 u8 | pad [u8;3] | dim u32 | reserved u32 | dim × f64
+//! sparse: magic u32 | kind=2 u8 | pad [u8;3] | dim u32 | nnz u32      | nnz × u32 | nnz × f64
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mlstar_linalg::{DenseVector, LinalgError, SparseVector};
+
+/// `"MLS*"` — the frame magic.
+pub const WIRE_MAGIC: u32 = 0x4D4C_532A;
+
+const KIND_DENSE: u8 = 1;
+const KIND_SPARSE: u8 = 2;
+const HEADER_LEN: usize = 16;
+
+/// Errors produced when decoding a wire frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// The frame does not start with [`WIRE_MAGIC`].
+    BadMagic(u32),
+    /// Unknown payload kind byte.
+    BadKind(u8),
+    /// The frame is shorter than its header declares.
+    Truncated {
+        /// Bytes expected from the header.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+    /// The payload violates a vector invariant (unsorted indices, NaN…).
+    Invalid(LinalgError),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad wire magic {m:#010x}"),
+            WireError::BadKind(k) => write!(f, "unknown payload kind {k}"),
+            WireError::Truncated { expected, actual } => {
+                write!(f, "truncated frame: expected {expected} bytes, got {actual}")
+            }
+            WireError::Invalid(e) => write!(f, "invalid payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Exact encoded length of a dense vector — equals
+/// [`crate::dense_bytes`]`(dim)`.
+pub fn encoded_dense_len(dim: usize) -> usize {
+    HEADER_LEN + dim * 8
+}
+
+/// Exact encoded length of a sparse vector — equals
+/// [`crate::sparse_bytes`]`(nnz)`.
+pub fn encoded_sparse_len(nnz: usize) -> usize {
+    HEADER_LEN + nnz * 12
+}
+
+/// Encodes a dense vector.
+///
+/// # Panics
+///
+/// Panics if `dim > u32::MAX` (the wire format's limit).
+pub fn encode_dense(v: &DenseVector) -> Bytes {
+    assert!(v.dim() <= u32::MAX as usize, "dimension exceeds wire limit");
+    let mut buf = BytesMut::with_capacity(encoded_dense_len(v.dim()));
+    buf.put_u32_le(WIRE_MAGIC);
+    buf.put_u8(KIND_DENSE);
+    buf.put_bytes(0, 3);
+    buf.put_u32_le(v.dim() as u32);
+    buf.put_u32_le(0); // reserved
+    for &x in v.as_slice() {
+        buf.put_f64_le(x);
+    }
+    buf.freeze()
+}
+
+/// Encodes a sparse vector.
+///
+/// # Panics
+///
+/// Panics if `dim` or `nnz` exceeds `u32::MAX`.
+pub fn encode_sparse(v: &SparseVector) -> Bytes {
+    assert!(v.dim() <= u32::MAX as usize, "dimension exceeds wire limit");
+    assert!(v.nnz() <= u32::MAX as usize, "nnz exceeds wire limit");
+    let mut buf = BytesMut::with_capacity(encoded_sparse_len(v.nnz()));
+    buf.put_u32_le(WIRE_MAGIC);
+    buf.put_u8(KIND_SPARSE);
+    buf.put_bytes(0, 3);
+    buf.put_u32_le(v.dim() as u32);
+    buf.put_u32_le(v.nnz() as u32);
+    for &i in v.indices() {
+        buf.put_u32_le(i);
+    }
+    for &x in v.values() {
+        buf.put_f64_le(x);
+    }
+    buf.freeze()
+}
+
+/// Decodes a dense vector frame.
+pub fn decode_dense(frame: &Bytes) -> Result<DenseVector, WireError> {
+    let (kind, dim, _aux, mut payload) = decode_header(frame)?;
+    if kind != KIND_DENSE {
+        return Err(WireError::BadKind(kind));
+    }
+    let expected = encoded_dense_len(dim);
+    if frame.len() != expected {
+        return Err(WireError::Truncated { expected, actual: frame.len() });
+    }
+    let mut values = Vec::with_capacity(dim);
+    for _ in 0..dim {
+        values.push(payload.get_f64_le());
+    }
+    Ok(DenseVector::from_vec(values))
+}
+
+/// Decodes a sparse vector frame, validating all sparse invariants.
+pub fn decode_sparse(frame: &Bytes) -> Result<SparseVector, WireError> {
+    let (kind, dim, nnz, mut payload) = decode_header(frame)?;
+    if kind != KIND_SPARSE {
+        return Err(WireError::BadKind(kind));
+    }
+    let expected = encoded_sparse_len(nnz);
+    if frame.len() != expected {
+        return Err(WireError::Truncated { expected, actual: frame.len() });
+    }
+    let mut indices = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        indices.push(payload.get_u32_le());
+    }
+    let mut values = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        values.push(payload.get_f64_le());
+    }
+    SparseVector::new(dim, indices, values).map_err(WireError::Invalid)
+}
+
+/// Parses and validates the 16-byte header, returning
+/// `(kind, dim, aux, payload)`.
+fn decode_header(frame: &Bytes) -> Result<(u8, usize, usize, Bytes), WireError> {
+    if frame.len() < HEADER_LEN {
+        return Err(WireError::Truncated { expected: HEADER_LEN, actual: frame.len() });
+    }
+    let mut header = frame.slice(..HEADER_LEN);
+    let magic = header.get_u32_le();
+    if magic != WIRE_MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let kind = header.get_u8();
+    header.advance(3);
+    let dim = header.get_u32_le() as usize;
+    let aux = header.get_u32_le() as usize;
+    Ok((kind, dim, aux, frame.slice(HEADER_LEN..)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_roundtrip() {
+        let v = DenseVector::from_vec(vec![1.5, -2.0, 0.0, f64::MIN_POSITIVE]);
+        let frame = encode_dense(&v);
+        assert_eq!(frame.len(), encoded_dense_len(4));
+        let back = decode_dense(&frame).unwrap();
+        assert_eq!(back.as_slice(), v.as_slice());
+    }
+
+    #[test]
+    fn sparse_roundtrip() {
+        let v = SparseVector::from_pairs(1000, &[(3, 1.0), (999, -0.25)]).unwrap();
+        let frame = encode_sparse(&v);
+        assert_eq!(frame.len(), encoded_sparse_len(2));
+        let back = decode_sparse(&frame).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn sizes_match_the_cost_model() {
+        // The collectives' size model is the exact wire length.
+        for dim in [0usize, 1, 17, 4096] {
+            assert_eq!(encoded_dense_len(dim), crate::dense_bytes(dim));
+        }
+        for nnz in [0usize, 1, 23, 999] {
+            assert_eq!(encoded_sparse_len(nnz), crate::sparse_bytes(nnz));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_kind() {
+        let v = DenseVector::zeros(2);
+        let frame = encode_dense(&v);
+        let mut corrupted = frame.to_vec();
+        corrupted[0] ^= 0xFF;
+        assert!(matches!(
+            decode_dense(&Bytes::from(corrupted)),
+            Err(WireError::BadMagic(_))
+        ));
+        // Dense frame through the sparse decoder.
+        assert!(matches!(decode_sparse(&frame), Err(WireError::BadKind(KIND_DENSE))));
+    }
+
+    #[test]
+    fn rejects_truncated_frames() {
+        let v = DenseVector::zeros(8);
+        let frame = encode_dense(&v);
+        let short = frame.slice(..frame.len() - 4);
+        assert!(matches!(decode_dense(&short), Err(WireError::Truncated { .. })));
+        let tiny = Bytes::from_static(&[1, 2, 3]);
+        assert!(matches!(decode_dense(&tiny), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn rejects_invalid_sparse_payload() {
+        // Hand-craft a frame with unsorted indices.
+        let good = SparseVector::from_pairs(10, &[(1, 1.0), (5, 2.0)]).unwrap();
+        let frame = encode_sparse(&good);
+        let mut bytes = frame.to_vec();
+        // Swap the two index words (offsets 16..20 and 20..24).
+        bytes.swap(16, 20);
+        bytes.swap(17, 21);
+        bytes.swap(18, 22);
+        bytes.swap(19, 23);
+        assert!(matches!(
+            decode_sparse(&Bytes::from(bytes)),
+            Err(WireError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = WireError::BadMagic(7);
+        assert!(e.to_string().contains("magic"));
+        let e = WireError::Truncated { expected: 10, actual: 3 };
+        assert!(e.to_string().contains("10"));
+        let e = WireError::BadKind(9);
+        assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn empty_vectors_encode() {
+        let d = decode_dense(&encode_dense(&DenseVector::zeros(0))).unwrap();
+        assert_eq!(d.dim(), 0);
+        let s = decode_sparse(&encode_sparse(&SparseVector::empty(5))).unwrap();
+        assert_eq!(s.dim(), 5);
+        assert_eq!(s.nnz(), 0);
+    }
+}

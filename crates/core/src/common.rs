@@ -1,0 +1,183 @@
+//! Shared harness for the BSP (MLlib-family) trainers.
+
+use mlstar_data::{Partitioner, SparseDataset};
+use mlstar_glm::{objective_value, Loss, Regularizer};
+use mlstar_linalg::DenseVector;
+use mlstar_sim::{ClusterSpec, CostModel, NodeId, SeedStream};
+
+/// Partitioned dataset + cost model + node lists for one BSP run.
+pub(crate) struct BspHarness {
+    /// The cost model over the cluster.
+    pub cost: CostModel,
+    /// Driver plus all executors (round participants for driver-centric
+    /// patterns).
+    pub all_nodes: Vec<NodeId>,
+    /// Executors only (round participants for AllReduce).
+    pub exec_nodes: Vec<NodeId>,
+    /// Row indices owned by each executor.
+    pub parts: Vec<Vec<usize>>,
+    /// Total stored nonzeros per partition (drives compute cost).
+    pub part_nnz: Vec<usize>,
+}
+
+impl BspHarness {
+    /// Builds the harness: rows are randomly shuffled across executors
+    /// (the paper's footnote: data "need to be randomly shuffled and
+    /// distributed across the workers"). A `skew` gives worker 0 that
+    /// fraction of the rows (for the weighted-averaging ablation).
+    pub fn new(ds: &SparseDataset, cluster: &ClusterSpec, seed: u64) -> Self {
+        Self::with_skew(ds, cluster, seed, None)
+    }
+
+    /// Like [`BspHarness::new`] with an optional hot-worker skew.
+    pub fn with_skew(
+        ds: &SparseDataset,
+        cluster: &ClusterSpec,
+        seed: u64,
+        skew: Option<f64>,
+    ) -> Self {
+        let k = cluster.num_executors();
+        let part_seed = SeedStream::new(seed).child("partition").seed();
+        let partitioner = match skew {
+            Some(hot_fraction) => Partitioner::SkewedShuffled { seed: part_seed, hot_fraction },
+            None => Partitioner::Shuffled { seed: part_seed },
+        };
+        let parts = partitioner.partition(ds.len(), k);
+        let part_nnz = parts
+            .iter()
+            .map(|p| p.iter().map(|&i| ds.rows()[i].nnz()).sum())
+            .collect();
+        let exec_nodes: Vec<NodeId> = (0..k).map(NodeId::Executor).collect();
+        let mut all_nodes = vec![NodeId::Driver];
+        all_nodes.extend(exec_nodes.iter().copied());
+        BspHarness {
+            cost: CostModel::new(cluster.clone()),
+            all_nodes,
+            exec_nodes,
+            parts,
+            part_nnz,
+        }
+    }
+
+    /// Number of executors.
+    pub fn k(&self) -> usize {
+        self.parts.len()
+    }
+}
+
+/// Spark-style failure injection: with probability `prob`, one executor's
+/// task fails this round and lineage re-runs it (same flops, fresh
+/// straggler draw, full task overhead). Returns the victim, if any.
+/// Deterministic given the failure RNG stream; affects simulated time
+/// only.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn maybe_inject_failure<R: rand::Rng>(
+    rb: &mut mlstar_sim::RoundBuilder<'_>,
+    h: &BspHarness,
+    prob: f64,
+    waves: usize,
+    flops_of: impl Fn(usize) -> f64,
+    failure_rng: &mut R,
+    straggler_rng: &mut R,
+) -> Option<usize> {
+    if prob <= 0.0 || !failure_rng.gen_bool(prob.min(1.0)) {
+        return None;
+    }
+    let k = h.k();
+    let victim = failure_rng.gen_range(0..k);
+    rb.work(
+        mlstar_sim::NodeId::Executor(victim),
+        mlstar_sim::Activity::Compute,
+        h.cost.executor_waves(victim, flops_of(victim), waves, straggler_rng),
+    );
+    rb.barrier();
+    Some(victim)
+}
+
+/// Human-readable workload label for traces, e.g. `"n=74820 d=27343 L2=0.1"`
+/// (comma-free so CSV rows stay parseable).
+pub(crate) fn workload_label(ds: &SparseDataset, reg: Regularizer) -> String {
+    format!("n={} d={} {}", ds.len(), ds.num_features(), reg.label())
+}
+
+/// Number of *distinct* feature coordinates appearing in each partition —
+/// the volume of an Angel-style sparse pull.
+pub(crate) fn partition_active_coords(ds: &SparseDataset, parts: &[Vec<usize>]) -> Vec<usize> {
+    let mut seen = vec![false; ds.num_features()];
+    let mut out = Vec::with_capacity(parts.len());
+    for part in parts {
+        let mut count = 0usize;
+        for &row in part {
+            for (j, _) in ds.rows()[row].iter() {
+                if !seen[j] {
+                    seen[j] = true;
+                    count += 1;
+                }
+            }
+        }
+        out.push(count);
+        // Clear only the marks we set (cheaper than refilling for sparse
+        // partitions).
+        for &row in part {
+            for (j, _) in ds.rows()[row].iter() {
+                seen[j] = false;
+            }
+        }
+    }
+    out
+}
+
+/// Objective on the full dataset (measurement only — never charged to
+/// simulated time, matching the paper's offline evaluation of `f(w, X)`).
+pub(crate) fn eval_objective(
+    ds: &SparseDataset,
+    loss: Loss,
+    reg: Regularizer,
+    w: &DenseVector,
+) -> f64 {
+    objective_value(loss, reg, w, ds.rows(), ds.labels())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlstar_data::SyntheticConfig;
+
+    #[test]
+    fn harness_partitions_every_row_once() {
+        let ds = SyntheticConfig::small("h", 103, 20).generate();
+        let cluster = ClusterSpec::cluster1();
+        let h = BspHarness::new(&ds, &cluster, 5);
+        assert_eq!(h.k(), 8);
+        let mut all: Vec<usize> = h.parts.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..103).collect::<Vec<_>>());
+        assert_eq!(h.all_nodes.len(), 9);
+        assert_eq!(h.exec_nodes.len(), 8);
+        let total_nnz: usize = h.part_nnz.iter().sum();
+        assert_eq!(total_nnz, ds.total_nnz());
+    }
+
+    #[test]
+    fn active_coords_counts_distinct_features() {
+        use mlstar_linalg::SparseVector;
+        let mut ds = SparseDataset::empty(6);
+        ds.push(SparseVector::from_pairs(6, &[(0, 1.0), (2, 1.0)]).unwrap(), 1.0);
+        ds.push(SparseVector::from_pairs(6, &[(2, 1.0), (3, 1.0)]).unwrap(), -1.0);
+        ds.push(SparseVector::from_pairs(6, &[(5, 1.0)]).unwrap(), 1.0);
+        let parts = vec![vec![0, 1], vec![2], vec![]];
+        let active = partition_active_coords(&ds, &parts);
+        assert_eq!(active, vec![3, 1, 0]);
+    }
+
+    #[test]
+    fn harness_is_seed_deterministic() {
+        let ds = SyntheticConfig::small("h2", 50, 10).generate();
+        let cluster = ClusterSpec::cluster1();
+        let a = BspHarness::new(&ds, &cluster, 9);
+        let b = BspHarness::new(&ds, &cluster, 9);
+        assert_eq!(a.parts, b.parts);
+        let c = BspHarness::new(&ds, &cluster, 10);
+        assert_ne!(a.parts, c.parts);
+    }
+}

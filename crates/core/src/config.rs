@@ -1,0 +1,212 @@
+//! Shared training configuration and run output.
+
+use mlstar_glm::{GlmModel, LearningRate, Loss, Regularizer};
+use mlstar_sim::GanttRecorder;
+use serde::{Deserialize, Serialize};
+
+use crate::ConvergenceTrace;
+
+/// How the SendModel systems combine worker models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MaWeighting {
+    /// Plain model averaging (the paper's MLlib\* default).
+    #[default]
+    Uniform,
+    /// Weight each worker's model by its partition size — the
+    /// "reweighting" refinement of Zhang & Jordan the paper's Remark
+    /// points to. Identical to uniform on balanced partitions; corrects
+    /// the bias on skewed ones.
+    PartitionSize,
+}
+
+/// Configuration shared by every distributed trainer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// The loss (the paper trains hinge-loss SVMs).
+    pub loss: Loss,
+    /// The regularization term (`L2=0` / `L2=0.1` in the paper).
+    pub reg: Regularizer,
+    /// Learning-rate schedule (per model update).
+    pub lr: LearningRate,
+    /// Mini-batch size as a fraction of the sampling pool (the full
+    /// dataset for MLlib's global batch; the local partition for PS
+    /// workers). The paper grid-searches this; 0.01 is its typical value.
+    pub batch_frac: f64,
+    /// Maximum communication steps (MLlib rounds / PS global clocks).
+    pub max_rounds: u64,
+    /// Evaluate the objective every this many communication steps.
+    pub eval_every: u64,
+    /// Stop when the objective reaches this value (the paper's
+    /// optimum + 0.01 threshold), if set.
+    pub target_objective: Option<f64>,
+    /// Fan-in of MLlib's `treeAggregate`.
+    pub tree_fanin: usize,
+    /// Per-round probability that one executor's task fails and is
+    /// recovered via Spark's lineage (the failed task re-runs from cached
+    /// input). Affects simulated time only — recomputation is
+    /// deterministic, so results are unchanged. Default 0.
+    pub failure_prob: f64,
+    /// Tasks per executor per round ("waves"). The paper tuned this and
+    /// found 1 optimal; >1 splits each round's local work into sequential
+    /// tasks that each pay the Spark task overhead but draw independent
+    /// straggler multipliers.
+    pub waves: usize,
+    /// Aggregation weighting for the model-averaging systems.
+    pub ma_weighting: MaWeighting,
+    /// If set, rows are partitioned with
+    /// [`mlstar_data::Partitioner::SkewedShuffled`]: worker 0 owns this
+    /// fraction of the data. `None` = balanced shuffle (the default).
+    pub partition_skew: Option<f64>,
+    /// Experiment seed (drives partitioning, batch sampling, stragglers).
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            loss: Loss::Hinge,
+            reg: Regularizer::None,
+            lr: LearningRate::Constant(0.1),
+            batch_frac: 0.01,
+            max_rounds: 200,
+            eval_every: 1,
+            target_objective: None,
+            tree_fanin: 3,
+            failure_prob: 0.0,
+            waves: 1,
+            ma_weighting: MaWeighting::Uniform,
+            partition_skew: None,
+            seed: 42,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// Resolves the batch size against a pool of `pool_len` examples
+    /// (at least 1).
+    pub fn batch_size(&self, pool_len: usize) -> usize {
+        ((pool_len as f64 * self.batch_frac).round() as usize).clamp(1, pool_len.max(1))
+    }
+
+    /// True if training should stop at this objective value (target
+    /// reached or divergence detected).
+    pub fn should_stop(&self, objective: f64) -> bool {
+        if !objective.is_finite() || objective > 1e9 {
+            return true;
+        }
+        match self.target_objective {
+            Some(t) => objective <= t,
+            None => false,
+        }
+    }
+}
+
+/// Extra configuration for the parameter-server systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PsSystemConfig {
+    /// Number of server shards.
+    pub num_servers: usize,
+    /// SSP staleness bound (0 = BSP). Petuum's tunable in the paper's
+    /// grid search.
+    pub staleness: u64,
+    /// Transmit sparse messages where the algorithm allows it: pulls
+    /// fetch only the worker partition's active coordinates, and (under
+    /// model *summation* with no regularizer) pushes ship only the
+    /// touched coordinates. Real PS systems do this for high-dimensional
+    /// sparse models.
+    pub sparse_messages: bool,
+}
+
+impl Default for PsSystemConfig {
+    fn default() -> Self {
+        PsSystemConfig { num_servers: 2, staleness: 2, sparse_messages: false }
+    }
+}
+
+/// Extra configuration for Angel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AngelConfig {
+    /// Number of server shards.
+    pub num_servers: usize,
+    /// SSP staleness bound between workers' epoch clocks (0 = BSP).
+    pub staleness: u64,
+    /// Simulated memory-allocation bandwidth (bytes/s) for the per-batch
+    /// gradient-accumulation vector. The paper: "Angel stores the
+    /// accumulated gradients for each batch in a separate vector... there
+    /// will be significant overhead on memory allocation and garbage
+    /// collection" — this constant is that overhead's knob.
+    pub alloc_bandwidth_bps: f64,
+    /// Transmit sparse messages where possible (see
+    /// [`PsSystemConfig::sparse_messages`]).
+    pub sparse_messages: bool,
+}
+
+impl Default for AngelConfig {
+    fn default() -> Self {
+        AngelConfig {
+            num_servers: 2,
+            staleness: 1,
+            alloc_bandwidth_bps: 2e9,
+            sparse_messages: false,
+        }
+    }
+}
+
+/// The output of one distributed training run.
+#[derive(Debug, Clone)]
+pub struct TrainOutput {
+    /// Objective vs. step/time curve.
+    pub trace: ConvergenceTrace,
+    /// Recorded per-node activity spans.
+    pub gantt: GanttRecorder,
+    /// The final global model.
+    pub model: GlmModel,
+    /// Total model updates performed across the cluster.
+    pub total_updates: u64,
+    /// Communication steps actually executed.
+    pub rounds_run: u64,
+    /// True if the run ended by reaching `target_objective`.
+    pub converged: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_size_resolution() {
+        let cfg = TrainConfig { batch_frac: 0.01, ..TrainConfig::default() };
+        assert_eq!(cfg.batch_size(10_000), 100);
+        assert_eq!(cfg.batch_size(10), 1, "rounds to at least 1");
+        assert_eq!(cfg.batch_size(0), 1, "degenerate pool still yields 1");
+        let full = TrainConfig { batch_frac: 1.0, ..TrainConfig::default() };
+        assert_eq!(full.batch_size(37), 37);
+        let over = TrainConfig { batch_frac: 5.0, ..TrainConfig::default() };
+        assert_eq!(over.batch_size(37), 37, "clamped to pool");
+    }
+
+    #[test]
+    fn stop_conditions() {
+        let cfg = TrainConfig { target_objective: Some(0.1), ..TrainConfig::default() };
+        assert!(!cfg.should_stop(0.5));
+        assert!(cfg.should_stop(0.1));
+        assert!(cfg.should_stop(0.05));
+        assert!(cfg.should_stop(f64::NAN), "divergence stops training");
+        assert!(cfg.should_stop(1e12), "blow-up stops training");
+        let no_target = TrainConfig { target_objective: None, ..TrainConfig::default() };
+        assert!(!no_target.should_stop(0.0));
+        assert!(no_target.should_stop(f64::INFINITY));
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = TrainConfig::default();
+        assert!(cfg.batch_frac > 0.0 && cfg.batch_frac <= 1.0);
+        assert!(cfg.tree_fanin >= 2);
+        assert!(cfg.eval_every >= 1);
+        assert_eq!(cfg.waves, 1, "the paper's tuned optimum");
+        assert_eq!(cfg.failure_prob, 0.0);
+        assert!(PsSystemConfig::default().num_servers >= 1);
+        assert!(AngelConfig::default().alloc_bandwidth_bps > 0.0);
+    }
+}

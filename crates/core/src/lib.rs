@@ -1,0 +1,69 @@
+//! The distributed GLM training systems of the MLlib\* paper.
+//!
+//! Six systems, all training the same objective on the same simulated
+//! cluster so their convergence curves are directly comparable:
+//!
+//! | System | Paradigm | Communication | Paper role |
+//! |---|---|---|---|
+//! | [`Mllib`](System::Mllib) | SendGradient | broadcast + treeAggregate via driver | baseline (Figure 2a) |
+//! | [`MllibMa`](System::MllibMa) | SendModel (model averaging) | broadcast + treeAggregate via driver | ablation: B1 fixed, B2 not (Figure 3b) |
+//! | [`MllibStar`](System::MllibStar) | SendModel (model averaging) | Reduce-Scatter + AllGather (AllReduce) | the paper's contribution (Figures 2b, 3c) |
+//! | [`Petuum`](System::Petuum) | SendModel (model **summation**) | parameter servers, per-batch, SSP | specialized baseline |
+//! | [`PetuumStar`](System::PetuumStar) | SendModel (model averaging) | parameter servers, per-batch, SSP | the paper's fixed Petuum |
+//! | [`Angel`](System::Angel) | SendModel | parameter servers, per-epoch | specialized baseline |
+//!
+//! Each run produces a [`ConvergenceTrace`] (objective vs. communication
+//! step and simulated time — the two x-axes of Figures 4–6) and a Gantt
+//! recording (Figure 3).
+//!
+//! # Example
+//!
+//! ```
+//! use mlstar_core::{train_mllib_star, TrainConfig};
+//! use mlstar_data::SyntheticConfig;
+//! use mlstar_glm::LearningRate;
+//! use mlstar_sim::ClusterSpec;
+//!
+//! let dataset = SyntheticConfig::small("demo", 400, 50).generate();
+//! let cluster = ClusterSpec::cluster1(); // the paper's 8-executor cluster
+//! let cfg = TrainConfig {
+//!     lr: LearningRate::Constant(0.05),
+//!     max_rounds: 5,
+//!     ..TrainConfig::default()
+//! };
+//! let out = train_mllib_star(&dataset, &cluster, &cfg);
+//! assert!(out.trace.final_objective().unwrap() < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod angel;
+mod common;
+mod comparison;
+mod config;
+mod grid;
+mod local_pass;
+mod mllib;
+mod mllib_ma;
+mod mllib_star;
+mod ovr;
+mod petuum;
+mod sequential;
+mod sparkml;
+mod system;
+mod trace;
+
+pub use angel::train_angel;
+pub use comparison::{Comparison, ComparisonReport, ComparisonRow};
+pub use config::{AngelConfig, MaWeighting, PsSystemConfig, TrainConfig, TrainOutput};
+pub use grid::{GridSearch, GridPoint, GridResult};
+pub use mllib::train_mllib;
+pub use mllib_ma::train_mllib_ma;
+pub use mllib_star::train_mllib_star;
+pub use ovr::{OneVsRest, OvrModel, OvrOutput};
+pub use petuum::{train_petuum, train_petuum_star};
+pub use sequential::reference_optimum;
+pub use sparkml::{train_sparkml_lbfgs, SparkMlConfig};
+pub use system::System;
+pub use trace::{ConvergenceTrace, TracePoint};

@@ -1,0 +1,203 @@
+//! Worker-local SGD passes, optionally parallelized across host threads.
+//!
+//! Within one BSP round, the `k` simulated executors' local passes are
+//! independent, so they can run on real threads without changing any
+//! result: each worker's RNG stream, update counter and output buffer are
+//! private, and the aggregation that follows consumes the same `locals`
+//! regardless of completion order. Set `MLSTAR_HOST_THREADS=N` to use `N`
+//! host threads (default 1 = serial; purely a host-performance knob,
+//! invisible to the simulation).
+
+use mlstar_data::{EpochOrder, SparseDataset};
+use mlstar_glm::{sgd_epoch_lazy, LearningRate, Loss, Regularizer};
+use mlstar_linalg::{DenseVector, ScaledVector};
+
+/// Number of host threads for local passes (`MLSTAR_HOST_THREADS`,
+/// default 1).
+pub(crate) fn host_threads() -> usize {
+    std::env::var("MLSTAR_HOST_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or(1)
+}
+
+/// Runs one local SGD pass per worker, writing each worker's resulting
+/// model into `locals[r]` (workers with empty partitions copy `w`).
+/// Returns the total number of updates performed.
+///
+/// # Panics
+///
+/// Panics if the per-worker slices disagree in length.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn local_sgd_passes(
+    ds: &SparseDataset,
+    parts: &[Vec<usize>],
+    loss: Loss,
+    reg: Regularizer,
+    lr: LearningRate,
+    w: &DenseVector,
+    orders: &mut [EpochOrder],
+    counters: &mut [u64],
+    locals: &mut [DenseVector],
+    threads: usize,
+) -> u64 {
+    let k = parts.len();
+    assert_eq!(orders.len(), k, "one epoch-order stream per worker");
+    assert_eq!(counters.len(), k, "one update counter per worker");
+    assert_eq!(locals.len(), k, "one local buffer per worker");
+
+    let one_worker = |part: &Vec<usize>,
+                      order_gen: &mut EpochOrder,
+                      counter: &mut u64,
+                      out: &mut DenseVector,
+                      scratch: &mut ScaledVector|
+     -> u64 {
+        if part.is_empty() {
+            out.as_mut_slice().copy_from_slice(w.as_slice());
+            return 0;
+        }
+        let order = order_gen.next_order(part);
+        scratch.assign_dense(w);
+        *counter = sgd_epoch_lazy(
+            loss,
+            reg,
+            scratch,
+            ds.rows(),
+            ds.labels(),
+            &order,
+            lr,
+            *counter,
+        );
+        scratch.copy_into(out);
+        order.len() as u64
+    };
+
+    let threads = threads.clamp(1, k.max(1));
+    if threads <= 1 {
+        let mut scratch = ScaledVector::zeros(w.dim());
+        let mut total = 0;
+        for r in 0..k {
+            total += one_worker(&parts[r], &mut orders[r], &mut counters[r], &mut locals[r], &mut scratch);
+        }
+        return total;
+    }
+
+    // Parallel path: chunk the per-worker state across scoped threads.
+    // Each chunk owns disjoint mutable slices, so no synchronization is
+    // needed and the result is bit-identical to the serial path.
+    let chunk = k.div_ceil(threads);
+    let mut totals = vec![0u64; threads];
+    crossbeam::thread::scope(|scope| {
+        let mut parts_rest = parts;
+        let mut orders_rest: &mut [EpochOrder] = orders;
+        let mut counters_rest: &mut [u64] = counters;
+        let mut locals_rest: &mut [DenseVector] = locals;
+        for total_slot in &mut totals {
+            let take = chunk.min(parts_rest.len());
+            if take == 0 {
+                break;
+            }
+            let (p_now, p_later) = parts_rest.split_at(take);
+            let (o_now, o_later) = orders_rest.split_at_mut(take);
+            let (c_now, c_later) = counters_rest.split_at_mut(take);
+            let (l_now, l_later) = locals_rest.split_at_mut(take);
+            parts_rest = p_later;
+            orders_rest = o_later;
+            counters_rest = c_later;
+            locals_rest = l_later;
+            scope.spawn(move |_| {
+                let mut scratch = ScaledVector::zeros(w.dim());
+                let mut total = 0;
+                for i in 0..take {
+                    total += one_worker(&p_now[i], &mut o_now[i], &mut c_now[i], &mut l_now[i], &mut scratch);
+                }
+                *total_slot = total;
+            });
+        }
+    })
+    .expect("local-pass worker thread panicked");
+    totals.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlstar_data::{Partitioner, SyntheticConfig};
+    use mlstar_sim::SeedStream;
+
+    type Setup = (SparseDataset, Vec<Vec<usize>>, Vec<EpochOrder>, Vec<u64>, Vec<DenseVector>);
+
+    fn setup(k: usize) -> Setup {
+        let ds = SyntheticConfig::small("local-pass", 160, 24).generate();
+        let parts = Partitioner::Shuffled { seed: 3 }.partition(ds.len(), k);
+        let seeds = SeedStream::new(9);
+        let orders = (0..k)
+            .map(|r| EpochOrder::new(seeds.child_idx(r as u64).seed()))
+            .collect();
+        let dim = ds.num_features();
+        (ds, parts, orders, vec![0; k], vec![DenseVector::zeros(dim); k])
+    }
+
+    fn run(threads: usize, k: usize) -> (Vec<DenseVector>, Vec<u64>, u64) {
+        let (ds, parts, mut orders, mut counters, mut locals) = setup(k);
+        let w = DenseVector::zeros(ds.num_features());
+        let total = local_sgd_passes(
+            &ds,
+            &parts,
+            Loss::Hinge,
+            Regularizer::l2(0.01),
+            LearningRate::Constant(0.05),
+            &w,
+            &mut orders,
+            &mut counters,
+            &mut locals,
+            threads,
+        );
+        (locals, counters, total)
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let (serial_locals, serial_counters, serial_total) = run(1, 6);
+        for threads in [2usize, 3, 6, 16] {
+            let (locals, counters, total) = run(threads, 6);
+            assert_eq!(total, serial_total, "threads={threads}");
+            assert_eq!(counters, serial_counters, "threads={threads}");
+            for (a, b) in locals.iter().zip(serial_locals.iter()) {
+                assert_eq!(a.as_slice(), b.as_slice(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_partitions_copy_the_global_model() {
+        // More workers than rows → some partitions empty.
+        let (ds, parts, mut orders, mut counters, mut locals) = setup(3);
+        // Force one partition empty.
+        let mut parts = parts;
+        parts[2].clear();
+        let w = DenseVector::filled(ds.num_features(), 0.5);
+        local_sgd_passes(
+            &ds,
+            &parts,
+            Loss::Hinge,
+            Regularizer::None,
+            LearningRate::Constant(0.05),
+            &w,
+            &mut orders,
+            &mut counters,
+            &mut locals,
+            2,
+        );
+        assert_eq!(locals[2].as_slice(), w.as_slice());
+        assert_eq!(counters[2], 0);
+    }
+
+    #[test]
+    fn env_knob_parses() {
+        // Without the variable set, the default is serial.
+        std::env::remove_var("MLSTAR_HOST_THREADS");
+        assert_eq!(host_threads(), 1);
+    }
+}

@@ -1,0 +1,219 @@
+//! MLlib baseline: the *SendGradient* paradigm (Figure 2a, Figure 3a).
+//!
+//! Per communication step:
+//!
+//! 1. the driver broadcasts the current model to all executors (payloads
+//!    serialize through the driver NIC),
+//! 2. each executor samples a batch from its partition and computes the
+//!    average loss gradient,
+//! 3. gradients are summed up to the driver via hierarchical
+//!    `treeAggregate`,
+//! 4. the driver applies **one** model update:
+//!    `w ← w − η·(g + ∇Ω(w))`.
+//!
+//! One update per step is bottleneck **B1**; the driver-serialized
+//! broadcast/aggregate is bottleneck **B2**.
+
+use mlstar_collectives::{broadcast_model, tree_aggregate};
+use mlstar_data::{BatchSampler, SparseDataset};
+use mlstar_glm::{batch_gradient_into, GlmModel};
+use mlstar_linalg::DenseVector;
+use mlstar_sim::{
+    dense_op_flops, pass_flops, Activity, ClusterSpec, GanttRecorder, NodeId, RoundBuilder,
+    SeedStream, SimTime,
+};
+
+use crate::common::{eval_objective, maybe_inject_failure, workload_label, BspHarness};
+use crate::{ConvergenceTrace, TracePoint, TrainConfig, TrainOutput};
+
+/// Trains with the MLlib baseline. See the module docs for the protocol.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty.
+pub fn train_mllib(
+    ds: &SparseDataset,
+    cluster: &ClusterSpec,
+    cfg: &TrainConfig,
+) -> TrainOutput {
+    assert!(!ds.is_empty(), "cannot train on an empty dataset");
+    let h = BspHarness::new(ds, cluster, cfg.seed);
+    let k = h.k();
+    let dim = ds.num_features();
+    let seeds = SeedStream::new(cfg.seed);
+    let mut straggler_rng = seeds.child("straggler").rng();
+    let mut failure_rng = seeds.child("failures").rng();
+    let mut samplers: Vec<BatchSampler> = (0..k)
+        .map(|r| BatchSampler::new(seeds.child("batch").child_idx(r as u64).seed()))
+        .collect();
+
+    let mut gantt = GanttRecorder::new();
+    let mut w = DenseVector::zeros(dim);
+    let mut trace = ConvergenceTrace::new("MLlib", workload_label(ds, cfg.reg));
+    trace.push(TracePoint {
+        step: 0,
+        time: SimTime::ZERO,
+        objective: eval_objective(ds, cfg.loss, cfg.reg, &w),
+        total_updates: 0,
+    });
+
+    let mut now = SimTime::ZERO;
+    let mut total_updates = 0u64;
+    let mut rounds_run = 0u64;
+    let mut converged = false;
+    // Per-worker gradient buffers, reused across rounds.
+    let mut grads: Vec<DenseVector> = (0..k).map(|_| DenseVector::zeros(dim)).collect();
+
+    for round in 0..cfg.max_rounds {
+        let mut rb = RoundBuilder::new(&mut gantt, round, now, &h.all_nodes);
+
+        // (1) Driver broadcasts the model.
+        broadcast_model(&mut rb, &h.cost, dim);
+
+        // (2) Executors compute batch gradients.
+        for r in 0..k {
+            if h.parts[r].is_empty() {
+                grads[r].clear();
+                continue;
+            }
+            let batch_size = cfg.batch_size(h.parts[r].len());
+            let batch = samplers[r].sample(&h.parts[r], batch_size);
+            let batch_nnz: usize = batch.iter().map(|&i| ds.rows()[i].nnz()).sum();
+            batch_gradient_into(cfg.loss, &w, ds.rows(), ds.labels(), &batch, &mut grads[r]);
+            rb.work(
+                NodeId::Executor(r),
+                Activity::Compute,
+                h.cost.executor_waves(r, pass_flops(batch_nnz), cfg.waves, &mut straggler_rng),
+            );
+        }
+        rb.barrier();
+        maybe_inject_failure(
+            &mut rb,
+            &h,
+            cfg.failure_prob,
+            cfg.waves,
+            |r| pass_flops(h.part_nnz[r]) * cfg.batch_frac,
+            &mut failure_rng,
+            &mut straggler_rng,
+        );
+
+        // (3) Hierarchical aggregation of gradients to the driver.
+        let (gsum, _) = tree_aggregate(&mut rb, &h.cost, &grads, cfg.tree_fanin, Activity::SendGradient);
+
+        // (4) Single driver-side update.
+        let mut grad = gsum;
+        grad.scale(1.0 / k as f64);
+        cfg.reg.add_gradient(&w, &mut grad);
+        let eta = cfg.lr.eta(round);
+        w.axpy(-eta, &grad);
+        rb.work(
+            NodeId::Driver,
+            Activity::DriverUpdate,
+            h.cost.driver_compute(2.0 * dense_op_flops(dim)),
+        );
+        now = rb.finish();
+        total_updates += 1;
+        rounds_run = round + 1;
+
+        if rounds_run.is_multiple_of(cfg.eval_every) || rounds_run == cfg.max_rounds {
+            let f = eval_objective(ds, cfg.loss, cfg.reg, &w);
+            trace.push(TracePoint { step: rounds_run, time: now, objective: f, total_updates });
+            if cfg.should_stop(f) {
+                converged = cfg.target_objective.is_some_and(|t| f <= t);
+                break;
+            }
+        }
+    }
+
+    TrainOutput {
+        trace,
+        gantt,
+        model: GlmModel::from_weights(w),
+        total_updates,
+        rounds_run,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlstar_data::SyntheticConfig;
+    use mlstar_glm::{LearningRate, Loss, Regularizer};
+
+    fn tiny_ds() -> SparseDataset {
+        let mut cfg = SyntheticConfig::small("mllib-test", 240, 30);
+        cfg.margin_noise = 0.05;
+        cfg.flip_prob = 0.0;
+        cfg.generate()
+    }
+
+    fn quick_cfg() -> TrainConfig {
+        TrainConfig {
+            loss: Loss::Hinge,
+            reg: Regularizer::None,
+            lr: LearningRate::Constant(0.5),
+            batch_frac: 0.2,
+            max_rounds: 60,
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn objective_decreases() {
+        let ds = tiny_ds();
+        let out = train_mllib(&ds, &ClusterSpec::cluster1(), &quick_cfg());
+        let first = out.trace.points.first().unwrap().objective;
+        let best = out.trace.best_objective().unwrap();
+        assert!(best < first * 0.7, "{first} → {best}");
+        assert_eq!(out.total_updates, out.rounds_run, "one update per step");
+    }
+
+    #[test]
+    fn records_driver_centric_gantt() {
+        let ds = tiny_ds();
+        let cfg = TrainConfig { max_rounds: 3, ..quick_cfg() };
+        let out = train_mllib(&ds, &ClusterSpec::cluster1(), &cfg);
+        let acts: Vec<Activity> = out.gantt.spans().iter().map(|s| s.activity).collect();
+        assert!(acts.contains(&Activity::Broadcast));
+        assert!(acts.contains(&Activity::SendGradient));
+        assert!(acts.contains(&Activity::TreeAggregate));
+        assert!(acts.contains(&Activity::DriverUpdate));
+        assert!(acts.contains(&Activity::Wait), "executors idle while driver works");
+        assert!(!acts.contains(&Activity::ReduceScatter));
+    }
+
+    #[test]
+    fn target_stops_early() {
+        let ds = tiny_ds();
+        let cfg = TrainConfig {
+            target_objective: Some(0.9),
+            max_rounds: 500,
+            ..quick_cfg()
+        };
+        let out = train_mllib(&ds, &ClusterSpec::cluster1(), &cfg);
+        assert!(out.converged);
+        assert!(out.rounds_run < 500);
+        assert!(out.trace.final_objective().unwrap() <= 0.9);
+    }
+
+    #[test]
+    fn deterministic() {
+        let ds = tiny_ds();
+        let cfg = TrainConfig { max_rounds: 10, ..quick_cfg() };
+        let a = train_mllib(&ds, &ClusterSpec::cluster1(), &cfg);
+        let b = train_mllib(&ds, &ClusterSpec::cluster1(), &cfg);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.model.weights().as_slice(), b.model.weights().as_slice());
+    }
+
+    #[test]
+    fn eval_every_thins_the_trace() {
+        let ds = tiny_ds();
+        let cfg = TrainConfig { max_rounds: 10, eval_every: 5, ..quick_cfg() };
+        let out = train_mllib(&ds, &ClusterSpec::cluster1(), &cfg);
+        // step 0, 5, 10.
+        assert_eq!(out.trace.points.len(), 3);
+        assert_eq!(out.trace.points[1].step, 5);
+    }
+}

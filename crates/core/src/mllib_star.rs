@@ -1,0 +1,313 @@
+//! MLlib\*: model averaging **plus** AllReduce — the paper's contribution
+//! (Algorithm 3, Figures 2b and 3c).
+//!
+//! Per communication step:
+//!
+//! 1. every executor runs a full local SGD pass over its partition
+//!    (`UpdateModel` in Algorithm 3),
+//! 2. `Reduce-Scatter`: each executor sends the model partitions it does
+//!    not own to their owners and averages the copies of the partition it
+//!    does own,
+//! 3. `AllGather`: each owner broadcasts its averaged partition; every
+//!    executor reassembles the full global model.
+//!
+//! No driver on the critical path; same `≈ 2km` traffic as the
+//! driver-centric pattern but without NIC serialization.
+
+use mlstar_collectives::all_reduce_average;
+use mlstar_data::{EpochOrder, SparseDataset};
+use mlstar_glm::GlmModel;
+use mlstar_linalg::DenseVector;
+use mlstar_sim::{
+    pass_flops, Activity, ClusterSpec, GanttRecorder, NodeId, RoundBuilder, SeedStream, SimTime,
+};
+
+use crate::common::{eval_objective, maybe_inject_failure, workload_label, BspHarness};
+use crate::local_pass::{host_threads, local_sgd_passes};
+use crate::{ConvergenceTrace, MaWeighting, TracePoint, TrainConfig, TrainOutput};
+
+/// Trains with MLlib\* (model averaging + AllReduce).
+///
+/// # Panics
+///
+/// Panics if the dataset is empty.
+pub fn train_mllib_star(
+    ds: &SparseDataset,
+    cluster: &ClusterSpec,
+    cfg: &TrainConfig,
+) -> TrainOutput {
+    assert!(!ds.is_empty(), "cannot train on an empty dataset");
+    let h = BspHarness::with_skew(ds, cluster, cfg.seed, cfg.partition_skew);
+    let k = h.k();
+    let dim = ds.num_features();
+    let seeds = SeedStream::new(cfg.seed);
+    let mut straggler_rng = seeds.child("straggler").rng();
+    let mut failure_rng = seeds.child("failures").rng();
+    let mut orders: Vec<EpochOrder> = (0..k)
+        .map(|r| EpochOrder::new(seeds.child("epoch").child_idx(r as u64).seed()))
+        .collect();
+    let mut update_counters = vec![0u64; k];
+
+    let mut gantt = GanttRecorder::new();
+    // Every executor holds an identical copy of the global model; we track
+    // one copy (they are bit-identical by construction).
+    let mut w = DenseVector::zeros(dim);
+    let mut trace = ConvergenceTrace::new("MLlib*", workload_label(ds, cfg.reg));
+    trace.push(TracePoint {
+        step: 0,
+        time: SimTime::ZERO,
+        objective: eval_objective(ds, cfg.loss, cfg.reg, &w),
+        total_updates: 0,
+    });
+
+    let mut now = SimTime::ZERO;
+    let mut total_updates = 0u64;
+    let mut rounds_run = 0u64;
+    let mut converged = false;
+    // Per-worker local-model buffers, reused across rounds.
+    let mut locals: Vec<DenseVector> = (0..k).map(|_| DenseVector::zeros(dim)).collect();
+
+    for round in 0..cfg.max_rounds {
+        // Note: executors only — there is no driver in this pattern.
+        let mut rb = RoundBuilder::new(&mut gantt, round, now, &h.exec_nodes);
+
+        // (1) Local SGD pass (UpdateModel) — math possibly on several host
+        // threads; simulated time recorded below, identically.
+        total_updates += local_sgd_passes(
+            ds,
+            &h.parts,
+            cfg.loss,
+            cfg.reg,
+            cfg.lr,
+            &w,
+            &mut orders,
+            &mut update_counters,
+            &mut locals,
+            host_threads(),
+        );
+        for r in 0..k {
+            if h.parts[r].is_empty() {
+                continue;
+            }
+            rb.work(
+                NodeId::Executor(r),
+                Activity::Compute,
+                h.cost.executor_waves(r, pass_flops(h.part_nnz[r]), cfg.waves, &mut straggler_rng),
+            );
+        }
+        // Optional Zhang & Jordan reweighting: scale each local model by
+        // k·n_r/n so the uniform average below becomes the
+        // partition-size-weighted average.
+        if cfg.ma_weighting == MaWeighting::PartitionSize {
+            for (local, part) in locals.iter_mut().zip(h.parts.iter()) {
+                local.scale(k as f64 * part.len() as f64 / ds.len() as f64);
+            }
+        }
+        rb.barrier();
+        maybe_inject_failure(
+            &mut rb,
+            &h,
+            cfg.failure_prob,
+            cfg.waves,
+            |r| pass_flops(h.part_nnz[r]),
+            &mut failure_rng,
+            &mut straggler_rng,
+        );
+
+        // (2) + (3) Reduce-Scatter then AllGather.
+        let (avg, _) = all_reduce_average(&mut rb, &h.cost, &locals);
+        w = avg;
+        now = rb.finish();
+        rounds_run = round + 1;
+
+        if rounds_run.is_multiple_of(cfg.eval_every) || rounds_run == cfg.max_rounds {
+            let f = eval_objective(ds, cfg.loss, cfg.reg, &w);
+            trace.push(TracePoint { step: rounds_run, time: now, objective: f, total_updates });
+            if cfg.should_stop(f) {
+                converged = cfg.target_objective.is_some_and(|t| f <= t);
+                break;
+            }
+        }
+    }
+
+    TrainOutput {
+        trace,
+        gantt,
+        model: GlmModel::from_weights(w),
+        total_updates,
+        rounds_run,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train_mllib_ma;
+    use mlstar_data::SyntheticConfig;
+    use mlstar_glm::{LearningRate, Loss, Regularizer};
+    use mlstar_sim::NodeId;
+
+    fn tiny_ds() -> SparseDataset {
+        let mut cfg = SyntheticConfig::small("star-test", 240, 30);
+        cfg.margin_noise = 0.05;
+        cfg.flip_prob = 0.0;
+        cfg.generate()
+    }
+
+    fn quick_cfg() -> TrainConfig {
+        TrainConfig {
+            loss: Loss::Hinge,
+            reg: Regularizer::None,
+            lr: LearningRate::Constant(0.05),
+            max_rounds: 15,
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn converges() {
+        let ds = tiny_ds();
+        let out = train_mllib_star(&ds, &ClusterSpec::cluster1(), &quick_cfg());
+        let first = out.trace.points.first().unwrap().objective;
+        let best = out.trace.best_objective().unwrap();
+        assert!(best < first * 0.5, "{first} → {best}");
+    }
+
+    #[test]
+    fn driver_never_works() {
+        let ds = tiny_ds();
+        let cfg = TrainConfig { max_rounds: 3, ..quick_cfg() };
+        let out = train_mllib_star(&ds, &ClusterSpec::cluster1(), &cfg);
+        assert_eq!(out.gantt.busy_time(NodeId::Driver), 0.0);
+        let acts: Vec<Activity> = out.gantt.spans().iter().map(|s| s.activity).collect();
+        assert!(acts.contains(&Activity::ReduceScatter));
+        assert!(acts.contains(&Activity::AllGather));
+        assert!(!acts.contains(&Activity::Broadcast));
+        assert!(!acts.contains(&Activity::TreeAggregate));
+    }
+
+    #[test]
+    fn same_step_curve_as_mllib_ma_but_faster_clock() {
+        // AllReduce does not change the number of communication steps
+        // (identical math/per-step updates to MLlib+MA given the same
+        // seeds) but each step takes less simulated time.
+        let ds = tiny_ds();
+        // Few rounds and a loose-ish tolerance: the two systems sum the
+        // same local models in different orders (tree vs. slice-wise), and
+        // hinge SGD amplifies ulp-level differences over long horizons.
+        let cfg = TrainConfig { max_rounds: 3, ..quick_cfg() };
+        let star = train_mllib_star(&ds, &ClusterSpec::cluster1(), &cfg);
+        let ma = train_mllib_ma(&ds, &ClusterSpec::cluster1(), &cfg);
+        // Identical objective-vs-step curves (same local math, averaging).
+        for (a, b) in star.trace.points.iter().zip(ma.trace.points.iter()) {
+            assert_eq!(a.step, b.step);
+            assert!(
+                (a.objective - b.objective).abs() < 1e-7,
+                "step {}: {} vs {}",
+                a.step,
+                a.objective,
+                b.objective
+            );
+        }
+        // Strictly faster wall clock.
+        let t_star = star.trace.points.last().unwrap().time.as_secs_f64();
+        let t_ma = ma.trace.points.last().unwrap().time.as_secs_f64();
+        assert!(t_star < t_ma, "MLlib* {t_star}s vs MLlib+MA {t_ma}s");
+    }
+
+    #[test]
+    fn executors_stay_busy() {
+        // The Figure 3c observation: utilization is high without driver
+        // stalls.
+        let ds = tiny_ds();
+        let cfg = TrainConfig { max_rounds: 5, ..quick_cfg() };
+        let out = train_mllib_star(&ds, &ClusterSpec::cluster1(), &cfg);
+        for r in 0..8 {
+            let u = out.gantt.utilization(NodeId::Executor(r));
+            assert!(u > 0.5, "executor {r} utilization {u}");
+        }
+    }
+
+    #[test]
+    fn l2_lazy_updates_work() {
+        let ds = tiny_ds();
+        let cfg = TrainConfig { reg: Regularizer::L2 { lambda: 0.1 }, ..quick_cfg() };
+        let out = train_mllib_star(&ds, &ClusterSpec::cluster1(), &cfg);
+        let f = out.trace.final_objective().unwrap();
+        assert!(f.is_finite() && f < 1.0, "objective {f}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let ds = tiny_ds();
+        let cfg = TrainConfig { max_rounds: 5, ..quick_cfg() };
+        let a = train_mllib_star(&ds, &ClusterSpec::cluster1(), &cfg);
+        let b = train_mllib_star(&ds, &ClusterSpec::cluster1(), &cfg);
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn failure_injection_slows_the_clock_but_not_the_math() {
+        let ds = tiny_ds();
+        let base = TrainConfig { max_rounds: 6, ..quick_cfg() };
+        let clean = train_mllib_star(&ds, &ClusterSpec::cluster1(), &base);
+        let faulty = train_mllib_star(
+            &ds,
+            &ClusterSpec::cluster1(),
+            &TrainConfig { failure_prob: 1.0, ..base },
+        );
+        // Lineage recovery re-executes work deterministically: identical
+        // objective curves…
+        for (a, b) in clean.trace.points.iter().zip(faulty.trace.points.iter()) {
+            assert_eq!(a.objective, b.objective);
+        }
+        // …but the faulty run pays recompute time every round.
+        let t_clean = clean.trace.points.last().unwrap().time;
+        let t_faulty = faulty.trace.points.last().unwrap().time;
+        assert!(t_faulty > t_clean, "{t_faulty} vs {t_clean}");
+    }
+
+    #[test]
+    fn weighted_averaging_equals_uniform_on_balanced_partitions() {
+        let ds = tiny_ds();
+        let cfg = TrainConfig { max_rounds: 3, ..quick_cfg() };
+        let uniform = train_mllib_star(&ds, &ClusterSpec::cluster1(), &cfg);
+        let weighted = train_mllib_star(
+            &ds,
+            &ClusterSpec::cluster1(),
+            &TrainConfig { ma_weighting: crate::MaWeighting::PartitionSize, ..cfg },
+        );
+        for (a, b) in uniform.trace.points.iter().zip(weighted.trace.points.iter()) {
+            assert!(
+                (a.objective - b.objective).abs() < 1e-9,
+                "balanced partitions: weighting must be a no-op"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_averaging_beats_uniform_on_skewed_partitions() {
+        // With worker 0 owning 60% of the data, uniform averaging
+        // over-weights the 7 small partitions' models; size-weighting
+        // restores the correct estimator.
+        let ds = tiny_ds();
+        let base = TrainConfig {
+            max_rounds: 10,
+            partition_skew: Some(0.6),
+            ..quick_cfg()
+        };
+        let uniform = train_mllib_star(&ds, &ClusterSpec::cluster1(), &base);
+        let weighted = train_mllib_star(
+            &ds,
+            &ClusterSpec::cluster1(),
+            &TrainConfig { ma_weighting: crate::MaWeighting::PartitionSize, ..base },
+        );
+        let fu = uniform.trace.final_objective().unwrap();
+        let fw = weighted.trace.final_objective().unwrap();
+        assert!(
+            fw <= fu + 1e-9,
+            "weighting should not hurt on skewed partitions: uniform {fu} vs weighted {fw}"
+        );
+    }
+}

@@ -1,0 +1,411 @@
+//! Petuum and Petuum\*: SendModel over parameter servers, per-batch
+//! communication, SSP consistency.
+//!
+//! The paper (Section III-B1): Petuum workers communicate with the servers
+//! **per batch**. The local computation depends on the regularizer:
+//!
+//! * `Ω = 0` — workers run *parallel SGD inside the batch* (one update per
+//!   example), so each communication step carries many model updates;
+//! * `Ω ≠ 0` — workers take one gradient-descent step over the batch (L2
+//!   makes per-example updates dense and expensive), so each step carries
+//!   exactly **one** update — the cause of Petuum's poor showing in
+//!   Figure 5(e–h).
+//!
+//! Original Petuum aggregates by **model summation** (pushing deltas that
+//! servers add), which "can lead to potential divergence"; Petuum\* is the
+//! paper's variant with **model averaging** instead.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use mlstar_data::{BatchSampler, Partitioner, SparseDataset};
+use mlstar_glm::{mgd_step, sgd_epoch_lazy, GlmModel, LearningRate, Loss, Regularizer};
+use mlstar_linalg::{DenseVector, ScaledVector};
+use mlstar_ps::{Aggregation, Consistency, PsConfig, PsEngine, WorkerLogic, WorkerStep};
+use mlstar_sim::{dense_op_flops, pass_flops, ClusterSpec, CostModel, SeedStream, SimDuration, SimTime};
+
+use crate::common::{eval_objective, partition_active_coords, workload_label};
+use crate::{ConvergenceTrace, PsSystemConfig, TracePoint, TrainConfig, TrainOutput};
+
+/// The Petuum worker-local computation.
+struct PetuumWorker<'a> {
+    ds: &'a SparseDataset,
+    parts: Vec<Vec<usize>>,
+    /// Distinct features per partition (sparse-pull volume).
+    part_active: Vec<usize>,
+    sparse_messages: bool,
+    samplers: Vec<BatchSampler>,
+    counters: Vec<u64>,
+    loss: Loss,
+    reg: Regularizer,
+    lr: LearningRate,
+    batch_frac: f64,
+    aggregation: Aggregation,
+    updates: Rc<Cell<u64>>,
+    grad_buf: DenseVector,
+}
+
+impl WorkerLogic for PetuumWorker<'_> {
+    fn compute(&mut self, worker: usize, _clock: u64, model: &DenseVector) -> WorkerStep {
+        let dim = model.dim();
+        let part = &self.parts[worker];
+        if part.is_empty() {
+            // Idle worker: push a no-op consistent with the scheme.
+            let payload = match self.aggregation {
+                Aggregation::Sum => DenseVector::zeros(dim),
+                Aggregation::Average { .. } => model.clone(),
+            };
+            return WorkerStep {
+                payload_nnz: None,
+                payload,
+                flops: 0.0,
+                extra_overhead: SimDuration::ZERO,
+                local_updates: 0,
+            };
+        }
+        let batch_size =
+            ((part.len() as f64 * self.batch_frac).round() as usize).clamp(1, part.len());
+        let batch = self.samplers[worker].sample(part, batch_size);
+        let batch_nnz: usize = batch.iter().map(|&i| self.ds.rows()[i].nnz()).sum();
+        // Sparse pushes are only sound for summation of loss-only deltas
+        // (the regularizer's gradient and averaged models are dense).
+        let payload_nnz = if self.sparse_messages
+            && self.reg.is_none()
+            && matches!(self.aggregation, Aggregation::Sum)
+        {
+            Some(batch_nnz)
+        } else {
+            None
+        };
+
+        let (w_local, n_updates, flops) = if self.reg.is_none() {
+            // Parallel SGD over the batch: many updates per step.
+            let mut local = ScaledVector::from_dense(model.clone());
+            self.counters[worker] = sgd_epoch_lazy(
+                self.loss,
+                self.reg,
+                &mut local,
+                self.ds.rows(),
+                self.ds.labels(),
+                &batch,
+                self.lr,
+                self.counters[worker],
+            );
+            (local.into_dense(), batch.len() as u64, pass_flops(batch_nnz))
+        } else {
+            // One dense GD step over the batch: a single update per step.
+            let mut w = model.clone();
+            let eta = self.lr.eta(self.counters[worker]);
+            mgd_step(
+                self.loss,
+                self.reg,
+                &mut w,
+                self.ds.rows(),
+                self.ds.labels(),
+                &batch,
+                eta,
+                &mut self.grad_buf,
+            );
+            self.counters[worker] += 1;
+            (w, 1, pass_flops(batch_nnz) + 2.0 * dense_op_flops(dim))
+        };
+
+        let payload = match self.aggregation {
+            Aggregation::Sum => {
+                let mut delta = w_local;
+                delta.axpy(-1.0, model);
+                delta
+            }
+            Aggregation::Average { .. } => w_local,
+        };
+        self.updates.set(self.updates.get() + n_updates);
+        WorkerStep {
+            payload_nnz,
+            payload,
+            flops,
+            extra_overhead: SimDuration::ZERO,
+            local_updates: n_updates,
+        }
+    }
+
+    fn pull_nnz(&self, worker: usize) -> Option<usize> {
+        if self.sparse_messages {
+            Some(self.part_active[worker])
+        } else {
+            None
+        }
+    }
+}
+
+/// Trains with original Petuum (model **summation**, per-batch SSP).
+pub fn train_petuum(
+    ds: &SparseDataset,
+    cluster: &ClusterSpec,
+    cfg: &TrainConfig,
+    ps: &PsSystemConfig,
+) -> TrainOutput {
+    train_petuum_inner(ds, cluster, cfg, ps, Aggregation::Sum, "Petuum")
+}
+
+/// Trains with Petuum\* (the paper's model-**averaging** variant).
+pub fn train_petuum_star(
+    ds: &SparseDataset,
+    cluster: &ClusterSpec,
+    cfg: &TrainConfig,
+    ps: &PsSystemConfig,
+) -> TrainOutput {
+    let k = cluster.num_executors();
+    train_petuum_inner(
+        ds,
+        cluster,
+        cfg,
+        ps,
+        Aggregation::Average { num_workers: k },
+        "Petuum*",
+    )
+}
+
+fn train_petuum_inner(
+    ds: &SparseDataset,
+    cluster: &ClusterSpec,
+    cfg: &TrainConfig,
+    ps: &PsSystemConfig,
+    aggregation: Aggregation,
+    name: &str,
+) -> TrainOutput {
+    assert!(!ds.is_empty(), "cannot train on an empty dataset");
+    let k = cluster.num_executors();
+    let dim = ds.num_features();
+    let seeds = SeedStream::new(cfg.seed);
+    let parts =
+        Partitioner::Shuffled { seed: seeds.child("partition").seed() }.partition(ds.len(), k);
+    let part_active = partition_active_coords(ds, &parts);
+    let updates = Rc::new(Cell::new(0u64));
+    let mut logic = PetuumWorker {
+        ds,
+        parts,
+        part_active,
+        sparse_messages: ps.sparse_messages,
+        samplers: (0..k)
+            .map(|r| BatchSampler::new(seeds.child("batch").child_idx(r as u64).seed()))
+            .collect(),
+        counters: vec![0; k],
+        loss: cfg.loss,
+        reg: cfg.reg,
+        lr: cfg.lr,
+        batch_frac: cfg.batch_frac,
+        aggregation,
+        updates: Rc::clone(&updates),
+        grad_buf: DenseVector::zeros(dim),
+    };
+
+    let cost = CostModel::new(cluster.clone());
+    let mut engine = PsEngine::new(
+        &cost,
+        PsConfig {
+            num_servers: ps.num_servers,
+            consistency: Consistency::Ssp { staleness: ps.staleness },
+            aggregation,
+            max_clocks: cfg.max_rounds,
+            tick_overhead: SimDuration::from_millis(2),
+            seed: seeds.child("ps").seed(),
+        },
+    );
+
+    let mut trace = ConvergenceTrace::new(name, workload_label(ds, cfg.reg));
+    trace.push(TracePoint {
+        step: 0,
+        time: SimTime::ZERO,
+        objective: eval_objective(ds, cfg.loss, cfg.reg, &DenseVector::zeros(dim)),
+        total_updates: 0,
+    });
+
+    let mut converged = false;
+    let eval_every = cfg.eval_every.max(1);
+    let trace_ref = &mut trace;
+    let updates_ref = Rc::clone(&updates);
+    let (final_model, stats) = engine.run(DenseVector::zeros(dim), &mut logic, |clock, time, model| {
+        if clock % eval_every == 0 || clock == cfg.max_rounds {
+            let f = eval_objective(ds, cfg.loss, cfg.reg, model);
+            trace_ref.push(TracePoint {
+                step: clock,
+                time,
+                objective: f,
+                total_updates: updates_ref.get(),
+            });
+            if cfg.should_stop(f) {
+                converged = cfg.target_objective.is_some_and(|t| f <= t);
+                return true;
+            }
+        }
+        false
+    });
+
+    TrainOutput {
+        trace,
+        gantt: engine.gantt().clone(),
+        model: GlmModel::from_weights(final_model),
+        total_updates: updates.get(),
+        rounds_run: stats.clock_times.len() as u64,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlstar_data::SyntheticConfig;
+    use mlstar_glm::LearningRate;
+
+    fn tiny_ds() -> SparseDataset {
+        let mut cfg = SyntheticConfig::small("petuum-test", 240, 30);
+        cfg.margin_noise = 0.05;
+        cfg.flip_prob = 0.0;
+        cfg.generate()
+    }
+
+    fn quick_cfg() -> TrainConfig {
+        TrainConfig {
+            lr: LearningRate::Constant(0.05),
+            batch_frac: 0.3,
+            max_rounds: 30,
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn petuum_star_converges_without_reg() {
+        let ds = tiny_ds();
+        let out = train_petuum_star(
+            &ds,
+            &ClusterSpec::cluster1(),
+            &quick_cfg(),
+            &PsSystemConfig::default(),
+        );
+        let first = out.trace.points.first().unwrap().objective;
+        let best = out.trace.best_objective().unwrap();
+        assert!(best < first * 0.6, "{first} → {best}");
+    }
+
+    #[test]
+    fn reg_zero_does_many_updates_per_clock() {
+        let ds = tiny_ds();
+        let cfg = quick_cfg();
+        let out = train_petuum_star(
+            &ds,
+            &ClusterSpec::cluster1(),
+            &cfg,
+            &PsSystemConfig::default(),
+        );
+        // Parallel SGD: each clock tick does ~batch_size updates per worker.
+        assert!(
+            out.total_updates > out.rounds_run * 8,
+            "updates {} rounds {}",
+            out.total_updates,
+            out.rounds_run
+        );
+    }
+
+    #[test]
+    fn nonzero_reg_does_one_update_per_clock_per_worker() {
+        let ds = tiny_ds();
+        let cfg = TrainConfig {
+            reg: mlstar_glm::Regularizer::L2 { lambda: 0.1 },
+            max_rounds: 10,
+            ..quick_cfg()
+        };
+        let out = train_petuum_star(
+            &ds,
+            &ClusterSpec::cluster1(),
+            &cfg,
+            &PsSystemConfig { staleness: 0, num_servers: 2, ..Default::default() },
+        );
+        // With BSP (staleness 0) every worker contributes exactly one
+        // update per clock.
+        assert_eq!(out.total_updates, 8 * 10);
+    }
+
+    #[test]
+    fn summation_and_averaging_differ() {
+        let ds = tiny_ds();
+        let cfg = TrainConfig { max_rounds: 5, ..quick_cfg() };
+        let sum = train_petuum(&ds, &ClusterSpec::cluster1(), &cfg, &PsSystemConfig::default());
+        let avg =
+            train_petuum_star(&ds, &ClusterSpec::cluster1(), &cfg, &PsSystemConfig::default());
+        assert_ne!(
+            sum.model.weights().as_slice(),
+            avg.model.weights().as_slice(),
+            "aggregation schemes must differ"
+        );
+        assert_eq!(sum.trace.system, "Petuum");
+        assert_eq!(avg.trace.system, "Petuum*");
+    }
+
+    #[test]
+    fn summation_takes_larger_effective_steps_than_averaging() {
+        // The paper's remark on aggregation schemes: summation folds in all
+        // k workers' full updates per step (faster when it converges,
+        // divergence-prone otherwise), whereas averaging damps them by 1/k.
+        // After one BSP clock from w₀ = 0, the summed model must have moved
+        // strictly further than the averaged one.
+        let ds = tiny_ds();
+        let cfg = TrainConfig {
+            lr: LearningRate::Constant(0.01),
+            max_rounds: 1,
+            ..quick_cfg()
+        };
+        let ps = PsSystemConfig { staleness: 0, num_servers: 2, ..Default::default() };
+        let sum = train_petuum(&ds, &ClusterSpec::cluster1(), &cfg, &ps);
+        let avg = train_petuum_star(&ds, &ClusterSpec::cluster1(), &cfg, &ps);
+        let sum_norm = sum.model.weights().norm2();
+        let avg_norm = avg.model.weights().norm2();
+        assert!(
+            sum_norm > 2.0 * avg_norm,
+            "summation {sum_norm} should move ≫ averaging {avg_norm}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let ds = tiny_ds();
+        let cfg = TrainConfig { max_rounds: 5, ..quick_cfg() };
+        let ps = PsSystemConfig::default();
+        let a = train_petuum_star(&ds, &ClusterSpec::cluster1(), &cfg, &ps);
+        let b = train_petuum_star(&ds, &ClusterSpec::cluster1(), &cfg, &ps);
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn sparse_messages_change_time_but_not_math() {
+        let ds = tiny_ds();
+        let cfg = TrainConfig { max_rounds: 8, ..quick_cfg() };
+        let dense = train_petuum(
+            &ds,
+            &ClusterSpec::cluster1(),
+            &cfg,
+            &PsSystemConfig { sparse_messages: false, ..PsSystemConfig::default() },
+        );
+        let sparse = train_petuum(
+            &ds,
+            &ClusterSpec::cluster1(),
+            &cfg,
+            &PsSystemConfig { sparse_messages: true, ..PsSystemConfig::default() },
+        );
+        // Near-identical final models: the wire volume only shifts event
+        // timing, which can reorder floating-point summation at the
+        // servers (ulp-level differences under SSP).
+        for (a, b) in dense
+            .model
+            .weights()
+            .as_slice()
+            .iter()
+            .zip(sparse.model.weights().as_slice())
+        {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        // …but the sparse run's clock must not be slower.
+        let t_dense = dense.trace.points.last().unwrap().time;
+        let t_sparse = sparse.trace.points.last().unwrap().time;
+        assert!(t_sparse <= t_dense, "sparse {t_sparse} vs dense {t_dense}");
+    }
+}

@@ -1,0 +1,98 @@
+//! The reference sequential solver defining the "optimum" for speedup
+//! measurements.
+//!
+//! The paper computes speedup "when the accuracy loss (compared to the
+//! optimum) is 0.01"; the optimum is well-defined because the objectives
+//! are convex. We approximate it by running per-example SGD with a
+//! decaying step size for many epochs and keeping the best objective seen.
+
+use mlstar_data::{EpochOrder, SparseDataset};
+use mlstar_glm::{objective_value, sgd_epoch_lazy, LearningRate, Loss, Regularizer};
+use mlstar_linalg::ScaledVector;
+
+/// Runs the reference solver and returns the best objective value found.
+///
+/// `epochs` caps the work; the solver stops early when an epoch improves
+/// the objective by less than `1e-6`.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty.
+pub fn reference_optimum(
+    ds: &SparseDataset,
+    loss: Loss,
+    reg: Regularizer,
+    epochs: u64,
+    seed: u64,
+) -> f64 {
+    assert!(!ds.is_empty(), "cannot optimize over an empty dataset");
+    let pool: Vec<usize> = (0..ds.len()).collect();
+    let mut order = EpochOrder::new(seed);
+    let mut w = ScaledVector::zeros(ds.num_features());
+    let mut t = 0u64;
+    // Inverse-sqrt decay gives robust convergence across conditioning.
+    let lr = LearningRate::InvSqrt(0.5);
+    let mut best = objective_value(loss, reg, &w.to_dense(), ds.rows(), ds.labels());
+    let mut stalled = 0u32;
+    for _ in 0..epochs {
+        let epoch_order = order.next_order(&pool);
+        t = sgd_epoch_lazy(loss, reg, &mut w, ds.rows(), ds.labels(), &epoch_order, lr, t);
+        let f = objective_value(loss, reg, &w.to_dense(), ds.rows(), ds.labels());
+        if f < best - 1e-7 {
+            best = f;
+            stalled = 0;
+        } else {
+            best = best.min(f);
+            stalled += 1;
+            // Only stop after several consecutive epochs without progress
+            // — a single flat epoch is common early in the decay schedule.
+            if stalled >= 5 {
+                break;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlstar_data::SyntheticConfig;
+
+    #[test]
+    fn finds_low_objective_on_separable_data() {
+        let mut cfg = SyntheticConfig::small("ref", 300, 40);
+        cfg.margin_noise = 0.0;
+        cfg.flip_prob = 0.0;
+        let ds = cfg.generate();
+        let best = reference_optimum(&ds, Loss::Hinge, Regularizer::None, 60, 1);
+        // Separable but with near-zero-margin examples: hinge → 0 requires
+        // unboundedly large weights, so a finite SGD budget plateaus well
+        // below the w = 0 loss of 1.0 without reaching machine zero.
+        assert!(best < 0.2, "separable data should reach low hinge: {best}");
+    }
+
+    #[test]
+    fn regularized_optimum_exceeds_unregularized() {
+        let ds = SyntheticConfig::small("ref2", 200, 30).generate();
+        let plain = reference_optimum(&ds, Loss::Hinge, Regularizer::None, 40, 1);
+        let ridge = reference_optimum(&ds, Loss::Hinge, Regularizer::L2 { lambda: 0.1 }, 40, 1);
+        assert!(ridge >= plain - 1e-9, "ridge {ridge} vs plain {plain}");
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let ds = SyntheticConfig::small("ref3", 100, 20).generate();
+        let a = reference_optimum(&ds, Loss::Logistic, Regularizer::None, 20, 7);
+        let b = reference_optimum(&ds, Loss::Logistic, Regularizer::None, 20, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn never_exceeds_initial_objective() {
+        let ds = SyntheticConfig::small("ref4", 150, 25).generate();
+        // hinge at w=0 is exactly 1.0
+        let best = reference_optimum(&ds, Loss::Hinge, Regularizer::l2(0.1), 10, 3);
+        assert!(best <= 1.0 + 1e-12);
+    }
+}

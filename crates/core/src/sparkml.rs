@@ -1,0 +1,347 @@
+//! `spark.ml`-style distributed L-BFGS — the paper's future-work system.
+//!
+//! The paper's conclusion: "Spark recently introduced `spark.ml`, its
+//! second-generation machine learning library that implements L-BFGS...
+//! An interesting question is whether the techniques we have developed
+//! for speeding up MLlib could also be used for improving `spark.ml`."
+//!
+//! This trainer reproduces `spark.ml`'s execution plan on the simulated
+//! cluster so that question can be studied quantitatively:
+//!
+//! * per outer iteration, the driver broadcasts the model and executors
+//!   compute the **full-partition** gradient, aggregated by
+//!   `treeAggregate` (SendGradient over the entire dataset, unlike
+//!   MLlib's mini-batches);
+//! * the driver forms the L-BFGS direction (two-loop recursion) and runs
+//!   an Armijo backtracking line search — **every trial step costs one
+//!   more broadcast + distributed objective evaluation**, which is why
+//!   L-BFGS iterations are expensive in Spark;
+//! * convergence typically needs far fewer outer iterations than MGD.
+
+use mlstar_collectives::{broadcast_model, tree_aggregate};
+use mlstar_data::SparseDataset;
+use mlstar_glm::{batch_gradient_into, lbfgs_direction, objective_value_subset, GlmModel};
+use mlstar_linalg::DenseVector;
+use mlstar_sim::{
+    dense_op_flops, pass_flops, Activity, ClusterSpec, GanttRecorder, NodeId, RoundBuilder,
+    SeedStream, SimTime,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::common::{eval_objective, workload_label, BspHarness};
+use crate::{ConvergenceTrace, TracePoint, TrainConfig, TrainOutput};
+
+/// Extra configuration for the `spark.ml` L-BFGS trainer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SparkMlConfig {
+    /// Number of `(s, y)` correction pairs kept (spark.ml default: 10).
+    pub history: usize,
+    /// Armijo sufficient-decrease constant.
+    pub c1: f64,
+    /// Backtracking shrink factor.
+    pub backtrack: f64,
+    /// Maximum line-search trials per iteration (each costs a distributed
+    /// pass).
+    pub max_line_search: u32,
+}
+
+impl Default for SparkMlConfig {
+    fn default() -> Self {
+        SparkMlConfig { history: 10, c1: 1e-4, backtrack: 0.5, max_line_search: 12 }
+    }
+}
+
+/// Trains with distributed L-BFGS following `spark.ml`'s plan.
+///
+/// `cfg.max_rounds` bounds outer iterations; `cfg.lr` and
+/// `cfg.batch_frac` are unused (L-BFGS is full-batch with line search).
+///
+/// # Panics
+///
+/// Panics if the dataset is empty.
+pub fn train_sparkml_lbfgs(
+    ds: &SparseDataset,
+    cluster: &ClusterSpec,
+    cfg: &TrainConfig,
+    ml: &SparkMlConfig,
+) -> TrainOutput {
+    assert!(!ds.is_empty(), "cannot train on an empty dataset");
+    let h = BspHarness::new(ds, cluster, cfg.seed);
+    let k = h.k();
+    let dim = ds.num_features();
+    let seeds = SeedStream::new(cfg.seed);
+    let mut straggler_rng = seeds.child("straggler").rng();
+
+    let mut gantt = GanttRecorder::new();
+    let mut w = DenseVector::zeros(dim);
+    let mut trace = ConvergenceTrace::new("spark.ml(L-BFGS)", workload_label(ds, cfg.reg));
+    let mut f = eval_objective(ds, cfg.loss, cfg.reg, &w);
+    trace.push(TracePoint { step: 0, time: SimTime::ZERO, objective: f, total_updates: 0 });
+
+    let mut grad = DenseVector::zeros(dim);
+    let mut pairs: Vec<(DenseVector, DenseVector)> = Vec::new();
+    let mut now = SimTime::ZERO;
+    let mut total_updates = 0u64;
+    let mut rounds_run = 0u64;
+    let mut converged = false;
+    let mut round_counter = 0u64;
+
+    // One distributed full gradient (broadcast + per-partition compute +
+    // treeAggregate), charged to simulated time.
+    let distributed_gradient =
+        |w: &DenseVector,
+         grad: &mut DenseVector,
+         now: &mut SimTime,
+         round: &mut u64,
+         gantt: &mut GanttRecorder,
+         rng: &mut rand::rngs::StdRng| {
+            let mut rb = RoundBuilder::new(gantt, *round, *now, &h.all_nodes);
+            *round += 1;
+            broadcast_model(&mut rb, &h.cost, dim);
+            let mut partials: Vec<DenseVector> = Vec::with_capacity(k);
+            for r in 0..k {
+                let mut g_r = DenseVector::zeros(dim);
+                if !h.parts[r].is_empty() {
+                    batch_gradient_into(cfg.loss, w, ds.rows(), ds.labels(), &h.parts[r], &mut g_r);
+                    // Weight by partition size so the sum over workers is
+                    // the dataset-average gradient.
+                    g_r.scale(h.parts[r].len() as f64 / ds.len() as f64);
+                    rb.work(
+                        NodeId::Executor(r),
+                        Activity::Compute,
+                        h.cost.executor_compute(r, pass_flops(h.part_nnz[r]), rng),
+                    );
+                }
+                partials.push(g_r);
+            }
+            rb.barrier();
+            let (sum, _) = tree_aggregate(&mut rb, &h.cost, &partials, cfg.tree_fanin, Activity::SendGradient);
+            *grad = sum;
+            cfg.reg.add_gradient(w, grad);
+            rb.work(
+                NodeId::Driver,
+                Activity::DriverUpdate,
+                h.cost.driver_compute(dense_op_flops(dim)),
+            );
+            *now = rb.finish();
+        };
+
+    // One distributed objective evaluation (line-search trial): broadcast
+    // the trial model, compute local losses, gather scalars at the driver.
+    let distributed_objective =
+        |w: &DenseVector,
+         now: &mut SimTime,
+         round: &mut u64,
+         gantt: &mut GanttRecorder,
+         rng: &mut rand::rngs::StdRng|
+         -> f64 {
+            let mut rb = RoundBuilder::new(gantt, *round, *now, &h.all_nodes);
+            *round += 1;
+            broadcast_model(&mut rb, &h.cost, dim);
+            let mut weighted = 0.0;
+            for r in 0..k {
+                if h.parts[r].is_empty() {
+                    continue;
+                }
+                let local = objective_value_subset(
+                    cfg.loss,
+                    mlstar_glm::Regularizer::None,
+                    w,
+                    ds.rows(),
+                    ds.labels(),
+                    &h.parts[r],
+                );
+                weighted += local * h.parts[r].len() as f64 / ds.len() as f64;
+                // Loss evaluation is ~half the flops of a gradient pass.
+                rb.work(
+                    NodeId::Executor(r),
+                    Activity::Compute,
+                    h.cost.executor_compute(r, pass_flops(h.part_nnz[r]) / 2.0, rng),
+                );
+            }
+            rb.barrier();
+            // Scalar gather: k tiny messages through the driver NIC.
+            for r in 0..k {
+                rb.work(NodeId::Executor(r), Activity::SendGradient, h.cost.transfer(24));
+            }
+            rb.work(NodeId::Driver, Activity::TreeAggregate, h.cost.serialized_transfers(24, k));
+            *now = rb.finish();
+            weighted + cfg.reg.value(w)
+        };
+
+    distributed_gradient(&w, &mut grad, &mut now, &mut round_counter, &mut gantt, &mut straggler_rng);
+
+    for iter in 0..cfg.max_rounds {
+        if grad.norm2() <= 1e-8 {
+            break;
+        }
+        let mut direction = lbfgs_direction(&grad, &pairs);
+        let mut dg = direction.dot(&grad);
+        if dg >= 0.0 {
+            direction = grad.clone();
+            direction.scale(-1.0);
+            dg = -grad.norm2_sq();
+        }
+
+        // Backtracking line search, each trial a distributed pass.
+        let mut step = 1.0;
+        let mut accepted = false;
+        let mut w_new = w.clone();
+        let mut f_new = f;
+        for _ in 0..ml.max_line_search {
+            w_new = w.clone();
+            w_new.axpy(step, &direction);
+            f_new = distributed_objective(&w_new, &mut now, &mut round_counter, &mut gantt, &mut straggler_rng);
+            if f_new <= f + ml.c1 * step * dg {
+                accepted = true;
+                break;
+            }
+            step *= ml.backtrack;
+        }
+        if !accepted {
+            break;
+        }
+
+        let mut grad_new = DenseVector::zeros(dim);
+        distributed_gradient(&w_new, &mut grad_new, &mut now, &mut round_counter, &mut gantt, &mut straggler_rng);
+
+        let mut s = w_new.clone();
+        s.axpy(-1.0, &w);
+        let mut y = grad_new.clone();
+        y.axpy(-1.0, &grad);
+        if s.dot(&y) > 1e-12 {
+            if pairs.len() == ml.history {
+                pairs.remove(0);
+            }
+            pairs.push((s, y));
+        }
+
+        w = w_new;
+        grad = grad_new;
+        f = f_new;
+        total_updates += 1;
+        rounds_run = iter + 1;
+
+        if rounds_run.is_multiple_of(cfg.eval_every.max(1)) || rounds_run == cfg.max_rounds {
+            trace.push(TracePoint { step: rounds_run, time: now, objective: f, total_updates });
+            if cfg.should_stop(f) {
+                converged = cfg.target_objective.is_some_and(|t| f <= t);
+                break;
+            }
+        }
+    }
+
+    TrainOutput {
+        trace,
+        gantt,
+        model: GlmModel::from_weights(w),
+        total_updates,
+        rounds_run,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlstar_data::SyntheticConfig;
+    use mlstar_glm::{Loss, Regularizer};
+
+    fn tiny_ds() -> SparseDataset {
+        let mut cfg = SyntheticConfig::small("sparkml-test", 240, 30);
+        cfg.margin_noise = 0.05;
+        cfg.flip_prob = 0.0;
+        cfg.generate()
+    }
+
+    fn quick_cfg() -> TrainConfig {
+        TrainConfig {
+            loss: Loss::Logistic,
+            reg: Regularizer::l2(0.01),
+            max_rounds: 25,
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn converges_in_few_outer_iterations() {
+        let ds = tiny_ds();
+        let out = train_sparkml_lbfgs(
+            &ds,
+            &ClusterSpec::cluster1(),
+            &quick_cfg(),
+            &SparkMlConfig::default(),
+        );
+        // The distributed plan must match the sequential optimizer's
+        // optimum to within the paper's 0.01 threshold.
+        let sequential = mlstar_glm::Lbfgs::new(mlstar_glm::LbfgsConfig {
+            loss: Loss::Logistic,
+            reg: Regularizer::l2(0.01),
+            max_iters: 100,
+            ..Default::default()
+        })
+        .run(ds.num_features(), ds.rows(), ds.labels());
+        let last = out.trace.final_objective().unwrap();
+        assert!(
+            last <= sequential.final_objective + 0.01,
+            "distributed {last} vs sequential {}",
+            sequential.final_objective
+        );
+        assert!(out.rounds_run <= 25);
+    }
+
+    #[test]
+    fn line_search_costs_extra_rounds() {
+        // Each outer iteration must record more than one broadcast (the
+        // gradient pass plus at least one line-search trial).
+        let ds = tiny_ds();
+        let out = train_sparkml_lbfgs(
+            &ds,
+            &ClusterSpec::cluster1(),
+            &TrainConfig { max_rounds: 3, ..quick_cfg() },
+            &SparkMlConfig::default(),
+        );
+        let broadcasts = out
+            .gantt
+            .spans()
+            .iter()
+            .filter(|s| s.activity == Activity::Broadcast)
+            .count() as u64;
+        assert!(
+            broadcasts >= 2 * out.rounds_run,
+            "{broadcasts} broadcasts for {} iterations",
+            out.rounds_run
+        );
+    }
+
+    #[test]
+    fn objective_is_monotone_nonincreasing() {
+        let ds = tiny_ds();
+        let out = train_sparkml_lbfgs(
+            &ds,
+            &ClusterSpec::cluster1(),
+            &quick_cfg(),
+            &SparkMlConfig::default(),
+        );
+        for pair in out.trace.points.windows(2) {
+            assert!(pair[1].objective <= pair[0].objective + 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let ds = tiny_ds();
+        let cfg = TrainConfig { max_rounds: 4, ..quick_cfg() };
+        let a = train_sparkml_lbfgs(&ds, &ClusterSpec::cluster1(), &cfg, &SparkMlConfig::default());
+        let b = train_sparkml_lbfgs(&ds, &ClusterSpec::cluster1(), &cfg, &SparkMlConfig::default());
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn hinge_svm_also_trains() {
+        let ds = tiny_ds();
+        let cfg = TrainConfig { loss: Loss::Hinge, ..quick_cfg() };
+        let out = train_sparkml_lbfgs(&ds, &ClusterSpec::cluster1(), &cfg, &SparkMlConfig::default());
+        assert!(out.trace.final_objective().unwrap() < 0.6);
+    }
+}

@@ -1,0 +1,147 @@
+//! Unified dispatch over the six systems.
+
+use mlstar_data::SparseDataset;
+use mlstar_sim::ClusterSpec;
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    train_angel, train_mllib, train_mllib_ma, train_mllib_star, train_petuum, train_petuum_star,
+    train_sparkml_lbfgs, AngelConfig, PsSystemConfig, SparkMlConfig, TrainConfig, TrainOutput,
+};
+
+/// The six distributed training systems compared in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum System {
+    /// Spark MLlib: SendGradient + driver + treeAggregate.
+    Mllib,
+    /// MLlib + model averaging (driver-centric SendModel) — the Figure 3b
+    /// intermediate.
+    MllibMa,
+    /// MLlib\*: model averaging + AllReduce.
+    MllibStar,
+    /// Petuum: PS + per-batch SendModel with model summation.
+    Petuum,
+    /// Petuum\*: Petuum with model averaging.
+    PetuumStar,
+    /// Angel: PS + per-epoch SendModel.
+    Angel,
+    /// `spark.ml`-style distributed L-BFGS (the paper's future-work
+    /// second-order comparator).
+    SparkMl,
+}
+
+impl System {
+    /// All systems, in the paper's comparison order (plus the future-work
+    /// L-BFGS comparator last).
+    pub const ALL: [System; 7] = [
+        System::Mllib,
+        System::MllibMa,
+        System::MllibStar,
+        System::Petuum,
+        System::PetuumStar,
+        System::Angel,
+        System::SparkMl,
+    ];
+
+    /// Display name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            System::Mllib => "MLlib",
+            System::MllibMa => "MLlib+MA",
+            System::MllibStar => "MLlib*",
+            System::Petuum => "Petuum",
+            System::PetuumStar => "Petuum*",
+            System::Angel => "Angel",
+            System::SparkMl => "spark.ml(L-BFGS)",
+        }
+    }
+
+    /// True for parameter-server systems.
+    pub fn is_parameter_server(&self) -> bool {
+        matches!(self, System::Petuum | System::PetuumStar | System::Angel)
+    }
+
+    /// Trains this system with explicit PS/Angel configuration.
+    pub fn train(
+        &self,
+        ds: &SparseDataset,
+        cluster: &ClusterSpec,
+        cfg: &TrainConfig,
+        ps: &PsSystemConfig,
+        angel: &AngelConfig,
+    ) -> TrainOutput {
+        match self {
+            System::Mllib => train_mllib(ds, cluster, cfg),
+            System::MllibMa => train_mllib_ma(ds, cluster, cfg),
+            System::MllibStar => train_mllib_star(ds, cluster, cfg),
+            System::Petuum => train_petuum(ds, cluster, cfg, ps),
+            System::PetuumStar => train_petuum_star(ds, cluster, cfg, ps),
+            System::Angel => train_angel(ds, cluster, cfg, angel),
+            System::SparkMl => train_sparkml_lbfgs(ds, cluster, cfg, &SparkMlConfig::default()),
+        }
+    }
+
+    /// Trains with default PS/Angel configuration.
+    pub fn train_default(
+        &self,
+        ds: &SparseDataset,
+        cluster: &ClusterSpec,
+        cfg: &TrainConfig,
+    ) -> TrainOutput {
+        self.train(ds, cluster, cfg, &PsSystemConfig::default(), &AngelConfig::default())
+    }
+}
+
+impl std::fmt::Display for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlstar_data::SyntheticConfig;
+    use mlstar_glm::LearningRate;
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(System::Mllib.name(), "MLlib");
+        assert_eq!(System::MllibStar.name(), "MLlib*");
+        assert_eq!(System::PetuumStar.to_string(), "Petuum*");
+        assert_eq!(System::SparkMl.name(), "spark.ml(L-BFGS)");
+        assert_eq!(System::ALL.len(), 7);
+    }
+
+    #[test]
+    fn ps_classification() {
+        assert!(!System::Mllib.is_parameter_server());
+        assert!(!System::MllibStar.is_parameter_server());
+        assert!(System::Petuum.is_parameter_server());
+        assert!(System::Angel.is_parameter_server());
+        assert!(!System::SparkMl.is_parameter_server());
+    }
+
+    #[test]
+    fn every_system_trains_end_to_end() {
+        let ds = SyntheticConfig::small("dispatch", 160, 20).generate();
+        let cluster = ClusterSpec::uniform(
+            4,
+            mlstar_sim::NodeSpec::standard(),
+            mlstar_sim::NetworkSpec::gbps1(),
+        );
+        let cfg = TrainConfig {
+            lr: LearningRate::Constant(0.02),
+            max_rounds: 3,
+            ..TrainConfig::default()
+        };
+        for system in System::ALL {
+            let out = system.train_default(&ds, &cluster, &cfg);
+            assert_eq!(out.trace.system, system.name());
+            assert!(out.trace.points.len() >= 2, "{system} produced no points");
+            let f = out.trace.final_objective().unwrap();
+            assert!(f.is_finite(), "{system} diverged: {f}");
+            assert!(out.total_updates > 0, "{system} did no updates");
+        }
+    }
+}

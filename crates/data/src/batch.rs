@@ -1,0 +1,142 @@
+//! Seeded batch sampling and epoch ordering.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Samples mini-batches without replacement from a worker's index pool.
+///
+/// Each worker in the distributed systems owns one `BatchSampler`, seeded
+/// from the experiment seed and the worker id, so runs are reproducible and
+/// workers draw independent batches.
+#[derive(Debug, Clone)]
+pub struct BatchSampler {
+    rng: StdRng,
+}
+
+impl BatchSampler {
+    /// A sampler with the given seed.
+    pub fn new(seed: u64) -> Self {
+        BatchSampler { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Samples `batch_size` distinct elements of `pool` (all of `pool` if
+    /// `batch_size >= pool.len()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool` is empty.
+    pub fn sample(&mut self, pool: &[usize], batch_size: usize) -> Vec<usize> {
+        assert!(!pool.is_empty(), "cannot sample from an empty pool");
+        if batch_size >= pool.len() {
+            return pool.to_vec();
+        }
+        rand::seq::index::sample(&mut self.rng, pool.len(), batch_size)
+            .into_iter()
+            .map(|i| pool[i])
+            .collect()
+    }
+}
+
+/// Produces a freshly shuffled pass order over a worker's rows each epoch
+/// (per-epoch reshuffling is standard for parallel SGD and what keeps
+/// model-averaged local passes unbiased).
+#[derive(Debug, Clone)]
+pub struct EpochOrder {
+    rng: StdRng,
+}
+
+impl EpochOrder {
+    /// An order generator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        EpochOrder { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Returns a shuffled copy of `pool`. Consecutive calls yield
+    /// different permutations (the RNG advances).
+    pub fn next_order(&mut self, pool: &[usize]) -> Vec<usize> {
+        let mut order = pool.to_vec();
+        order.shuffle(&mut self.rng);
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_returns_distinct_pool_members() {
+        let pool: Vec<usize> = (10..30).collect();
+        let mut s = BatchSampler::new(1);
+        let b = s.sample(&pool, 5);
+        assert_eq!(b.len(), 5);
+        let mut sorted = b.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5);
+        for x in &b {
+            assert!(pool.contains(x));
+        }
+    }
+
+    #[test]
+    fn oversized_batch_returns_whole_pool() {
+        let pool = vec![3, 1, 4];
+        let mut s = BatchSampler::new(1);
+        assert_eq!(s.sample(&pool, 10), pool);
+        assert_eq!(s.sample(&pool, 3), pool);
+    }
+
+    #[test]
+    fn sampler_is_deterministic_per_seed() {
+        let pool: Vec<usize> = (0..100).collect();
+        let a: Vec<_> = {
+            let mut s = BatchSampler::new(9);
+            (0..5).map(|_| s.sample(&pool, 10)).collect()
+        };
+        let b: Vec<_> = {
+            let mut s = BatchSampler::new(9);
+            (0..5).map(|_| s.sample(&pool, 10)).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<_> = {
+            let mut s = BatchSampler::new(10);
+            (0..5).map(|_| s.sample(&pool, 10)).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn consecutive_samples_differ() {
+        let pool: Vec<usize> = (0..100).collect();
+        let mut s = BatchSampler::new(3);
+        assert_ne!(s.sample(&pool, 10), s.sample(&pool, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty pool")]
+    fn empty_pool_panics() {
+        BatchSampler::new(0).sample(&[], 1);
+    }
+
+    #[test]
+    fn epoch_order_is_permutation_and_varies() {
+        let pool: Vec<usize> = (0..50).collect();
+        let mut e = EpochOrder::new(4);
+        let o1 = e.next_order(&pool);
+        let o2 = e.next_order(&pool);
+        let mut s1 = o1.clone();
+        s1.sort_unstable();
+        assert_eq!(s1, pool);
+        assert_ne!(o1, o2, "epochs should reshuffle");
+    }
+
+    #[test]
+    fn epoch_order_deterministic_per_seed() {
+        let pool: Vec<usize> = (0..20).collect();
+        let a = EpochOrder::new(11).next_order(&pool);
+        let b = EpochOrder::new(11).next_order(&pool);
+        assert_eq!(a, b);
+    }
+}

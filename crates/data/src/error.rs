@@ -1,0 +1,60 @@
+//! Error type for dataset I/O and construction.
+
+use std::fmt;
+
+/// Errors produced when loading or constructing datasets.
+#[derive(Debug)]
+pub enum DataError {
+    /// A malformed line in a LIBSVM file.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An I/O failure.
+    Io(std::io::Error),
+    /// Rows and labels disagree, or a row has the wrong dimension.
+    Inconsistent(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            DataError::Io(e) => write!(f, "I/O error: {e}"),
+            DataError::Inconsistent(msg) => write!(f, "inconsistent dataset: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = DataError::Parse { line: 3, message: "bad token".into() };
+        assert!(e.to_string().contains("line 3"));
+        let e = DataError::Inconsistent("labels mismatch".into());
+        assert!(e.to_string().contains("labels mismatch"));
+        let e: DataError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().contains("gone"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

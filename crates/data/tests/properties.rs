@@ -1,0 +1,110 @@
+//! Property-based tests for dataset generation and LIBSVM I/O.
+
+use mlstar_data::{libsvm, Partitioner, SparseDataset, SyntheticConfig};
+use mlstar_linalg::SparseVector;
+use proptest::prelude::*;
+
+/// Strategy for arbitrary valid datasets.
+fn dataset() -> impl Strategy<Value = SparseDataset> {
+    (2usize..40, 1usize..30).prop_flat_map(|(n, d)| {
+        proptest::collection::vec(
+            (
+                proptest::collection::vec((0u32..d as u32, -5.0f64..5.0), 0..6),
+                prop_oneof![Just(1.0f64), Just(-1.0)],
+            ),
+            1..n,
+        )
+        .prop_map(move |rows| {
+            let mut ds = SparseDataset::empty(d);
+            for (pairs, label) in rows {
+                ds.push(SparseVector::from_pairs(d, &pairs).expect("valid"), label);
+            }
+            ds
+        })
+    })
+}
+
+proptest! {
+    /// Every dataset survives a LIBSVM round trip bit-for-bit in structure
+    /// and near-exactly in values (decimal formatting).
+    #[test]
+    fn libsvm_roundtrip(ds in dataset()) {
+        let text = libsvm::write_string(&ds);
+        let back = libsvm::read_str(&text, ds.num_features()).expect("parses");
+        prop_assert_eq!(back.len(), ds.len());
+        prop_assert_eq!(back.labels(), ds.labels());
+        for (a, b) in ds.rows().iter().zip(back.rows().iter()) {
+            prop_assert_eq!(a.indices(), b.indices());
+            for (x, y) in a.values().iter().zip(b.values().iter()) {
+                prop_assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Generated datasets always satisfy their declared shape and sparse
+    /// invariants.
+    #[test]
+    fn generator_respects_config(
+        n in 16usize..200,
+        d in 8usize..100,
+        seed in 0u64..500,
+        skew in 1.0f64..3.0,
+    ) {
+        let cfg = SyntheticConfig {
+            name: "prop".into(),
+            num_instances: n,
+            num_features: d,
+            avg_nnz: (d / 5).max(1),
+            feature_skew: skew,
+            margin_noise: 0.2,
+            flip_prob: 0.05,
+            binary_features: true,
+            margin_scale: 2.0,
+            informative_features: (d / 4).max(1),
+            popular_fraction: 0.3,
+            seed,
+        };
+        let ds = cfg.generate();
+        prop_assert_eq!(ds.len(), n);
+        prop_assert_eq!(ds.num_features(), d);
+        for row in ds.rows() {
+            prop_assert!(row.nnz() >= 1);
+            prop_assert!(row.validate().is_ok());
+        }
+        for &y in ds.labels() {
+            prop_assert!(y == 1.0 || y == -1.0);
+        }
+        // Determinism.
+        prop_assert_eq!(ds, cfg.generate());
+    }
+
+    /// The stats block is internally consistent.
+    #[test]
+    fn stats_are_consistent(ds in dataset()) {
+        let s = ds.stats();
+        prop_assert_eq!(s.instances, ds.len());
+        prop_assert_eq!(s.features, ds.num_features());
+        prop_assert_eq!(s.total_nnz, ds.total_nnz());
+        prop_assert!((0.0..=1.0).contains(&s.positive_fraction));
+        prop_assert!((s.avg_nnz - s.total_nnz as f64 / s.instances as f64).abs() < 1e-9);
+        prop_assert_eq!(s.underdetermined, s.features > s.instances);
+    }
+
+    /// Skewed partitioning gives worker 0 its share (within rounding) and
+    /// still covers every row exactly once.
+    #[test]
+    fn skewed_partitioner_honors_fraction(
+        n in 20usize..300,
+        k in 2usize..10,
+        frac in 0.05f64..0.95,
+        seed in 0u64..100,
+    ) {
+        let parts = Partitioner::SkewedShuffled { seed, hot_fraction: frac }.partition(n, k);
+        let mut all: Vec<usize> = parts.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        let clamped = frac.clamp(1.0 / k as f64, 0.95);
+        let expected = (n as f64 * clamped).round() as usize;
+        prop_assert_eq!(parts[0].len(), expected.min(n));
+    }
+}

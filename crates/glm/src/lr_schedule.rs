@@ -1,0 +1,112 @@
+//! Learning-rate schedules for (S)GD.
+
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule `η(t)` where `t` is a 0-based update counter.
+///
+/// MLlib's `GradientDescent` uses `η₀/√(t+1)` per iteration; constant rates
+/// are common for model-averaging systems. Both are provided, plus two
+/// extras used in the ablation benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LearningRate {
+    /// Constant `η₀`.
+    Constant(f64),
+    /// `η₀ / √(t+1)` — MLlib's default decay.
+    InvSqrt(f64),
+    /// `η₀ / (1 + decay·t)`.
+    InvT {
+        /// Initial rate η₀.
+        eta0: f64,
+        /// Decay coefficient.
+        decay: f64,
+    },
+    /// `η₀ · factor^(t / period)` — stepwise exponential decay.
+    Exponential {
+        /// Initial rate η₀.
+        eta0: f64,
+        /// Multiplicative factor applied every `period` updates.
+        factor: f64,
+        /// Number of updates per decay step (must be ≥ 1).
+        period: u64,
+    },
+}
+
+impl LearningRate {
+    /// The learning rate for update number `t` (0-based).
+    #[inline]
+    pub fn eta(&self, t: u64) -> f64 {
+        match *self {
+            LearningRate::Constant(eta0) => eta0,
+            LearningRate::InvSqrt(eta0) => eta0 / ((t + 1) as f64).sqrt(),
+            LearningRate::InvT { eta0, decay } => eta0 / (1.0 + decay * t as f64),
+            LearningRate::Exponential { eta0, factor, period } => {
+                let steps = t / period.max(1);
+                eta0 * factor.powi(steps.min(i32::MAX as u64) as i32)
+            }
+        }
+    }
+
+    /// The initial learning rate `η(0)`.
+    pub fn eta0(&self) -> f64 {
+        self.eta(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LearningRate::Constant(0.5);
+        assert_eq!(s.eta(0), 0.5);
+        assert_eq!(s.eta(1_000_000), 0.5);
+    }
+
+    #[test]
+    fn inv_sqrt_decays_like_mllib() {
+        let s = LearningRate::InvSqrt(1.0);
+        assert_eq!(s.eta(0), 1.0);
+        assert!((s.eta(3) - 0.5).abs() < 1e-12);
+        assert!((s.eta(99) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inv_t_decays_harmonically() {
+        let s = LearningRate::InvT { eta0: 1.0, decay: 1.0 };
+        assert_eq!(s.eta(0), 1.0);
+        assert_eq!(s.eta(1), 0.5);
+        assert_eq!(s.eta(9), 0.1);
+    }
+
+    #[test]
+    fn exponential_steps() {
+        let s = LearningRate::Exponential { eta0: 1.0, factor: 0.5, period: 10 };
+        assert_eq!(s.eta(0), 1.0);
+        assert_eq!(s.eta(9), 1.0);
+        assert_eq!(s.eta(10), 0.5);
+        assert_eq!(s.eta(25), 0.25);
+        // Period 0 is clamped to 1 instead of dividing by zero.
+        let s = LearningRate::Exponential { eta0: 1.0, factor: 0.5, period: 0 };
+        assert_eq!(s.eta(1), 0.5);
+    }
+
+    #[test]
+    fn schedules_are_nonincreasing() {
+        let schedules = [
+            LearningRate::Constant(0.3),
+            LearningRate::InvSqrt(0.3),
+            LearningRate::InvT { eta0: 0.3, decay: 0.01 },
+            LearningRate::Exponential { eta0: 0.3, factor: 0.9, period: 5 },
+        ];
+        for s in schedules {
+            let mut prev = s.eta0();
+            for t in 1..200 {
+                let cur = s.eta(t);
+                assert!(cur <= prev + 1e-15, "{s:?} increased at t={t}");
+                assert!(cur > 0.0);
+                prev = cur;
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! The GLM model: a weight vector with prediction helpers.
+
+use mlstar_linalg::{DenseVector, SparseVector};
+use serde::{Deserialize, Serialize};
+
+/// A linear model `w` for GLMs.
+///
+/// Following MLlib's `GeneralizedLinearModel` for SVM/LR training on LIBSVM
+/// data, there is no separate intercept term: datasets that need a bias
+/// carry an always-one feature column instead (the synthetic generators in
+/// `mlstar-data` can add one).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GlmModel {
+    weights: DenseVector,
+}
+
+impl GlmModel {
+    /// A zero model of the given dimension (the paper's `w₀`).
+    pub fn zeros(dim: usize) -> Self {
+        GlmModel { weights: DenseVector::zeros(dim) }
+    }
+
+    /// Wraps an existing weight vector.
+    pub fn from_weights(weights: DenseVector) -> Self {
+        GlmModel { weights }
+    }
+
+    /// The model dimension.
+    pub fn dim(&self) -> usize {
+        self.weights.dim()
+    }
+
+    /// Borrows the weights.
+    pub fn weights(&self) -> &DenseVector {
+        &self.weights
+    }
+
+    /// Mutably borrows the weights.
+    pub fn weights_mut(&mut self) -> &mut DenseVector {
+        &mut self.weights
+    }
+
+    /// Consumes the model, returning the weights.
+    pub fn into_weights(self) -> DenseVector {
+        self.weights
+    }
+
+    /// The margin `w·x` for an example.
+    pub fn margin(&self, x: &SparseVector) -> f64 {
+        self.weights.dot_sparse(x)
+    }
+
+    /// The predicted binary label (`+1` / `-1`) for an example, with ties
+    /// (zero margin) mapped to `+1`.
+    pub fn predict(&self, x: &SparseVector) -> f64 {
+        if self.margin(x) >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// The logistic probability `P(y = +1 | x) = σ(w·x)`.
+    pub fn predict_probability(&self, x: &SparseVector) -> f64 {
+        let m = self.margin(x);
+        if m >= 0.0 {
+            1.0 / (1.0 + (-m).exp())
+        } else {
+            let e = m.exp();
+            e / (1.0 + e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_model_predicts_positive() {
+        let m = GlmModel::zeros(4);
+        let x = SparseVector::from_pairs(4, &[(0, 1.0)]).unwrap();
+        assert_eq!(m.margin(&x), 0.0);
+        assert_eq!(m.predict(&x), 1.0);
+        assert!((m.predict_probability(&x) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn margin_and_prediction() {
+        let m = GlmModel::from_weights(DenseVector::from_vec(vec![1.0, -2.0, 0.0]));
+        let pos = SparseVector::from_pairs(3, &[(0, 3.0)]).unwrap();
+        let neg = SparseVector::from_pairs(3, &[(1, 3.0)]).unwrap();
+        assert_eq!(m.margin(&pos), 3.0);
+        assert_eq!(m.predict(&pos), 1.0);
+        assert_eq!(m.margin(&neg), -6.0);
+        assert_eq!(m.predict(&neg), -1.0);
+    }
+
+    #[test]
+    fn probability_is_stable_and_monotone() {
+        let m = GlmModel::from_weights(DenseVector::from_vec(vec![1000.0]));
+        let x = SparseVector::from_pairs(1, &[(0, 1.0)]).unwrap();
+        let p = m.predict_probability(&x);
+        assert!(p.is_finite() && p > 0.999_999);
+        let m = GlmModel::from_weights(DenseVector::from_vec(vec![-1000.0]));
+        let p = m.predict_probability(&x);
+        assert!(p.is_finite() && p < 1e-6);
+    }
+
+    #[test]
+    fn weights_accessors() {
+        let mut m = GlmModel::zeros(2);
+        m.weights_mut().set(1, 5.0);
+        assert_eq!(m.weights().get(1), 5.0);
+        assert_eq!(m.dim(), 2);
+        assert_eq!(m.into_weights().as_slice(), &[0.0, 5.0]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Evaluation of the regularized objective `f(w, X) = l(w, X) + Ω(w)`.
+
+use mlstar_linalg::{DenseVector, SparseVector};
+
+use crate::{Loss, Regularizer};
+
+/// The average training loss `l(w, X) = (1/n)·Σᵢ l(w·xᵢ, yᵢ)`, without the
+/// regularization term.
+///
+/// # Panics
+///
+/// Panics if `rows` and `labels` have different lengths or `rows` is empty.
+pub fn training_loss(loss: Loss, w: &DenseVector, rows: &[SparseVector], labels: &[f64]) -> f64 {
+    assert_eq!(rows.len(), labels.len(), "one label per row required");
+    assert!(!rows.is_empty(), "objective over an empty dataset is undefined");
+    let mut acc = 0.0;
+    for (x, &y) in rows.iter().zip(labels.iter()) {
+        acc += loss.value(w.dot_sparse(x), y);
+    }
+    acc / rows.len() as f64
+}
+
+/// The full objective `f(w, X)` of Eq. 1 in the paper: average loss plus
+/// regularization. This is the quantity on the y-axis of every convergence
+/// figure.
+pub fn objective_value(
+    loss: Loss,
+    reg: Regularizer,
+    w: &DenseVector,
+    rows: &[SparseVector],
+    labels: &[f64],
+) -> f64 {
+    training_loss(loss, w, rows, labels) + reg.value(w)
+}
+
+/// The objective restricted to a subset of example indices (used by workers
+/// evaluating on their partition, and by tests).
+///
+/// # Panics
+///
+/// Panics if `subset` is empty or contains an out-of-bounds index.
+pub fn objective_value_subset(
+    loss: Loss,
+    reg: Regularizer,
+    w: &DenseVector,
+    rows: &[SparseVector],
+    labels: &[f64],
+    subset: &[usize],
+) -> f64 {
+    assert!(!subset.is_empty(), "objective over an empty subset is undefined");
+    let mut acc = 0.0;
+    for &i in subset {
+        acc += loss.value(w.dot_sparse(&rows[i]), labels[i]);
+    }
+    acc / subset.len() as f64 + reg.value(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_problem() -> (Vec<SparseVector>, Vec<f64>) {
+        let rows = vec![
+            SparseVector::from_pairs(2, &[(0, 1.0)]).unwrap(),
+            SparseVector::from_pairs(2, &[(1, 1.0)]).unwrap(),
+        ];
+        let labels = vec![1.0, -1.0];
+        (rows, labels)
+    }
+
+    #[test]
+    fn zero_model_hinge_loss_is_one() {
+        let (rows, labels) = tiny_problem();
+        let w = DenseVector::zeros(2);
+        // hinge(0, ±1) = 1 for every example.
+        assert_eq!(training_loss(Loss::Hinge, &w, &rows, &labels), 1.0);
+    }
+
+    #[test]
+    fn objective_adds_regularization() {
+        let (rows, labels) = tiny_problem();
+        let w = DenseVector::from_vec(vec![2.0, -2.0]);
+        let plain = objective_value(Loss::Hinge, Regularizer::None, &w, &rows, &labels);
+        let ridge = objective_value(Loss::Hinge, Regularizer::L2 { lambda: 0.1 }, &w, &rows, &labels);
+        assert!((ridge - plain - 0.5 * 0.1 * 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_model_has_zero_hinge_objective() {
+        let (rows, labels) = tiny_problem();
+        let w = DenseVector::from_vec(vec![2.0, -2.0]);
+        assert_eq!(objective_value(Loss::Hinge, Regularizer::None, &w, &rows, &labels), 0.0);
+    }
+
+    #[test]
+    fn subset_objective_matches_full_when_subset_is_everything() {
+        let (rows, labels) = tiny_problem();
+        let w = DenseVector::from_vec(vec![0.5, 0.5]);
+        let full = objective_value(Loss::Logistic, Regularizer::l2(0.01), &w, &rows, &labels);
+        let sub = objective_value_subset(
+            Loss::Logistic,
+            Regularizer::l2(0.01),
+            &w,
+            &rows,
+            &labels,
+            &[0, 1],
+        );
+        assert!((full - sub).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subset_objective_selects_rows() {
+        let (rows, labels) = tiny_problem();
+        let w = DenseVector::from_vec(vec![2.0, 0.0]);
+        // Only the first (correctly classified, margin 2) example.
+        let v = objective_value_subset(Loss::Hinge, Regularizer::None, &w, &rows, &labels, &[0]);
+        assert_eq!(v, 0.0);
+        // Only the second (zero margin) example: hinge = 1.
+        let v = objective_value_subset(Loss::Hinge, Regularizer::None, &w, &rows, &labels, &[1]);
+        assert_eq!(v, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per row")]
+    fn mismatched_labels_panic() {
+        let (rows, _) = tiny_problem();
+        let w = DenseVector::zeros(2);
+        let _ = training_loss(Loss::Hinge, &w, &rows, &[1.0]);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for vector construction and validation.
+
+use std::fmt;
+
+/// Errors produced when constructing or validating vectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// A sparse index is out of bounds for the declared dimension.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The declared dimension.
+        dim: usize,
+    },
+    /// Sparse indices are not strictly increasing.
+    UnsortedIndices {
+        /// Position in the index array where monotonicity is violated.
+        position: usize,
+    },
+    /// A value is NaN or infinite.
+    NonFiniteValue {
+        /// Position of the non-finite value.
+        position: usize,
+    },
+    /// The index and value arrays have different lengths.
+    LengthMismatch {
+        /// Number of indices.
+        indices: usize,
+        /// Number of values.
+        values: usize,
+    },
+    /// Two vectors that must share a dimension do not.
+    DimensionMismatch {
+        /// Dimension of the left operand.
+        left: usize,
+        /// Dimension of the right operand.
+        right: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::IndexOutOfBounds { index, dim } => {
+                write!(f, "sparse index {index} out of bounds for dimension {dim}")
+            }
+            LinalgError::UnsortedIndices { position } => {
+                write!(f, "sparse indices not strictly increasing at position {position}")
+            }
+            LinalgError::NonFiniteValue { position } => {
+                write!(f, "non-finite value at position {position}")
+            }
+            LinalgError::LengthMismatch { indices, values } => {
+                write!(f, "index/value length mismatch: {indices} indices vs {values} values")
+            }
+            LinalgError::DimensionMismatch { left, right } => {
+                write!(f, "dimension mismatch: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LinalgError::IndexOutOfBounds { index: 10, dim: 5 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("5"));
+        let e = LinalgError::UnsortedIndices { position: 3 };
+        assert!(e.to_string().contains("3"));
+        let e = LinalgError::LengthMismatch { indices: 2, values: 4 };
+        assert!(e.to_string().contains("2"));
+        let e = LinalgError::DimensionMismatch { left: 7, right: 9 };
+        assert!(e.to_string().contains("7"));
+        let e = LinalgError::NonFiniteValue { position: 1 };
+        assert!(e.to_string().contains("1"));
+    }
+}

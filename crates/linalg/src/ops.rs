@@ -1,0 +1,142 @@
+//! Free functions over vectors: reductions used by aggregation schemes and
+//! the model-partitioning helper used by AllReduce.
+
+use std::ops::Range;
+
+use crate::DenseVector;
+
+/// Sums a non-empty slice of dense vectors (the *model summation* scheme
+/// used by Petuum's servers).
+///
+/// # Panics
+///
+/// Panics if `vectors` is empty or dimensions differ.
+pub fn sum(vectors: &[DenseVector]) -> DenseVector {
+    assert!(!vectors.is_empty(), "sum of zero vectors is undefined");
+    let mut acc = vectors[0].clone();
+    for v in &vectors[1..] {
+        acc.axpy(1.0, v);
+    }
+    acc
+}
+
+/// Averages a non-empty slice of dense vectors (the *model averaging*
+/// scheme at the heart of MLlib\*).
+///
+/// # Panics
+///
+/// Panics if `vectors` is empty or dimensions differ.
+pub fn average(vectors: &[DenseVector]) -> DenseVector {
+    let mut acc = sum(vectors);
+    acc.scale(1.0 / vectors.len() as f64);
+    acc
+}
+
+/// Weighted average `Σ cᵢ·vᵢ / Σ cᵢ`, e.g. weighting worker models by their
+/// partition sizes (the "reweighting" refinement of Zhang & Jordan noted in
+/// the paper's remark on aggregation schemes).
+///
+/// # Panics
+///
+/// Panics if slices are empty, lengths differ, or the total weight is zero.
+pub fn weighted_average(vectors: &[DenseVector], weights: &[f64]) -> DenseVector {
+    assert!(!vectors.is_empty(), "weighted_average of zero vectors is undefined");
+    assert_eq!(vectors.len(), weights.len(), "one weight per vector required");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "total weight must be positive");
+    let mut acc = DenseVector::zeros(vectors[0].dim());
+    for (v, &c) in vectors.iter().zip(weights.iter()) {
+        acc.axpy(c / total, v);
+    }
+    acc
+}
+
+/// Splits the coordinate range `[0, dim)` into `k` contiguous, nearly equal
+/// partitions (the first `dim % k` partitions get one extra coordinate).
+///
+/// This is the model partitioning used by the Reduce-Scatter / AllGather
+/// phases: executor `r` *owns* `partition_ranges(dim, k)[r]`.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn partition_ranges(dim: usize, k: usize) -> Vec<Range<usize>> {
+    assert!(k > 0, "cannot partition into zero pieces");
+    let base = dim / k;
+    let extra = dim % k;
+    let mut ranges = Vec::with_capacity(k);
+    let mut start = 0;
+    for r in 0..k {
+        let len = base + usize::from(r < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, dim);
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dv(values: &[f64]) -> DenseVector {
+        DenseVector::from_vec(values.to_vec())
+    }
+
+    #[test]
+    fn sum_and_average() {
+        let vs = vec![dv(&[1.0, 2.0]), dv(&[3.0, 4.0]), dv(&[5.0, 6.0])];
+        assert_eq!(sum(&vs).as_slice(), &[9.0, 12.0]);
+        assert_eq!(average(&vs).as_slice(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vectors")]
+    fn sum_of_nothing_panics() {
+        let _ = sum(&[]);
+    }
+
+    #[test]
+    fn weighted_average_weights_by_partition_size() {
+        let vs = vec![dv(&[1.0]), dv(&[5.0])];
+        let w = weighted_average(&vs, &[3.0, 1.0]);
+        assert_eq!(w.as_slice(), &[2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per vector")]
+    fn weighted_average_checks_lengths() {
+        let _ = weighted_average(&[dv(&[1.0])], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn partition_ranges_covers_exactly() {
+        let ranges = partition_ranges(10, 3);
+        assert_eq!(ranges, vec![0..4, 4..7, 7..10]);
+        // Degenerate cases.
+        assert_eq!(partition_ranges(2, 5).iter().map(|r| r.len()).sum::<usize>(), 2);
+        assert_eq!(partition_ranges(0, 3).iter().map(|r| r.len()).sum::<usize>(), 0);
+        assert_eq!(partition_ranges(8, 8).len(), 8);
+    }
+
+    #[test]
+    fn partition_ranges_are_contiguous_and_balanced() {
+        for dim in [1usize, 7, 16, 100, 101] {
+            for k in [1usize, 2, 3, 8, 16] {
+                let ranges = partition_ranges(dim, k);
+                assert_eq!(ranges.len(), k);
+                let mut expected_start = 0;
+                let mut min_len = usize::MAX;
+                let mut max_len = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expected_start);
+                    expected_start = r.end;
+                    min_len = min_len.min(r.len());
+                    max_len = max_len.max(r.len());
+                }
+                assert_eq!(expected_start, dim);
+                assert!(max_len - min_len <= 1, "dim={dim} k={k}");
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the vector primitives.
+
+use mlstar_linalg::{
+    average, partition_ranges, sum, weighted_average, DenseVector, ScaledVector, SparseVector,
+};
+use proptest::prelude::*;
+
+const DIM: usize = 32;
+
+/// Strategy producing a sparse vector of dimension `DIM` with bounded values.
+fn sparse_vec() -> impl Strategy<Value = SparseVector> {
+    proptest::collection::vec((0u32..DIM as u32, -10.0f64..10.0), 0..DIM)
+        .prop_map(|pairs| SparseVector::from_pairs(DIM, &pairs).expect("valid pairs"))
+}
+
+/// Strategy producing a dense vector of dimension `DIM`.
+fn dense_vec() -> impl Strategy<Value = DenseVector> {
+    proptest::collection::vec(-10.0f64..10.0, DIM).prop_map(DenseVector::from_vec)
+}
+
+proptest! {
+    #[test]
+    fn sparse_dense_dot_commutes_with_densification(s in sparse_vec(), d in dense_vec()) {
+        let via_sparse = d.dot_sparse(&s);
+        let via_dense = d.dot(&s.to_dense());
+        prop_assert!((via_sparse - via_dense).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparse_sparse_dot_is_symmetric(a in sparse_vec(), b in sparse_vec()) {
+        prop_assert!((a.dot_sparse(&b) - b.dot_sparse(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn axpy_sparse_matches_dense_axpy(d in dense_vec(), s in sparse_vec(), alpha in -5.0f64..5.0) {
+        let mut lhs = d.clone();
+        lhs.axpy_sparse(alpha, &s);
+        let mut rhs = d.clone();
+        rhs.axpy(alpha, &s.to_dense());
+        for i in 0..DIM {
+            prop_assert!((lhs.get(i) - rhs.get(i)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scaled_vector_tracks_eager_reference(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                (0.1f64..1.5).prop_map(|c| (0u8, c, None)),
+                (sparse_vec(), -2.0f64..2.0).prop_map(|(s, a)| (1u8, a, Some(s))),
+            ],
+            1..30,
+        )
+    ) {
+        let mut lazy = ScaledVector::zeros(DIM);
+        let mut eager = DenseVector::zeros(DIM);
+        for (kind, c, maybe_s) in &ops {
+            match kind {
+                0 => {
+                    lazy.scale_by(*c);
+                    eager.scale(*c);
+                }
+                _ => {
+                    let s = maybe_s.as_ref().expect("sparse op carries vector");
+                    lazy.axpy_sparse(*c, s);
+                    eager.axpy_sparse(*c, s);
+                }
+            }
+        }
+        let lazy_dense = lazy.to_dense();
+        let tol = 1e-6 * (1.0 + eager.norm_inf());
+        for i in 0..DIM {
+            prop_assert!(
+                (lazy_dense.get(i) - eager.get(i)).abs() <= tol,
+                "coord {} lazy {} eager {}", i, lazy_dense.get(i), eager.get(i)
+            );
+        }
+    }
+
+    #[test]
+    fn average_is_between_min_and_max(vs in proptest::collection::vec(dense_vec(), 1..6)) {
+        let avg = average(&vs);
+        for i in 0..DIM {
+            let lo = vs.iter().map(|v| v.get(i)).fold(f64::INFINITY, f64::min);
+            let hi = vs.iter().map(|v| v.get(i)).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(avg.get(i) >= lo - 1e-9 && avg.get(i) <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn sum_equals_k_times_average(vs in proptest::collection::vec(dense_vec(), 1..6)) {
+        let mut avg = average(&vs);
+        avg.scale(vs.len() as f64);
+        let total = sum(&vs);
+        for i in 0..DIM {
+            prop_assert!((avg.get(i) - total.get(i)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn uniform_weighted_average_equals_plain_average(vs in proptest::collection::vec(dense_vec(), 1..6)) {
+        let weights = vec![2.5; vs.len()];
+        let wavg = weighted_average(&vs, &weights);
+        let avg = average(&vs);
+        for i in 0..DIM {
+            prop_assert!((wavg.get(i) - avg.get(i)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn partition_ranges_partition_the_domain(dim in 0usize..500, k in 1usize..33) {
+        let ranges = partition_ranges(dim, k);
+        prop_assert_eq!(ranges.len(), k);
+        let mut covered = 0usize;
+        let mut prev_end = 0usize;
+        for r in &ranges {
+            prop_assert_eq!(r.start, prev_end);
+            prev_end = r.end;
+            covered += r.len();
+        }
+        prop_assert_eq!(prev_end, dim);
+        prop_assert_eq!(covered, dim);
+    }
+
+    #[test]
+    fn from_pairs_get_agrees_with_last_write_sum(
+        pairs in proptest::collection::vec((0u32..DIM as u32, -10.0f64..10.0), 0..20)
+    ) {
+        let s = SparseVector::from_pairs(DIM, &pairs).expect("valid");
+        for i in 0..DIM {
+            let expected: f64 = pairs.iter().filter(|(j, _)| *j as usize == i).map(|(_, v)| v).sum();
+            prop_assert!((s.get(i) - expected).abs() < 1e-9);
+        }
+        s.validate().expect("invariants hold");
+    }
+}

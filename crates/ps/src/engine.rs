@@ -1,0 +1,451 @@
+//! The deterministic event-driven parameter-server training engine.
+
+use mlstar_linalg::DenseVector;
+use mlstar_sim::{
+    dense_op_flops, Activity, CostModel, EventQueue, GanttRecorder, NodeId, SeedStream,
+    SimDuration, SimTime,
+};
+use rand::rngs::StdRng;
+
+use crate::{Aggregation, Consistency, ServerGroup};
+
+/// The result of one worker-local computation tick.
+pub struct WorkerStep {
+    /// The payload pushed to the servers: a delta under
+    /// [`Aggregation::Sum`], the local model under
+    /// [`Aggregation::Average`].
+    pub payload: DenseVector,
+    /// If set, the push is transmitted sparsely with this many stored
+    /// entries (real PS systems ship index/value pairs for sparse
+    /// updates); `None` sends the dense payload.
+    pub payload_nnz: Option<usize>,
+    /// Estimated floating-point work of the tick (drives simulated time).
+    pub flops: f64,
+    /// Additional fixed overhead for the tick (e.g. Angel's per-batch
+    /// vector allocation and garbage collection).
+    pub extra_overhead: SimDuration,
+    /// Number of model updates performed locally during the tick (for the
+    /// updates-per-communication-step accounting of the paper).
+    pub local_updates: u64,
+}
+
+/// Worker-local computation: what a worker does with a freshly pulled
+/// model during one clock tick (one batch for Petuum, one epoch for
+/// Angel).
+pub trait WorkerLogic {
+    /// Computes one tick for `worker` at `clock`, given the pulled model.
+    fn compute(&mut self, worker: usize, clock: u64, model: &DenseVector) -> WorkerStep;
+
+    /// Number of model coordinates this worker actually needs from a pull
+    /// (Angel-style sparse pull of the partition's active features);
+    /// `None` pulls the full dense model.
+    fn pull_nnz(&self, _worker: usize) -> Option<usize> {
+        None
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct PsConfig {
+    /// Number of server shards.
+    pub num_servers: usize,
+    /// Consistency protocol gating worker progress.
+    pub consistency: Consistency,
+    /// Server-side aggregation scheme.
+    pub aggregation: Aggregation,
+    /// Ticks each worker executes (unless stopped early).
+    pub max_clocks: u64,
+    /// Per-tick scheduling overhead. Parameter-server systems run
+    /// persistent worker processes (C++/Java), so this is far smaller than
+    /// Spark's per-task launch cost.
+    pub tick_overhead: SimDuration,
+    /// Seed for straggler draws.
+    pub seed: u64,
+}
+
+/// Statistics of a completed run.
+#[derive(Debug, Clone)]
+pub struct PsRunStats {
+    /// Total pushes applied at the servers.
+    pub total_pushes: u64,
+    /// Total local model updates across all workers.
+    pub total_updates: u64,
+    /// Simulated time when the run ended.
+    pub end_time: SimTime,
+    /// Simulated time at which each global clock (min over workers)
+    /// completed.
+    pub clock_times: Vec<SimTime>,
+    /// Whether the run stopped early via the `on_clock` callback.
+    pub stopped_early: bool,
+}
+
+/// Wire size of a sparse message with `nnz` entries (u32 index + f64
+/// value each, 16-byte header — matches `mlstar-collectives::wire`).
+fn sparse_wire_bytes(nnz: usize) -> usize {
+    nnz * 12 + 16
+}
+
+/// A deterministic event-driven parameter-server run.
+///
+/// Workers cycle through pull → compute → push; pushes apply to the
+/// sharded global model in global timestamp order, so a pull observes
+/// exactly the pushes that arrived before it — asynchronous semantics
+/// without threads or nondeterminism.
+pub struct PsEngine<'a> {
+    cost: &'a CostModel,
+    cfg: PsConfig,
+    gantt: GanttRecorder,
+}
+
+enum Ev {
+    /// Worker begins its pull for tick `clock`.
+    PullStart { worker: usize },
+    /// Worker's push (for the tick it just computed) arrives at servers.
+    PushArrive { worker: usize, payload: DenseVector, updates: u64 },
+}
+
+impl<'a> PsEngine<'a> {
+    /// Creates an engine over the given cluster cost model. The number of
+    /// workers equals the number of executors in the cluster.
+    pub fn new(cost: &'a CostModel, cfg: PsConfig) -> Self {
+        assert!(cfg.num_servers > 0, "need at least one server shard");
+        assert!(cfg.max_clocks > 0, "need at least one clock tick");
+        PsEngine { cost, cfg, gantt: GanttRecorder::new() }
+    }
+
+    /// The recorded Gantt spans (valid after [`PsEngine::run`]).
+    pub fn gantt(&self) -> &GanttRecorder {
+        &self.gantt
+    }
+
+    /// Runs the engine from initial model `w0`.
+    ///
+    /// `on_clock(clock, time, model)` is invoked each time the *global*
+    /// clock (the minimum over workers' completed ticks) advances;
+    /// returning `true` stops the run after the current event.
+    pub fn run<L, F>(
+        &mut self,
+        w0: DenseVector,
+        logic: &mut L,
+        mut on_clock: F,
+    ) -> (DenseVector, PsRunStats)
+    where
+        L: WorkerLogic,
+        F: FnMut(u64, SimTime, &DenseVector) -> bool,
+    {
+        let k = self.cost.num_executors();
+        let dim = w0.dim();
+        let model_bytes = dim * 8 + 16;
+        let mut servers = ServerGroup::new(dim, self.cfg.num_servers, self.cfg.aggregation);
+        servers.initialize(w0);
+
+        let mut rng: StdRng = SeedStream::new(self.cfg.seed).child("ps-straggler").rng();
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        let mut completed = vec![0u64; k];
+        let mut parked: Vec<Option<SimTime>> = vec![None; k]; // wait start per worker
+        let mut min_clock = 0u64;
+        let mut stats = PsRunStats {
+            total_pushes: 0,
+            total_updates: 0,
+            end_time: SimTime::ZERO,
+            clock_times: Vec::new(),
+            stopped_early: false,
+        };
+
+        for w in 0..k {
+            queue.push(SimTime::ZERO, Ev::PullStart { worker: w });
+        }
+
+        'sim: while let Some((now, ev)) = queue.pop() {
+            stats.end_time = stats.end_time.max(now);
+            match ev {
+                Ev::PullStart { worker } => {
+                    let clock = completed[worker];
+                    // Pull: the worker receives the model (or only its
+                    // active coordinates) through its NIC; shards serve in
+                    // parallel.
+                    let pull_bytes = match logic.pull_nnz(worker) {
+                        Some(nnz) => sparse_wire_bytes(nnz).min(model_bytes),
+                        None => model_bytes,
+                    };
+                    let pull_dur = self.cost.transfer(pull_bytes);
+                    // No later event mutates the servers while this event
+                    // is being processed, so the worker can read the model
+                    // in place — semantically the pull's snapshot.
+                    let step = logic.compute(worker, clock, servers.model());
+                    assert_eq!(step.payload.dim(), dim, "payload dimension mismatch");
+                    let compute_dur = self.cost.executor_compute_with_overhead(
+                        worker,
+                        step.flops,
+                        &mut rng,
+                        self.cfg.tick_overhead,
+                    ) + step.extra_overhead;
+                    let push_bytes = match step.payload_nnz {
+                        Some(nnz) => sparse_wire_bytes(nnz).min(model_bytes),
+                        None => model_bytes,
+                    };
+                    let push_dur = self.cost.transfer(push_bytes);
+
+                    let pull_end = now + pull_dur;
+                    let compute_end = pull_end + compute_dur;
+                    let push_end = compute_end + push_dur;
+                    let node = NodeId::Executor(worker);
+                    self.gantt.record(node, Activity::PsPull, now, pull_end, clock);
+                    self.gantt.record(node, Activity::Compute, pull_end, compute_end, clock);
+                    self.gantt.record(node, Activity::PsPush, compute_end, push_end, clock);
+
+                    queue.push(
+                        push_end,
+                        Ev::PushArrive { worker, payload: step.payload, updates: step.local_updates },
+                    );
+                    stats.total_updates += step.local_updates;
+                }
+                Ev::PushArrive { worker, payload, updates } => {
+                    let _ = updates;
+                    // Servers fold the push in; each shard applies its range.
+                    servers.push(&payload);
+                    stats.total_pushes += 1;
+                    let shard_len = servers.router().max_shard_len();
+                    let apply = self.cost.driver_compute(dense_op_flops(shard_len));
+                    for s in 0..self.cfg.num_servers {
+                        self.gantt.record(
+                            NodeId::Server(s),
+                            Activity::ServerUpdate,
+                            now,
+                            now + apply,
+                            completed[worker],
+                        );
+                    }
+
+                    completed[worker] += 1;
+                    let new_min = *completed.iter().min().expect("nonempty");
+                    if new_min > min_clock {
+                        for c in min_clock..new_min {
+                            stats.clock_times.push(now);
+                            let _ = c;
+                        }
+                        min_clock = new_min;
+                        if on_clock(min_clock, now, servers.model()) {
+                            stats.stopped_early = true;
+                            break 'sim;
+                        }
+                        // Release parked workers whose constraint now holds.
+                        for w in 0..k {
+                            if let Some(wait_start) = parked[w] {
+                                if completed[w] < self.cfg.max_clocks
+                                    && self.cfg.consistency.may_proceed(completed[w], min_clock)
+                                {
+                                    if now > wait_start {
+                                        self.gantt.record(
+                                            NodeId::Executor(w),
+                                            Activity::Wait,
+                                            wait_start,
+                                            now,
+                                            completed[w],
+                                        );
+                                    }
+                                    parked[w] = None;
+                                    queue.push(now, Ev::PullStart { worker: w });
+                                }
+                            }
+                        }
+                    }
+
+                    // Schedule this worker's next tick.
+                    if completed[worker] < self.cfg.max_clocks {
+                        if self.cfg.consistency.may_proceed(completed[worker], min_clock) {
+                            queue.push(now, Ev::PullStart { worker });
+                        } else {
+                            parked[worker] = Some(now);
+                        }
+                    }
+                }
+            }
+        }
+
+        (servers.pull(), stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlstar_sim::{ClusterSpec, NetworkSpec, NodeSpec, StragglerModel};
+
+    /// Logic that pushes a constant delta and counts invocations.
+    struct ConstDelta {
+        dim: usize,
+        calls: Vec<(usize, u64)>,
+    }
+
+    impl WorkerLogic for ConstDelta {
+        fn compute(&mut self, worker: usize, clock: u64, _model: &DenseVector) -> WorkerStep {
+            self.calls.push((worker, clock));
+            let mut payload = DenseVector::zeros(self.dim);
+            payload.set(0, 1.0);
+            WorkerStep {
+                payload,
+                payload_nnz: None,
+                flops: 1e6,
+                extra_overhead: SimDuration::ZERO,
+                local_updates: 1,
+            }
+        }
+    }
+
+    fn cost(k: usize) -> CostModel {
+        CostModel::new(ClusterSpec::uniform(k, NodeSpec::standard(), NetworkSpec::gbps1()))
+    }
+
+    fn cfg(consistency: Consistency, max_clocks: u64) -> PsConfig {
+        PsConfig {
+            num_servers: 2,
+            consistency,
+            aggregation: Aggregation::Sum,
+            max_clocks,
+            tick_overhead: SimDuration::from_millis(2),
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn bsp_run_applies_all_pushes() {
+        let cost = cost(4);
+        let mut engine = PsEngine::new(&cost, cfg(Consistency::Bsp, 3));
+        let mut logic = ConstDelta { dim: 8, calls: Vec::new() };
+        let (model, stats) = engine.run(DenseVector::zeros(8), &mut logic, |_, _, _| false);
+        // 4 workers × 3 clocks, each adding 1.0 at coordinate 0.
+        assert_eq!(stats.total_pushes, 12);
+        assert_eq!(stats.total_updates, 12);
+        assert!((model.get(0) - 12.0).abs() < 1e-12);
+        assert_eq!(stats.clock_times.len(), 3);
+        assert!(!stats.stopped_early);
+        assert_eq!(logic.calls.len(), 12);
+    }
+
+    #[test]
+    fn bsp_workers_never_lead_by_more_than_one() {
+        let cost = cost(4);
+        let mut engine = PsEngine::new(&cost, cfg(Consistency::Bsp, 5));
+        struct TrackLead {
+            dim: usize,
+            clocks_seen: Vec<u64>,
+        }
+        impl WorkerLogic for TrackLead {
+            fn compute(&mut self, _w: usize, clock: u64, _m: &DenseVector) -> WorkerStep {
+                self.clocks_seen.push(clock);
+                WorkerStep {
+                    payload: DenseVector::zeros(self.dim),
+                    payload_nnz: None,
+                    flops: 1e6,
+                    extra_overhead: SimDuration::ZERO,
+                    local_updates: 1,
+                }
+            }
+        }
+        let mut logic = TrackLead { dim: 4, clocks_seen: Vec::new() };
+        engine.run(DenseVector::zeros(4), &mut logic, |_, _, _| false);
+        // Under BSP, tick c+1 computations never start before every tick-c
+        // compute has happened: the sequence of observed clocks is sorted.
+        let mut sorted = logic.clocks_seen.clone();
+        sorted.sort_unstable();
+        assert_eq!(logic.clocks_seen, sorted);
+    }
+
+    #[test]
+    fn straggler_makes_ssp_useful() {
+        // With a heterogeneous cluster, SSP should finish no later than
+        // BSP (fast workers are not barriered every tick).
+        let mut spec = ClusterSpec::uniform(4, NodeSpec::standard(), NetworkSpec::gbps1());
+        spec.straggler = StragglerModel::LogNormal { sigma: 0.8 };
+        let cost = CostModel::new(spec);
+
+        let run = |consistency| {
+            let mut engine = PsEngine::new(&cost, cfg(consistency, 10));
+            let mut logic = ConstDelta { dim: 8, calls: Vec::new() };
+            let (_, stats) = engine.run(DenseVector::zeros(8), &mut logic, |_, _, _| false);
+            stats.end_time.as_secs_f64()
+        };
+        let bsp = run(Consistency::Bsp);
+        let ssp = run(Consistency::Ssp { staleness: 3 });
+        assert!(ssp <= bsp * 1.01, "SSP {ssp}s should not exceed BSP {bsp}s");
+    }
+
+    #[test]
+    fn early_stop_halts_run() {
+        let cost = cost(2);
+        let mut engine = PsEngine::new(&cost, cfg(Consistency::Bsp, 100));
+        let mut logic = ConstDelta { dim: 4, calls: Vec::new() };
+        let (_, stats) = engine.run(DenseVector::zeros(4), &mut logic, |clock, _, _| clock >= 3);
+        assert!(stats.stopped_early);
+        assert!(stats.total_pushes < 200, "stopped long before 100 clocks");
+    }
+
+    #[test]
+    fn averaging_aggregation_is_applied() {
+        let cost = cost(2);
+        let cfg = PsConfig {
+            num_servers: 1,
+            consistency: Consistency::Bsp,
+            aggregation: Aggregation::Average { num_workers: 2 },
+            max_clocks: 1,
+            tick_overhead: SimDuration::from_millis(2),
+            seed: 1,
+        };
+        struct PushOnes;
+        impl WorkerLogic for PushOnes {
+            fn compute(&mut self, _w: usize, _c: u64, m: &DenseVector) -> WorkerStep {
+                WorkerStep {
+                    payload: DenseVector::filled(m.dim(), 1.0),
+                    payload_nnz: None,
+                    flops: 1e6,
+                    extra_overhead: SimDuration::ZERO,
+                    local_updates: 1,
+                }
+            }
+        }
+        let mut engine = PsEngine::new(&cost, cfg);
+        let (model, _) = engine.run(DenseVector::zeros(3), &mut PushOnes, |_, _, _| false);
+        // Two averaging pushes of all-ones from w=0: 1 − (1/2)² = 0.75.
+        assert!((model.get(0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gantt_records_pull_compute_push() {
+        let cost = cost(2);
+        let mut engine = PsEngine::new(&cost, cfg(Consistency::Bsp, 2));
+        let mut logic = ConstDelta { dim: 4, calls: Vec::new() };
+        engine.run(DenseVector::zeros(4), &mut logic, |_, _, _| false);
+        let g = engine.gantt();
+        for a in [Activity::PsPull, Activity::Compute, Activity::PsPush, Activity::ServerUpdate] {
+            assert!(
+                g.spans().iter().any(|s| s.activity == a),
+                "missing {a:?} span"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cost = cost(3);
+        let run = || {
+            let mut engine = PsEngine::new(&cost, cfg(Consistency::Ssp { staleness: 1 }, 4));
+            let mut logic = ConstDelta { dim: 4, calls: Vec::new() };
+            let (m, s) = engine.run(DenseVector::zeros(4), &mut logic, |_, _, _| false);
+            (m, s.end_time, logic.calls)
+        };
+        let (m1, t1, c1) = run();
+        let (m2, t2, c2) = run();
+        assert_eq!(m1.as_slice(), m2.as_slice());
+        assert_eq!(t1, t2);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_rejected() {
+        let cost = cost(1);
+        let bad = PsConfig { num_servers: 0, ..cfg(Consistency::Bsp, 1) };
+        let _ = PsEngine::new(&cost, bad);
+    }
+}

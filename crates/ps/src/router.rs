@@ -1,0 +1,114 @@
+//! Range partitioning of model coordinates across server shards.
+
+use std::ops::Range;
+
+use mlstar_linalg::partition_ranges;
+
+/// Maps model coordinates to server shards by contiguous ranges (the
+/// partitioning scheme of both Petuum and Angel for dense models).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyRouter {
+    ranges: Vec<Range<usize>>,
+}
+
+impl KeyRouter {
+    /// Splits `[0, dim)` across `num_shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards == 0`.
+    pub fn new(dim: usize, num_shards: usize) -> Self {
+        KeyRouter { ranges: partition_ranges(dim, num_shards) }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The coordinate range owned by `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn range(&self, shard: usize) -> Range<usize> {
+        self.ranges[shard].clone()
+    }
+
+    /// All ranges in shard order.
+    pub fn ranges(&self) -> &[Range<usize>] {
+        &self.ranges
+    }
+
+    /// The shard owning coordinate `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is outside `[0, dim)`.
+    pub fn shard_of(&self, key: usize) -> usize {
+        // Ranges are contiguous and sorted; binary search on start.
+        match self.ranges.binary_search_by(|r| {
+            if key < r.start {
+                std::cmp::Ordering::Greater
+            } else if key >= r.end {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) {
+            Ok(s) => s,
+            Err(_) => panic!("key {key} outside routed dimension"),
+        }
+    }
+
+    /// The size of the largest shard in coordinates (what the slowest pull
+    /// link carries).
+    pub fn max_shard_len(&self) -> usize {
+        self.ranges.iter().map(Range::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_every_key_to_its_range() {
+        let r = KeyRouter::new(10, 3);
+        assert_eq!(r.num_shards(), 3);
+        for key in 0..10 {
+            let s = r.shard_of(key);
+            assert!(r.range(s).contains(&key), "key {key} → shard {s}");
+        }
+    }
+
+    #[test]
+    fn shards_partition_the_space() {
+        let r = KeyRouter::new(100, 7);
+        let total: usize = r.ranges().iter().map(Range::len).sum();
+        assert_eq!(total, 100);
+        assert_eq!(r.ranges()[0].start, 0);
+        assert_eq!(r.ranges().last().unwrap().end, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside routed dimension")]
+    fn out_of_range_key_panics() {
+        KeyRouter::new(10, 2).shard_of(10);
+    }
+
+    #[test]
+    fn max_shard_len() {
+        assert_eq!(KeyRouter::new(10, 3).max_shard_len(), 4);
+        assert_eq!(KeyRouter::new(9, 3).max_shard_len(), 3);
+        assert_eq!(KeyRouter::new(0, 3).max_shard_len(), 0);
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let r = KeyRouter::new(5, 1);
+        assert_eq!(r.shard_of(0), 0);
+        assert_eq!(r.shard_of(4), 0);
+        assert_eq!(r.range(0), 0..5);
+    }
+}

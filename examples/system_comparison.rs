@@ -1,0 +1,58 @@
+//! Head-to-head system comparison via the `Comparison` API — the paper's
+//! evaluation protocol (common target = best objective + 0.01, speedups
+//! vs. a baseline) as three library calls.
+//!
+//! ```sh
+//! cargo run --release --example system_comparison
+//! ```
+
+use mllib_star::core::{Comparison, System, TrainConfig};
+use mllib_star::data::catalog;
+use mllib_star::glm::{LearningRate, Regularizer};
+use mllib_star::sim::ClusterSpec;
+
+fn main() {
+    let dataset = catalog::avazu_like().scaled_down(4).generate();
+    let cluster = ClusterSpec::cluster1();
+    println!(
+        "workload: avazu-like/4 ({} examples × {} features), 8 executors\n",
+        dataset.len(),
+        dataset.num_features()
+    );
+
+    let reg = Regularizer::None;
+    let mllib = TrainConfig {
+        reg,
+        lr: LearningRate::Constant(4.0),
+        batch_frac: 0.01,
+        max_rounds: 400,
+        eval_every: 10,
+        ..TrainConfig::default()
+    };
+    let sendmodel = TrainConfig {
+        reg,
+        lr: LearningRate::Constant(0.05),
+        max_rounds: 15,
+        ..TrainConfig::default()
+    };
+    let ps = TrainConfig {
+        reg,
+        lr: LearningRate::Constant(0.05),
+        batch_frac: 0.05,
+        max_rounds: 300,
+        eval_every: 20,
+        ..TrainConfig::default()
+    };
+
+    let (report, _outputs) = Comparison::new(&dataset, &cluster)
+        .add(System::Mllib, mllib) // first entry = speedup baseline
+        .add(System::MllibMa, sendmodel.clone())
+        .add(System::MllibStar, sendmodel)
+        .add(System::PetuumStar, ps)
+        .run();
+
+    print!("{report}");
+    if let Some(w) = report.winner() {
+        println!("\nwinner: {}", w.system);
+    }
+}

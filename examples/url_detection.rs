@@ -1,0 +1,67 @@
+//! Malicious-URL detection: the url workload from the paper — an
+//! *underdetermined* problem (more features than examples) where the
+//! paper's regularization contrast is starkest.
+//!
+//! Demonstrates the paper's grid-search tuning protocol via
+//! `mllib_star::core::GridSearch`, and how L2 regularization changes the
+//! optimum on underdetermined data.
+//!
+//! ```sh
+//! cargo run --release --example url_detection
+//! ```
+
+use mllib_star::core::{train_mllib_star, GridSearch, TrainConfig};
+use mllib_star::data::catalog;
+use mllib_star::glm::{Loss, Regularizer};
+use mllib_star::sim::ClusterSpec;
+
+fn main() {
+    let dataset = catalog::url_like().scaled_down(2).generate();
+    let stats = dataset.stats();
+    println!(
+        "URL dataset: {} URLs × {} features — {}",
+        stats.instances,
+        stats.features,
+        if stats.underdetermined { "underdetermined (d > n)" } else { "determined" }
+    );
+
+    let cluster = ClusterSpec::cluster1();
+
+    for reg in [Regularizer::None, Regularizer::L2 { lambda: 0.1 }] {
+        let base = TrainConfig {
+            loss: Loss::Hinge,
+            reg,
+            max_rounds: 15,
+            ..TrainConfig::default()
+        };
+        // The paper: "we tune the hyper-parameters by grid search".
+        let grid = GridSearch {
+            etas: vec![0.005, 0.02, 0.1],
+            batch_fracs: vec![1.0],
+            stalenesses: vec![0],
+        };
+        let result = grid.run(&base, 0.0, |cfg, _| train_mllib_star(&dataset, &cluster, cfg));
+        let out = &result.best_output;
+        println!(
+            "\n{}: best η = {} ({} combinations tried)",
+            reg.label(),
+            result.best_point.eta,
+            result.evaluated
+        );
+        println!(
+            "  objective {:.4} → {:.4} in {} rounds ({:.2}s simulated)",
+            out.trace.points.first().unwrap().objective,
+            out.trace.final_objective().unwrap(),
+            out.rounds_run,
+            out.trace.points.last().unwrap().time.as_secs_f64()
+        );
+        println!(
+            "  model norm ‖w‖₂ = {:.2}, nonzero weights: {}",
+            out.model.weights().norm2(),
+            out.model.weights().count_nonzero()
+        );
+    }
+
+    println!("\nNote how L2 shrinks the model on underdetermined data — the");
+    println!("mechanism behind the paper's Figure 4(c/d) contrast.");
+}

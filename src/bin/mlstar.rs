@@ -1,0 +1,304 @@
+//! `mlstar` — command-line interface to the MLlib\* reproduction.
+//!
+//! ```text
+//! mlstar generate --preset kdd12 --out data.libsvm [--scale 16]
+//! mlstar inspect  --data data.libsvm
+//! mlstar train    --data data.libsvm --system star [--reg-l2 0.1]
+//!                 [--eta 0.05] [--rounds 20] [--executors 8] [--seed 42]
+//!                 [--model-out model.bin]
+//! mlstar predict  --data data.libsvm --model model.bin
+//! mlstar help
+//! ```
+
+use std::process::ExitCode;
+
+use mllib_star::collectives::wire;
+use mllib_star::core::{System, TrainConfig};
+use mllib_star::data::{catalog, libsvm, SparseDataset};
+use mllib_star::glm::{accuracy, auc, GlmModel, LearningRate, Loss, Regularizer};
+use mllib_star::sim::{ClusterSpec, NetworkSpec, NodeSpec};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `mlstar help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parsed `--key value` options plus the leading subcommand.
+struct Options {
+    command: String,
+    pairs: Vec<(String, String)>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let command = args.first().cloned().ok_or("missing subcommand")?;
+        let mut pairs = Vec::new();
+        let mut i = 1;
+        while i < args.len() {
+            let key = &args[i];
+            if !key.starts_with("--") {
+                return Err(format!("expected --option, got {key:?}"));
+            }
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("missing value for {key}"))?;
+            pairs.push((key[2..].to_owned(), value.clone()));
+            i += 2;
+        }
+        Ok(Options { command, pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("--{key} is required"))
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: {v:?}")),
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    if args.is_empty() || args[0] == "help" || args[0] == "--help" {
+        print_help();
+        return Ok(());
+    }
+    let opts = Options::parse(args)?;
+    match opts.command.as_str() {
+        "generate" => cmd_generate(&opts),
+        "inspect" => cmd_inspect(&opts),
+        "train" => cmd_train(&opts),
+        "predict" => cmd_predict(&opts),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn print_help() {
+    println!("mlstar — train GLMs with the MLlib* systems on a simulated cluster");
+    println!();
+    println!("subcommands:");
+    println!("  generate --preset <avazu|url|kddb|kdd12|wx> --out <file> [--scale N]");
+    println!("  inspect  --data <file.libsvm>");
+    println!("  train    --data <file.libsvm> --system <mllib|ma|star|petuum|petuum_star|angel|lbfgs>");
+    println!("           [--reg-l2 λ] [--eta η] [--rounds N] [--executors K]");
+    println!("           [--batch-frac F] [--seed S] [--model-out <file.bin>]");
+    println!("  predict  --data <file.libsvm> --model <file.bin>");
+}
+
+fn load_dataset(opts: &Options) -> Result<SparseDataset, String> {
+    let path = opts.require("data")?;
+    libsvm::read_file(path, 0).map_err(|e| format!("loading {path}: {e}"))
+}
+
+fn cmd_generate(opts: &Options) -> Result<(), String> {
+    let preset_name = opts.require("preset")?;
+    let out = opts.require("out")?;
+    let scale: usize = opts.get_parsed("scale", 1)?;
+    let preset = match preset_name {
+        "avazu" => catalog::avazu_like(),
+        "url" => catalog::url_like(),
+        "kddb" => catalog::kddb_like(),
+        "kdd12" => catalog::kdd12_like(),
+        "wx" => catalog::wx_like(),
+        other => return Err(format!("unknown preset {other:?}")),
+    };
+    let ds = preset.scaled_down(scale).generate();
+    std::fs::write(out, libsvm::write_string(&ds)).map_err(|e| e.to_string())?;
+    let stats = ds.stats();
+    println!(
+        "wrote {out}: {} examples × {} features ({})",
+        stats.instances,
+        stats.features,
+        stats.size_human()
+    );
+    Ok(())
+}
+
+fn cmd_inspect(opts: &Options) -> Result<(), String> {
+    let ds = load_dataset(opts)?;
+    let s = ds.stats();
+    println!("instances:        {}", s.instances);
+    println!("features:         {}", s.features);
+    println!("total nonzeros:   {}", s.total_nnz);
+    println!("avg nnz/row:      {:.2}", s.avg_nnz);
+    println!("positive labels:  {:.1}%", s.positive_fraction * 100.0);
+    println!("in-memory size:   {}", s.size_human());
+    println!(
+        "shape:            {}",
+        if s.underdetermined { "underdetermined (d > n)" } else { "determined (n ≥ d)" }
+    );
+    Ok(())
+}
+
+fn parse_system(name: &str) -> Result<System, String> {
+    Ok(match name {
+        "mllib" => System::Mllib,
+        "ma" => System::MllibMa,
+        "star" => System::MllibStar,
+        "petuum" => System::Petuum,
+        "petuum_star" => System::PetuumStar,
+        "angel" => System::Angel,
+        "lbfgs" => System::SparkMl,
+        other => return Err(format!("unknown system {other:?}")),
+    })
+}
+
+fn cmd_train(opts: &Options) -> Result<(), String> {
+    let ds = load_dataset(opts)?;
+    let system = parse_system(opts.require("system")?)?;
+    let lambda: f64 = opts.get_parsed("reg-l2", 0.0)?;
+    let eta: f64 = opts.get_parsed("eta", 0.05)?;
+    let rounds: u64 = opts.get_parsed("rounds", 20)?;
+    let executors: usize = opts.get_parsed("executors", 8)?;
+    let batch_frac: f64 = opts.get_parsed("batch-frac", 0.01)?;
+    let seed: u64 = opts.get_parsed("seed", 42)?;
+    if executors == 0 {
+        return Err("--executors must be positive".into());
+    }
+
+    let cluster = ClusterSpec::uniform(executors, NodeSpec::standard(), NetworkSpec::gbps1());
+    let cfg = TrainConfig {
+        loss: Loss::Hinge,
+        reg: Regularizer::l2(lambda),
+        lr: LearningRate::Constant(eta),
+        batch_frac,
+        max_rounds: rounds,
+        seed,
+        ..TrainConfig::default()
+    };
+    println!(
+        "training {} on {} examples × {} features over {executors} simulated executors…",
+        system.name(),
+        ds.len(),
+        ds.num_features()
+    );
+    let out = system.train_default(&ds, &cluster, &cfg);
+    println!("\n step | sim time | objective");
+    for p in &out.trace.points {
+        println!("{:>5} | {:>8.3}s | {:.6}", p.step, p.time.as_secs_f64(), p.objective);
+    }
+    println!(
+        "\nfinal objective {:.6} | accuracy {:.2}% | AUC {:.4} | {} updates in {} steps",
+        out.trace.final_objective().unwrap_or(f64::NAN),
+        accuracy(out.model.weights(), ds.rows(), ds.labels()) * 100.0,
+        auc(out.model.weights(), ds.rows(), ds.labels()),
+        out.total_updates,
+        out.rounds_run
+    );
+    if let Some(path) = opts.get("model-out") {
+        let frame = wire::encode_dense(out.model.weights());
+        std::fs::write(path, &frame).map_err(|e| e.to_string())?;
+        println!("wrote model to {path} ({} bytes)", frame.len());
+    }
+    Ok(())
+}
+
+fn cmd_predict(opts: &Options) -> Result<(), String> {
+    let ds = load_dataset(opts)?;
+    let model_path = opts.require("model")?;
+    let raw = std::fs::read(model_path).map_err(|e| e.to_string())?;
+    let weights =
+        wire::decode_dense(&bytes_from(raw)).map_err(|e| format!("decoding {model_path}: {e}"))?;
+    if weights.dim() != ds.num_features() {
+        return Err(format!(
+            "model dimension {} does not match dataset features {}",
+            weights.dim(),
+            ds.num_features()
+        ));
+    }
+    let model = GlmModel::from_weights(weights);
+    println!("accuracy {:.2}%", accuracy(model.weights(), ds.rows(), ds.labels()) * 100.0);
+    println!("AUC      {:.4}", auc(model.weights(), ds.rows(), ds.labels()));
+    for (i, row) in ds.rows().iter().take(5).enumerate() {
+        println!("example {i}: margin {:+.4} → {:+.0}", model.margin(row), model.predict(row));
+    }
+    Ok(())
+}
+
+fn bytes_from(v: Vec<u8>) -> bytes::Bytes {
+    bytes::Bytes::from(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_options() {
+        let o = Options::parse(&args(&["train", "--data", "x.libsvm", "--eta", "0.1"])).unwrap();
+        assert_eq!(o.command, "train");
+        assert_eq!(o.get("data"), Some("x.libsvm"));
+        assert_eq!(o.get_parsed("eta", 0.0).unwrap(), 0.1);
+        assert_eq!(o.get_parsed("rounds", 7u64).unwrap(), 7);
+        assert!(o.require("missing").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_args() {
+        assert!(Options::parse(&args(&[])).is_err());
+        assert!(Options::parse(&args(&["train", "stray"])).is_err());
+        assert!(Options::parse(&args(&["train", "--key"])).is_err());
+        let o = Options::parse(&args(&["train", "--eta", "banana"])).unwrap();
+        assert!(o.get_parsed("eta", 0.0).is_err());
+    }
+
+    #[test]
+    fn parses_systems() {
+        assert_eq!(parse_system("star").unwrap(), System::MllibStar);
+        assert_eq!(parse_system("lbfgs").unwrap(), System::SparkMl);
+        assert!(parse_system("spark").is_err());
+    }
+
+    #[test]
+    fn end_to_end_generate_train_predict() {
+        let dir = std::env::temp_dir().join("mlstar_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("tiny.libsvm").to_string_lossy().into_owned();
+        let model = dir.join("model.bin").to_string_lossy().into_owned();
+
+        run(&args(&["generate", "--preset", "avazu", "--out", &data, "--scale", "256"]))
+            .expect("generate");
+        run(&args(&["inspect", "--data", &data])).expect("inspect");
+        run(&args(&[
+            "train", "--data", &data, "--system", "star", "--rounds", "3", "--executors", "4",
+            "--model-out", &model,
+        ]))
+        .expect("train");
+        run(&args(&["predict", "--data", &data, "--model", &model])).expect("predict");
+
+        std::fs::remove_file(&data).ok();
+        std::fs::remove_file(&model).ok();
+    }
+
+    #[test]
+    fn help_runs() {
+        run(&args(&["help"])).unwrap();
+        run(&[]).unwrap();
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(run(&args(&["frobnicate"])).is_err());
+        assert!(run(&args(&["generate", "--preset", "nope", "--out", "/tmp/x"])).is_err());
+    }
+}

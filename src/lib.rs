@@ -1,0 +1,29 @@
+//! # mllib-star
+//!
+//! A Rust reproduction of *MLlib\*: Fast Training of GLMs using Spark MLlib*
+//! (Zhang et al., ICDE 2019).
+//!
+//! This facade crate re-exports the public API of the workspace:
+//!
+//! * [`linalg`] — vector primitives (dense, sparse, lazily-scaled),
+//! * [`glm`] — losses, regularizers, objectives, sequential SGD/MGD,
+//! * [`data`] — datasets, LIBSVM I/O, synthetic generators, partitioners,
+//! * [`sim`] — the deterministic simulated-cluster substrate,
+//! * [`collectives`] — broadcast / treeAggregate / Reduce-Scatter /
+//!   AllGather / AllReduce over the simulated cluster,
+//! * [`ps`] — the parameter-server substrate (BSP/SSP/ASP),
+//! * [`core`] — the six distributed training systems (MLlib, MLlib+MA,
+//!   MLlib\*, Petuum, Petuum\*, Angel), traces, grid search and runners.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system
+//! inventory and the per-experiment index.
+
+#![forbid(unsafe_code)]
+
+pub use mlstar_collectives as collectives;
+pub use mlstar_core as core;
+pub use mlstar_data as data;
+pub use mlstar_glm as glm;
+pub use mlstar_linalg as linalg;
+pub use mlstar_ps as ps;
+pub use mlstar_sim as sim;
