@@ -10,7 +10,11 @@ use mlstar_sim::{
 };
 
 fn harness(k: usize) -> (CostModel, Vec<NodeId>, Vec<NodeId>) {
-    let cost = CostModel::new(ClusterSpec::uniform(k, NodeSpec::standard(), NetworkSpec::gbps1()));
+    let cost = CostModel::new(ClusterSpec::uniform(
+        k,
+        NodeSpec::standard(),
+        NetworkSpec::gbps1(),
+    ));
     let exec: Vec<NodeId> = (0..k).map(NodeId::Executor).collect();
     let mut all = vec![NodeId::Driver];
     all.extend(exec.iter().copied());
@@ -48,7 +52,13 @@ fn bench_tree_aggregate(c: &mut Criterion) {
             b.iter(|| {
                 let mut g = GanttRecorder::new();
                 let mut rb = RoundBuilder::new(&mut g, 0, SimTime::ZERO, &all);
-                std::hint::black_box(tree_aggregate(&mut rb, &cost, &vs, fanin, Activity::SendModel))
+                std::hint::black_box(tree_aggregate(
+                    &mut rb,
+                    &cost,
+                    &vs,
+                    fanin,
+                    Activity::SendModel,
+                ))
             })
         });
     }
@@ -66,5 +76,10 @@ fn bench_broadcast(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_allreduce, bench_tree_aggregate, bench_broadcast);
+criterion_group!(
+    benches,
+    bench_allreduce,
+    bench_tree_aggregate,
+    bench_broadcast
+);
 criterion_main!(benches);

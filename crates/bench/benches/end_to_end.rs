@@ -32,9 +32,11 @@ fn bench_systems(c: &mut Criterion) {
     let mut group = c.benchmark_group("train_5_rounds_2000x2000");
     group.sample_size(10);
     for system in System::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(system.name()), &system, |b, s| {
-            b.iter(|| std::hint::black_box(s.train_default(&ds, &cluster, &cfg)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(system.name()),
+            &system,
+            |b, s| b.iter(|| std::hint::black_box(s.train_default(&ds, &cluster, &cfg))),
+        );
     }
     group.finish();
 }

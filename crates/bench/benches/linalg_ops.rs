@@ -84,7 +84,9 @@ fn bench_scaled_vs_dense_shrink(c: &mut Criterion) {
 fn bench_average(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(4);
     let vs: Vec<DenseVector> = (0..8).map(|_| random_dense(&mut rng, 50_000)).collect();
-    c.bench_function("average_8x50k", |b| b.iter(|| std::hint::black_box(average(&vs))));
+    c.bench_function("average_8x50k", |b| {
+        b.iter(|| std::hint::black_box(average(&vs)))
+    });
 }
 
 criterion_group!(

@@ -37,7 +37,16 @@ fn bench_lazy_vs_eager_l2(c: &mut Criterion) {
         b.iter_batched(
             || ScaledVector::zeros(ds.num_features()),
             |mut w| {
-                sgd_epoch_lazy(Loss::Hinge, reg, &mut w, ds.rows(), ds.labels(), &order, lr, 0);
+                sgd_epoch_lazy(
+                    Loss::Hinge,
+                    reg,
+                    &mut w,
+                    ds.rows(),
+                    ds.labels(),
+                    &order,
+                    lr,
+                    0,
+                );
                 w
             },
             BatchSize::SmallInput,
@@ -47,7 +56,16 @@ fn bench_lazy_vs_eager_l2(c: &mut Criterion) {
         b.iter_batched(
             || DenseVector::zeros(ds.num_features()),
             |mut w| {
-                sgd_epoch_eager(Loss::Hinge, reg, &mut w, ds.rows(), ds.labels(), &order, lr, 0);
+                sgd_epoch_eager(
+                    Loss::Hinge,
+                    reg,
+                    &mut w,
+                    ds.rows(),
+                    ds.labels(),
+                    &order,
+                    lr,
+                    0,
+                );
                 w
             },
             BatchSize::SmallInput,
@@ -86,7 +104,15 @@ fn bench_batch_gradient(c: &mut Criterion) {
     let w = DenseVector::zeros(ds.num_features());
     let batch: Vec<usize> = (0..200).collect();
     c.bench_function("batch_gradient_200", |b| {
-        b.iter(|| std::hint::black_box(batch_gradient(Loss::Hinge, &w, ds.rows(), ds.labels(), &batch)))
+        b.iter(|| {
+            std::hint::black_box(batch_gradient(
+                Loss::Hinge,
+                &w,
+                ds.rows(),
+                ds.labels(),
+                &batch,
+            ))
+        })
     });
 }
 

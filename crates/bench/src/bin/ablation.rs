@@ -1,4 +1,8 @@
 //! Regenerates one paper exhibit; see `mlstar_bench::figures`.
 fn main() {
+    mlstar_bench::cli::exhibit_args(
+        "ablation",
+        "regenerates the lazy-vs-eager / fan-in ablation exhibit",
+    );
     mlstar_bench::figures::run_ablation();
 }

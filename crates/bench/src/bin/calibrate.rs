@@ -12,6 +12,17 @@ use mlstar_sim::ClusterSpec;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().skip(1).any(|a| a == "-h" || a == "--help") {
+        println!("calibrate: sweeps learning rates for one system on one preset");
+        println!();
+        println!("USAGE:");
+        println!("    cargo run --release -p mlstar-bench --bin calibrate [preset] [system] [reg]");
+        println!();
+        println!("    preset ∈ {{avazu, url, kddb, kdd12, wx}}   (default kdd12)");
+        println!("    system ∈ {{mllib, ma, star, petuum, petuum_star, angel}}   (default mllib)");
+        println!("    reg    ∈ {{none, l2}}   (default none)");
+        return;
+    }
     let preset_name = args.get(1).map(String::as_str).unwrap_or("kdd12");
     let system_name = args.get(2).map(String::as_str).unwrap_or("mllib");
     let reg = match args.get(3).map(String::as_str) {
@@ -35,7 +46,12 @@ fn main() {
     };
     let ds = preset.generate();
     let opt = reference_optimum(&ds, Loss::Hinge, reg, 25, 42);
-    println!("preset {} | system {} | {} | reference optimum {opt:.4}", preset.name, system.name(), reg.label());
+    println!(
+        "preset {} | system {} | {} | reference optimum {opt:.4}",
+        preset.name,
+        system.name(),
+        reg.label()
+    );
     let cluster = ClusterSpec::cluster1();
     let (rounds, eval_every, batch_frac) = match system {
         System::Mllib => (6000, 50, 0.01),
@@ -63,7 +79,9 @@ fn main() {
         println!(
             "eta {eta:>6}: best {best:.4} | to {target:.3}: steps {:?} time {:?}",
             out.trace.steps_to_reach(opt + 0.01),
-            out.trace.time_to_reach(opt + 0.01).map(|t| format!("{t:.1}s")),
+            out.trace
+                .time_to_reach(opt + 0.01)
+                .map(|t| format!("{t:.1}s")),
         );
     }
 }

@@ -1,4 +1,8 @@
 //! Regenerates one paper exhibit; see `mlstar_bench::figures`.
 fn main() {
+    mlstar_bench::cli::exhibit_args(
+        "fig1_workloads",
+        "regenerates Figure 1 (workload characteristics)",
+    );
     mlstar_bench::figures::run_fig1();
 }

@@ -1,4 +1,8 @@
 //! Regenerates one paper exhibit; see `mlstar_bench::figures`.
 fn main() {
+    mlstar_bench::cli::exhibit_args(
+        "fig3_gantt",
+        "regenerates Figure 3 (per-round Gantt timelines)",
+    );
     mlstar_bench::figures::run_fig3();
 }

@@ -1,4 +1,8 @@
 //! Regenerates one paper exhibit; see `mlstar_bench::figures`.
 fn main() {
+    mlstar_bench::cli::exhibit_args(
+        "fig4_mllib_vs_star",
+        "regenerates Figure 4 (MLlib vs MLlib* convergence)",
+    );
     mlstar_bench::figures::run_fig4();
 }

@@ -1,4 +1,8 @@
 //! Regenerates one paper exhibit; see `mlstar_bench::figures`.
 fn main() {
+    mlstar_bench::cli::exhibit_args(
+        "fig5_vs_ps",
+        "regenerates Figure 5 (MLlib* vs parameter servers)",
+    );
     mlstar_bench::figures::run_fig5();
 }

@@ -1,4 +1,8 @@
 //! Regenerates one paper exhibit; see `mlstar_bench::figures`.
 fn main() {
+    mlstar_bench::cli::exhibit_args(
+        "fig6_scalability",
+        "regenerates Figure 6 (scalability with cluster size)",
+    );
     mlstar_bench::figures::run_fig6();
 }

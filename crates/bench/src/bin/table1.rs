@@ -1,4 +1,8 @@
 //! Regenerates one paper exhibit; see `mlstar_bench::figures`.
 fn main() {
+    mlstar_bench::cli::exhibit_args(
+        "table1",
+        "regenerates Table I (systems × workloads summary)",
+    );
     mlstar_bench::figures::run_table1();
 }

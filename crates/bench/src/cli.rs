@@ -1,0 +1,41 @@
+//! Shared command-line handling for the exhibit binaries.
+
+/// Handles the stub-bin command line: `-h`/`--help` prints a usage line
+/// and exits 0, any other argument is rejected with exit 2, no arguments
+/// falls through to the exhibit itself.
+///
+/// `bin` is the binary name and `what` a one-line description of the
+/// exhibit it regenerates.
+pub fn exhibit_args(bin: &str, what: &str) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return;
+    }
+    if args.iter().any(|a| a == "-h" || a == "--help") {
+        println!("{bin}: {what}");
+        println!();
+        println!("USAGE:");
+        println!("    cargo run --release -p mlstar-bench --bin {bin}");
+        println!();
+        println!("Takes no arguments. Writes CSV artifacts to bench_results/");
+        println!("(override with MLSTAR_OUT) and prints the exhibit to stdout.");
+        std::process::exit(0);
+    }
+    eprintln!("{bin}: unexpected arguments {args:?} (this exhibit takes none; see --help)");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_args_falls_through() {
+        // In the test harness argv has no exhibit arguments, but the
+        // harness's own flags must not trip the parser, so call the inner
+        // logic the way the binaries do only when argv is clean.
+        if std::env::args().len() == 1 {
+            exhibit_args("demo", "does nothing");
+        }
+    }
+}

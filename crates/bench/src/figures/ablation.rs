@@ -10,16 +10,16 @@
 //! 5. **Grid search** — the paper's tuning protocol, run live.
 
 use mlstar_core::{
-    reference_optimum, train_mllib, train_mllib_star, train_petuum,
-    train_petuum_star, GridSearch, PsSystemConfig, TrainConfig,
+    reference_optimum, train_mllib, train_mllib_star, train_petuum, train_petuum_star, GridSearch,
+    PsSystemConfig, TrainConfig,
 };
 use mlstar_data::catalog;
 use mlstar_glm::{LearningRate, Loss, Regularizer};
 use mlstar_sim::ClusterSpec;
 
 use crate::figures::tuning::{quick_mode, tune_system};
-use mlstar_core::System;
 use crate::report::{banner, fmt_opt, write_artifact, Table};
+use mlstar_core::System;
 
 /// Runs all five ablations.
 pub fn run_ablation() {
@@ -27,7 +27,13 @@ pub fn run_ablation() {
     let cluster = ClusterSpec::cluster1();
     let reg = Regularizer::None;
     let seed = 42;
-    let opt = reference_optimum(&ds, Loss::Hinge, reg, if quick_mode() { 5 } else { 25 }, seed);
+    let opt = reference_optimum(
+        &ds,
+        Loss::Hinge,
+        reg,
+        if quick_mode() { 5 } else { 25 },
+        seed,
+    );
 
     technique_isolation(&ds, &cluster, reg, seed, opt);
     fanin_sweep(&ds, &cluster, reg, seed);
@@ -59,7 +65,12 @@ fn technique_isolation(
         .filter_map(|o| o.trace.best_objective())
         .fold(opt, f64::min);
     let target = best + 0.01;
-    let mut table = Table::new(&["system", "steps to target", "time to target", "updates/step"]);
+    let mut table = Table::new(&[
+        "system",
+        "steps to target",
+        "time to target",
+        "updates/step",
+    ]);
     let mut csv = String::from("system,steps,time_s,updates_per_step\n");
     for o in [&mllib, &ma, &star] {
         let steps = o.trace.steps_to_reach(target);
@@ -130,7 +141,11 @@ fn staleness_sweep(ds: &mlstar_data::SparseDataset, reg: Regularizer, seed: u64,
         ds,
         &cluster,
         &base_cfg,
-        &PsSystemConfig { staleness: 0, num_servers: 2, ..PsSystemConfig::default() },
+        &PsSystemConfig {
+            staleness: 0,
+            num_servers: 2,
+            ..PsSystemConfig::default()
+        },
     );
     let target = probe.trace.best_objective().unwrap_or(opt).min(opt) + 0.01;
     // u64::MAX staleness is effectively ASP (the bound never binds).
@@ -139,11 +154,19 @@ fn staleness_sweep(ds: &mlstar_data::SparseDataset, reg: Regularizer, seed: u64,
             ds,
             &cluster,
             &base_cfg,
-            &PsSystemConfig { staleness, num_servers: 2, ..PsSystemConfig::default() },
+            &PsSystemConfig {
+                staleness,
+                num_servers: 2,
+                ..PsSystemConfig::default()
+            },
         );
         let t = out.trace.time_to_reach(target);
         let f = out.trace.final_objective().unwrap_or(f64::NAN);
-        let label = if staleness == u64::MAX { "ASP".to_owned() } else { staleness.to_string() };
+        let label = if staleness == u64::MAX {
+            "ASP".to_owned()
+        } else {
+            staleness.to_string()
+        };
         table.row(&[label, fmt_opt(t, "s"), format!("{f:.4}")]);
         csv.push_str(&format!("{staleness},{},{f:.6}\n", t.map_or(-1.0, |x| x)));
     }
@@ -162,7 +185,11 @@ fn aggregation_schemes(
     let mut table = Table::new(&["learning rate", "summation final f", "averaging final f"]);
     let mut csv = String::from("eta,summation_final,averaging_final\n");
     let base_cfg = petuum_base(reg, seed);
-    let ps = PsSystemConfig { num_servers: 2, staleness: 2, ..PsSystemConfig::default() };
+    let ps = PsSystemConfig {
+        num_servers: 2,
+        staleness: 2,
+        ..PsSystemConfig::default()
+    };
     let rounds = if quick_mode() { 20 } else { 200 };
     for eta in [0.002, 0.01, 0.05, 0.25] {
         let cfg = TrainConfig {
@@ -203,16 +230,21 @@ fn grid_search_demo(
         batch_fracs: vec![1.0],
         stalenesses: vec![0],
     };
-    let result = grid.run(&base, opt + 0.01, |cfg, _point| train_mllib_star(ds, cluster, cfg));
+    let result = grid.run(&base, opt + 0.01, |cfg, _point| {
+        train_mllib_star(ds, cluster, cfg)
+    });
     println!(
         "evaluated {} combinations; winner: η={}, batch_frac={} → final f = {:.4}",
         result.evaluated,
         result.best_point.eta,
         result.best_point.batch_frac,
-        result.best_output.trace.final_objective().unwrap_or(f64::NAN)
+        result
+            .best_output
+            .trace
+            .final_objective()
+            .unwrap_or(f64::NAN)
     );
 }
-
 
 /// The Petuum-family base schedule used by the staleness/aggregation
 /// ablations.
@@ -227,7 +259,6 @@ fn petuum_base(reg: Regularizer, seed: u64) -> TrainConfig {
         ..TrainConfig::default()
     }
 }
-
 
 /// Ablation 6 — Angel's small-batch weakness (Section V-B2 of the paper):
 /// per-batch allocation/GC overhead makes small batches disproportionately
@@ -259,7 +290,11 @@ fn angel_batch_sweep(
             ..Default::default()
         };
         let out = mlstar_core::train_angel(ds, cluster, &cfg, &angel);
-        let t = out.trace.points.last().map_or(f64::NAN, |p| p.time.as_secs_f64());
+        let t = out
+            .trace
+            .points
+            .last()
+            .map_or(f64::NAN, |p| p.time.as_secs_f64());
         let f = out.trace.final_objective().unwrap_or(f64::NAN);
         table.row(&[format!("{frac}"), format!("{t:.2}s"), format!("{f:.4}")]);
         csv.push_str(&format!("{frac},{t:.4},{f:.6}\n"));
@@ -297,7 +332,10 @@ fn weighted_averaging(
         let weighted = train_mllib_star(
             ds,
             cluster,
-            &TrainConfig { ma_weighting: mlstar_core::MaWeighting::PartitionSize, ..base },
+            &TrainConfig {
+                ma_weighting: mlstar_core::MaWeighting::PartitionSize,
+                ..base
+            },
         );
         let fu = uniform.trace.final_objective().unwrap_or(f64::NAN);
         let fw = weighted.trace.final_objective().unwrap_or(f64::NAN);
@@ -334,7 +372,12 @@ fn second_order(ds: &mlstar_data::SparseDataset, cluster: &ClusterSpec, seed: u6
         .unwrap_or(f64::INFINITY)
         .min(lbfgs.trace.best_objective().unwrap_or(f64::INFINITY));
     let target = best + 0.01;
-    let mut table = Table::new(&["system", "outer steps to target", "time to target", "final f"]);
+    let mut table = Table::new(&[
+        "system",
+        "outer steps to target",
+        "time to target",
+        "final f",
+    ]);
     let mut csv = String::from("system,steps,time_s,final_objective\n");
     for o in [&star, &lbfgs] {
         let steps = o.trace.steps_to_reach(target);
@@ -359,7 +402,6 @@ fn second_order(ds: &mlstar_data::SparseDataset, cluster: &ClusterSpec, seed: u6
     write_artifact("ablation_second_order.csv", &csv);
 }
 
-
 /// Ablation 9 — direct-shuffle AllReduce (MLlib*'s implementation on
 /// Spark's shuffle) vs ring AllReduce (Thakur et al., the paper's [16]):
 /// identical traffic, different latency/fan-out trade-off.
@@ -382,8 +424,7 @@ fn allreduce_algorithms() {
             mlstar_sim::ClusterSpec::uniform(k, NodeSpec::standard(), NetworkSpec::gbps1());
         spec.network.latency = SimDuration::from_millis(latency_ms);
         let cost = CostModel::new(spec);
-        let nodes: Vec<mlstar_sim::NodeId> =
-            (0..k).map(mlstar_sim::NodeId::Executor).collect();
+        let nodes: Vec<mlstar_sim::NodeId> = (0..k).map(mlstar_sim::NodeId::Executor).collect();
         let vs: Vec<DenseVector> = (0..k).map(|_| DenseVector::zeros(dim)).collect();
         let run = |ring: bool| {
             let mut g = GanttRecorder::new();
@@ -410,7 +451,6 @@ fn allreduce_algorithms() {
     println!("(same 2(k−1)m traffic; the ring pays 2(k−1) latency terms)");
     write_artifact("ablation_allreduce_algo.csv", &csv);
 }
-
 
 /// Ablation 10 — tasks per executor ("waves"). The paper (Section V-C):
 /// "We tuned the number of tasks per executor, and the result turns out
@@ -443,7 +483,6 @@ fn waves_sweep(ds: &mlstar_data::SparseDataset, seed: u64) {
     write_artifact("ablation_waves.csv", &csv);
 }
 
-
 /// Ablation 11 — sparse PS messaging: pulls fetch only the partition's
 /// active coordinates, pushes ship only touched coordinates (what real
 /// Petuum/Angel do for high-dimensional sparse models). Measured on the
@@ -471,10 +510,18 @@ fn sparse_messaging(seed: u64) {
             sparse_messages: sparse,
         };
         let out = train_petuum(&ds, &cluster, &cfg, &ps);
-        let t = out.trace.points.last().map_or(f64::NAN, |p| p.time.as_secs_f64());
+        let t = out
+            .trace
+            .points
+            .last()
+            .map_or(f64::NAN, |p| p.time.as_secs_f64());
         let f = out.trace.final_objective().unwrap_or(f64::NAN);
         table.row(&[
-            if sparse { "sparse".into() } else { "dense".to_owned() },
+            if sparse {
+                "sparse".into()
+            } else {
+                "dense".to_owned()
+            },
             format!("{t:.2}s"),
             format!("{f:.4}"),
         ]);
@@ -484,7 +531,6 @@ fn sparse_messaging(seed: u64) {
     println!("(identical math — only the wire volume changes)");
     write_artifact("ablation_sparse_messages.csv", &csv);
 }
-
 
 /// Ablation 12 — the simulated cost of Spark's fault tolerance: per-round
 /// task failures recovered via lineage re-execution (the feature the
@@ -510,7 +556,11 @@ fn failure_overhead(ds: &mlstar_data::SparseDataset, cluster: &ClusterSpec, seed
         let t = out.gantt.makespan().as_secs_f64();
         let base = *base_time.get_or_insert(t);
         let overhead = (t / base - 1.0) * 100.0;
-        table.row(&[format!("{prob}"), format!("{t:.2}s"), format!("{overhead:+.0}%")]);
+        table.row(&[
+            format!("{prob}"),
+            format!("{t:.2}s"),
+            format!("{overhead:+.0}%"),
+        ]);
         csv.push_str(&format!("{prob},{t:.4},{overhead:.2}\n"));
     }
     table.print();

@@ -17,7 +17,12 @@ pub fn run_fig1() {
     let report = analyze(&trace);
 
     let mut table = Table::new(&["system", "share (ours)", "share (paper)"]);
-    let paper = [("TensorFlow", 0.51), ("Angel", 0.24), ("XGBoost", 0.22), ("MLlib", 0.03)];
+    let paper = [
+        ("TensorFlow", 0.51),
+        ("Angel", 0.24),
+        ("XGBoost", 0.22),
+        ("MLlib", 0.03),
+    ];
     let mut csv = String::from("system,share,paper_share\n");
     for ((system, share), (pname, pshare)) in report.system_shares.iter().zip(paper.iter()) {
         assert_eq!(system.name(), *pname, "order mismatch");

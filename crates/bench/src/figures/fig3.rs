@@ -46,7 +46,10 @@ pub fn run_fig3() {
 
     let runs: Vec<(&str, TrainOutput)> = vec![
         ("MLlib", train_mllib(&ds, &cluster, &mllib_c)),
-        ("MLlib + model averaging", train_mllib_ma(&ds, &cluster, &ma_c)),
+        (
+            "MLlib + model averaging",
+            train_mllib_ma(&ds, &cluster, &ma_c),
+        ),
         ("MLlib*", train_mllib_star(&ds, &cluster, &star_c)),
     ];
 

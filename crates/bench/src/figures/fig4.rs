@@ -74,7 +74,10 @@ pub fn run_fig4() {
             ]);
 
             println!("({}, {})", preset.name, reg.label());
-            print!("{}", ascii_convergence(&[&mllib.trace, &star.trace], 72, 12));
+            print!(
+                "{}",
+                ascii_convergence(&[&mllib.trace, &star.trace], 72, 12)
+            );
             println!();
             all_csv.push(mllib.trace);
             all_csv.push(star.trace);

@@ -24,14 +24,7 @@ pub fn run_fig5() {
     let seed = 42;
     let ref_epochs = if quick_mode() { 5 } else { 25 };
     let mut table = Table::new(&[
-        "dataset",
-        "reg",
-        "target f",
-        "MLlib",
-        "Angel",
-        "Petuum*",
-        "MLlib*",
-        "winner",
+        "dataset", "reg", "target f", "MLlib", "Angel", "Petuum*", "MLlib*", "winner",
     ]);
     let mut all_traces: Vec<ConvergenceTrace> = Vec::new();
 
@@ -60,7 +53,7 @@ pub fn run_fig5() {
                 .iter()
                 .zip(times.iter())
                 .filter_map(|(o, t)| t.map(|t| (o.trace.system.clone(), t)))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
                 .map_or("—".to_owned(), |(name, _)| name);
 
             table.row(&[

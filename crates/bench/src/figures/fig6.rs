@@ -34,8 +34,18 @@ pub fn run_fig6() {
     let reg = Regularizer::None;
     let seed = 42;
     let scale = if quick_mode() { 50.0 } else { WX_DATA_SCALE };
-    let opt = reference_optimum(&ds, Loss::Hinge, reg, if quick_mode() { 5 } else { 15 }, seed);
-    let machine_counts: &[usize] = if quick_mode() { &[8, 16] } else { &[32, 64, 128] };
+    let opt = reference_optimum(
+        &ds,
+        Loss::Hinge,
+        reg,
+        if quick_mode() { 5 } else { 15 },
+        seed,
+    );
+    let machine_counts: &[usize] = if quick_mode() {
+        &[8, 16]
+    } else {
+        &[32, 64, 128]
+    };
     let systems = [System::Mllib, System::MllibStar, System::Angel];
 
     struct Cell {
@@ -94,16 +104,15 @@ pub fn run_fig6() {
         let base = results
             .iter()
             .find(|c| c.system == system.name() && c.k == machine_counts[0])
-            .expect("base cell exists");
+            .expect("base cell exists"); // lint:allow(panic_in_lib): the sweep fills every (system, k) cell
         let base_metric = base.time_to_target.unwrap_or(base.secs_per_step);
         for &k in machine_counts {
             let cell = results
                 .iter()
                 .find(|c| c.system == system.name() && c.k == k)
-                .expect("cell exists");
+                .expect("cell exists"); // lint:allow(panic_in_lib): the sweep fills every (system, k) cell
             let metric = cell.time_to_target.unwrap_or(cell.secs_per_step);
-            let comparable =
-                cell.time_to_target.is_some() == base.time_to_target.is_some();
+            let comparable = cell.time_to_target.is_some() == base.time_to_target.is_some();
             let speedup = if comparable && metric > 0.0 {
                 format!("{:.2}×", base_metric / metric)
             } else {

@@ -16,4 +16,6 @@ pub use fig4::run_fig4;
 pub use fig5::run_fig5;
 pub use fig6::run_fig6;
 pub use table1::run_table1;
-pub use tuning::{paper_scale_cluster, quick_mode, scale_for_quick, tune_system, tune_system_scaled};
+pub use tuning::{
+    paper_scale_cluster, quick_mode, scale_for_quick, tune_system, tune_system_scaled,
+};

@@ -37,7 +37,11 @@ pub fn run_table1() {
             s.features.to_string(),
             s.size_human(),
             format!("{:.1}", s.avg_nnz),
-            if s.underdetermined { "underdetermined".into() } else { "determined".into() },
+            if s.underdetermined {
+                "underdetermined".into()
+            } else {
+                "determined".into()
+            },
         ]);
         csv.push_str(&format!(
             "{},{},{},{},{},{},{},{:.2},{}\n",

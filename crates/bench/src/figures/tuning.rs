@@ -66,7 +66,9 @@ pub(crate) fn system_schedule(system: System, k: usize) -> (u64, u64, f64, Vec<f
             (budget(rounds), 1, 1.0, vec![0.005, 0.02, 0.1, 0.5])
         }
         // Per-batch clocks.
-        System::Petuum | System::PetuumStar => (budget(1200), 20, 0.05, vec![0.005, 0.02, 0.1, 0.5]),
+        System::Petuum | System::PetuumStar => {
+            (budget(1200), 20, 0.05, vec![0.005, 0.02, 0.1, 0.5])
+        }
         // L-BFGS: few outer iterations; the learning-rate grid is
         // irrelevant (line search chooses steps), so a single entry.
         System::SparkMl => (budget(30), 1, 1.0, vec![1.0]),
@@ -78,7 +80,12 @@ pub(crate) fn system_schedule(system: System, k: usize) -> (u64, u64, f64, Vec<f
             let kf = k as f64;
             let batch_frac = if k > 16 { 0.05 } else { 0.01 };
             let epochs = if k > 16 { 240 } else { 120 };
-            (budget(epochs), 1, batch_frac, vec![0.024 / kf, 0.08 / kf, 0.24 / kf])
+            (
+                budget(epochs),
+                1,
+                batch_frac,
+                vec![0.024 / kf, 0.08 / kf, 0.24 / kf],
+            )
         }
     }
 }
@@ -112,7 +119,11 @@ pub fn tune_system_scaled(
     if data_scale > 1.0 && system == System::Mllib {
         max_rounds = max_rounds.min(1200);
     }
-    let ps = PsSystemConfig { num_servers: 2, staleness: 2, ..PsSystemConfig::default() };
+    let ps = PsSystemConfig {
+        num_servers: 2,
+        staleness: 2,
+        ..PsSystemConfig::default()
+    };
     let angel = AngelConfig {
         num_servers: 2,
         staleness: 1,
@@ -157,7 +168,7 @@ pub fn tune_system_scaled(
                 .partial_cmp(&score(b))
                 .unwrap_or(std::cmp::Ordering::Equal)
         })
-        .expect("grid was nonempty")
+        .expect("grid was nonempty") // lint:allow(panic_in_lib): tuning grids are compiled-in and nonempty
 }
 
 #[cfg(test)]
@@ -188,11 +199,12 @@ mod tests {
         let base = ClusterSpec::cluster1();
         let scaled = paper_scale_cluster(base.clone(), 100.0);
         assert!((scaled.executors[0].gflops - base.executors[0].gflops / 100.0).abs() < 1e-12);
-        assert!(
-            (scaled.network.bandwidth_bps - base.network.bandwidth_bps / 100.0).abs() < 1e-3
-        );
+        assert!((scaled.network.bandwidth_bps - base.network.bandwidth_bps / 100.0).abs() < 1e-3);
         // Overheads and latency are real constants — unchanged.
-        assert_eq!(scaled.executors[0].task_overhead, base.executors[0].task_overhead);
+        assert_eq!(
+            scaled.executors[0].task_overhead,
+            base.executors[0].task_overhead
+        );
         assert_eq!(scaled.network.latency, base.network.latency);
     }
 

@@ -10,6 +10,7 @@ use mlstar_core::ConvergenceTrace;
 pub fn out_dir() -> PathBuf {
     let dir = std::env::var("MLSTAR_OUT").unwrap_or_else(|_| "bench_results".to_owned());
     let path = PathBuf::from(dir);
+    // lint:allow(panic_in_lib): the bench harness aborts on I/O failure by design
     std::fs::create_dir_all(&path).expect("create bench output directory");
     path
 }
@@ -17,8 +18,9 @@ pub fn out_dir() -> PathBuf {
 /// Writes `content` to `<out_dir>/<name>` and returns the path.
 pub fn write_artifact(name: &str, content: &str) -> PathBuf {
     let path = out_dir().join(name);
+    // lint:allow(panic_in_lib): the bench harness aborts on I/O failure by design
     let mut f = std::fs::File::create(&path).expect("create artifact file");
-    f.write_all(content.as_bytes()).expect("write artifact");
+    f.write_all(content.as_bytes()).expect("write artifact"); // lint:allow(panic_in_lib): the bench harness aborts on I/O failure by design
     path
 }
 
@@ -38,7 +40,10 @@ pub struct Table {
 impl Table {
     /// A table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (padded/truncated to the header count).
@@ -66,7 +71,10 @@ impl Table {
         };
         let mut out = fmt_row(&self.headers);
         out.push('\n');
-        let sep: String = widths.iter().map(|w| format!("|{}", "-".repeat(w + 2))).collect();
+        let sep: String = widths
+            .iter()
+            .map(|w| format!("|{}", "-".repeat(w + 2)))
+            .collect();
         out.push_str(&format!("{sep}|\n"));
         for row in &self.rows {
             out.push_str(&fmt_row(row));
@@ -153,13 +161,16 @@ pub fn ascii_convergence(traces: &[&ConvergenceTrace], width: usize, height: usi
                 continue;
             }
             let secs = p.time.as_secs_f64().max(1e-3);
-            let x = ((secs.log10() - ltmin) / (ltmax - ltmin) * (width - 1) as f64).round() as usize;
+            let x =
+                ((secs.log10() - ltmin) / (ltmax - ltmin) * (width - 1) as f64).round() as usize;
             let y = ((fmax - p.objective) / (fmax - fmin) * (height - 1) as f64).round() as usize;
             grid[height - 1 - y.min(height - 1)][x.min(width - 1)] = code;
         }
     }
     let mut out = String::new();
-    out.push_str(&format!("objective {fmax:.3} (top) → {fmin:.3} (bottom); time {tmin:.2}s → {tmax:.1}s (log)\n"));
+    out.push_str(&format!(
+        "objective {fmax:.3} (top) → {fmin:.3} (bottom); time {tmin:.2}s → {tmax:.1}s (log)\n"
+    ));
     for row in grid {
         out.push('|');
         out.extend(row);

@@ -28,7 +28,11 @@ impl<'a> RoundBuilder<'a> {
     pub fn new(gantt: &'a mut GanttRecorder, round: u64, start: SimTime, nodes: &[NodeId]) -> Self {
         assert!(!nodes.is_empty(), "a round needs at least one node");
         let clocks = nodes.iter().map(|&n| (n, start)).collect();
-        RoundBuilder { gantt, round, clocks }
+        RoundBuilder {
+            gantt,
+            round,
+            clocks,
+        }
     }
 
     /// The local clock of `node`.
@@ -37,6 +41,7 @@ impl<'a> RoundBuilder<'a> {
     ///
     /// Panics if `node` is not part of this round.
     pub fn clock(&self, node: NodeId) -> SimTime {
+        // lint:allow(panic_in_lib): documented panic — membership is the API contract
         *self.clocks.get(&node).expect("node participates in round")
     }
 
@@ -47,9 +52,14 @@ impl<'a> RoundBuilder<'a> {
     ///
     /// Panics if `node` is not part of this round.
     pub fn work(&mut self, node: NodeId, activity: Activity, duration: SimDuration) {
-        let clock = self.clocks.get_mut(&node).expect("node participates in round");
+        let clock = self
+            .clocks
+            .get_mut(&node)
+            // lint:allow(panic_in_lib): documented panic — membership is the API contract
+            .expect("node participates in round");
         if duration > SimDuration::ZERO {
-            self.gantt.record(node, activity, *clock, *clock + duration, self.round);
+            self.gantt
+                .record(node, activity, *clock, *clock + duration, self.round);
         }
         *clock += duration;
     }
@@ -57,10 +67,11 @@ impl<'a> RoundBuilder<'a> {
     /// Aligns every node to the latest clock, recording `Wait` spans for
     /// the nodes that arrive early. Returns the barrier time.
     pub fn barrier(&mut self) -> SimTime {
-        let latest = self.clocks.values().copied().max().expect("nonempty");
+        let latest = self.clocks.values().copied().max().expect("nonempty"); // lint:allow(panic_in_lib): rounds are built from a nonempty node set
         for (&node, clock) in self.clocks.iter_mut() {
             if *clock < latest {
-                self.gantt.record(node, Activity::Wait, *clock, latest, self.round);
+                self.gantt
+                    .record(node, Activity::Wait, *clock, latest, self.round);
                 *clock = latest;
             }
         }

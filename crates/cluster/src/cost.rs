@@ -166,7 +166,11 @@ mod tests {
     use crate::SeedStream;
 
     fn model() -> CostModel {
-        CostModel::new(ClusterSpec::uniform(4, NodeSpec::standard(), NetworkSpec::gbps1()))
+        CostModel::new(ClusterSpec::uniform(
+            4,
+            NodeSpec::standard(),
+            NetworkSpec::gbps1(),
+        ))
     }
 
     #[test]

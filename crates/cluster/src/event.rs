@@ -43,7 +43,10 @@ impl<E> Ord for Entry<E> {
 
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 }
 
@@ -56,7 +59,11 @@ impl<E> EventQueue<E> {
     /// Schedules `event` at `time`. Events at equal times pop in insertion
     /// order.
     pub fn push(&mut self, time: SimTime, event: E) {
-        let entry = Entry { time, seq: self.seq, event };
+        let entry = Entry {
+            time,
+            seq: self.seq,
+            event,
+        };
         self.seq += 1;
         self.heap.push(Reverse(entry));
     }

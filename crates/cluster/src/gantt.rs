@@ -127,9 +127,22 @@ impl GanttRecorder {
     /// # Panics
     ///
     /// Panics if `end < start`.
-    pub fn record(&mut self, node: NodeId, activity: Activity, start: SimTime, end: SimTime, round: u64) {
+    pub fn record(
+        &mut self,
+        node: NodeId,
+        activity: Activity,
+        start: SimTime,
+        end: SimTime,
+        round: u64,
+    ) {
         assert!(end >= start, "span ends before it starts");
-        self.spans.push(Span { node, activity, start, end, round });
+        self.spans.push(Span {
+            node,
+            activity,
+            start,
+            end,
+            round,
+        });
     }
 
     /// All recorded spans in recording order.
@@ -139,7 +152,11 @@ impl GanttRecorder {
 
     /// Latest span end, i.e. the simulated makespan.
     pub fn makespan(&self) -> SimTime {
-        self.spans.iter().map(|s| s.end).max().unwrap_or(SimTime::ZERO)
+        self.spans
+            .iter()
+            .map(|s| s.end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Total busy (non-Wait) time of a node.
@@ -154,6 +171,7 @@ impl GanttRecorder {
     /// Utilization of a node in `[0, 1]` relative to the makespan.
     pub fn utilization(&self, node: NodeId) -> f64 {
         let total = self.makespan().as_secs_f64();
+        // lint:allow(float_eq): exact-zero guard against dividing by an empty makespan
         if total == 0.0 {
             0.0
         } else {
@@ -186,7 +204,8 @@ impl GanttRecorder {
                     continue;
                 }
                 let a = ((s.start.as_secs_f64() / horizon) * width as f64).floor() as usize;
-                let b = ((s.end.as_secs_f64().min(horizon) / horizon) * width as f64).ceil() as usize;
+                let b =
+                    ((s.end.as_secs_f64().min(horizon) / horizon) * width as f64).ceil() as usize;
                 for cell in row.iter_mut().take(b.min(width)).skip(a.min(width)) {
                     *cell = s.activity.code();
                 }

@@ -27,7 +27,9 @@ pub struct SeedStream {
 impl SeedStream {
     /// A stream rooted at an experiment seed.
     pub fn new(seed: u64) -> Self {
-        SeedStream { state: splitmix64(seed) }
+        SeedStream {
+            state: splitmix64(seed),
+        }
     }
 
     /// Derives a child stream for a named subsystem (hash of the tag mixed
@@ -45,7 +47,9 @@ impl SeedStream {
 
     /// Derives a child stream for an indexed entity (worker id, round).
     pub fn child_idx(&self, index: u64) -> SeedStream {
-        SeedStream { state: splitmix64(self.state ^ splitmix64(index)) }
+        SeedStream {
+            state: splitmix64(self.state ^ splitmix64(index)),
+        }
     }
 
     /// The current 64-bit seed value.
@@ -96,10 +100,7 @@ mod tests {
         assert_ne!(root.child_idx(0).seed(), root.child_idx(1).seed());
         assert_ne!(root.seed(), root.child("batch").seed());
         // Nested derivation differs from flat.
-        assert_ne!(
-            root.child("a").child("b").seed(),
-            root.child("ab").seed()
-        );
+        assert_ne!(root.child("a").child("b").seed(), root.child("ab").seed());
     }
 
     #[test]

@@ -19,7 +19,10 @@ pub struct NodeSpec {
 impl NodeSpec {
     /// A mid-range server node.
     pub fn standard() -> Self {
-        NodeSpec { gflops: 2.0, task_overhead: SimDuration::from_millis(80) }
+        NodeSpec {
+            gflops: 2.0,
+            task_overhead: SimDuration::from_millis(80),
+        }
     }
 }
 
@@ -35,12 +38,18 @@ pub struct NetworkSpec {
 impl NetworkSpec {
     /// 1 Gbps Ethernet (the paper's Cluster 1).
     pub fn gbps1() -> Self {
-        NetworkSpec { bandwidth_bps: 125e6, latency: SimDuration::from_millis(1) }
+        NetworkSpec {
+            bandwidth_bps: 125e6,
+            latency: SimDuration::from_millis(1),
+        }
     }
 
     /// 10 Gbps Ethernet (the paper's Cluster 2).
     pub fn gbps10() -> Self {
-        NetworkSpec { bandwidth_bps: 1.25e9, latency: SimDuration::from_millis(1) }
+        NetworkSpec {
+            bandwidth_bps: 1.25e9,
+            latency: SimDuration::from_millis(1),
+        }
     }
 }
 
@@ -145,7 +154,11 @@ mod tests {
         let b = ClusterSpec::cluster2(32, 7);
         assert_eq!(a, b);
         assert_eq!(a.num_executors(), 32);
-        let min = a.executors.iter().map(|e| e.gflops).fold(f64::INFINITY, f64::min);
+        let min = a
+            .executors
+            .iter()
+            .map(|e| e.gflops)
+            .fold(f64::INFINITY, f64::min);
         let max = a.executors.iter().map(|e| e.gflops).fold(0.0, f64::max);
         assert!(max > min * 1.2, "rates should vary: {min}..{max}");
         assert!(matches!(a.straggler, StragglerModel::LogNormal { .. }));

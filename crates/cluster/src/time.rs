@@ -5,11 +5,15 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// An instant in simulated time (nanoseconds since simulation start).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -148,7 +152,10 @@ mod tests {
     fn negative_and_nan_durations_clamp_to_zero() {
         assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(f64::NEG_INFINITY), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::NEG_INFINITY),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -181,7 +188,10 @@ mod tests {
     fn mul_scales() {
         let d = SimDuration::from_secs_f64(2.0).mul_f64(2.5);
         assert!((d.as_secs_f64() - 5.0).abs() < 1e-9);
-        assert_eq!(SimDuration::from_secs_f64(1.0).mul_f64(-3.0), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs_f64(1.0).mul_f64(-3.0),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

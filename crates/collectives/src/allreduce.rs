@@ -50,7 +50,11 @@ pub fn reduce_scatter_average(
             r,
             dense_op_flops(range.len()) * (k.saturating_sub(1)) as f64,
         );
-        rb.work(NodeId::Executor(r), Activity::ReduceScatter, send_recv + combine);
+        rb.work(
+            NodeId::Executor(r),
+            Activity::ReduceScatter,
+            send_recv + combine,
+        );
     }
     rb.barrier();
 
@@ -92,11 +96,7 @@ mod tests {
 
     fn locals(k: usize, dim: usize) -> Vec<DenseVector> {
         (0..k)
-            .map(|r| {
-                DenseVector::from_vec(
-                    (0..dim).map(|i| ((r + 1) * (i + 1)) as f64).collect(),
-                )
-            })
+            .map(|r| DenseVector::from_vec((0..dim).map(|i| ((r + 1) * (i + 1)) as f64).collect()))
             .collect()
     }
 
@@ -188,8 +188,7 @@ mod tests {
         let driver_time = {
             let (mut g, cost, nodes) = harness(k);
             let mut rb = RoundBuilder::new(&mut g, 0, SimTime::ZERO, &nodes);
-            let (_sum, _) =
-                crate::tree_aggregate(&mut rb, &cost, &vs, 2, Activity::SendModel);
+            let (_sum, _) = crate::tree_aggregate(&mut rb, &cost, &vs, 2, Activity::SendModel);
             crate::broadcast_model(&mut rb, &cost, dim);
             rb.finish().as_secs_f64()
         };

@@ -60,5 +60,5 @@ pub use allgather::all_gather;
 pub use allreduce::all_reduce_average;
 pub use broadcast::broadcast_model;
 pub use ring::ring_all_reduce_average;
-pub use size::{dense_bytes, sparse_bytes, partition_bytes};
+pub use size::{dense_bytes, partition_bytes, sparse_bytes};
 pub use tree::tree_aggregate;

@@ -50,8 +50,7 @@ pub fn ring_all_reduce_average(
     // during the reduce phase).
     let reduce_step = cost.transfer(part_bytes);
     for r in 0..k {
-        let combine =
-            cost.executor_inline_compute(r, dense_op_flops(max_part) * (k - 1) as f64);
+        let combine = cost.executor_inline_compute(r, dense_op_flops(max_part) * (k - 1) as f64);
         let mut total = combine;
         for _ in 0..(k - 1) {
             total += reduce_step;
@@ -77,9 +76,7 @@ pub fn ring_all_reduce_average(
 mod tests {
     use super::*;
     use mlstar_linalg::average;
-    use mlstar_sim::{
-        ClusterSpec, GanttRecorder, NetworkSpec, NodeSpec, SimDuration, SimTime,
-    };
+    use mlstar_sim::{ClusterSpec, GanttRecorder, NetworkSpec, NodeSpec, SimDuration, SimTime};
 
     fn harness(k: usize, latency_ms: u64) -> (GanttRecorder, CostModel, Vec<NodeId>) {
         let mut spec = ClusterSpec::uniform(k, NodeSpec::standard(), NetworkSpec::gbps1());

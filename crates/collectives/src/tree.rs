@@ -58,13 +58,16 @@ pub fn tree_aggregate(
         let prev = std::mem::take(&mut holders);
         let mut iter = prev.into_iter().peekable();
         while iter.peek().is_some() {
-            let group: Vec<(usize, Cow<'_, DenseVector>)> =
-                iter.by_ref().take(fanin).collect();
+            let group: Vec<(usize, Cow<'_, DenseVector>)> = iter.by_ref().take(fanin).collect();
             let agg_idx = group[0].0;
             let mut acc = group[0].1.clone().into_owned();
             let senders = &group[1..];
             for (sender_idx, v) in senders {
-                rb.work(NodeId::Executor(*sender_idx), send_activity, cost.transfer(bytes));
+                rb.work(
+                    NodeId::Executor(*sender_idx),
+                    send_activity,
+                    cost.transfer(bytes),
+                );
                 acc.axpy(1.0, v);
                 total_bytes += bytes;
             }
@@ -74,7 +77,11 @@ pub fn tree_aggregate(
                 let recv = cost.serialized_transfers(bytes, senders.len());
                 let combine = cost
                     .executor_inline_compute(agg_idx, dense_op_flops(dim) * senders.len() as f64);
-                rb.work(NodeId::Executor(agg_idx), Activity::TreeAggregate, recv + combine);
+                rb.work(
+                    NodeId::Executor(agg_idx),
+                    Activity::TreeAggregate,
+                    recv + combine,
+                );
             }
             holders.push((agg_idx, Cow::Owned(acc)));
         }
@@ -84,7 +91,11 @@ pub fn tree_aggregate(
     // Final level: remaining holders send to the driver.
     let mut result = DenseVector::zeros(dim);
     for (sender_idx, v) in &holders {
-        rb.work(NodeId::Executor(*sender_idx), send_activity, cost.transfer(bytes));
+        rb.work(
+            NodeId::Executor(*sender_idx),
+            send_activity,
+            cost.transfer(bytes),
+        );
         result.axpy(1.0, v);
         total_bytes += bytes;
     }
@@ -189,7 +200,10 @@ mod tests {
             .iter()
             .filter(|s| s.activity == Activity::TreeAggregate && s.node != NodeId::Driver)
             .count();
-        assert!(executor_aggs > 0, "fanin 2 must use intermediate aggregators");
+        assert!(
+            executor_aggs > 0,
+            "fanin 2 must use intermediate aggregators"
+        );
     }
 
     #[test]

@@ -47,7 +47,10 @@ impl std::fmt::Display for WireError {
             WireError::BadMagic(m) => write!(f, "bad wire magic {m:#010x}"),
             WireError::BadKind(k) => write!(f, "unknown payload kind {k}"),
             WireError::Truncated { expected, actual } => {
-                write!(f, "truncated frame: expected {expected} bytes, got {actual}")
+                write!(
+                    f,
+                    "truncated frame: expected {expected} bytes, got {actual}"
+                )
             }
             WireError::Invalid(e) => write!(f, "invalid payload: {e}"),
         }
@@ -118,7 +121,10 @@ pub fn decode_dense(frame: &Bytes) -> Result<DenseVector, WireError> {
     }
     let expected = encoded_dense_len(dim);
     if frame.len() != expected {
-        return Err(WireError::Truncated { expected, actual: frame.len() });
+        return Err(WireError::Truncated {
+            expected,
+            actual: frame.len(),
+        });
     }
     let mut values = Vec::with_capacity(dim);
     for _ in 0..dim {
@@ -135,7 +141,10 @@ pub fn decode_sparse(frame: &Bytes) -> Result<SparseVector, WireError> {
     }
     let expected = encoded_sparse_len(nnz);
     if frame.len() != expected {
-        return Err(WireError::Truncated { expected, actual: frame.len() });
+        return Err(WireError::Truncated {
+            expected,
+            actual: frame.len(),
+        });
     }
     let mut indices = Vec::with_capacity(nnz);
     for _ in 0..nnz {
@@ -152,7 +161,10 @@ pub fn decode_sparse(frame: &Bytes) -> Result<SparseVector, WireError> {
 /// `(kind, dim, aux, payload)`.
 fn decode_header(frame: &Bytes) -> Result<(u8, usize, usize, Bytes), WireError> {
     if frame.len() < HEADER_LEN {
-        return Err(WireError::Truncated { expected: HEADER_LEN, actual: frame.len() });
+        return Err(WireError::Truncated {
+            expected: HEADER_LEN,
+            actual: frame.len(),
+        });
     }
     let mut header = frame.slice(..HEADER_LEN);
     let magic = header.get_u32_le();
@@ -210,7 +222,10 @@ mod tests {
             Err(WireError::BadMagic(_))
         ));
         // Dense frame through the sparse decoder.
-        assert!(matches!(decode_sparse(&frame), Err(WireError::BadKind(KIND_DENSE))));
+        assert!(matches!(
+            decode_sparse(&frame),
+            Err(WireError::BadKind(KIND_DENSE))
+        ));
     }
 
     #[test]
@@ -218,9 +233,15 @@ mod tests {
         let v = DenseVector::zeros(8);
         let frame = encode_dense(&v);
         let short = frame.slice(..frame.len() - 4);
-        assert!(matches!(decode_dense(&short), Err(WireError::Truncated { .. })));
+        assert!(matches!(
+            decode_dense(&short),
+            Err(WireError::Truncated { .. })
+        ));
         let tiny = Bytes::from_static(&[1, 2, 3]);
-        assert!(matches!(decode_dense(&tiny), Err(WireError::Truncated { .. })));
+        assert!(matches!(
+            decode_dense(&tiny),
+            Err(WireError::Truncated { .. })
+        ));
     }
 
     #[test]
@@ -244,7 +265,10 @@ mod tests {
     fn error_messages_render() {
         let e = WireError::BadMagic(7);
         assert!(e.to_string().contains("magic"));
-        let e = WireError::Truncated { expected: 10, actual: 3 };
+        let e = WireError::Truncated {
+            expected: 10,
+            actual: 3,
+        };
         assert!(e.to_string().contains("10"));
         let e = WireError::BadKind(9);
         assert!(e.to_string().contains('9'));

@@ -2,8 +2,7 @@
 //! same average, and the wire encoding is consistent with the size model.
 
 use mlstar_collectives::{
-    all_reduce_average, broadcast_model, dense_bytes, ring_all_reduce_average, tree_aggregate,
-    wire,
+    all_reduce_average, broadcast_model, dense_bytes, ring_all_reduce_average, tree_aggregate, wire,
 };
 use mlstar_linalg::{average, DenseVector};
 use mlstar_sim::{
@@ -13,7 +12,11 @@ use mlstar_sim::{
 use proptest::prelude::*;
 
 fn harness(k: usize) -> (CostModel, Vec<NodeId>, Vec<NodeId>) {
-    let cost = CostModel::new(ClusterSpec::uniform(k, NodeSpec::standard(), NetworkSpec::gbps1()));
+    let cost = CostModel::new(ClusterSpec::uniform(
+        k,
+        NodeSpec::standard(),
+        NetworkSpec::gbps1(),
+    ));
     let exec: Vec<NodeId> = (0..k).map(NodeId::Executor).collect();
     let mut all = vec![NodeId::Driver];
     all.extend(exec.iter().copied());

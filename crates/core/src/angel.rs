@@ -95,8 +95,7 @@ impl WorkerLogic for AngelWorker<'_> {
             payload: delta,
             // Sparse gradient work for the whole pass plus a dense
             // gradient-apply per batch.
-            flops: pass_flops(self.part_nnz[worker])
-                + 2.0 * dense_op_flops(dim) * n_batches as f64,
+            flops: pass_flops(self.part_nnz[worker]) + 2.0 * dense_op_flops(dim) * n_batches as f64,
             // The modeled allocation/GC cost: one fresh gradient vector
             // per batch.
             extra_overhead: self.alloc_per_batch.mul_f64(n_batches as f64),
@@ -128,16 +127,17 @@ pub fn train_angel(
     let k = cluster.num_executors();
     let dim = ds.num_features();
     let seeds = SeedStream::new(cfg.seed);
-    let parts =
-        Partitioner::Shuffled { seed: seeds.child("partition").seed() }.partition(ds.len(), k);
+    let parts = Partitioner::Shuffled {
+        seed: seeds.child("partition").seed(),
+    }
+    .partition(ds.len(), k);
     let part_nnz: Vec<usize> = parts
         .iter()
         .map(|p| p.iter().map(|&i| ds.rows()[i].nnz()).sum())
         .collect();
     let part_active = partition_active_coords(ds, &parts);
     let updates = Rc::new(Cell::new(0u64));
-    let alloc_per_batch =
-        SimDuration::from_secs_f64((dim * 8) as f64 / angel.alloc_bandwidth_bps);
+    let alloc_per_batch = SimDuration::from_secs_f64((dim * 8) as f64 / angel.alloc_bandwidth_bps);
     let mut logic = AngelWorker {
         ds,
         parts,
@@ -165,7 +165,9 @@ pub fn train_angel(
             consistency: if angel.staleness == 0 {
                 Consistency::Bsp
             } else {
-                Consistency::Ssp { staleness: angel.staleness }
+                Consistency::Ssp {
+                    staleness: angel.staleness,
+                }
             },
             aggregation: Aggregation::Sum,
             max_clocks: cfg.max_rounds,
@@ -186,22 +188,23 @@ pub fn train_angel(
     let eval_every = cfg.eval_every.max(1);
     let trace_ref = &mut trace;
     let updates_ref = Rc::clone(&updates);
-    let (final_model, stats) = engine.run(DenseVector::zeros(dim), &mut logic, |clock, time, model| {
-        if clock % eval_every == 0 || clock == cfg.max_rounds {
-            let f = eval_objective(ds, cfg.loss, cfg.reg, model);
-            trace_ref.push(TracePoint {
-                step: clock,
-                time,
-                objective: f,
-                total_updates: updates_ref.get(),
-            });
-            if cfg.should_stop(f) {
-                converged = cfg.target_objective.is_some_and(|t| f <= t);
-                return true;
+    let (final_model, stats) =
+        engine.run(DenseVector::zeros(dim), &mut logic, |clock, time, model| {
+            if clock % eval_every == 0 || clock == cfg.max_rounds {
+                let f = eval_objective(ds, cfg.loss, cfg.reg, model);
+                trace_ref.push(TracePoint {
+                    step: clock,
+                    time,
+                    objective: f,
+                    total_updates: updates_ref.get(),
+                });
+                if cfg.should_stop(f) {
+                    converged = cfg.target_objective.is_some_and(|t| f <= t);
+                    return true;
+                }
             }
-        }
-        false
-    });
+            false
+        });
 
     TrainOutput {
         trace,
@@ -254,12 +257,18 @@ mod tests {
     #[test]
     fn one_clock_is_one_epoch_of_batches() {
         let ds = tiny_ds();
-        let cfg = TrainConfig { max_rounds: 4, ..quick_cfg() };
+        let cfg = TrainConfig {
+            max_rounds: 4,
+            ..quick_cfg()
+        };
         let out = train_angel(
             &ds,
             &ClusterSpec::cluster1(),
             &cfg,
-            &AngelConfig { staleness: 0, ..AngelConfig::default() },
+            &AngelConfig {
+                staleness: 0,
+                ..AngelConfig::default()
+            },
         );
         // 240 rows / 8 workers = 30 rows per worker; batch 20% of 30 = 6
         // rows → 5 batches per epoch per worker.
@@ -273,8 +282,15 @@ mod tests {
         // slower in simulated time even though the math work is the same.
         let ds = tiny_ds();
         let run = |frac: f64, alloc_bps: f64| {
-            let cfg = TrainConfig { batch_frac: frac, max_rounds: 3, ..quick_cfg() };
-            let angel = AngelConfig { alloc_bandwidth_bps: alloc_bps, ..AngelConfig::default() };
+            let cfg = TrainConfig {
+                batch_frac: frac,
+                max_rounds: 3,
+                ..quick_cfg()
+            };
+            let angel = AngelConfig {
+                alloc_bandwidth_bps: alloc_bps,
+                ..AngelConfig::default()
+            };
             let out = train_angel(&ds, &ClusterSpec::cluster1(), &cfg, &angel);
             out.trace.points.last().unwrap().time.as_secs_f64()
         };
@@ -296,7 +312,12 @@ mod tests {
             &quick_cfg(),
             &AngelConfig::default(),
         );
-        let times: Vec<f64> = out.trace.points.iter().map(|p| p.time.as_secs_f64()).collect();
+        let times: Vec<f64> = out
+            .trace
+            .points
+            .iter()
+            .map(|p| p.time.as_secs_f64())
+            .collect();
         for pair in times.windows(2) {
             assert!(pair[1] > pair[0], "time must advance: {times:?}");
         }
@@ -305,7 +326,10 @@ mod tests {
     #[test]
     fn deterministic() {
         let ds = tiny_ds();
-        let cfg = TrainConfig { max_rounds: 3, ..quick_cfg() };
+        let cfg = TrainConfig {
+            max_rounds: 3,
+            ..quick_cfg()
+        };
         let a = train_angel(&ds, &ClusterSpec::cluster1(), &cfg, &AngelConfig::default());
         let b = train_angel(&ds, &ClusterSpec::cluster1(), &cfg, &AngelConfig::default());
         assert_eq!(a.trace, b.trace);

@@ -39,7 +39,10 @@ impl BspHarness {
         let k = cluster.num_executors();
         let part_seed = SeedStream::new(seed).child("partition").seed();
         let partitioner = match skew {
-            Some(hot_fraction) => Partitioner::SkewedShuffled { seed: part_seed, hot_fraction },
+            Some(hot_fraction) => Partitioner::SkewedShuffled {
+                seed: part_seed,
+                hot_fraction,
+            },
             None => Partitioner::Shuffled { seed: part_seed },
         };
         let parts = partitioner.partition(ds.len(), k);
@@ -88,7 +91,8 @@ pub(crate) fn maybe_inject_failure<R: rand::Rng>(
     rb.work(
         mlstar_sim::NodeId::Executor(victim),
         mlstar_sim::Activity::Compute,
-        h.cost.executor_waves(victim, flops_of(victim), waves, straggler_rng),
+        h.cost
+            .executor_waves(victim, flops_of(victim), waves, straggler_rng),
     );
     rb.barrier();
     Some(victim)
@@ -162,8 +166,14 @@ mod tests {
     fn active_coords_counts_distinct_features() {
         use mlstar_linalg::SparseVector;
         let mut ds = SparseDataset::empty(6);
-        ds.push(SparseVector::from_pairs(6, &[(0, 1.0), (2, 1.0)]).unwrap(), 1.0);
-        ds.push(SparseVector::from_pairs(6, &[(2, 1.0), (3, 1.0)]).unwrap(), -1.0);
+        ds.push(
+            SparseVector::from_pairs(6, &[(0, 1.0), (2, 1.0)]).unwrap(),
+            1.0,
+        );
+        ds.push(
+            SparseVector::from_pairs(6, &[(2, 1.0), (3, 1.0)]).unwrap(),
+            -1.0,
+        );
         ds.push(SparseVector::from_pairs(6, &[(5, 1.0)]).unwrap(), 1.0);
         let parts = vec![vec![0, 1], vec![2], vec![]];
         let active = partition_active_coords(&ds, &parts);

@@ -58,7 +58,12 @@ pub struct ComparisonReport {
 impl<'a> Comparison<'a> {
     /// Starts a comparison on a workload with the paper's 0.01 threshold.
     pub fn new(ds: &'a SparseDataset, cluster: &'a ClusterSpec) -> Self {
-        Comparison { ds, cluster, threshold: 0.01, entries: Vec::new() }
+        Comparison {
+            ds,
+            cluster,
+            threshold: 0.01,
+            entries: Vec::new(),
+        }
     }
 
     /// Overrides the accuracy-loss threshold defining the target.
@@ -71,7 +76,12 @@ impl<'a> Comparison<'a> {
     /// Queues a system with default PS/Angel settings. The first queued
     /// system is the speedup baseline.
     pub fn add(self, system: System, cfg: TrainConfig) -> Self {
-        self.add_with(system, cfg, PsSystemConfig::default(), AngelConfig::default())
+        self.add_with(
+            system,
+            cfg,
+            PsSystemConfig::default(),
+            AngelConfig::default(),
+        )
     }
 
     /// Queues a system with explicit PS/Angel settings.
@@ -82,7 +92,12 @@ impl<'a> Comparison<'a> {
         ps: PsSystemConfig,
         angel: AngelConfig,
     ) -> Self {
-        self.entries.push(Entry { system, cfg, ps, angel });
+        self.entries.push(Entry {
+            system,
+            cfg,
+            ps,
+            angel,
+        });
         self
     }
 
@@ -99,7 +114,8 @@ impl<'a> Comparison<'a> {
             .map(|e| {
                 (
                     e.system.name().to_owned(),
-                    e.system.train(self.ds, self.cluster, &e.cfg, &e.ps, &e.angel),
+                    e.system
+                        .train(self.ds, self.cluster, &e.cfg, &e.ps, &e.angel),
                 )
             })
             .collect();
@@ -140,12 +156,9 @@ impl ComparisonReport {
     pub fn winner(&self) -> Option<&ComparisonRow> {
         self.rows
             .iter()
-            .filter(|r| r.time_to_target.is_some())
-            .min_by(|a, b| {
-                a.time_to_target
-                    .partial_cmp(&b.time_to_target)
-                    .expect("times are finite")
-            })
+            .filter_map(|r| r.time_to_target.map(|t| (t, r)))
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .map(|(_, r)| r)
     }
 }
 
@@ -167,7 +180,11 @@ impl std::fmt::Display for ComparisonReport {
                 r.final_objective,
                 r.total_updates,
                 r.speedup_vs_baseline.map_or("—".into(), |s| {
-                    if s.is_finite() { format!("{s:.1}×") } else { "∞".into() }
+                    if s.is_finite() {
+                        format!("{s:.1}×")
+                    } else {
+                        "∞".into()
+                    }
                 }),
             )?;
         }

@@ -119,7 +119,11 @@ pub struct PsSystemConfig {
 
 impl Default for PsSystemConfig {
     fn default() -> Self {
-        PsSystemConfig { num_servers: 2, staleness: 2, sparse_messages: false }
+        PsSystemConfig {
+            num_servers: 2,
+            staleness: 2,
+            sparse_messages: false,
+        }
     }
 }
 
@@ -175,25 +179,40 @@ mod tests {
 
     #[test]
     fn batch_size_resolution() {
-        let cfg = TrainConfig { batch_frac: 0.01, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            batch_frac: 0.01,
+            ..TrainConfig::default()
+        };
         assert_eq!(cfg.batch_size(10_000), 100);
         assert_eq!(cfg.batch_size(10), 1, "rounds to at least 1");
         assert_eq!(cfg.batch_size(0), 1, "degenerate pool still yields 1");
-        let full = TrainConfig { batch_frac: 1.0, ..TrainConfig::default() };
+        let full = TrainConfig {
+            batch_frac: 1.0,
+            ..TrainConfig::default()
+        };
         assert_eq!(full.batch_size(37), 37);
-        let over = TrainConfig { batch_frac: 5.0, ..TrainConfig::default() };
+        let over = TrainConfig {
+            batch_frac: 5.0,
+            ..TrainConfig::default()
+        };
         assert_eq!(over.batch_size(37), 37, "clamped to pool");
     }
 
     #[test]
     fn stop_conditions() {
-        let cfg = TrainConfig { target_objective: Some(0.1), ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            target_objective: Some(0.1),
+            ..TrainConfig::default()
+        };
         assert!(!cfg.should_stop(0.5));
         assert!(cfg.should_stop(0.1));
         assert!(cfg.should_stop(0.05));
         assert!(cfg.should_stop(f64::NAN), "divergence stops training");
         assert!(cfg.should_stop(1e12), "blow-up stops training");
-        let no_target = TrainConfig { target_objective: None, ..TrainConfig::default() };
+        let no_target = TrainConfig {
+            target_objective: None,
+            ..TrainConfig::default()
+        };
         assert!(!no_target.should_stop(0.0));
         assert!(no_target.should_stop(f64::INFINITY));
     }

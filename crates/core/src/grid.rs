@@ -48,7 +48,11 @@ impl GridSearch {
         for &eta in &self.etas {
             for &batch_frac in &self.batch_fracs {
                 for &staleness in &self.stalenesses {
-                    out.push(GridPoint { eta, batch_frac, staleness });
+                    out.push(GridPoint {
+                        eta,
+                        batch_frac,
+                        staleness,
+                    });
                 }
             }
         }
@@ -78,10 +82,7 @@ impl GridSearch {
             let output = train(&cfg, point);
             let score = GridScore {
                 time_to_target: output.trace.time_to_reach(target),
-                final_objective: output
-                    .trace
-                    .final_objective()
-                    .unwrap_or(f64::INFINITY),
+                final_objective: output.trace.final_objective().unwrap_or(f64::INFINITY),
             };
             let better = match &best {
                 None => true,
@@ -91,8 +92,12 @@ impl GridSearch {
                 best = Some((point, output, score));
             }
         }
-        let (point, output, _) = best.expect("grid was nonempty");
-        GridResult { best_point: point, best_output: output, evaluated: self.points().len() }
+        let (point, output, _) = best.expect("grid was nonempty"); // lint:allow(panic_in_lib): asserted nonempty at the top of run()
+        GridResult {
+            best_point: point,
+            best_output: output,
+            evaluated: self.points().len(),
+        }
     }
 }
 
@@ -160,7 +165,10 @@ mod tests {
             mlstar_sim::NodeSpec::standard(),
             mlstar_sim::NetworkSpec::gbps1(),
         );
-        let base = TrainConfig { max_rounds: 10, ..TrainConfig::default() };
+        let base = TrainConfig {
+            max_rounds: 10,
+            ..TrainConfig::default()
+        };
         // Include an absurd learning rate that diverges; the grid must not
         // pick it.
         let grid = GridSearch {
@@ -168,7 +176,9 @@ mod tests {
             batch_fracs: vec![1.0],
             stalenesses: vec![0],
         };
-        let result = grid.run(&base, 0.2, |cfg, _point| train_mllib_star(&ds, &cluster, cfg));
+        let result = grid.run(&base, 0.2, |cfg, _point| {
+            train_mllib_star(&ds, &cluster, cfg)
+        });
         assert_eq!(result.evaluated, 2);
         assert_eq!(result.best_point.eta, 0.05);
         let f = result.best_output.trace.final_objective().unwrap();
@@ -183,7 +193,10 @@ mod tests {
             mlstar_sim::NodeSpec::standard(),
             mlstar_sim::NetworkSpec::gbps1(),
         );
-        let base = TrainConfig { max_rounds: 3, ..TrainConfig::default() };
+        let base = TrainConfig {
+            max_rounds: 3,
+            ..TrainConfig::default()
+        };
         let grid = GridSearch {
             etas: vec![0.05],
             batch_fracs: vec![0.5],
@@ -192,7 +205,11 @@ mod tests {
         let mut seen = Vec::new();
         let result = grid.run(&base, 0.0, |cfg, point| {
             seen.push(point.staleness);
-            let ps = crate::PsSystemConfig { staleness: point.staleness, num_servers: 1, ..Default::default() };
+            let ps = crate::PsSystemConfig {
+                staleness: point.staleness,
+                num_servers: 1,
+                ..Default::default()
+            };
             System::PetuumStar.train(&ds, &cluster, cfg, &ps, &crate::AngelConfig::default())
         });
         assert_eq!(seen, vec![0, 3]);
@@ -201,10 +218,22 @@ mod tests {
 
     #[test]
     fn score_ordering() {
-        let reach_fast = GridScore { time_to_target: Some(1.0), final_objective: 0.5 };
-        let reach_slow = GridScore { time_to_target: Some(2.0), final_objective: 0.1 };
-        let never = GridScore { time_to_target: None, final_objective: 0.01 };
-        let nan = GridScore { time_to_target: None, final_objective: f64::NAN };
+        let reach_fast = GridScore {
+            time_to_target: Some(1.0),
+            final_objective: 0.5,
+        };
+        let reach_slow = GridScore {
+            time_to_target: Some(2.0),
+            final_objective: 0.1,
+        };
+        let never = GridScore {
+            time_to_target: None,
+            final_objective: 0.01,
+        };
+        let nan = GridScore {
+            time_to_target: None,
+            final_objective: f64::NAN,
+        };
         assert!(reach_fast.beats(&reach_slow));
         assert!(!reach_slow.beats(&reach_fast));
         assert!(reach_slow.beats(&never), "reaching the target wins");

@@ -57,7 +57,7 @@ mod trace;
 pub use angel::train_angel;
 pub use comparison::{Comparison, ComparisonReport, ComparisonRow};
 pub use config::{AngelConfig, MaWeighting, PsSystemConfig, TrainConfig, TrainOutput};
-pub use grid::{GridSearch, GridPoint, GridResult};
+pub use grid::{GridPoint, GridResult, GridSearch};
 pub use mllib::train_mllib;
 pub use mllib_ma::train_mllib_ma;
 pub use mllib_star::train_mllib_star;

@@ -78,7 +78,13 @@ pub(crate) fn local_sgd_passes(
         let mut scratch = ScaledVector::zeros(w.dim());
         let mut total = 0;
         for r in 0..k {
-            total += one_worker(&parts[r], &mut orders[r], &mut counters[r], &mut locals[r], &mut scratch);
+            total += one_worker(
+                &parts[r],
+                &mut orders[r],
+                &mut counters[r],
+                &mut locals[r],
+                &mut scratch,
+            );
         }
         return total;
     }
@@ -88,7 +94,7 @@ pub(crate) fn local_sgd_passes(
     // needed and the result is bit-identical to the serial path.
     let chunk = k.div_ceil(threads);
     let mut totals = vec![0u64; threads];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut parts_rest = parts;
         let mut orders_rest: &mut [EpochOrder] = orders;
         let mut counters_rest: &mut [u64] = counters;
@@ -106,17 +112,26 @@ pub(crate) fn local_sgd_passes(
             orders_rest = o_later;
             counters_rest = c_later;
             locals_rest = l_later;
-            scope.spawn(move |_| {
+            // A panicking worker propagates when the scope joins it, so no
+            // explicit join-result handling is needed (this was the one
+            // thing crossbeam::thread::scope did differently; std's scoped
+            // threads replaced it with no behavioral change).
+            scope.spawn(move || {
                 let mut scratch = ScaledVector::zeros(w.dim());
                 let mut total = 0;
                 for i in 0..take {
-                    total += one_worker(&p_now[i], &mut o_now[i], &mut c_now[i], &mut l_now[i], &mut scratch);
+                    total += one_worker(
+                        &p_now[i],
+                        &mut o_now[i],
+                        &mut c_now[i],
+                        &mut l_now[i],
+                        &mut scratch,
+                    );
                 }
                 *total_slot = total;
             });
         }
-    })
-    .expect("local-pass worker thread panicked");
+    });
     totals.iter().sum()
 }
 
@@ -126,7 +141,13 @@ mod tests {
     use mlstar_data::{Partitioner, SyntheticConfig};
     use mlstar_sim::SeedStream;
 
-    type Setup = (SparseDataset, Vec<Vec<usize>>, Vec<EpochOrder>, Vec<u64>, Vec<DenseVector>);
+    type Setup = (
+        SparseDataset,
+        Vec<Vec<usize>>,
+        Vec<EpochOrder>,
+        Vec<u64>,
+        Vec<DenseVector>,
+    );
 
     fn setup(k: usize) -> Setup {
         let ds = SyntheticConfig::small("local-pass", 160, 24).generate();
@@ -136,7 +157,13 @@ mod tests {
             .map(|r| EpochOrder::new(seeds.child_idx(r as u64).seed()))
             .collect();
         let dim = ds.num_features();
-        (ds, parts, orders, vec![0; k], vec![DenseVector::zeros(dim); k])
+        (
+            ds,
+            parts,
+            orders,
+            vec![0; k],
+            vec![DenseVector::zeros(dim); k],
+        )
     }
 
     fn run(threads: usize, k: usize) -> (Vec<DenseVector>, Vec<u64>, u64) {

@@ -31,11 +31,7 @@ use crate::{ConvergenceTrace, TracePoint, TrainConfig, TrainOutput};
 /// # Panics
 ///
 /// Panics if the dataset is empty.
-pub fn train_mllib(
-    ds: &SparseDataset,
-    cluster: &ClusterSpec,
-    cfg: &TrainConfig,
-) -> TrainOutput {
+pub fn train_mllib(ds: &SparseDataset, cluster: &ClusterSpec, cfg: &TrainConfig) -> TrainOutput {
     assert!(!ds.is_empty(), "cannot train on an empty dataset");
     let h = BspHarness::new(ds, cluster, cfg.seed);
     let k = h.k();
@@ -83,7 +79,8 @@ pub fn train_mllib(
             rb.work(
                 NodeId::Executor(r),
                 Activity::Compute,
-                h.cost.executor_waves(r, pass_flops(batch_nnz), cfg.waves, &mut straggler_rng),
+                h.cost
+                    .executor_waves(r, pass_flops(batch_nnz), cfg.waves, &mut straggler_rng),
             );
         }
         rb.barrier();
@@ -98,7 +95,13 @@ pub fn train_mllib(
         );
 
         // (3) Hierarchical aggregation of gradients to the driver.
-        let (gsum, _) = tree_aggregate(&mut rb, &h.cost, &grads, cfg.tree_fanin, Activity::SendGradient);
+        let (gsum, _) = tree_aggregate(
+            &mut rb,
+            &h.cost,
+            &grads,
+            cfg.tree_fanin,
+            Activity::SendGradient,
+        );
 
         // (4) Single driver-side update.
         let mut grad = gsum;
@@ -117,7 +120,12 @@ pub fn train_mllib(
 
         if rounds_run.is_multiple_of(cfg.eval_every) || rounds_run == cfg.max_rounds {
             let f = eval_objective(ds, cfg.loss, cfg.reg, &w);
-            trace.push(TracePoint { step: rounds_run, time: now, objective: f, total_updates });
+            trace.push(TracePoint {
+                step: rounds_run,
+                time: now,
+                objective: f,
+                total_updates,
+            });
             if cfg.should_stop(f) {
                 converged = cfg.target_objective.is_some_and(|t| f <= t);
                 break;
@@ -172,14 +180,20 @@ mod tests {
     #[test]
     fn records_driver_centric_gantt() {
         let ds = tiny_ds();
-        let cfg = TrainConfig { max_rounds: 3, ..quick_cfg() };
+        let cfg = TrainConfig {
+            max_rounds: 3,
+            ..quick_cfg()
+        };
         let out = train_mllib(&ds, &ClusterSpec::cluster1(), &cfg);
         let acts: Vec<Activity> = out.gantt.spans().iter().map(|s| s.activity).collect();
         assert!(acts.contains(&Activity::Broadcast));
         assert!(acts.contains(&Activity::SendGradient));
         assert!(acts.contains(&Activity::TreeAggregate));
         assert!(acts.contains(&Activity::DriverUpdate));
-        assert!(acts.contains(&Activity::Wait), "executors idle while driver works");
+        assert!(
+            acts.contains(&Activity::Wait),
+            "executors idle while driver works"
+        );
         assert!(!acts.contains(&Activity::ReduceScatter));
     }
 
@@ -200,7 +214,10 @@ mod tests {
     #[test]
     fn deterministic() {
         let ds = tiny_ds();
-        let cfg = TrainConfig { max_rounds: 10, ..quick_cfg() };
+        let cfg = TrainConfig {
+            max_rounds: 10,
+            ..quick_cfg()
+        };
         let a = train_mllib(&ds, &ClusterSpec::cluster1(), &cfg);
         let b = train_mllib(&ds, &ClusterSpec::cluster1(), &cfg);
         assert_eq!(a.trace, b.trace);
@@ -210,7 +227,11 @@ mod tests {
     #[test]
     fn eval_every_thins_the_trace() {
         let ds = tiny_ds();
-        let cfg = TrainConfig { max_rounds: 10, eval_every: 5, ..quick_cfg() };
+        let cfg = TrainConfig {
+            max_rounds: 10,
+            eval_every: 5,
+            ..quick_cfg()
+        };
         let out = train_mllib(&ds, &ClusterSpec::cluster1(), &cfg);
         // step 0, 5, 10.
         assert_eq!(out.trace.points.len(), 3);

@@ -31,11 +31,7 @@ use crate::{ConvergenceTrace, MaWeighting, TracePoint, TrainConfig, TrainOutput}
 /// # Panics
 ///
 /// Panics if the dataset is empty.
-pub fn train_mllib_ma(
-    ds: &SparseDataset,
-    cluster: &ClusterSpec,
-    cfg: &TrainConfig,
-) -> TrainOutput {
+pub fn train_mllib_ma(ds: &SparseDataset, cluster: &ClusterSpec, cfg: &TrainConfig) -> TrainOutput {
     assert!(!ds.is_empty(), "cannot train on an empty dataset");
     let h = BspHarness::with_skew(ds, cluster, cfg.seed, cfg.partition_skew);
     let k = h.k();
@@ -92,7 +88,8 @@ pub fn train_mllib_ma(
             rb.work(
                 NodeId::Executor(r),
                 Activity::Compute,
-                h.cost.executor_waves(r, pass_flops(h.part_nnz[r]), cfg.waves, &mut straggler_rng),
+                h.cost
+                    .executor_waves(r, pass_flops(h.part_nnz[r]), cfg.waves, &mut straggler_rng),
             );
         }
         // Optional Zhang & Jordan reweighting (see mllib_star).
@@ -113,7 +110,13 @@ pub fn train_mllib_ma(
         );
 
         // (3) + (4) treeAggregate the local models; driver averages.
-        let (sum, _) = tree_aggregate(&mut rb, &h.cost, &locals, cfg.tree_fanin, Activity::SendModel);
+        let (sum, _) = tree_aggregate(
+            &mut rb,
+            &h.cost,
+            &locals,
+            cfg.tree_fanin,
+            Activity::SendModel,
+        );
         w = sum;
         w.scale(1.0 / k as f64);
         rb.work(
@@ -126,7 +129,12 @@ pub fn train_mllib_ma(
 
         if rounds_run.is_multiple_of(cfg.eval_every) || rounds_run == cfg.max_rounds {
             let f = eval_objective(ds, cfg.loss, cfg.reg, &w);
-            trace.push(TracePoint { step: rounds_run, time: now, objective: f, total_updates });
+            trace.push(TracePoint {
+                step: rounds_run,
+                time: now,
+                objective: f,
+                total_updates,
+            });
             if cfg.should_stop(f) {
                 converged = cfg.target_objective.is_some_and(|t| f <= t);
                 break;
@@ -207,7 +215,10 @@ mod tests {
     #[test]
     fn keeps_driver_centric_pattern() {
         let ds = tiny_ds();
-        let cfg = TrainConfig { max_rounds: 2, ..quick_cfg() };
+        let cfg = TrainConfig {
+            max_rounds: 2,
+            ..quick_cfg()
+        };
         let out = train_mllib_ma(&ds, &ClusterSpec::cluster1(), &cfg);
         let acts: Vec<Activity> = out.gantt.spans().iter().map(|s| s.activity).collect();
         assert!(acts.contains(&Activity::Broadcast));
@@ -231,7 +242,10 @@ mod tests {
     #[test]
     fn deterministic() {
         let ds = tiny_ds();
-        let cfg = TrainConfig { max_rounds: 5, ..quick_cfg() };
+        let cfg = TrainConfig {
+            max_rounds: 5,
+            ..quick_cfg()
+        };
         let a = train_mllib_ma(&ds, &ClusterSpec::cluster1(), &cfg);
         let b = train_mllib_ma(&ds, &ClusterSpec::cluster1(), &cfg);
         assert_eq!(a.trace, b.trace);

@@ -92,7 +92,8 @@ pub fn train_mllib_star(
             rb.work(
                 NodeId::Executor(r),
                 Activity::Compute,
-                h.cost.executor_waves(r, pass_flops(h.part_nnz[r]), cfg.waves, &mut straggler_rng),
+                h.cost
+                    .executor_waves(r, pass_flops(h.part_nnz[r]), cfg.waves, &mut straggler_rng),
             );
         }
         // Optional Zhang & Jordan reweighting: scale each local model by
@@ -122,7 +123,12 @@ pub fn train_mllib_star(
 
         if rounds_run.is_multiple_of(cfg.eval_every) || rounds_run == cfg.max_rounds {
             let f = eval_objective(ds, cfg.loss, cfg.reg, &w);
-            trace.push(TracePoint { step: rounds_run, time: now, objective: f, total_updates });
+            trace.push(TracePoint {
+                step: rounds_run,
+                time: now,
+                objective: f,
+                total_updates,
+            });
             if cfg.should_stop(f) {
                 converged = cfg.target_objective.is_some_and(|t| f <= t);
                 break;
@@ -177,7 +183,10 @@ mod tests {
     #[test]
     fn driver_never_works() {
         let ds = tiny_ds();
-        let cfg = TrainConfig { max_rounds: 3, ..quick_cfg() };
+        let cfg = TrainConfig {
+            max_rounds: 3,
+            ..quick_cfg()
+        };
         let out = train_mllib_star(&ds, &ClusterSpec::cluster1(), &cfg);
         assert_eq!(out.gantt.busy_time(NodeId::Driver), 0.0);
         let acts: Vec<Activity> = out.gantt.spans().iter().map(|s| s.activity).collect();
@@ -196,7 +205,10 @@ mod tests {
         // Few rounds and a loose-ish tolerance: the two systems sum the
         // same local models in different orders (tree vs. slice-wise), and
         // hinge SGD amplifies ulp-level differences over long horizons.
-        let cfg = TrainConfig { max_rounds: 3, ..quick_cfg() };
+        let cfg = TrainConfig {
+            max_rounds: 3,
+            ..quick_cfg()
+        };
         let star = train_mllib_star(&ds, &ClusterSpec::cluster1(), &cfg);
         let ma = train_mllib_ma(&ds, &ClusterSpec::cluster1(), &cfg);
         // Identical objective-vs-step curves (same local math, averaging).
@@ -221,7 +233,10 @@ mod tests {
         // The Figure 3c observation: utilization is high without driver
         // stalls.
         let ds = tiny_ds();
-        let cfg = TrainConfig { max_rounds: 5, ..quick_cfg() };
+        let cfg = TrainConfig {
+            max_rounds: 5,
+            ..quick_cfg()
+        };
         let out = train_mllib_star(&ds, &ClusterSpec::cluster1(), &cfg);
         for r in 0..8 {
             let u = out.gantt.utilization(NodeId::Executor(r));
@@ -232,7 +247,10 @@ mod tests {
     #[test]
     fn l2_lazy_updates_work() {
         let ds = tiny_ds();
-        let cfg = TrainConfig { reg: Regularizer::L2 { lambda: 0.1 }, ..quick_cfg() };
+        let cfg = TrainConfig {
+            reg: Regularizer::L2 { lambda: 0.1 },
+            ..quick_cfg()
+        };
         let out = train_mllib_star(&ds, &ClusterSpec::cluster1(), &cfg);
         let f = out.trace.final_objective().unwrap();
         assert!(f.is_finite() && f < 1.0, "objective {f}");
@@ -241,7 +259,10 @@ mod tests {
     #[test]
     fn deterministic() {
         let ds = tiny_ds();
-        let cfg = TrainConfig { max_rounds: 5, ..quick_cfg() };
+        let cfg = TrainConfig {
+            max_rounds: 5,
+            ..quick_cfg()
+        };
         let a = train_mllib_star(&ds, &ClusterSpec::cluster1(), &cfg);
         let b = train_mllib_star(&ds, &ClusterSpec::cluster1(), &cfg);
         assert_eq!(a.trace, b.trace);
@@ -250,12 +271,18 @@ mod tests {
     #[test]
     fn failure_injection_slows_the_clock_but_not_the_math() {
         let ds = tiny_ds();
-        let base = TrainConfig { max_rounds: 6, ..quick_cfg() };
+        let base = TrainConfig {
+            max_rounds: 6,
+            ..quick_cfg()
+        };
         let clean = train_mllib_star(&ds, &ClusterSpec::cluster1(), &base);
         let faulty = train_mllib_star(
             &ds,
             &ClusterSpec::cluster1(),
-            &TrainConfig { failure_prob: 1.0, ..base },
+            &TrainConfig {
+                failure_prob: 1.0,
+                ..base
+            },
         );
         // Lineage recovery re-executes work deterministically: identical
         // objective curves…
@@ -271,14 +298,25 @@ mod tests {
     #[test]
     fn weighted_averaging_equals_uniform_on_balanced_partitions() {
         let ds = tiny_ds();
-        let cfg = TrainConfig { max_rounds: 3, ..quick_cfg() };
+        let cfg = TrainConfig {
+            max_rounds: 3,
+            ..quick_cfg()
+        };
         let uniform = train_mllib_star(&ds, &ClusterSpec::cluster1(), &cfg);
         let weighted = train_mllib_star(
             &ds,
             &ClusterSpec::cluster1(),
-            &TrainConfig { ma_weighting: crate::MaWeighting::PartitionSize, ..cfg },
+            &TrainConfig {
+                ma_weighting: crate::MaWeighting::PartitionSize,
+                ..cfg
+            },
         );
-        for (a, b) in uniform.trace.points.iter().zip(weighted.trace.points.iter()) {
+        for (a, b) in uniform
+            .trace
+            .points
+            .iter()
+            .zip(weighted.trace.points.iter())
+        {
             assert!(
                 (a.objective - b.objective).abs() < 1e-9,
                 "balanced partitions: weighting must be a no-op"
@@ -301,7 +339,10 @@ mod tests {
         let weighted = train_mllib_star(
             &ds,
             &ClusterSpec::cluster1(),
-            &TrainConfig { ma_weighting: crate::MaWeighting::PartitionSize, ..base },
+            &TrainConfig {
+                ma_weighting: crate::MaWeighting::PartitionSize,
+                ..base
+            },
         );
         let fu = uniform.trace.final_objective().unwrap();
         let fw = weighted.trace.final_objective().unwrap();

@@ -38,8 +38,8 @@ impl OvrModel {
             .iter()
             .enumerate()
             .map(|(c, m)| (c as u32, m.margin(x)))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite margins"))
-            .expect("at least one class")
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("at least one class") // lint:allow(panic_in_lib): OvrModel construction requires ≥1 class model
             .0
     }
 
@@ -54,7 +54,10 @@ impl OvrModel {
     ///
     /// Panics if the dataset is empty.
     pub fn accuracy(&self, ds: &MulticlassDataset) -> f64 {
-        assert!(!ds.is_empty(), "accuracy over an empty dataset is undefined");
+        assert!(
+            !ds.is_empty(),
+            "accuracy over an empty dataset is undefined"
+        );
         let correct = ds
             .rows()
             .iter()
@@ -122,11 +125,16 @@ impl OneVsRest {
                 seed: self.cfg.seed.wrapping_add(u64::from(class)),
                 ..self.cfg.clone()
             };
-            let out = self.system.train(&binary, cluster, &cfg, &self.ps, &self.angel);
+            let out = self
+                .system
+                .train(&binary, cluster, &cfg, &self.ps, &self.angel);
             class_models.push(out.model.clone());
             per_class.push(out);
         }
-        OvrOutput { model: OvrModel { class_models }, per_class }
+        OvrOutput {
+            model: OvrModel { class_models },
+            per_class,
+        }
     }
 }
 
@@ -210,8 +218,15 @@ mod tests {
     #[test]
     fn works_with_parameter_server_backends() {
         let ds = tiny();
-        let out = OneVsRest::new(System::PetuumStar, TrainConfig { batch_frac: 0.3, max_rounds: 30, ..cfg() })
-            .train(&ds, &ClusterSpec::cluster1());
+        let out = OneVsRest::new(
+            System::PetuumStar,
+            TrainConfig {
+                batch_frac: 0.3,
+                max_rounds: 30,
+                ..cfg()
+            },
+        )
+        .train(&ds, &ClusterSpec::cluster1());
         assert!(out.model.accuracy(&ds) > 0.6);
     }
 }

@@ -22,7 +22,9 @@ use mlstar_data::{BatchSampler, Partitioner, SparseDataset};
 use mlstar_glm::{mgd_step, sgd_epoch_lazy, GlmModel, LearningRate, Loss, Regularizer};
 use mlstar_linalg::{DenseVector, ScaledVector};
 use mlstar_ps::{Aggregation, Consistency, PsConfig, PsEngine, WorkerLogic, WorkerStep};
-use mlstar_sim::{dense_op_flops, pass_flops, ClusterSpec, CostModel, SeedStream, SimDuration, SimTime};
+use mlstar_sim::{
+    dense_op_flops, pass_flops, ClusterSpec, CostModel, SeedStream, SimDuration, SimTime,
+};
 
 use crate::common::{eval_objective, partition_active_coords, workload_label};
 use crate::{ConvergenceTrace, PsSystemConfig, TracePoint, TrainConfig, TrainOutput};
@@ -91,7 +93,11 @@ impl WorkerLogic for PetuumWorker<'_> {
                 self.lr,
                 self.counters[worker],
             );
-            (local.into_dense(), batch.len() as u64, pass_flops(batch_nnz))
+            (
+                local.into_dense(),
+                batch.len() as u64,
+                pass_flops(batch_nnz),
+            )
         } else {
             // One dense GD step over the batch: a single update per step.
             let mut w = model.clone();
@@ -177,8 +183,10 @@ fn train_petuum_inner(
     let k = cluster.num_executors();
     let dim = ds.num_features();
     let seeds = SeedStream::new(cfg.seed);
-    let parts =
-        Partitioner::Shuffled { seed: seeds.child("partition").seed() }.partition(ds.len(), k);
+    let parts = Partitioner::Shuffled {
+        seed: seeds.child("partition").seed(),
+    }
+    .partition(ds.len(), k);
     let part_active = partition_active_coords(ds, &parts);
     let updates = Rc::new(Cell::new(0u64));
     let mut logic = PetuumWorker {
@@ -204,7 +212,9 @@ fn train_petuum_inner(
         &cost,
         PsConfig {
             num_servers: ps.num_servers,
-            consistency: Consistency::Ssp { staleness: ps.staleness },
+            consistency: Consistency::Ssp {
+                staleness: ps.staleness,
+            },
             aggregation,
             max_clocks: cfg.max_rounds,
             tick_overhead: SimDuration::from_millis(2),
@@ -224,22 +234,23 @@ fn train_petuum_inner(
     let eval_every = cfg.eval_every.max(1);
     let trace_ref = &mut trace;
     let updates_ref = Rc::clone(&updates);
-    let (final_model, stats) = engine.run(DenseVector::zeros(dim), &mut logic, |clock, time, model| {
-        if clock % eval_every == 0 || clock == cfg.max_rounds {
-            let f = eval_objective(ds, cfg.loss, cfg.reg, model);
-            trace_ref.push(TracePoint {
-                step: clock,
-                time,
-                objective: f,
-                total_updates: updates_ref.get(),
-            });
-            if cfg.should_stop(f) {
-                converged = cfg.target_objective.is_some_and(|t| f <= t);
-                return true;
+    let (final_model, stats) =
+        engine.run(DenseVector::zeros(dim), &mut logic, |clock, time, model| {
+            if clock % eval_every == 0 || clock == cfg.max_rounds {
+                let f = eval_objective(ds, cfg.loss, cfg.reg, model);
+                trace_ref.push(TracePoint {
+                    step: clock,
+                    time,
+                    objective: f,
+                    total_updates: updates_ref.get(),
+                });
+                if cfg.should_stop(f) {
+                    converged = cfg.target_objective.is_some_and(|t| f <= t);
+                    return true;
+                }
             }
-        }
-        false
-    });
+            false
+        });
 
     TrainOutput {
         trace,
@@ -318,7 +329,11 @@ mod tests {
             &ds,
             &ClusterSpec::cluster1(),
             &cfg,
-            &PsSystemConfig { staleness: 0, num_servers: 2, ..Default::default() },
+            &PsSystemConfig {
+                staleness: 0,
+                num_servers: 2,
+                ..Default::default()
+            },
         );
         // With BSP (staleness 0) every worker contributes exactly one
         // update per clock.
@@ -328,10 +343,22 @@ mod tests {
     #[test]
     fn summation_and_averaging_differ() {
         let ds = tiny_ds();
-        let cfg = TrainConfig { max_rounds: 5, ..quick_cfg() };
-        let sum = train_petuum(&ds, &ClusterSpec::cluster1(), &cfg, &PsSystemConfig::default());
-        let avg =
-            train_petuum_star(&ds, &ClusterSpec::cluster1(), &cfg, &PsSystemConfig::default());
+        let cfg = TrainConfig {
+            max_rounds: 5,
+            ..quick_cfg()
+        };
+        let sum = train_petuum(
+            &ds,
+            &ClusterSpec::cluster1(),
+            &cfg,
+            &PsSystemConfig::default(),
+        );
+        let avg = train_petuum_star(
+            &ds,
+            &ClusterSpec::cluster1(),
+            &cfg,
+            &PsSystemConfig::default(),
+        );
         assert_ne!(
             sum.model.weights().as_slice(),
             avg.model.weights().as_slice(),
@@ -354,7 +381,11 @@ mod tests {
             max_rounds: 1,
             ..quick_cfg()
         };
-        let ps = PsSystemConfig { staleness: 0, num_servers: 2, ..Default::default() };
+        let ps = PsSystemConfig {
+            staleness: 0,
+            num_servers: 2,
+            ..Default::default()
+        };
         let sum = train_petuum(&ds, &ClusterSpec::cluster1(), &cfg, &ps);
         let avg = train_petuum_star(&ds, &ClusterSpec::cluster1(), &cfg, &ps);
         let sum_norm = sum.model.weights().norm2();
@@ -368,7 +399,10 @@ mod tests {
     #[test]
     fn deterministic() {
         let ds = tiny_ds();
-        let cfg = TrainConfig { max_rounds: 5, ..quick_cfg() };
+        let cfg = TrainConfig {
+            max_rounds: 5,
+            ..quick_cfg()
+        };
         let ps = PsSystemConfig::default();
         let a = train_petuum_star(&ds, &ClusterSpec::cluster1(), &cfg, &ps);
         let b = train_petuum_star(&ds, &ClusterSpec::cluster1(), &cfg, &ps);
@@ -378,18 +412,27 @@ mod tests {
     #[test]
     fn sparse_messages_change_time_but_not_math() {
         let ds = tiny_ds();
-        let cfg = TrainConfig { max_rounds: 8, ..quick_cfg() };
+        let cfg = TrainConfig {
+            max_rounds: 8,
+            ..quick_cfg()
+        };
         let dense = train_petuum(
             &ds,
             &ClusterSpec::cluster1(),
             &cfg,
-            &PsSystemConfig { sparse_messages: false, ..PsSystemConfig::default() },
+            &PsSystemConfig {
+                sparse_messages: false,
+                ..PsSystemConfig::default()
+            },
         );
         let sparse = train_petuum(
             &ds,
             &ClusterSpec::cluster1(),
             &cfg,
-            &PsSystemConfig { sparse_messages: true, ..PsSystemConfig::default() },
+            &PsSystemConfig {
+                sparse_messages: true,
+                ..PsSystemConfig::default()
+            },
         );
         // Near-identical final models: the wire volume only shifts event
         // timing, which can reorder floating-point summation at the

@@ -36,7 +36,16 @@ pub fn reference_optimum(
     let mut stalled = 0u32;
     for _ in 0..epochs {
         let epoch_order = order.next_order(&pool);
-        t = sgd_epoch_lazy(loss, reg, &mut w, ds.rows(), ds.labels(), &epoch_order, lr, t);
+        t = sgd_epoch_lazy(
+            loss,
+            reg,
+            &mut w,
+            ds.rows(),
+            ds.labels(),
+            &epoch_order,
+            lr,
+            t,
+        );
         let f = objective_value(loss, reg, &w.to_dense(), ds.rows(), ds.labels());
         if f < best - 1e-7 {
             best = f;

@@ -47,7 +47,12 @@ pub struct SparkMlConfig {
 
 impl Default for SparkMlConfig {
     fn default() -> Self {
-        SparkMlConfig { history: 10, c1: 1e-4, backtrack: 0.5, max_line_search: 12 }
+        SparkMlConfig {
+            history: 10,
+            c1: 1e-4,
+            backtrack: 0.5,
+            max_line_search: 12,
+        }
     }
 }
 
@@ -76,7 +81,12 @@ pub fn train_sparkml_lbfgs(
     let mut w = DenseVector::zeros(dim);
     let mut trace = ConvergenceTrace::new("spark.ml(L-BFGS)", workload_label(ds, cfg.reg));
     let mut f = eval_objective(ds, cfg.loss, cfg.reg, &w);
-    trace.push(TracePoint { step: 0, time: SimTime::ZERO, objective: f, total_updates: 0 });
+    trace.push(TracePoint {
+        step: 0,
+        time: SimTime::ZERO,
+        objective: f,
+        total_updates: 0,
+    });
 
     let mut grad = DenseVector::zeros(dim);
     let mut pairs: Vec<(DenseVector, DenseVector)> = Vec::new();
@@ -88,88 +98,108 @@ pub fn train_sparkml_lbfgs(
 
     // One distributed full gradient (broadcast + per-partition compute +
     // treeAggregate), charged to simulated time.
-    let distributed_gradient =
-        |w: &DenseVector,
-         grad: &mut DenseVector,
-         now: &mut SimTime,
-         round: &mut u64,
-         gantt: &mut GanttRecorder,
-         rng: &mut rand::rngs::StdRng| {
-            let mut rb = RoundBuilder::new(gantt, *round, *now, &h.all_nodes);
-            *round += 1;
-            broadcast_model(&mut rb, &h.cost, dim);
-            let mut partials: Vec<DenseVector> = Vec::with_capacity(k);
-            for r in 0..k {
-                let mut g_r = DenseVector::zeros(dim);
-                if !h.parts[r].is_empty() {
-                    batch_gradient_into(cfg.loss, w, ds.rows(), ds.labels(), &h.parts[r], &mut g_r);
-                    // Weight by partition size so the sum over workers is
-                    // the dataset-average gradient.
-                    g_r.scale(h.parts[r].len() as f64 / ds.len() as f64);
-                    rb.work(
-                        NodeId::Executor(r),
-                        Activity::Compute,
-                        h.cost.executor_compute(r, pass_flops(h.part_nnz[r]), rng),
-                    );
-                }
-                partials.push(g_r);
-            }
-            rb.barrier();
-            let (sum, _) = tree_aggregate(&mut rb, &h.cost, &partials, cfg.tree_fanin, Activity::SendGradient);
-            *grad = sum;
-            cfg.reg.add_gradient(w, grad);
-            rb.work(
-                NodeId::Driver,
-                Activity::DriverUpdate,
-                h.cost.driver_compute(dense_op_flops(dim)),
-            );
-            *now = rb.finish();
-        };
-
-    // One distributed objective evaluation (line-search trial): broadcast
-    // the trial model, compute local losses, gather scalars at the driver.
-    let distributed_objective =
-        |w: &DenseVector,
-         now: &mut SimTime,
-         round: &mut u64,
-         gantt: &mut GanttRecorder,
-         rng: &mut rand::rngs::StdRng|
-         -> f64 {
-            let mut rb = RoundBuilder::new(gantt, *round, *now, &h.all_nodes);
-            *round += 1;
-            broadcast_model(&mut rb, &h.cost, dim);
-            let mut weighted = 0.0;
-            for r in 0..k {
-                if h.parts[r].is_empty() {
-                    continue;
-                }
-                let local = objective_value_subset(
-                    cfg.loss,
-                    mlstar_glm::Regularizer::None,
-                    w,
-                    ds.rows(),
-                    ds.labels(),
-                    &h.parts[r],
-                );
-                weighted += local * h.parts[r].len() as f64 / ds.len() as f64;
-                // Loss evaluation is ~half the flops of a gradient pass.
+    let distributed_gradient = |w: &DenseVector,
+                                grad: &mut DenseVector,
+                                now: &mut SimTime,
+                                round: &mut u64,
+                                gantt: &mut GanttRecorder,
+                                rng: &mut rand::rngs::StdRng| {
+        let mut rb = RoundBuilder::new(gantt, *round, *now, &h.all_nodes);
+        *round += 1;
+        broadcast_model(&mut rb, &h.cost, dim);
+        let mut partials: Vec<DenseVector> = Vec::with_capacity(k);
+        for r in 0..k {
+            let mut g_r = DenseVector::zeros(dim);
+            if !h.parts[r].is_empty() {
+                batch_gradient_into(cfg.loss, w, ds.rows(), ds.labels(), &h.parts[r], &mut g_r);
+                // Weight by partition size so the sum over workers is
+                // the dataset-average gradient.
+                g_r.scale(h.parts[r].len() as f64 / ds.len() as f64);
                 rb.work(
                     NodeId::Executor(r),
                     Activity::Compute,
-                    h.cost.executor_compute(r, pass_flops(h.part_nnz[r]) / 2.0, rng),
+                    h.cost.executor_compute(r, pass_flops(h.part_nnz[r]), rng),
                 );
             }
-            rb.barrier();
-            // Scalar gather: k tiny messages through the driver NIC.
-            for r in 0..k {
-                rb.work(NodeId::Executor(r), Activity::SendGradient, h.cost.transfer(24));
-            }
-            rb.work(NodeId::Driver, Activity::TreeAggregate, h.cost.serialized_transfers(24, k));
-            *now = rb.finish();
-            weighted + cfg.reg.value(w)
-        };
+            partials.push(g_r);
+        }
+        rb.barrier();
+        let (sum, _) = tree_aggregate(
+            &mut rb,
+            &h.cost,
+            &partials,
+            cfg.tree_fanin,
+            Activity::SendGradient,
+        );
+        *grad = sum;
+        cfg.reg.add_gradient(w, grad);
+        rb.work(
+            NodeId::Driver,
+            Activity::DriverUpdate,
+            h.cost.driver_compute(dense_op_flops(dim)),
+        );
+        *now = rb.finish();
+    };
 
-    distributed_gradient(&w, &mut grad, &mut now, &mut round_counter, &mut gantt, &mut straggler_rng);
+    // One distributed objective evaluation (line-search trial): broadcast
+    // the trial model, compute local losses, gather scalars at the driver.
+    let distributed_objective = |w: &DenseVector,
+                                 now: &mut SimTime,
+                                 round: &mut u64,
+                                 gantt: &mut GanttRecorder,
+                                 rng: &mut rand::rngs::StdRng|
+     -> f64 {
+        let mut rb = RoundBuilder::new(gantt, *round, *now, &h.all_nodes);
+        *round += 1;
+        broadcast_model(&mut rb, &h.cost, dim);
+        let mut weighted = 0.0;
+        for r in 0..k {
+            if h.parts[r].is_empty() {
+                continue;
+            }
+            let local = objective_value_subset(
+                cfg.loss,
+                mlstar_glm::Regularizer::None,
+                w,
+                ds.rows(),
+                ds.labels(),
+                &h.parts[r],
+            );
+            weighted += local * h.parts[r].len() as f64 / ds.len() as f64;
+            // Loss evaluation is ~half the flops of a gradient pass.
+            rb.work(
+                NodeId::Executor(r),
+                Activity::Compute,
+                h.cost
+                    .executor_compute(r, pass_flops(h.part_nnz[r]) / 2.0, rng),
+            );
+        }
+        rb.barrier();
+        // Scalar gather: k tiny messages through the driver NIC.
+        for r in 0..k {
+            rb.work(
+                NodeId::Executor(r),
+                Activity::SendGradient,
+                h.cost.transfer(24),
+            );
+        }
+        rb.work(
+            NodeId::Driver,
+            Activity::TreeAggregate,
+            h.cost.serialized_transfers(24, k),
+        );
+        *now = rb.finish();
+        weighted + cfg.reg.value(w)
+    };
+
+    distributed_gradient(
+        &w,
+        &mut grad,
+        &mut now,
+        &mut round_counter,
+        &mut gantt,
+        &mut straggler_rng,
+    );
 
     for iter in 0..cfg.max_rounds {
         if grad.norm2() <= 1e-8 {
@@ -191,7 +221,13 @@ pub fn train_sparkml_lbfgs(
         for _ in 0..ml.max_line_search {
             w_new = w.clone();
             w_new.axpy(step, &direction);
-            f_new = distributed_objective(&w_new, &mut now, &mut round_counter, &mut gantt, &mut straggler_rng);
+            f_new = distributed_objective(
+                &w_new,
+                &mut now,
+                &mut round_counter,
+                &mut gantt,
+                &mut straggler_rng,
+            );
             if f_new <= f + ml.c1 * step * dg {
                 accepted = true;
                 break;
@@ -203,7 +239,14 @@ pub fn train_sparkml_lbfgs(
         }
 
         let mut grad_new = DenseVector::zeros(dim);
-        distributed_gradient(&w_new, &mut grad_new, &mut now, &mut round_counter, &mut gantt, &mut straggler_rng);
+        distributed_gradient(
+            &w_new,
+            &mut grad_new,
+            &mut now,
+            &mut round_counter,
+            &mut gantt,
+            &mut straggler_rng,
+        );
 
         let mut s = w_new.clone();
         s.axpy(-1.0, &w);
@@ -223,7 +266,12 @@ pub fn train_sparkml_lbfgs(
         rounds_run = iter + 1;
 
         if rounds_run.is_multiple_of(cfg.eval_every.max(1)) || rounds_run == cfg.max_rounds {
-            trace.push(TracePoint { step: rounds_run, time: now, objective: f, total_updates });
+            trace.push(TracePoint {
+                step: rounds_run,
+                time: now,
+                objective: f,
+                total_updates,
+            });
             if cfg.should_stop(f) {
                 converged = cfg.target_objective.is_some_and(|t| f <= t);
                 break;
@@ -298,7 +346,10 @@ mod tests {
         let out = train_sparkml_lbfgs(
             &ds,
             &ClusterSpec::cluster1(),
-            &TrainConfig { max_rounds: 3, ..quick_cfg() },
+            &TrainConfig {
+                max_rounds: 3,
+                ..quick_cfg()
+            },
             &SparkMlConfig::default(),
         );
         let broadcasts = out
@@ -331,17 +382,38 @@ mod tests {
     #[test]
     fn deterministic() {
         let ds = tiny_ds();
-        let cfg = TrainConfig { max_rounds: 4, ..quick_cfg() };
-        let a = train_sparkml_lbfgs(&ds, &ClusterSpec::cluster1(), &cfg, &SparkMlConfig::default());
-        let b = train_sparkml_lbfgs(&ds, &ClusterSpec::cluster1(), &cfg, &SparkMlConfig::default());
+        let cfg = TrainConfig {
+            max_rounds: 4,
+            ..quick_cfg()
+        };
+        let a = train_sparkml_lbfgs(
+            &ds,
+            &ClusterSpec::cluster1(),
+            &cfg,
+            &SparkMlConfig::default(),
+        );
+        let b = train_sparkml_lbfgs(
+            &ds,
+            &ClusterSpec::cluster1(),
+            &cfg,
+            &SparkMlConfig::default(),
+        );
         assert_eq!(a.trace, b.trace);
     }
 
     #[test]
     fn hinge_svm_also_trains() {
         let ds = tiny_ds();
-        let cfg = TrainConfig { loss: Loss::Hinge, ..quick_cfg() };
-        let out = train_sparkml_lbfgs(&ds, &ClusterSpec::cluster1(), &cfg, &SparkMlConfig::default());
+        let cfg = TrainConfig {
+            loss: Loss::Hinge,
+            ..quick_cfg()
+        };
+        let out = train_sparkml_lbfgs(
+            &ds,
+            &ClusterSpec::cluster1(),
+            &cfg,
+            &SparkMlConfig::default(),
+        );
         assert!(out.trace.final_objective().unwrap() < 0.6);
     }
 }

@@ -88,7 +88,13 @@ impl System {
         cluster: &ClusterSpec,
         cfg: &TrainConfig,
     ) -> TrainOutput {
-        self.train(ds, cluster, cfg, &PsSystemConfig::default(), &AngelConfig::default())
+        self.train(
+            ds,
+            cluster,
+            cfg,
+            &PsSystemConfig::default(),
+            &AngelConfig::default(),
+        )
     }
 }
 

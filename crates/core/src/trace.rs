@@ -30,7 +30,11 @@ pub struct ConvergenceTrace {
 impl ConvergenceTrace {
     /// An empty trace.
     pub fn new(system: impl Into<String>, workload: impl Into<String>) -> Self {
-        ConvergenceTrace { system: system.into(), workload: workload.into(), points: Vec::new() }
+        ConvergenceTrace {
+            system: system.into(),
+            workload: workload.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Appends a point.
@@ -55,12 +59,15 @@ impl ConvergenceTrace {
         self.points
             .iter()
             .map(|p| p.objective)
-            .min_by(|a, b| a.partial_cmp(b).expect("objectives are finite"))
+            .min_by(|a, b| a.total_cmp(b))
     }
 
     /// The first step at which the objective is `≤ target`.
     pub fn steps_to_reach(&self, target: f64) -> Option<u64> {
-        self.points.iter().find(|p| p.objective <= target).map(|p| p.step)
+        self.points
+            .iter()
+            .find(|p| p.objective <= target)
+            .map(|p| p.step)
     }
 
     /// The first simulated time (seconds) at which the objective is
@@ -122,8 +129,18 @@ mod tests {
 
     fn sample() -> ConvergenceTrace {
         let mut tr = ConvergenceTrace::new("MLlib*", "test");
-        for (step, secs, obj) in [(0u64, 0.0, 1.0), (1, 2.0, 0.5), (2, 4.0, 0.2), (3, 6.0, 0.25)] {
-            tr.push(TracePoint { step, time: t(secs), objective: obj, total_updates: step * 10 });
+        for (step, secs, obj) in [
+            (0u64, 0.0, 1.0),
+            (1, 2.0, 0.5),
+            (2, 4.0, 0.2),
+            (3, 6.0, 0.25),
+        ] {
+            tr.push(TracePoint {
+                step,
+                time: t(secs),
+                objective: obj,
+                total_updates: step * 10,
+            });
         }
         tr
     }
@@ -143,8 +160,18 @@ mod tests {
     fn speedups() {
         let fast = sample();
         let mut slow = ConvergenceTrace::new("MLlib", "test");
-        slow.push(TracePoint { step: 0, time: t(0.0), objective: 1.0, total_updates: 0 });
-        slow.push(TracePoint { step: 100, time: t(200.0), objective: 0.5, total_updates: 100 });
+        slow.push(TracePoint {
+            step: 0,
+            time: t(0.0),
+            objective: 1.0,
+            total_updates: 0,
+        });
+        slow.push(TracePoint {
+            step: 100,
+            time: t(200.0),
+            objective: 0.5,
+            total_updates: 100,
+        });
         assert_eq!(fast.speedup_over(&slow, 0.5), Some(100.0));
         assert_eq!(fast.step_speedup_over(&slow, 0.5), Some(100.0));
         // Target the slow system never reaches.
@@ -157,7 +184,12 @@ mod tests {
     #[should_panic(expected = "nondecreasing")]
     fn rejects_decreasing_steps() {
         let mut tr = sample();
-        tr.push(TracePoint { step: 1, time: t(9.0), objective: 0.1, total_updates: 0 });
+        tr.push(TracePoint {
+            step: 1,
+            time: t(9.0),
+            objective: 0.1,
+            total_updates: 0,
+        });
     }
 
     #[test]

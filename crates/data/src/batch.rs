@@ -17,7 +17,9 @@ pub struct BatchSampler {
 impl BatchSampler {
     /// A sampler with the given seed.
     pub fn new(seed: u64) -> Self {
-        BatchSampler { rng: StdRng::seed_from_u64(seed) }
+        BatchSampler {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Samples `batch_size` distinct elements of `pool` (all of `pool` if
@@ -49,7 +51,9 @@ pub struct EpochOrder {
 impl EpochOrder {
     /// An order generator with the given seed.
     pub fn new(seed: u64) -> Self {
-        EpochOrder { rng: StdRng::seed_from_u64(seed) }
+        EpochOrder {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Returns a shuffled copy of `pool`. Consecutive calls yield

@@ -38,11 +38,36 @@ pub struct PaperDatasetStats {
 /// Table I of the paper, verbatim.
 pub fn paper_table1() -> Vec<PaperDatasetStats> {
     vec![
-        PaperDatasetStats { name: "avazu", instances: 40_428_967, features: 1_000_000, size: "7.4GB" },
-        PaperDatasetStats { name: "url", instances: 2_396_130, features: 3_231_961, size: "2.1GB" },
-        PaperDatasetStats { name: "kddb", instances: 19_264_097, features: 29_890_095, size: "4.8GB" },
-        PaperDatasetStats { name: "kdd12", instances: 149_639_105, features: 54_686_452, size: "21GB" },
-        PaperDatasetStats { name: "WX", instances: 231_937_380, features: 51_121_518, size: "434GB" },
+        PaperDatasetStats {
+            name: "avazu",
+            instances: 40_428_967,
+            features: 1_000_000,
+            size: "7.4GB",
+        },
+        PaperDatasetStats {
+            name: "url",
+            instances: 2_396_130,
+            features: 3_231_961,
+            size: "2.1GB",
+        },
+        PaperDatasetStats {
+            name: "kddb",
+            instances: 19_264_097,
+            features: 29_890_095,
+            size: "4.8GB",
+        },
+        PaperDatasetStats {
+            name: "kdd12",
+            instances: 149_639_105,
+            features: 54_686_452,
+            size: "21GB",
+        },
+        PaperDatasetStats {
+            name: "WX",
+            instances: 231_937_380,
+            features: 51_121_518,
+            size: "434GB",
+        },
     ]
 }
 
@@ -143,7 +168,13 @@ pub fn public_presets() -> Vec<SyntheticConfig> {
 
 /// All five presets in Table I order.
 pub fn all_presets() -> Vec<SyntheticConfig> {
-    vec![avazu_like(), url_like(), kddb_like(), kdd12_like(), wx_like()]
+    vec![
+        avazu_like(),
+        url_like(),
+        kddb_like(),
+        kdd12_like(),
+        wx_like(),
+    ]
 }
 
 #[cfg(test)]

@@ -57,12 +57,20 @@ impl SparseDataset {
                 )));
             }
         }
-        Ok(SparseDataset { num_features, rows, labels })
+        Ok(SparseDataset {
+            num_features,
+            rows,
+            labels,
+        })
     }
 
     /// An empty dataset of the given dimensionality.
     pub fn empty(num_features: usize) -> Self {
-        SparseDataset { num_features, rows: Vec::new(), labels: Vec::new() }
+        SparseDataset {
+            num_features,
+            rows: Vec::new(),
+            labels: Vec::new(),
+        }
     }
 
     /// Appends an example.
@@ -109,7 +117,11 @@ impl SparseDataset {
     pub fn subset(&self, indices: &[usize]) -> SparseDataset {
         let rows = indices.iter().map(|&i| self.rows[i].clone()).collect();
         let labels = indices.iter().map(|&i| self.labels[i]).collect();
-        SparseDataset { num_features: self.num_features, rows, labels }
+        SparseDataset {
+            num_features: self.num_features,
+            rows,
+            labels,
+        }
     }
 
     /// Total number of stored nonzeros.
@@ -119,7 +131,10 @@ impl SparseDataset {
 
     /// Approximate in-memory size in bytes.
     pub fn size_bytes(&self) -> usize {
-        self.rows.iter().map(SparseVector::size_bytes).sum::<usize>()
+        self.rows
+            .iter()
+            .map(SparseVector::size_bytes)
+            .sum::<usize>()
             + self.labels.len() * std::mem::size_of::<f64>()
     }
 
@@ -132,9 +147,17 @@ impl SparseDataset {
             instances: n,
             features: self.num_features,
             total_nnz,
-            avg_nnz: if n == 0 { 0.0 } else { total_nnz as f64 / n as f64 },
+            avg_nnz: if n == 0 {
+                0.0
+            } else {
+                total_nnz as f64 / n as f64
+            },
             size_bytes: self.size_bytes(),
-            positive_fraction: if n == 0 { 0.0 } else { positives as f64 / n as f64 },
+            positive_fraction: if n == 0 {
+                0.0
+            } else {
+                positives as f64 / n as f64
+            },
             underdetermined: self.num_features > n,
         }
     }

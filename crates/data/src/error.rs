@@ -21,7 +21,9 @@ pub enum DataError {
 impl fmt::Display for DataError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DataError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            DataError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             DataError::Io(e) => write!(f, "I/O error: {e}"),
             DataError::Inconsistent(msg) => write!(f, "inconsistent dataset: {msg}"),
         }
@@ -49,7 +51,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let e = DataError::Parse { line: 3, message: "bad token".into() };
+        let e = DataError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
         assert!(e.to_string().contains("line 3"));
         let e = DataError::Inconsistent("labels mismatch".into());
         assert!(e.to_string().contains("labels mismatch"));

@@ -70,7 +70,11 @@ pub fn read<R: BufRead>(reader: R, num_features: usize) -> Result<SparseDataset,
         parsed.push((pairs, label));
     }
 
-    let dim = if num_features == 0 { max_index } else { num_features };
+    let dim = if num_features == 0 {
+        max_index
+    } else {
+        num_features
+    };
     let mut ds = SparseDataset::empty(dim);
     for (lineno, (pairs, label)) in parsed.into_iter().enumerate() {
         let row = SparseVector::from_pairs(dim, &pairs).map_err(|e| DataError::Parse {
@@ -115,8 +119,8 @@ pub fn write<W: Write>(dataset: &SparseDataset, mut writer: W) -> Result<(), Dat
 /// Serializes a dataset to a LIBSVM string.
 pub fn write_string(dataset: &SparseDataset) -> String {
     let mut buf = Vec::new();
-    write(dataset, &mut buf).expect("writing to a Vec cannot fail");
-    String::from_utf8(buf).expect("LIBSVM output is ASCII")
+    write(dataset, &mut buf).expect("writing to a Vec cannot fail"); // lint:allow(panic_in_lib): Vec<u8> io::Write is infallible
+    String::from_utf8(buf).expect("LIBSVM output is ASCII") // lint:allow(panic_in_lib): the writer emits ASCII only
 }
 
 /// A streaming LIBSVM reader that yields fixed-size chunks of examples —
@@ -154,7 +158,10 @@ impl<R: BufRead> ChunkedReader<R> {
     ///
     /// Panics if `num_features == 0` or `chunk_rows == 0`.
     pub fn new(reader: R, num_features: usize, chunk_rows: usize) -> Self {
-        assert!(num_features > 0, "streaming requires a known dimensionality");
+        assert!(
+            num_features > 0,
+            "streaming requires a known dimensionality"
+        );
         assert!(chunk_rows > 0, "chunks must hold at least one row");
         ChunkedReader {
             reader,
@@ -255,8 +262,10 @@ fn parse_line(
 /// Maps raw file labels to the `±1` convention: `+1`/`1` → `+1`,
 /// `-1`/`0` → `−1`. Other values are rejected.
 fn normalize_label(raw: f64) -> Option<f64> {
+    // lint:allow(float_eq): labels are exact sentinels, not measurements
     if raw == 1.0 {
         Some(1.0)
+    // lint:allow(float_eq): labels are exact sentinels, not measurements
     } else if raw == -1.0 || raw == 0.0 {
         Some(-1.0)
     } else {

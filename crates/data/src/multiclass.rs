@@ -56,7 +56,12 @@ impl MulticlassDataset {
                 "label {y} at row {i} outside 0..{num_classes}"
             )));
         }
-        Ok(MulticlassDataset { num_features, num_classes, rows, labels })
+        Ok(MulticlassDataset {
+            num_features,
+            num_classes,
+            rows,
+            labels,
+        })
     }
 
     /// Number of examples.
@@ -103,7 +108,7 @@ impl MulticlassDataset {
             .map(|&y| if y == class { 1.0 } else { -1.0 })
             .collect();
         SparseDataset::new(self.num_features, self.rows.clone(), labels)
-            .expect("binarization preserves validity")
+            .expect("binarization preserves validity") // lint:allow(panic_in_lib): rows were validated when self was constructed
     }
 
     /// Per-class example counts.
@@ -188,7 +193,7 @@ impl MulticlassConfig {
                 let idx = power_law_index(&mut rng, self.num_features, self.feature_skew);
                 pairs.push((idx as u32, 1.0));
             }
-            let row = SparseVector::from_pairs(self.num_features, &pairs).expect("in bounds");
+            let row = SparseVector::from_pairs(self.num_features, &pairs).expect("in bounds"); // lint:allow(panic_in_lib): indices are drawn modulo num_features
             let label = scorers
                 .iter()
                 .enumerate()
@@ -197,14 +202,14 @@ impl MulticlassConfig {
                         + self.score_noise * normal(&mut rng);
                     (c as u32, score)
                 })
-                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"))
-                .expect("at least two classes")
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("at least two classes") // lint:allow(panic_in_lib): config validation guarantees num_classes ≥ 2
                 .0;
             rows.push(row);
             labels.push(label);
         }
         MulticlassDataset::new(self.num_features, self.num_classes, rows, labels)
-            .expect("generator output is valid")
+            .expect("generator output is valid") // lint:allow(panic_in_lib): labels come from 0..num_classes by construction
     }
 }
 
@@ -233,7 +238,10 @@ mod tests {
     #[test]
     fn deterministic() {
         assert_eq!(tiny(), tiny());
-        let other = MulticlassConfig { seed: 7, ..MulticlassConfig::small("mc", 300, 40, 4) };
+        let other = MulticlassConfig {
+            seed: 7,
+            ..MulticlassConfig::small("mc", 300, 40, 4)
+        };
         assert_ne!(tiny(), other.generate());
     }
 

@@ -48,12 +48,10 @@ impl Partitioner {
     pub fn partition(&self, n: usize, k: usize) -> Vec<Vec<usize>> {
         assert!(k > 0, "cannot partition rows across zero workers");
         match self {
-            Partitioner::Contiguous => {
-                mlstar_linalg::partition_ranges(n, k)
-                    .into_iter()
-                    .map(|r| r.collect())
-                    .collect()
-            }
+            Partitioner::Contiguous => mlstar_linalg::partition_ranges(n, k)
+                .into_iter()
+                .map(|r| r.collect())
+                .collect(),
             Partitioner::RoundRobin => {
                 let mut parts = vec![Vec::with_capacity(n / k + 1); k];
                 for i in 0..n {
@@ -66,10 +64,7 @@ impl Partitioner {
                 let mut rng = StdRng::seed_from_u64(*seed);
                 order.shuffle(&mut rng);
                 let ranges = mlstar_linalg::partition_ranges(n, k);
-                ranges
-                    .into_iter()
-                    .map(|r| order[r].to_vec())
-                    .collect()
+                ranges.into_iter().map(|r| order[r].to_vec()).collect()
             }
             Partitioner::SkewedShuffled { seed, hot_fraction } => {
                 let mut order: Vec<usize> = (0..n).collect();
@@ -151,14 +146,22 @@ mod tests {
 
     #[test]
     fn skewed_gives_worker_zero_the_hot_share() {
-        let parts = Partitioner::SkewedShuffled { seed: 3, hot_fraction: 0.5 }.partition(100, 5);
+        let parts = Partitioner::SkewedShuffled {
+            seed: 3,
+            hot_fraction: 0.5,
+        }
+        .partition(100, 5);
         assert_exact_cover(&parts, 100);
         assert_eq!(parts[0].len(), 50);
         for p in &parts[1..] {
             assert!(p.len() >= 12 && p.len() <= 13, "{}", p.len());
         }
         // Clamping: a fraction below 1/k degrades to balanced-ish.
-        let parts = Partitioner::SkewedShuffled { seed: 3, hot_fraction: 0.0 }.partition(100, 4);
+        let parts = Partitioner::SkewedShuffled {
+            seed: 3,
+            hot_fraction: 0.0,
+        }
+        .partition(100, 4);
         assert_exact_cover(&parts, 100);
         assert_eq!(parts[0].len(), 25);
     }
@@ -169,7 +172,10 @@ mod tests {
             Partitioner::Contiguous,
             Partitioner::RoundRobin,
             Partitioner::Shuffled { seed: 0 },
-            Partitioner::SkewedShuffled { seed: 0, hot_fraction: 0.7 },
+            Partitioner::SkewedShuffled {
+                seed: 0,
+                hot_fraction: 0.7,
+            },
         ] {
             let parts = p.partition(6, 1);
             assert_eq!(parts.len(), 1);

@@ -130,8 +130,7 @@ impl SyntheticConfig {
             self.avg_nnz as f64
         } else {
             let p = self.popular_fraction;
-            let tail_hit =
-                (c as f64 / self.num_features as f64).powf(1.0 / self.feature_skew);
+            let tail_hit = (c as f64 / self.num_features as f64).powf(1.0 / self.feature_skew);
             (self.avg_nnz as f64 * (p + (1.0 - p) * tail_hit)).max(0.25)
         };
         let scale = self.margin_scale / expected_hits.sqrt();
@@ -147,20 +146,22 @@ impl SyntheticConfig {
             let nnz = rng.gen_range(lo..=hi);
             pairs.clear();
             for _ in 0..nnz {
-                let idx = if self.informative_features > 0
-                    && rng.gen_bool(self.popular_fraction)
-                {
+                let idx = if self.informative_features > 0 && rng.gen_bool(self.popular_fraction) {
                     rng.gen_range(0..self.informative_features)
                 } else {
                     power_law_index(&mut rng, self.num_features, self.feature_skew)
                 };
-                let val = if self.binary_features { 1.0 } else { rng.gen_range(0.5..1.5) };
+                let val = if self.binary_features {
+                    1.0
+                } else {
+                    rng.gen_range(0.5..1.5)
+                };
                 pairs.push((idx as u32, val));
             }
             // from_pairs merges duplicate indices by summation, which for
             // binary features models repeated categorical hits.
             let row = SparseVector::from_pairs(self.num_features, &pairs)
-                .expect("generated pairs are in bounds");
+                .expect("generated pairs are in bounds"); // lint:allow(panic_in_lib): indices are drawn modulo num_features
             let mut margin: f64 = row.iter().map(|(i, v)| truth[i] * v).sum();
             margin += self.margin_noise * normal(&mut rng);
             let mut label = if margin >= 0.0 { 1.0 } else { -1.0 };

@@ -27,8 +27,12 @@ pub enum MlSystem {
 
 impl MlSystem {
     /// All systems in Figure 1 order.
-    pub const ALL: [MlSystem; 4] =
-        [MlSystem::TensorFlow, MlSystem::Angel, MlSystem::XGBoost, MlSystem::MLlib];
+    pub const ALL: [MlSystem; 4] = [
+        MlSystem::TensorFlow,
+        MlSystem::Angel,
+        MlSystem::XGBoost,
+        MlSystem::MLlib,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -163,7 +167,10 @@ mod tests {
 
     #[test]
     fn shares_converge_to_targets() {
-        let cfg = WorkloadConfig { num_jobs: 50_000, ..WorkloadConfig::default() };
+        let cfg = WorkloadConfig {
+            num_jobs: 50_000,
+            ..WorkloadConfig::default()
+        };
         let report = analyze(&generate_trace(&cfg));
         for (i, (system, share)) in report.system_shares.iter().enumerate() {
             assert!(
@@ -196,13 +203,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "sum to 1")]
     fn bad_shares_panic() {
-        let cfg = WorkloadConfig { shares: [0.5, 0.5, 0.5, 0.5], ..WorkloadConfig::default() };
+        let cfg = WorkloadConfig {
+            shares: [0.5, 0.5, 0.5, 0.5],
+            ..WorkloadConfig::default()
+        };
         generate_trace(&cfg);
     }
 
     #[test]
     fn data_sizes_are_in_configured_range() {
-        let jobs = generate_trace(&WorkloadConfig { num_jobs: 1000, ..WorkloadConfig::default() });
+        let jobs = generate_trace(&WorkloadConfig {
+            num_jobs: 1000,
+            ..WorkloadConfig::default()
+        });
         for j in &jobs {
             assert!(j.data_gb >= 0.1 && j.data_gb <= 1000.0, "{}", j.data_gb);
         }

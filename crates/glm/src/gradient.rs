@@ -45,13 +45,17 @@ pub fn batch_gradient_into(
     batch: &[usize],
     grad: &mut DenseVector,
 ) {
-    assert!(!batch.is_empty(), "gradient over an empty batch is undefined");
+    assert!(
+        !batch.is_empty(),
+        "gradient over an empty batch is undefined"
+    );
     assert_eq!(grad.dim(), w.dim(), "gradient buffer dimension mismatch");
     grad.clear();
     let inv = 1.0 / batch.len() as f64;
     for &i in batch {
         let x = &rows[i];
         let d = loss.dloss(w.dot_sparse(x), labels[i]);
+        // lint:allow(float_eq): exact-zero subgradient means no update — a sparsity fast path
         if d != 0.0 {
             grad.axpy_sparse(d * inv, x);
         }
@@ -122,7 +126,12 @@ mod tests {
             let fp = crate::training_loss(Loss::Logistic, &wp, &rows, &labels);
             let fm = crate::training_loss(Loss::Logistic, &wm, &rows, &labels);
             let fd = (fp - fm) / (2.0 * h);
-            assert!((g.get(i) - fd).abs() < 1e-5, "coord {i}: {} vs {}", g.get(i), fd);
+            assert!(
+                (g.get(i) - fd).abs() < 1e-5,
+                "coord {i}: {} vs {}",
+                g.get(i),
+                fd
+            );
         }
     }
 

@@ -21,7 +21,10 @@ pub struct LazyL1 {
 impl LazyL1 {
     /// Fresh state for a model of dimension `dim`.
     pub fn new(dim: usize) -> Self {
-        LazyL1 { u: 0.0, q: vec![0.0; dim] }
+        LazyL1 {
+            u: 0.0,
+            q: vec![0.0; dim],
+        }
     }
 
     /// The outstanding global penalty (exposed for tests).
@@ -56,6 +59,7 @@ impl LazyL1 {
         self.q[i] += applied.abs();
         // A zero coordinate owes nothing further until it becomes nonzero,
         // so mark its debt as settled.
+        // lint:allow(float_eq): truncation clamps to exactly 0.0, so the check is exact
         if w.get(i) == 0.0 {
             self.q[i] = self.u;
         }

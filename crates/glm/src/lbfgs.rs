@@ -182,7 +182,11 @@ impl Lbfgs {
                 if history.len() == cfg.history {
                     history.pop_front();
                 }
-                history.push_back(Correction { rho: 1.0 / sy, s, y });
+                history.push_back(Correction {
+                    rho: 1.0 / sy,
+                    s,
+                    y,
+                });
             }
 
             w = w_new;
@@ -211,7 +215,11 @@ pub fn lbfgs_direction(grad: &DenseVector, pairs: &[(DenseVector, DenseVector)])
     for (s, y) in pairs {
         let sy = s.dot(y);
         if sy > 1e-12 {
-            history.push_back(Correction { rho: 1.0 / sy, s: s.clone(), y: y.clone() });
+            history.push_back(Correction {
+                rho: 1.0 / sy,
+                s: s.clone(),
+                y: y.clone(),
+            });
         }
     }
     let mut d = two_loop(grad, &history);
@@ -283,8 +291,11 @@ mod tests {
     #[test]
     fn beats_sgd_per_iteration_on_smooth_problems() {
         let (rows, labels) = problem(200);
-        let lbfgs = Lbfgs::new(LbfgsConfig { max_iters: 15, ..LbfgsConfig::default() })
-            .run(6, &rows, &labels);
+        let lbfgs = Lbfgs::new(LbfgsConfig {
+            max_iters: 15,
+            ..LbfgsConfig::default()
+        })
+        .run(6, &rows, &labels);
         let sgd = MiniBatchGd::new(MgdConfig {
             loss: Loss::Logistic,
             lr: LearningRate::Constant(0.5),
@@ -312,7 +323,14 @@ mod tests {
         // Gradient (incl. λw) should be near zero at convergence.
         let all: Vec<usize> = (0..rows.len()).collect();
         let mut g = DenseVector::zeros(6);
-        batch_gradient_into(Loss::Logistic, result.model.weights(), &rows, &labels, &all, &mut g);
+        batch_gradient_into(
+            Loss::Logistic,
+            result.model.weights(),
+            &rows,
+            &labels,
+            &all,
+            &mut g,
+        );
         Regularizer::L2 { lambda: 0.1 }.add_gradient(result.model.weights(), &mut g);
         assert!(g.norm2() < 1e-4, "‖∇f‖ = {}", g.norm2());
     }
@@ -320,7 +338,11 @@ mod tests {
     #[test]
     fn hinge_subgradients_still_descend() {
         let (rows, labels) = problem(150);
-        let cfg = LbfgsConfig { loss: Loss::Hinge, max_iters: 40, ..LbfgsConfig::default() };
+        let cfg = LbfgsConfig {
+            loss: Loss::Hinge,
+            max_iters: 40,
+            ..LbfgsConfig::default()
+        };
         let result = Lbfgs::new(cfg).run(6, &rows, &labels);
         assert!(
             result.final_objective < 0.3,
@@ -333,7 +355,11 @@ mod tests {
     fn history_window_is_bounded() {
         let (rows, labels) = problem(100);
         // history = 1 must still run (memory-limited BFGS).
-        let cfg = LbfgsConfig { history: 1, max_iters: 30, ..LbfgsConfig::default() };
+        let cfg = LbfgsConfig {
+            history: 1,
+            max_iters: 30,
+            ..LbfgsConfig::default()
+        };
         let result = Lbfgs::new(cfg).run(6, &rows, &labels);
         assert!(result.final_objective < 0.2);
     }
@@ -341,8 +367,11 @@ mod tests {
     #[test]
     fn evaluation_count_is_reported() {
         let (rows, labels) = problem(50);
-        let result = Lbfgs::new(LbfgsConfig { max_iters: 5, ..LbfgsConfig::default() })
-            .run(6, &rows, &labels);
+        let result = Lbfgs::new(LbfgsConfig {
+            max_iters: 5,
+            ..LbfgsConfig::default()
+        })
+        .run(6, &rows, &labels);
         // At least 1 objective + 1 gradient per iteration, plus the
         // initial pair.
         assert!(result.evaluations >= 2 * result.iterations + 2);
@@ -351,7 +380,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "history must be positive")]
     fn zero_history_rejected() {
-        let _ = Lbfgs::new(LbfgsConfig { history: 0, ..LbfgsConfig::default() });
+        let _ = Lbfgs::new(LbfgsConfig {
+            history: 0,
+            ..LbfgsConfig::default()
+        });
     }
 
     #[test]

@@ -39,7 +39,11 @@ impl LearningRate {
             LearningRate::Constant(eta0) => eta0,
             LearningRate::InvSqrt(eta0) => eta0 / ((t + 1) as f64).sqrt(),
             LearningRate::InvT { eta0, decay } => eta0 / (1.0 + decay * t as f64),
-            LearningRate::Exponential { eta0, factor, period } => {
+            LearningRate::Exponential {
+                eta0,
+                factor,
+                period,
+            } => {
                 let steps = t / period.max(1);
                 eta0 * factor.powi(steps.min(i32::MAX as u64) as i32)
             }
@@ -73,7 +77,10 @@ mod tests {
 
     #[test]
     fn inv_t_decays_harmonically() {
-        let s = LearningRate::InvT { eta0: 1.0, decay: 1.0 };
+        let s = LearningRate::InvT {
+            eta0: 1.0,
+            decay: 1.0,
+        };
         assert_eq!(s.eta(0), 1.0);
         assert_eq!(s.eta(1), 0.5);
         assert_eq!(s.eta(9), 0.1);
@@ -81,13 +88,21 @@ mod tests {
 
     #[test]
     fn exponential_steps() {
-        let s = LearningRate::Exponential { eta0: 1.0, factor: 0.5, period: 10 };
+        let s = LearningRate::Exponential {
+            eta0: 1.0,
+            factor: 0.5,
+            period: 10,
+        };
         assert_eq!(s.eta(0), 1.0);
         assert_eq!(s.eta(9), 1.0);
         assert_eq!(s.eta(10), 0.5);
         assert_eq!(s.eta(25), 0.25);
         // Period 0 is clamped to 1 instead of dividing by zero.
-        let s = LearningRate::Exponential { eta0: 1.0, factor: 0.5, period: 0 };
+        let s = LearningRate::Exponential {
+            eta0: 1.0,
+            factor: 0.5,
+            period: 0,
+        };
         assert_eq!(s.eta(1), 0.5);
     }
 
@@ -96,8 +111,15 @@ mod tests {
         let schedules = [
             LearningRate::Constant(0.3),
             LearningRate::InvSqrt(0.3),
-            LearningRate::InvT { eta0: 0.3, decay: 0.01 },
-            LearningRate::Exponential { eta0: 0.3, factor: 0.9, period: 5 },
+            LearningRate::InvT {
+                eta0: 0.3,
+                decay: 0.01,
+            },
+            LearningRate::Exponential {
+                eta0: 0.3,
+                factor: 0.9,
+                period: 5,
+            },
         ];
         for s in schedules {
             let mut prev = s.eta0();

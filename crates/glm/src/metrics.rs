@@ -33,7 +33,7 @@ pub fn auc(w: &DenseVector, rows: &[SparseVector], labels: &[f64]) -> f64 {
     if n_pos == 0 || n_neg == 0 {
         return 0.5;
     }
-    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite margins"));
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0));
     // Midranks over ties.
     let mut rank_sum_pos = 0.0;
     let mut i = 0;
@@ -76,7 +76,10 @@ impl BinaryConfusion {
     /// Panics if `rows` is empty or lengths differ.
     pub fn evaluate(w: &DenseVector, rows: &[SparseVector], labels: &[f64]) -> Self {
         assert_eq!(rows.len(), labels.len(), "one label per row required");
-        assert!(!rows.is_empty(), "metrics over an empty dataset are undefined");
+        assert!(
+            !rows.is_empty(),
+            "metrics over an empty dataset are undefined"
+        );
         let mut c = BinaryConfusion::default();
         for (x, &y) in rows.iter().zip(labels.iter()) {
             let predicted_positive = w.dot_sparse(x) >= 0.0;
@@ -127,6 +130,7 @@ impl BinaryConfusion {
     pub fn f1(&self) -> f64 {
         let p = self.precision();
         let r = self.recall();
+        // lint:allow(float_eq): exact-zero guard against 0/0; both terms are ≥ 0
         if p + r == 0.0 {
             0.0
         } else {
@@ -153,7 +157,15 @@ mod tests {
     fn confusion_counts() {
         let (w, rows, labels) = problem();
         let c = BinaryConfusion::evaluate(&w, &rows, &labels);
-        assert_eq!(c, BinaryConfusion { tp: 1, fp: 0, tn: 1, fn_: 1 });
+        assert_eq!(
+            c,
+            BinaryConfusion {
+                tp: 1,
+                fp: 0,
+                tn: 1,
+                fn_: 1
+            }
+        );
         assert_eq!(c.total(), 3);
     }
 
@@ -195,9 +207,12 @@ mod tests {
     fn auc_of_random_scores_is_half_for_constant_margin() {
         // All margins equal → every ordering tied → AUC = 0.5 by midranks.
         let w = DenseVector::zeros(1);
-        let rows: Vec<SparseVector> =
-            (0..10).map(|_| SparseVector::from_pairs(1, &[(0, 1.0)]).unwrap()).collect();
-        let labels: Vec<f64> = (0..10).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let rows: Vec<SparseVector> = (0..10)
+            .map(|_| SparseVector::from_pairs(1, &[(0, 1.0)]).unwrap())
+            .collect();
+        let labels: Vec<f64> = (0..10)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!((auc(&w, &rows, &labels) - 0.5).abs() < 1e-12);
     }
 

@@ -17,7 +17,9 @@ pub struct GlmModel {
 impl GlmModel {
     /// A zero model of the given dimension (the paper's `w₀`).
     pub fn zeros(dim: usize) -> Self {
-        GlmModel { weights: DenseVector::zeros(dim) }
+        GlmModel {
+            weights: DenseVector::zeros(dim),
+        }
     }
 
     /// Wraps an existing weight vector.

@@ -12,7 +12,10 @@ use crate::{Loss, Regularizer};
 /// Panics if `rows` and `labels` have different lengths or `rows` is empty.
 pub fn training_loss(loss: Loss, w: &DenseVector, rows: &[SparseVector], labels: &[f64]) -> f64 {
     assert_eq!(rows.len(), labels.len(), "one label per row required");
-    assert!(!rows.is_empty(), "objective over an empty dataset is undefined");
+    assert!(
+        !rows.is_empty(),
+        "objective over an empty dataset is undefined"
+    );
     let mut acc = 0.0;
     for (x, &y) in rows.iter().zip(labels.iter()) {
         acc += loss.value(w.dot_sparse(x), y);
@@ -47,7 +50,10 @@ pub fn objective_value_subset(
     labels: &[f64],
     subset: &[usize],
 ) -> f64 {
-    assert!(!subset.is_empty(), "objective over an empty subset is undefined");
+    assert!(
+        !subset.is_empty(),
+        "objective over an empty subset is undefined"
+    );
     let mut acc = 0.0;
     for &i in subset {
         acc += loss.value(w.dot_sparse(&rows[i]), labels[i]);
@@ -81,7 +87,13 @@ mod tests {
         let (rows, labels) = tiny_problem();
         let w = DenseVector::from_vec(vec![2.0, -2.0]);
         let plain = objective_value(Loss::Hinge, Regularizer::None, &w, &rows, &labels);
-        let ridge = objective_value(Loss::Hinge, Regularizer::L2 { lambda: 0.1 }, &w, &rows, &labels);
+        let ridge = objective_value(
+            Loss::Hinge,
+            Regularizer::L2 { lambda: 0.1 },
+            &w,
+            &rows,
+            &labels,
+        );
         assert!((ridge - plain - 0.5 * 0.1 * 8.0).abs() < 1e-12);
     }
 
@@ -89,7 +101,10 @@ mod tests {
     fn perfect_model_has_zero_hinge_objective() {
         let (rows, labels) = tiny_problem();
         let w = DenseVector::from_vec(vec![2.0, -2.0]);
-        assert_eq!(objective_value(Loss::Hinge, Regularizer::None, &w, &rows, &labels), 0.0);
+        assert_eq!(
+            objective_value(Loss::Hinge, Regularizer::None, &w, &rows, &labels),
+            0.0
+        );
     }
 
     #[test]

@@ -125,7 +125,16 @@ impl MiniBatchGd {
         for t in 0..cfg.max_iters {
             let batch = sample_batch(&mut rng, n, batch_size);
             let eta = cfg.lr.eta(t);
-            mgd_step(cfg.loss, cfg.reg, &mut w, rows, labels, &batch, eta, &mut grad_buf);
+            mgd_step(
+                cfg.loss,
+                cfg.reg,
+                &mut w,
+                rows,
+                labels,
+                &batch,
+                eta,
+                &mut grad_buf,
+            );
             iterations = t + 1;
             if iterations % eval_every == 0 || iterations == cfg.max_iters {
                 let f = objective_value(cfg.loss, cfg.reg, &w, rows, labels);
@@ -211,7 +220,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (rows, labels) = separable(50);
-        let cfg = MgdConfig { seed: 7, ..MgdConfig::default() };
+        let cfg = MgdConfig {
+            seed: 7,
+            ..MgdConfig::default()
+        };
         let a = MiniBatchGd::new(cfg.clone()).run(4, &rows, &labels);
         let b = MiniBatchGd::new(cfg).run(4, &rows, &labels);
         assert_eq!(a.model.weights().as_slice(), b.model.weights().as_slice());
@@ -221,8 +233,16 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let (rows, labels) = separable(50);
-        let cfg = MgdConfig { batch_size: 8, max_iters: 37, ..MgdConfig::default() };
-        let a = MiniBatchGd::new(MgdConfig { seed: 1, ..cfg.clone() }).run(4, &rows, &labels);
+        let cfg = MgdConfig {
+            batch_size: 8,
+            max_iters: 37,
+            ..MgdConfig::default()
+        };
+        let a = MiniBatchGd::new(MgdConfig {
+            seed: 1,
+            ..cfg.clone()
+        })
+        .run(4, &rows, &labels);
         let b = MiniBatchGd::new(MgdConfig { seed: 2, ..cfg }).run(4, &rows, &labels);
         assert_ne!(a.model.weights().as_slice(), b.model.weights().as_slice());
     }

@@ -50,6 +50,7 @@ pub fn sgd_epoch_lazy(
             for &i in order {
                 let eta = lr.eta(t);
                 let d = loss.dloss(w.dot_sparse(&rows[i]), labels[i]);
+                // lint:allow(float_eq): exact-zero subgradient means no update — a sparsity fast path
                 if d != 0.0 {
                     w.axpy_sparse(-eta * d, &rows[i]);
                 }
@@ -63,6 +64,7 @@ pub fn sgd_epoch_lazy(
                 // Shrink first (acts on w_{t-1}), then take the loss step,
                 // matching w ← (1-ηλ)·w − η·d·x.
                 w.scale_by((1.0 - eta * lambda).max(0.0));
+                // lint:allow(float_eq): exact-zero subgradient means no update — a sparsity fast path
                 if d != 0.0 {
                     w.axpy_sparse(-eta * d, &rows[i]);
                 }
@@ -79,6 +81,7 @@ pub fn sgd_epoch_lazy(
                     l1.apply_at(dense, j);
                 }
                 let d = loss.dloss(dense.dot_sparse(&rows[i]), labels[i]);
+                // lint:allow(float_eq): exact-zero subgradient means no update — a sparsity fast path
                 if d != 0.0 {
                     dense.axpy_sparse(-eta * d, &rows[i]);
                 }
@@ -130,6 +133,7 @@ pub fn sgd_epoch_eager(
                 }
             }
         }
+        // lint:allow(float_eq): exact-zero subgradient means no update — a sparsity fast path
         if d != 0.0 {
             w.axpy_sparse(-eta * d, &rows[i]);
         }
@@ -168,6 +172,7 @@ pub fn mgd_step(
         Regularizer::L1 { lambda } => {
             for j in 0..w.dim() {
                 let z = w.get(j);
+                // lint:allow(float_eq): the L1 subgradient is exactly zero at exactly-zero weights
                 if z != 0.0 {
                     grad_buf[j] += lambda * z.signum();
                 }
@@ -226,9 +231,27 @@ mod tests {
         let lr = LearningRate::InvSqrt(0.2);
 
         let mut lazy = ScaledVector::zeros(3);
-        sgd_epoch_lazy(Loss::Logistic, Regularizer::None, &mut lazy, &rows, &labels, &order, lr, 0);
+        sgd_epoch_lazy(
+            Loss::Logistic,
+            Regularizer::None,
+            &mut lazy,
+            &rows,
+            &labels,
+            &order,
+            lr,
+            0,
+        );
         let mut eager = DenseVector::zeros(3);
-        sgd_epoch_eager(Loss::Logistic, Regularizer::None, &mut eager, &rows, &labels, &order, lr, 0);
+        sgd_epoch_eager(
+            Loss::Logistic,
+            Regularizer::None,
+            &mut eager,
+            &rows,
+            &labels,
+            &order,
+            lr,
+            0,
+        );
 
         let lazy_dense = lazy.to_dense();
         for i in 0..3 {

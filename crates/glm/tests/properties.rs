@@ -1,8 +1,8 @@
 //! Property-based tests for the GLM kernels.
 
 use mlstar_glm::{
-    batch_gradient, mgd_step, objective_value, sgd_epoch_eager, sgd_epoch_lazy, LearningRate,
-    Loss, Regularizer,
+    batch_gradient, mgd_step, objective_value, sgd_epoch_eager, sgd_epoch_lazy, LearningRate, Loss,
+    Regularizer,
 };
 use mlstar_linalg::{DenseVector, ScaledVector, SparseVector};
 use proptest::prelude::*;

@@ -28,12 +28,16 @@ pub struct DenseVector {
 impl DenseVector {
     /// Creates a vector of `dim` zeros.
     pub fn zeros(dim: usize) -> Self {
-        DenseVector { values: vec![0.0; dim] }
+        DenseVector {
+            values: vec![0.0; dim],
+        }
     }
 
     /// Creates a vector filled with `value`.
     pub fn filled(dim: usize, value: f64) -> Self {
-        DenseVector { values: vec![value; dim] }
+        DenseVector {
+            values: vec![value; dim],
+        }
     }
 
     /// Wraps an existing `Vec<f64>`.
@@ -168,7 +172,7 @@ impl DenseVector {
 
     /// Number of coordinates with nonzero value.
     pub fn count_nonzero(&self) -> usize {
-        self.values.iter().filter(|v| **v != 0.0).count()
+        self.values.iter().filter(|v| **v != 0.0).count() // lint:allow(float_eq): nnz counts exact zeros by definition
     }
 
     /// Returns `true` if every coordinate is finite.

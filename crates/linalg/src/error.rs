@@ -45,13 +45,19 @@ impl fmt::Display for LinalgError {
                 write!(f, "sparse index {index} out of bounds for dimension {dim}")
             }
             LinalgError::UnsortedIndices { position } => {
-                write!(f, "sparse indices not strictly increasing at position {position}")
+                write!(
+                    f,
+                    "sparse indices not strictly increasing at position {position}"
+                )
             }
             LinalgError::NonFiniteValue { position } => {
                 write!(f, "non-finite value at position {position}")
             }
             LinalgError::LengthMismatch { indices, values } => {
-                write!(f, "index/value length mismatch: {indices} indices vs {values} values")
+                write!(
+                    f,
+                    "index/value length mismatch: {indices} indices vs {values} values"
+                )
             }
             LinalgError::DimensionMismatch { left, right } => {
                 write!(f, "dimension mismatch: {left} vs {right}")
@@ -73,7 +79,10 @@ mod tests {
         assert!(e.to_string().contains("5"));
         let e = LinalgError::UnsortedIndices { position: 3 };
         assert!(e.to_string().contains("3"));
-        let e = LinalgError::LengthMismatch { indices: 2, values: 4 };
+        let e = LinalgError::LengthMismatch {
+            indices: 2,
+            values: 4,
+        };
         assert!(e.to_string().contains("2"));
         let e = LinalgError::DimensionMismatch { left: 7, right: 9 };
         assert!(e.to_string().contains("7"));

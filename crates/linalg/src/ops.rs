@@ -40,8 +40,15 @@ pub fn average(vectors: &[DenseVector]) -> DenseVector {
 ///
 /// Panics if slices are empty, lengths differ, or the total weight is zero.
 pub fn weighted_average(vectors: &[DenseVector], weights: &[f64]) -> DenseVector {
-    assert!(!vectors.is_empty(), "weighted_average of zero vectors is undefined");
-    assert_eq!(vectors.len(), weights.len(), "one weight per vector required");
+    assert!(
+        !vectors.is_empty(),
+        "weighted_average of zero vectors is undefined"
+    );
+    assert_eq!(
+        vectors.len(),
+        weights.len(),
+        "one weight per vector required"
+    );
     let total: f64 = weights.iter().sum();
     assert!(total > 0.0, "total weight must be positive");
     let mut acc = DenseVector::zeros(vectors[0].dim());
@@ -114,8 +121,20 @@ mod tests {
         let ranges = partition_ranges(10, 3);
         assert_eq!(ranges, vec![0..4, 4..7, 7..10]);
         // Degenerate cases.
-        assert_eq!(partition_ranges(2, 5).iter().map(|r| r.len()).sum::<usize>(), 2);
-        assert_eq!(partition_ranges(0, 3).iter().map(|r| r.len()).sum::<usize>(), 0);
+        assert_eq!(
+            partition_ranges(2, 5)
+                .iter()
+                .map(|r| r.len())
+                .sum::<usize>(),
+            2
+        );
+        assert_eq!(
+            partition_ranges(0, 3)
+                .iter()
+                .map(|r| r.len())
+                .sum::<usize>(),
+            0
+        );
         assert_eq!(partition_ranges(8, 8).len(), 8);
     }
 

@@ -43,7 +43,10 @@ pub struct ScaledVector {
 impl ScaledVector {
     /// A zero vector of dimension `dim` with scale 1.
     pub fn zeros(dim: usize) -> Self {
-        ScaledVector { scale: 1.0, v: DenseVector::zeros(dim) }
+        ScaledVector {
+            scale: 1.0,
+            v: DenseVector::zeros(dim),
+        }
     }
 
     /// Wraps a dense vector (scale 1).
@@ -85,7 +88,9 @@ impl ScaledVector {
 
     /// `self += alpha · x` on the *represented* vector, in `O(nnz(x))`.
     pub fn axpy_sparse(&mut self, alpha: f64, x: &SparseVector) {
+        // lint:allow(float_eq): scale = 0.0 is an exact state set by scale_by, not a computed value
         debug_assert!(self.scale != 0.0 || alpha == 0.0 || x.is_empty());
+        // lint:allow(float_eq): scale = 0.0 is an exact state set by scale_by
         if self.scale == 0.0 {
             // Represented vector is exactly zero; reset scale to 1 first.
             self.v.clear();
@@ -96,6 +101,7 @@ impl ScaledVector {
 
     /// `self += alpha · d` on the represented vector, in `O(dim)`.
     pub fn axpy_dense(&mut self, alpha: f64, d: &DenseVector) {
+        // lint:allow(float_eq): scale = 0.0 is an exact state set by scale_by
         if self.scale == 0.0 {
             self.v.clear();
             self.scale = 1.0;
@@ -110,6 +116,7 @@ impl ScaledVector {
 
     /// Folds the scale factor into the storage so that `scale == 1`.
     pub fn rescale(&mut self) {
+        // lint:allow(float_eq): exact no-op check; 1.0 is the exact post-rescale state
         if self.scale != 1.0 {
             self.v.scale(self.scale);
             self.scale = 1.0;
@@ -124,6 +131,7 @@ impl ScaledVector {
     pub fn copy_into(&self, out: &mut DenseVector) {
         assert_eq!(self.dim(), out.dim(), "copy_into: dimension mismatch");
         out.as_mut_slice().copy_from_slice(self.v.as_slice());
+        // lint:allow(float_eq): exact no-op check; 1.0 is the exact post-rescale state
         if self.scale != 1.0 {
             out.scale(self.scale);
         }
@@ -184,7 +192,10 @@ mod tests {
 
         let lazy_dense = lazy.to_dense();
         for i in 0..8 {
-            assert!((lazy_dense.get(i) - eager.get(i)).abs() < 1e-12, "coord {i}");
+            assert!(
+                (lazy_dense.get(i) - eager.get(i)).abs() < 1e-12,
+                "coord {i}"
+            );
         }
     }
 
@@ -228,7 +239,10 @@ mod tests {
     #[test]
     fn norm_and_materialization() {
         let mut w = ScaledVector::zeros(4);
-        w.axpy_sparse(1.0, &SparseVector::from_pairs(4, &[(0, 3.0), (1, 4.0)]).unwrap());
+        w.axpy_sparse(
+            1.0,
+            &SparseVector::from_pairs(4, &[(0, 3.0), (1, 4.0)]).unwrap(),
+        );
         w.scale_by(2.0);
         assert!((w.norm2_sq() - 100.0).abs() < 1e-12);
         assert_eq!(w.clone().into_dense().as_slice(), &[6.0, 8.0, 0.0, 0.0]);

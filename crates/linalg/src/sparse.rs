@@ -39,7 +39,10 @@ impl SparseVector {
         let mut prev: Option<u32> = None;
         for (pos, &i) in indices.iter().enumerate() {
             if (i as usize) >= dim {
-                return Err(LinalgError::IndexOutOfBounds { index: i as usize, dim });
+                return Err(LinalgError::IndexOutOfBounds {
+                    index: i as usize,
+                    dim,
+                });
             }
             if let Some(p) = prev {
                 if i <= p {
@@ -53,7 +56,11 @@ impl SparseVector {
                 return Err(LinalgError::NonFiniteValue { position: pos });
             }
         }
-        Ok(SparseVector { dim, indices, values })
+        Ok(SparseVector {
+            dim,
+            indices,
+            values,
+        })
     }
 
     /// Creates a sparse vector from possibly unsorted `(index, value)` pairs.
@@ -67,7 +74,10 @@ impl SparseVector {
         let mut values = Vec::with_capacity(sorted.len());
         for (i, v) in sorted {
             if indices.last() == Some(&i) {
-                let last = values.last_mut().expect("values nonempty when indices nonempty");
+                let last = values
+                    .last_mut()
+                    // lint:allow(panic_in_lib): indices and values grow in lockstep in this loop
+                    .expect("values nonempty when indices nonempty");
                 *last += v;
             } else {
                 indices.push(i);
@@ -79,7 +89,11 @@ impl SparseVector {
 
     /// An empty sparse vector of the given dimension.
     pub fn empty(dim: usize) -> Self {
-        SparseVector { dim, indices: Vec::new(), values: Vec::new() }
+        SparseVector {
+            dim,
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// The declared dimension.
@@ -210,7 +224,13 @@ mod tests {
     #[test]
     fn new_validates_lengths_and_finiteness() {
         let err = SparseVector::new(5, vec![1], vec![]).unwrap_err();
-        assert_eq!(err, LinalgError::LengthMismatch { indices: 1, values: 0 });
+        assert_eq!(
+            err,
+            LinalgError::LengthMismatch {
+                indices: 1,
+                values: 0
+            }
+        );
         let err = SparseVector::new(5, vec![1], vec![f64::INFINITY]).unwrap_err();
         assert_eq!(err, LinalgError::NonFiniteValue { position: 0 });
     }

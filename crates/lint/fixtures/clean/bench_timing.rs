@@ -1,0 +1,15 @@
+//@ path: crates/bench/src/demo.rs
+//@ expect:
+
+use std::time::Instant;
+
+pub fn measure(mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

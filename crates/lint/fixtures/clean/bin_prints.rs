@@ -1,0 +1,8 @@
+//@ path: crates/bench/src/bin/demo.rs
+//@ expect:
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_default();
+    let n: u32 = arg.parse().unwrap_or(0);
+    println!("n = {n}");
+}

@@ -1,0 +1,12 @@
+//@ path: crates/data/src/demo.rs
+//@ expect:
+
+pub fn comparisons(n: usize, x: f64, y: f64, eps: f64) -> bool {
+    let int_eq = n == 1;
+    let range_sum: usize = (0..10).sum();
+    let ordered = x <= 1.0 && y >= 0.5;
+    let eps_eq = (x - y).abs() < eps;
+    let tuple = (1u32, 2u32);
+    let field_eq = tuple.0 == tuple.1;
+    int_eq && ordered && eps_eq && field_eq && range_sum > 0
+}

@@ -1,0 +1,9 @@
+//@ path: crates/data/src/lib.rs
+//@ expect:
+
+#![forbid(unsafe_code)]
+//! A well-behaved crate root.
+
+pub fn f() -> u32 {
+    7
+}

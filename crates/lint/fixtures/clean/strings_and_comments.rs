@@ -1,0 +1,28 @@
+//@ path: crates/cluster/src/demo.rs
+//@ expect:
+
+//! Forbidden tokens in comments: HashMap, Instant::now(), thread_rng().
+
+/// Doc example with a panic:
+/// ```
+/// let v: u32 = "7".parse().unwrap();
+/// ```
+pub fn doc_example() {}
+
+pub const HELP: &str = "never use HashMap, Instant::now, or .unwrap() here";
+
+pub const RAW: &str = r#"thread_rng() and "rand::random" in a raw string"#;
+
+pub const MULTI: &str = "line one .expect(
+line two SystemTime::now continues the string";
+
+/* block comment: x == 1.0 and println!("x") are fine here
+   /* nested: HashSet::new() */
+   still commented */
+pub fn quoted_quote() -> char {
+    '"' // a char literal holding a quote must not open a string
+}
+
+pub fn lifetimes<'a>(s: &'a str) -> &'a str {
+    s
+}

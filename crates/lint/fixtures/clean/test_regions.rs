@@ -1,0 +1,29 @@
+//@ path: crates/glm/src/demo.rs
+//@ expect:
+
+pub fn lib_code(x: f64) -> f64 {
+    (x - 1.0).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn unwraps_and_float_eq_are_fine_here() {
+        let m: HashMap<u32, f64> = HashMap::new();
+        assert!(m.get(&1).copied().unwrap_or(1.0) == 1.0);
+        let v: u32 = "3".parse().unwrap();
+        assert_eq!(v, 3);
+    }
+}
+
+#[cfg(all(test, feature = "slow"))]
+mod slow_tests {
+    #[test]
+    fn also_a_test_region() {
+        let x: f64 = "1.0".parse().expect("literal");
+        assert!(x == 1.0);
+    }
+}

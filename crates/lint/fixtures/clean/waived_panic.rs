@@ -1,0 +1,20 @@
+//@ path: crates/data/src/demo.rs
+//@ expect:
+
+use std::fmt::Write as _;
+
+pub fn render(items: &[u32]) -> String {
+    let mut out = String::new();
+    // lint:allow(panic_in_lib): writing to a String cannot fail
+    write!(out, "{} items", items.len()).expect("infallible");
+    items
+        .first()
+        .copied()
+        .map(|v| v.to_string())
+        .unwrap_or_default(); // not a bare unwrap
+    out
+}
+
+pub fn head(items: &[u32]) -> u32 {
+    items.first().copied().unwrap() // lint:allow(panic_in_lib): caller guarantees non-empty input
+}

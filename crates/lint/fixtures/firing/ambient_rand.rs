@@ -1,0 +1,9 @@
+//@ path: crates/data/src/demo.rs
+//@ expect: ambient_rand
+
+pub fn noise() -> f64 {
+    let mut rng = rand::thread_rng();
+    let _jitter: f64 = rand::random();
+    let _seeded = StdRng::from_entropy();
+    rng.gen()
+}

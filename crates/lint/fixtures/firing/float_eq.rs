@@ -1,0 +1,9 @@
+//@ path: crates/data/src/demo.rs
+//@ expect: float_eq
+
+pub fn label_sign(raw: f64, x: f64) -> bool {
+    let exact = raw == 1.0;
+    let infinite = x == f64::INFINITY;
+    let nonzero = x != 0.5;
+    exact || infinite || nonzero
+}

@@ -1,0 +1,8 @@
+//@ path: crates/glm/src/lib.rs
+//@ expect: forbid_unsafe_missing
+
+//! A crate root that forgot its `#![forbid(unsafe_code)]` declaration.
+
+pub fn f() -> u32 {
+    41 + 1
+}

@@ -1,0 +1,13 @@
+//@ path: crates/data/src/demo.rs
+//@ expect: invalid_waiver
+
+// lint:allow(no_such_rule): the rule name is wrong
+pub fn a() {}
+
+// lint:allow(panic_in_lib): stale — nothing below panics
+pub fn b() {}
+
+pub fn c(s: &str) -> u32 {
+    // lint:allow(panic_in_lib):
+    s.len() as u32
+}

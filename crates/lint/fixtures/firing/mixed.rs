@@ -1,0 +1,15 @@
+//@ path: crates/ps/src/demo.rs
+//@ expect: std_hash, wall_clock, panic_in_lib, float_eq
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn shard(keys: &[u64]) -> HashMap<u64, usize> {
+    let t0 = Instant::now();
+    let table: HashMap<u64, usize> = HashMap::new();
+    let elapsed = t0.elapsed().as_secs_f64();
+    if elapsed == 0.0 {
+        keys.first().copied().map(|k| k as usize).unwrap();
+    }
+    table
+}

@@ -1,0 +1,8 @@
+//@ path: crates/data/src/demo.rs
+//@ expect: panic_in_lib
+
+pub fn parse(s: &str) -> u32 {
+    let n: u32 = s.parse().unwrap();
+    let m: u32 = s.trim().parse().expect("must be a number");
+    n + m
+}

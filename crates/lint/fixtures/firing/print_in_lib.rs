@@ -1,0 +1,7 @@
+//@ path: crates/data/src/demo.rs
+//@ expect: print_in_lib
+
+pub fn chatty(progress: f64) {
+    println!("progress = {progress}");
+    print!("done");
+}

@@ -1,0 +1,10 @@
+//@ path: crates/cluster/src/demo.rs
+//@ expect: std_hash
+
+use std::collections::{HashMap, HashSet};
+
+pub fn routing_table() -> HashMap<u32, Vec<u32>> {
+    let mut seen: HashSet<u32> = HashSet::new();
+    seen.insert(1);
+    HashMap::new()
+}

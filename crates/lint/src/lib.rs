@@ -1,0 +1,72 @@
+#![forbid(unsafe_code)]
+//! mlstar-lint: the workspace's own static analyzer.
+//!
+//! The reproduction's headline claim is *bit-reproducible* distributed GLM
+//! training on a simulated cluster. That property is easy to break with a
+//! single `HashMap` iteration or stray `Instant::now()`, and no rustc or
+//! clippy lint polices it. This crate does, with zero dependencies beyond
+//! std (the build environment has no registry access), via a
+//! comment/string-aware scanner rather than a full parser.
+//!
+//! Rules (see [`rules::RuleId`]):
+//!
+//! | rule | enforced where |
+//! |------|----------------|
+//! | `std_hash` | lib/bin code of sim-critical crates (cluster, core, collectives, ps, glm) |
+//! | `wall_clock` | everywhere except crates/bench |
+//! | `ambient_rand` | everywhere except crates/bench |
+//! | `forbid_unsafe_missing` | every crate root |
+//! | `panic_in_lib` | non-test library code (waivable) |
+//! | `float_eq` | non-test lib/bin code (literal/constant comparisons) |
+//! | `print_in_lib` | library code outside crates/bench |
+//! | `invalid_waiver` | waiver comments themselves |
+//!
+//! Waive a finding with `// lint:allow(<rule>): <reason>` on the same
+//! line or the line above. Stale or malformed waivers are violations, so
+//! the waiver inventory stays honest.
+//!
+//! Run it as `cargo run -p mlstar-lint` (add `--json` for machine-readable
+//! output); the integration test in `tests/workspace_clean.rs` runs the
+//! same scan on every `cargo test`, which is what wires the analyzer into
+//! the tier-1 gate.
+
+pub mod context;
+pub mod report;
+pub mod rules;
+pub mod scanner;
+pub mod walk;
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+pub use context::{classify, FileContext, FileRole};
+pub use rules::{check_file, RuleId, Violation};
+
+/// Result of scanning a whole workspace.
+#[derive(Debug)]
+pub struct ScanReport {
+    pub violations: Vec<Violation>,
+    pub files_scanned: usize,
+}
+
+/// Scans every policed `.rs` file under `root` and returns all violations,
+/// sorted by file then line.
+pub fn scan_workspace(root: &Path) -> io::Result<ScanReport> {
+    let files = walk::rust_sources(root)?;
+    let mut violations = Vec::new();
+    let mut files_scanned = 0;
+    for rel in &files {
+        let Some(ctx) = classify(rel) else {
+            continue;
+        };
+        let source = fs::read_to_string(root.join(rel))?;
+        files_scanned += 1;
+        violations.extend(check_file(&ctx, &source));
+    }
+    violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(ScanReport {
+        violations,
+        files_scanned,
+    })
+}

@@ -1,0 +1,89 @@
+//! Diagnostic rendering: human-readable `file:line: rule: message` lines
+//! and a hand-rolled JSON mode (std-only — no serde in the analyzer).
+
+use crate::rules::Violation;
+
+/// Renders one violation as `file:line: [rule] message`.
+pub fn human_line(v: &Violation) -> String {
+    format!("{}:{}: [{}] {}", v.file, v.line, v.rule.name(), v.message)
+}
+
+/// Renders the full report as a JSON object:
+/// `{"files_scanned": N, "violations": [{"file", "line", "rule", "message"}…]}`.
+pub fn json_report(violations: &[Violation], files_scanned: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str(&format!("  \"violation_count\": {},\n", violations.len()));
+    out.push_str("  \"violations\": [");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"file\": {}, ", json_string(&v.file)));
+        out.push_str(&format!("\"line\": {}, ", v.line));
+        out.push_str(&format!("\"rule\": {}, ", json_string(v.rule.name())));
+        out.push_str(&format!("\"message\": {}", json_string(&v.message)));
+        out.push('}');
+    }
+    if !violations.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Escapes a string for JSON output.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleId;
+
+    fn sample() -> Violation {
+        Violation {
+            file: "crates/x/src/a.rs".to_string(),
+            line: 7,
+            rule: RuleId::StdHash,
+            message: "say \"no\" to\nHashMap".to_string(),
+        }
+    }
+
+    #[test]
+    fn human_line_format() {
+        assert!(human_line(&sample()).starts_with("crates/x/src/a.rs:7: [std_hash]"));
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_newlines() {
+        let json = json_report(&[sample()], 3);
+        assert!(json.contains("\\\"no\\\""));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("\"files_scanned\": 3"));
+        assert!(json.contains("\"violation_count\": 1"));
+        assert!(!json.contains('\u{7}'));
+    }
+
+    #[test]
+    fn empty_report_is_valid_json_shape() {
+        let json = json_report(&[], 10);
+        assert!(json.contains("\"violations\": []"));
+    }
+}

@@ -1,0 +1,707 @@
+//! The rule set and the per-file rule engine.
+//!
+//! Every rule operates on the scanner's blanked code channel, so tokens
+//! inside strings, chars, and comments never fire. Waivers are ordinary
+//! comments of the form:
+//!
+//! ```text
+//! // lint:allow(<rule>): <reason>
+//! ```
+//!
+//! A waiver suppresses `<rule>` on its own line; a waiver that is the only
+//! thing on its line suppresses the next line with code instead. Waivers
+//! must name a real rule and carry a non-empty reason, and every waiver
+//! must actually suppress something — otherwise the waiver itself is a
+//! violation (`invalid_waiver`), so stale waivers cannot accumulate.
+
+use crate::context::{FileContext, FileRole};
+use crate::scanner::{self, Line};
+
+/// Identifier for one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// `HashMap`/`HashSet` in sim-critical crate code (iteration order is
+    /// seeded per-process; BTree collections keep runs reproducible).
+    StdHash,
+    /// `Instant::now` / `SystemTime::now` outside the bench crate — the
+    /// simulation has its own virtual clock.
+    WallClock,
+    /// `thread_rng` / `rand::random` / `from_entropy` outside the bench
+    /// crate — all simulation randomness must flow through `SeedStream`.
+    AmbientRand,
+    /// Crate root missing `#![forbid(unsafe_code)]`.
+    ForbidUnsafeMissing,
+    /// `.unwrap()` / `.expect(` in non-test library code without a waiver.
+    PanicInLib,
+    /// Bare `==` / `!=` against float literals or float constants in
+    /// non-test code.
+    FloatEq,
+    /// `print!` / `println!` in library code (binaries own stdout; the
+    /// bench crate's reporting harness is exempt).
+    PrintInLib,
+    /// A waiver comment that is malformed, names an unknown rule, or
+    /// suppresses nothing.
+    InvalidWaiver,
+}
+
+impl RuleId {
+    pub const ALL: &'static [RuleId] = &[
+        RuleId::StdHash,
+        RuleId::WallClock,
+        RuleId::AmbientRand,
+        RuleId::ForbidUnsafeMissing,
+        RuleId::PanicInLib,
+        RuleId::FloatEq,
+        RuleId::PrintInLib,
+        RuleId::InvalidWaiver,
+    ];
+
+    /// The name used in diagnostics and in `lint:allow(<name>)` waivers.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::StdHash => "std_hash",
+            RuleId::WallClock => "wall_clock",
+            RuleId::AmbientRand => "ambient_rand",
+            RuleId::ForbidUnsafeMissing => "forbid_unsafe_missing",
+            RuleId::PanicInLib => "panic_in_lib",
+            RuleId::FloatEq => "float_eq",
+            RuleId::PrintInLib => "print_in_lib",
+            RuleId::InvalidWaiver => "invalid_waiver",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<RuleId> {
+        RuleId::ALL.iter().copied().find(|r| r.name() == name)
+    }
+}
+
+/// One diagnostic: a rule fired at a file:line.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub file: String,
+    pub line: usize,
+    pub rule: RuleId,
+    pub message: String,
+}
+
+#[derive(Debug)]
+struct Waiver {
+    /// 1-based line the waiver comment sits on.
+    comment_line: usize,
+    /// 1-based line the waiver suppresses.
+    target_line: usize,
+    rule: RuleId,
+    used: bool,
+}
+
+/// Runs every applicable rule over one file's source text.
+pub fn check_file(ctx: &FileContext, source: &str) -> Vec<Violation> {
+    let lines = scanner::scan(source);
+    let mut out = Vec::new();
+
+    let (mut waivers, mut malformed) = collect_waivers(ctx, &lines);
+    out.append(&mut malformed);
+
+    check_forbid_unsafe(ctx, &lines, &mut out);
+
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let mut push = |rule: RuleId, message: String, waivers: &mut Vec<Waiver>| {
+            if let Some(w) = waivers
+                .iter_mut()
+                .find(|w| w.target_line == lineno && w.rule == rule)
+            {
+                w.used = true;
+                return;
+            }
+            out.push(Violation {
+                file: ctx.rel_path.clone(),
+                line: lineno,
+                rule,
+                message,
+            });
+        };
+
+        check_std_hash(ctx, line, lineno, &mut push, &mut waivers);
+        check_wall_clock(ctx, line, lineno, &mut push, &mut waivers);
+        check_ambient_rand(ctx, line, lineno, &mut push, &mut waivers);
+        check_panic_in_lib(ctx, line, lineno, &mut push, &mut waivers);
+        check_float_eq(ctx, line, lineno, &mut push, &mut waivers);
+        check_print_in_lib(ctx, line, lineno, &mut push, &mut waivers);
+    }
+
+    for w in &waivers {
+        if !w.used {
+            out.push(Violation {
+                file: ctx.rel_path.clone(),
+                line: w.comment_line,
+                rule: RuleId::InvalidWaiver,
+                message: format!(
+                    "waiver for `{}` suppresses nothing; remove the stale comment",
+                    w.rule.name()
+                ),
+            });
+        }
+    }
+
+    out.sort_by_key(|v| (v.line, v.rule));
+    out
+}
+
+type Push<'a> = dyn FnMut(RuleId, String, &mut Vec<Waiver>) + 'a;
+
+/// Parses `lint:allow(rule): reason` waivers out of the comment channel.
+/// Returns the usable waivers plus violations for malformed ones.
+fn collect_waivers(ctx: &FileContext, lines: &[Line]) -> (Vec<Waiver>, Vec<Violation>) {
+    let mut waivers = Vec::new();
+    let mut bad = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        // A waiver must be the whole comment (`// lint:allow(...): ...`);
+        // prose that merely mentions the syntax mid-sentence is not parsed.
+        let trimmed = line.comment.trim_start();
+        let Some(tail) = trimmed.strip_prefix("lint:allow") else {
+            continue;
+        };
+        let parsed = parse_waiver_tail(tail);
+        match parsed {
+            Ok(rule) => {
+                // A comment-only line waives the next line that has code;
+                // a trailing comment waives its own line.
+                let own_line_has_code = !line.code.trim().is_empty();
+                let target_line = if own_line_has_code {
+                    lineno
+                } else {
+                    lines
+                        .iter()
+                        .enumerate()
+                        .skip(idx + 1)
+                        .find(|(_, l)| !l.code.trim().is_empty())
+                        .map(|(j, _)| j + 1)
+                        .unwrap_or(lineno)
+                };
+                waivers.push(Waiver {
+                    comment_line: lineno,
+                    target_line,
+                    rule,
+                    used: false,
+                });
+            }
+            Err(why) => bad.push(Violation {
+                file: ctx.rel_path.clone(),
+                line: lineno,
+                rule: RuleId::InvalidWaiver,
+                message: why,
+            }),
+        }
+    }
+    (waivers, bad)
+}
+
+/// Parses the `(rule): reason` tail of a waiver comment.
+fn parse_waiver_tail(tail: &str) -> Result<RuleId, String> {
+    let tail = tail.trim_start();
+    let Some(rest) = tail.strip_prefix('(') else {
+        return Err("malformed waiver: expected `lint:allow(<rule>): <reason>`".to_string());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("malformed waiver: missing `)` after rule name".to_string());
+    };
+    let name = rest[..close].trim();
+    let Some(rule) = RuleId::from_name(name) else {
+        let known: Vec<&str> = RuleId::ALL.iter().map(|r| r.name()).collect();
+        return Err(format!(
+            "unknown rule `{name}` in waiver (known: {})",
+            known.join(", ")
+        ));
+    };
+    if rule == RuleId::InvalidWaiver || rule == RuleId::ForbidUnsafeMissing {
+        return Err(format!("rule `{name}` cannot be waived"));
+    }
+    let after = &rest[close + 1..];
+    let reason = after
+        .trim_start()
+        .strip_prefix(':')
+        .map(str::trim)
+        .unwrap_or("");
+    if reason.is_empty() {
+        return Err(
+            "waiver has no reason: write `lint:allow(<rule>): <why this is safe>`".to_string(),
+        );
+    }
+    Ok(rule)
+}
+
+fn check_forbid_unsafe(ctx: &FileContext, lines: &[Line], out: &mut Vec<Violation>) {
+    if !ctx.is_crate_root {
+        return;
+    }
+    let has = lines.iter().any(|l| {
+        let compact: String = l.code.chars().filter(|c| !c.is_whitespace()).collect();
+        compact.contains("#![forbid(unsafe_code)]")
+    });
+    if !has {
+        out.push(Violation {
+            file: ctx.rel_path.clone(),
+            line: 1,
+            rule: RuleId::ForbidUnsafeMissing,
+            message: "crate root must declare #![forbid(unsafe_code)]".to_string(),
+        });
+    }
+}
+
+fn check_std_hash(
+    ctx: &FileContext,
+    line: &Line,
+    _lineno: usize,
+    push: &mut Push,
+    waivers: &mut Vec<Waiver>,
+) {
+    if !ctx.is_sim_critical() || line.in_test {
+        return;
+    }
+    if !matches!(ctx.role, FileRole::Lib | FileRole::Bin) {
+        return;
+    }
+    for token in ["HashMap", "HashSet"] {
+        if scanner::contains_word(&line.code, token) {
+            push(
+                RuleId::StdHash,
+                format!(
+                    "`{token}` in sim-critical crate `{}`: iteration order is seeded per-process; use BTreeMap/BTreeSet",
+                    ctx.crate_name
+                ),
+                waivers,
+            );
+        }
+    }
+}
+
+fn check_wall_clock(
+    ctx: &FileContext,
+    line: &Line,
+    _lineno: usize,
+    push: &mut Push,
+    waivers: &mut Vec<Waiver>,
+) {
+    if ctx.is_timing_crate() || line.in_test {
+        return;
+    }
+    for token in ["Instant::now", "SystemTime::now"] {
+        if line.code.contains(token) {
+            push(
+                RuleId::WallClock,
+                format!("`{token}` outside crates/bench: simulated time must come from the virtual clock"),
+                waivers,
+            );
+        }
+    }
+}
+
+fn check_ambient_rand(
+    ctx: &FileContext,
+    line: &Line,
+    _lineno: usize,
+    push: &mut Push,
+    waivers: &mut Vec<Waiver>,
+) {
+    if ctx.is_timing_crate() || line.in_test {
+        return;
+    }
+    for token in ["thread_rng", "from_entropy"] {
+        if scanner::contains_word(&line.code, token) {
+            push(
+                RuleId::AmbientRand,
+                format!("`{token}` draws OS entropy: all randomness must flow through SeedStream"),
+                waivers,
+            );
+        }
+    }
+    if line.code.contains("rand::random") {
+        push(
+            RuleId::AmbientRand,
+            "`rand::random` draws OS entropy: all randomness must flow through SeedStream"
+                .to_string(),
+            waivers,
+        );
+    }
+}
+
+fn check_panic_in_lib(
+    ctx: &FileContext,
+    line: &Line,
+    _lineno: usize,
+    push: &mut Push,
+    waivers: &mut Vec<Waiver>,
+) {
+    if ctx.role != FileRole::Lib || line.in_test {
+        return;
+    }
+    if line.code.contains(".unwrap()") {
+        push(
+            RuleId::PanicInLib,
+            "`.unwrap()` in library code: propagate an error or waive with `// lint:allow(panic_in_lib): <reason>`".to_string(),
+            waivers,
+        );
+    }
+    if line.code.contains(".expect(") {
+        push(
+            RuleId::PanicInLib,
+            "`.expect(` in library code: propagate an error or waive with `// lint:allow(panic_in_lib): <reason>`".to_string(),
+            waivers,
+        );
+    }
+}
+
+fn check_float_eq(
+    ctx: &FileContext,
+    line: &Line,
+    _lineno: usize,
+    push: &mut Push,
+    waivers: &mut Vec<Waiver>,
+) {
+    if line.in_test || !matches!(ctx.role, FileRole::Lib | FileRole::Bin) {
+        return;
+    }
+    let bytes = line.code.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        let two = &bytes[i..i + 2];
+        let is_eq = two == b"==";
+        let is_ne = two == b"!=";
+        if !(is_eq || is_ne) {
+            i += 1;
+            continue;
+        }
+        // Skip `<=`, `>=`, `===`-ish runs, and `x == =` never parses anyway.
+        let prev = if i > 0 { bytes[i - 1] } else { b' ' };
+        let next = bytes.get(i + 2).copied().unwrap_or(b' ');
+        if is_eq && (prev == b'=' || prev == b'<' || prev == b'>' || prev == b'!' || next == b'=') {
+            i += 2;
+            continue;
+        }
+        if is_ne && next == b'=' {
+            i += 2;
+            continue;
+        }
+        let left = &line.code[..i];
+        let right = &line.code[i + 2..];
+        if operand_is_floaty(left, true) || operand_is_floaty(right, false) {
+            let op = if is_eq { "==" } else { "!=" };
+            push(
+                RuleId::FloatEq,
+                format!("bare `{op}` against a float: compare with an epsilon or total ordering"),
+                waivers,
+            );
+        }
+        i += 2;
+    }
+}
+
+/// Heuristic float detection on one side of a comparison operator. Only
+/// literal-ish operands fire (float literals, `f64::`/`f32::` constants,
+/// `as f64` casts): the analyzer has no type information, so it flags the
+/// comparisons it can prove rather than guessing at variables.
+fn operand_is_floaty(text: &str, is_left: bool) -> bool {
+    let token: String = if is_left {
+        let t: String = text
+            .trim_end()
+            .chars()
+            .rev()
+            .take_while(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | ':'))
+            .collect();
+        t.chars().rev().collect()
+    } else {
+        let trimmed = text.trim_start();
+        let trimmed = trimmed.strip_prefix('-').unwrap_or(trimmed).trim_start();
+        trimmed
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | ':'))
+            .collect()
+    };
+    if token.is_empty() {
+        return false;
+    }
+    if token.starts_with("f64::") || token.starts_with("f32::") {
+        return true;
+    }
+    if token.ends_with("f64") || token.ends_with("f32") {
+        // `1.0f64`, `0f32` literal suffixes (and `x as f64` loses the cast
+        // during token collection, leaving just `f64` — also floaty).
+        if token == "f64" || token == "f32" {
+            return true;
+        }
+        if token.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            return true;
+        }
+    }
+    is_float_literal(&token)
+}
+
+/// `1.0`, `0.5`, `3.` — digits, one dot, optional digits; rejects ranges
+/// (`0..1`), tuple-field access (`x.0` never reaches here with a leading
+/// digit), and plain integers.
+fn is_float_literal(token: &str) -> bool {
+    let mut seen_digit = false;
+    let mut seen_dot = false;
+    for c in token.chars() {
+        match c {
+            '0'..='9' => seen_digit = true,
+            '_' => {}
+            '.' => {
+                if seen_dot || !seen_digit {
+                    return false;
+                }
+                seen_dot = true;
+            }
+            'e' | 'E' | '+' | '-' => {
+                // Exponent forms like 1e-3 count as floats if a dot or the
+                // exponent marker follows digits.
+                return seen_digit && token.contains(['e', 'E']);
+            }
+            _ => return false,
+        }
+    }
+    seen_digit && seen_dot
+}
+
+fn check_print_in_lib(
+    ctx: &FileContext,
+    line: &Line,
+    _lineno: usize,
+    push: &mut Push,
+    waivers: &mut Vec<Waiver>,
+) {
+    if ctx.role != FileRole::Lib || line.in_test || ctx.is_timing_crate() {
+        return;
+    }
+    for token in ["println!", "print!"] {
+        if scanner::find_word(&line.code, token, 0).is_some() {
+            push(
+                RuleId::PrintInLib,
+                format!("`{token}` in library code: stdout belongs to binaries; use a return value or eprintln! for diagnostics"),
+                waivers,
+            );
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::classify;
+
+    fn check(path: &str, src: &str) -> Vec<Violation> {
+        check_file(&classify(path).expect("classifiable path"), src)
+    }
+
+    fn rules_fired(path: &str, src: &str) -> Vec<&'static str> {
+        check(path, src)
+            .into_iter()
+            .map(|v| v.rule.name())
+            .collect()
+    }
+
+    const ROOT_OK: &str = "#![forbid(unsafe_code)]\n";
+
+    #[test]
+    fn hashmap_fires_only_in_sim_critical_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(
+            rules_fired("crates/cluster/src/x.rs", src),
+            vec!["std_hash"]
+        );
+        assert_eq!(rules_fired("crates/data/src/x.rs", src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn hashmap_in_test_region_is_fine() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+        assert!(rules_fired("crates/glm/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_fires_outside_bench() {
+        let src = "let t = std::time::Instant::now();\n";
+        assert_eq!(rules_fired("crates/core/src/x.rs", src), vec!["wall_clock"]);
+        assert!(rules_fired("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn ambient_rand_fires_outside_bench() {
+        let src = "let mut rng = rand::thread_rng();\n";
+        assert_eq!(
+            rules_fired("crates/data/src/x.rs", src),
+            vec!["ambient_rand"]
+        );
+        assert!(rules_fired("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn missing_forbid_unsafe_fires_on_crate_roots_only() {
+        assert_eq!(
+            rules_fired("crates/data/src/lib.rs", "pub fn f() {}\n"),
+            vec!["forbid_unsafe_missing"]
+        );
+        assert!(rules_fired("crates/data/src/other.rs", "pub fn f() {}\n").is_empty());
+        assert!(rules_fired("crates/data/src/lib.rs", ROOT_OK).is_empty());
+    }
+
+    #[test]
+    fn forbid_unsafe_in_comment_does_not_count() {
+        let src = "// #![forbid(unsafe_code)]\npub fn f() {}\n";
+        assert_eq!(
+            rules_fired("crates/data/src/lib.rs", src),
+            vec!["forbid_unsafe_missing"]
+        );
+    }
+
+    #[test]
+    fn unwrap_in_lib_fires_but_not_in_tests_or_bins() {
+        let src = "pub fn f() { x.unwrap(); }\n";
+        assert_eq!(
+            rules_fired("crates/data/src/x.rs", src),
+            vec!["panic_in_lib"]
+        );
+        assert!(rules_fired("crates/bench/src/bin/b.rs", src).is_empty());
+        assert!(rules_fired("tests/t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn expect_err_and_unwrap_or_do_not_fire() {
+        let src = "pub fn f() { x.unwrap_or(0); y.unwrap_or_else(g); z.expect_err(\"m\"); }\n";
+        assert!(rules_fired("crates/data/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_doc_comment_is_fine() {
+        let src = "/// let v = parse(s).unwrap();\npub fn parse() {}\n";
+        assert!(rules_fired("crates/data/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn waiver_on_same_line_suppresses() {
+        let src =
+            "pub fn f() { x.unwrap(); } // lint:allow(panic_in_lib): infallible by construction\n";
+        assert!(rules_fired("crates/data/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn waiver_on_preceding_line_suppresses_next_code_line() {
+        let src =
+            "// lint:allow(panic_in_lib): infallible by construction\npub fn f() { x.unwrap(); }\n";
+        assert!(rules_fired("crates/data/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn waiver_for_wrong_rule_does_not_suppress() {
+        let src = "pub fn f() { x.unwrap(); } // lint:allow(std_hash): wrong rule\n";
+        let fired = rules_fired("crates/data/src/x.rs", src);
+        // The unwrap still fires, and the waiver is stale (suppresses nothing).
+        assert!(fired.contains(&"panic_in_lib"));
+        assert!(fired.contains(&"invalid_waiver"));
+    }
+
+    #[test]
+    fn waiver_without_reason_is_invalid() {
+        let src = "pub fn f() { x.unwrap(); } // lint:allow(panic_in_lib):\n";
+        let fired = rules_fired("crates/data/src/x.rs", src);
+        assert!(fired.contains(&"invalid_waiver"));
+        assert!(
+            fired.contains(&"panic_in_lib"),
+            "a malformed waiver must not suppress"
+        );
+    }
+
+    #[test]
+    fn waiver_with_unknown_rule_is_invalid() {
+        let src = "// lint:allow(no_such_rule): whatever\npub fn f() {}\n";
+        assert_eq!(
+            rules_fired("crates/data/src/x.rs", src),
+            vec!["invalid_waiver"]
+        );
+    }
+
+    #[test]
+    fn prose_mentioning_waiver_syntax_is_not_a_waiver() {
+        let src =
+            "/// Waive with `// lint:allow(panic_in_lib): reason` if needed.\npub fn f() {}\n";
+        assert!(rules_fired("crates/data/src/x.rs", src).is_empty());
+        let src2 = "//! ```text\n//! // lint:allow(std_hash): example\n//! ```\npub fn g() {}\n";
+        assert!(rules_fired("crates/data/src/x.rs", src2).is_empty());
+    }
+
+    #[test]
+    fn stale_waiver_is_reported() {
+        let src = "// lint:allow(panic_in_lib): nothing here panics\npub fn f() {}\n";
+        assert_eq!(
+            rules_fired("crates/data/src/x.rs", src),
+            vec!["invalid_waiver"]
+        );
+    }
+
+    #[test]
+    fn float_eq_literal_comparisons_fire() {
+        assert_eq!(
+            rules_fired("crates/data/src/x.rs", "let b = raw == 1.0;\n"),
+            vec!["float_eq"]
+        );
+        assert_eq!(
+            rules_fired("crates/data/src/x.rs", "if x != 0.5 { g(); }\n"),
+            vec!["float_eq"]
+        );
+        assert_eq!(
+            rules_fired("crates/data/src/x.rs", "if x == f64::INFINITY { g(); }\n"),
+            vec!["float_eq"]
+        );
+    }
+
+    #[test]
+    fn float_eq_ignores_int_comparisons_ranges_and_le_ge() {
+        assert!(rules_fired("crates/data/src/x.rs", "let b = n == 1;\n").is_empty());
+        assert!(rules_fired("crates/data/src/x.rs", "for i in 0..10 { f(i); }\n").is_empty());
+        assert!(rules_fired("crates/data/src/x.rs", "let b = x <= 1.0 && y >= 0.5;\n").is_empty());
+        assert!(rules_fired("crates/data/src/x.rs", "let b = a.0 == b.0;\n").is_empty());
+    }
+
+    #[test]
+    fn float_eq_allowed_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { assert!(x == 1.0); }\n}\n";
+        assert!(rules_fired("crates/data/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn print_in_lib_fires_except_bench_and_bins() {
+        let src = "pub fn report() { println!(\"x\"); }\n";
+        assert_eq!(
+            rules_fired("crates/data/src/x.rs", src),
+            vec!["print_in_lib"]
+        );
+        assert!(rules_fired("crates/bench/src/x.rs", src).is_empty());
+        assert!(rules_fired("crates/bench/src/bin/b.rs", src).is_empty());
+    }
+
+    #[test]
+    fn eprintln_is_allowed() {
+        let src = "pub fn warn() { eprintln!(\"x\"); }\n";
+        assert!(rules_fired("crates/data/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tokens_inside_strings_do_not_fire() {
+        let src = "pub const DOC: &str = \"HashMap Instant::now() .unwrap() thread_rng\";\n";
+        assert!(rules_fired("crates/cluster/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn diagnostics_carry_file_and_line() {
+        let v = check(
+            "crates/glm/src/x.rs",
+            "fn a() {}\nuse std::collections::HashSet;\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[0].file, "crates/glm/src/x.rs");
+    }
+}

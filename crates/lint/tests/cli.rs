@@ -1,0 +1,126 @@
+//! End-to-end CLI tests: exit codes, --json output, --help, --list-rules.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn lint_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_mlstar-lint")
+}
+
+fn workspace_root() -> PathBuf {
+    mlstar_lint::walk::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("inside workspace")
+}
+
+/// Builds a throwaway mini-workspace containing one violating file.
+struct TempWorkspace {
+    root: PathBuf,
+}
+
+impl TempWorkspace {
+    fn violating(tag: &str) -> Self {
+        let root =
+            std::env::temp_dir().join(format!("mlstar-lint-cli-{}-{tag}", std::process::id()));
+        let src_dir = root.join("crates/cluster/src");
+        fs::create_dir_all(&src_dir).expect("mkdir temp workspace");
+        fs::write(root.join("Cargo.toml"), "[workspace]\nmembers = []\n").expect("write manifest");
+        fs::write(
+            src_dir.join("demo.rs"),
+            "use std::collections::HashMap;\npub fn f() -> HashMap<u32, u32> { HashMap::new() }\n",
+        )
+        .expect("write violating source");
+        TempWorkspace { root }
+    }
+}
+
+impl Drop for TempWorkspace {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn clean_workspace_exits_zero() {
+    let out = Command::new(lint_bin())
+        .arg("--root")
+        .arg(workspace_root())
+        .output()
+        .expect("run mlstar-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "expected exit 0 on the real workspace\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(stderr.contains("0 violation(s)"), "stderr was: {stderr}");
+}
+
+#[test]
+fn violations_exit_nonzero_with_file_line_diagnostics() {
+    let tmp = TempWorkspace::violating("human");
+    let out = Command::new(lint_bin())
+        .arg("--root")
+        .arg(&tmp.root)
+        .output()
+        .expect("run mlstar-lint");
+    assert_eq!(out.status.code(), Some(1), "violations must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("crates/cluster/src/demo.rs:1: [std_hash]"),
+        "stdout was: {stdout}"
+    );
+}
+
+#[test]
+fn json_mode_emits_machine_readable_report() {
+    let tmp = TempWorkspace::violating("json");
+    let out = Command::new(lint_bin())
+        .arg("--json")
+        .arg("--root")
+        .arg(&tmp.root)
+        .output()
+        .expect("run mlstar-lint");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_start().starts_with('{'), "stdout was: {stdout}");
+    assert!(
+        stdout.contains("\"rule\": \"std_hash\""),
+        "stdout was: {stdout}"
+    );
+    assert!(
+        stdout.contains("\"file\": \"crates/cluster/src/demo.rs\""),
+        "stdout was: {stdout}"
+    );
+    assert!(
+        stdout.contains("\"files_scanned\": 1"),
+        "stdout was: {stdout}"
+    );
+}
+
+#[test]
+fn help_and_list_rules_exit_zero() {
+    for flag in ["--help", "--list-rules"] {
+        let out = Command::new(lint_bin())
+            .arg(flag)
+            .output()
+            .expect("run mlstar-lint");
+        assert!(out.status.success(), "{flag} must exit 0");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let needle = if flag == "--help" {
+            "USAGE"
+        } else {
+            "std_hash"
+        };
+        assert!(stdout.contains(needle), "{flag} stdout was: {stdout}");
+    }
+}
+
+#[test]
+fn unknown_flag_exits_two() {
+    let out = Command::new(lint_bin())
+        .arg("--bogus")
+        .output()
+        .expect("run mlstar-lint");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,29 @@
+//! The tier-1 gate: the real workspace must carry zero lint violations.
+//! This test runs on every `cargo test`, so a stray `HashMap`, ambient
+//! clock read, or unwaived library panic fails the build, not just CI.
+
+use std::path::Path;
+
+use mlstar_lint::{scan_workspace, walk};
+
+#[test]
+fn workspace_has_zero_violations() {
+    let root = walk::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("lint crate lives inside the workspace");
+    let scan = scan_workspace(&root).expect("workspace is readable");
+    assert!(
+        scan.files_scanned > 20,
+        "suspiciously few files scanned ({}) — walker broke?",
+        scan.files_scanned
+    );
+    let rendered: Vec<String> = scan
+        .violations
+        .iter()
+        .map(mlstar_lint::report::human_line)
+        .collect();
+    assert!(
+        rendered.is_empty(),
+        "workspace lint violations:\n{}",
+        rendered.join("\n")
+    );
+}

@@ -78,7 +78,10 @@ mod tests {
     fn ssp_zero_equals_bsp() {
         let ssp0 = Consistency::Ssp { staleness: 0 };
         for (wc, mc) in [(0u64, 0u64), (1, 0), (3, 3), (4, 3)] {
-            assert_eq!(ssp0.may_proceed(wc, mc), Consistency::Bsp.may_proceed(wc, mc));
+            assert_eq!(
+                ssp0.may_proceed(wc, mc),
+                Consistency::Bsp.may_proceed(wc, mc)
+            );
         }
     }
 

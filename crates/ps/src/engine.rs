@@ -101,7 +101,11 @@ enum Ev {
     /// Worker begins its pull for tick `clock`.
     PullStart { worker: usize },
     /// Worker's push (for the tick it just computed) arrives at servers.
-    PushArrive { worker: usize, payload: DenseVector, updates: u64 },
+    PushArrive {
+        worker: usize,
+        payload: DenseVector,
+        updates: u64,
+    },
 }
 
 impl<'a> PsEngine<'a> {
@@ -110,7 +114,11 @@ impl<'a> PsEngine<'a> {
     pub fn new(cost: &'a CostModel, cfg: PsConfig) -> Self {
         assert!(cfg.num_servers > 0, "need at least one server shard");
         assert!(cfg.max_clocks > 0, "need at least one clock tick");
-        PsEngine { cost, cfg, gantt: GanttRecorder::new() }
+        PsEngine {
+            cost,
+            cfg,
+            gantt: GanttRecorder::new(),
+        }
     }
 
     /// The recorded Gantt spans (valid after [`PsEngine::run`]).
@@ -190,17 +198,28 @@ impl<'a> PsEngine<'a> {
                     let compute_end = pull_end + compute_dur;
                     let push_end = compute_end + push_dur;
                     let node = NodeId::Executor(worker);
-                    self.gantt.record(node, Activity::PsPull, now, pull_end, clock);
-                    self.gantt.record(node, Activity::Compute, pull_end, compute_end, clock);
-                    self.gantt.record(node, Activity::PsPush, compute_end, push_end, clock);
+                    self.gantt
+                        .record(node, Activity::PsPull, now, pull_end, clock);
+                    self.gantt
+                        .record(node, Activity::Compute, pull_end, compute_end, clock);
+                    self.gantt
+                        .record(node, Activity::PsPush, compute_end, push_end, clock);
 
                     queue.push(
                         push_end,
-                        Ev::PushArrive { worker, payload: step.payload, updates: step.local_updates },
+                        Ev::PushArrive {
+                            worker,
+                            payload: step.payload,
+                            updates: step.local_updates,
+                        },
                     );
                     stats.total_updates += step.local_updates;
                 }
-                Ev::PushArrive { worker, payload, updates } => {
+                Ev::PushArrive {
+                    worker,
+                    payload,
+                    updates,
+                } => {
                     let _ = updates;
                     // Servers fold the push in; each shard applies its range.
                     servers.push(&payload);
@@ -218,7 +237,7 @@ impl<'a> PsEngine<'a> {
                     }
 
                     completed[worker] += 1;
-                    let new_min = *completed.iter().min().expect("nonempty");
+                    let new_min = *completed.iter().min().expect("nonempty"); // lint:allow(panic_in_lib): one slot per worker, k ≥ 1
                     if new_min > min_clock {
                         for c in min_clock..new_min {
                             stats.clock_times.push(now);
@@ -253,7 +272,11 @@ impl<'a> PsEngine<'a> {
 
                     // Schedule this worker's next tick.
                     if completed[worker] < self.cfg.max_clocks {
-                        if self.cfg.consistency.may_proceed(completed[worker], min_clock) {
+                        if self
+                            .cfg
+                            .consistency
+                            .may_proceed(completed[worker], min_clock)
+                        {
                             queue.push(now, Ev::PullStart { worker });
                         } else {
                             parked[worker] = Some(now);
@@ -294,7 +317,11 @@ mod tests {
     }
 
     fn cost(k: usize) -> CostModel {
-        CostModel::new(ClusterSpec::uniform(k, NodeSpec::standard(), NetworkSpec::gbps1()))
+        CostModel::new(ClusterSpec::uniform(
+            k,
+            NodeSpec::standard(),
+            NetworkSpec::gbps1(),
+        ))
     }
 
     fn cfg(consistency: Consistency, max_clocks: u64) -> PsConfig {
@@ -312,7 +339,10 @@ mod tests {
     fn bsp_run_applies_all_pushes() {
         let cost = cost(4);
         let mut engine = PsEngine::new(&cost, cfg(Consistency::Bsp, 3));
-        let mut logic = ConstDelta { dim: 8, calls: Vec::new() };
+        let mut logic = ConstDelta {
+            dim: 8,
+            calls: Vec::new(),
+        };
         let (model, stats) = engine.run(DenseVector::zeros(8), &mut logic, |_, _, _| false);
         // 4 workers × 3 clocks, each adding 1.0 at coordinate 0.
         assert_eq!(stats.total_pushes, 12);
@@ -343,7 +373,10 @@ mod tests {
                 }
             }
         }
-        let mut logic = TrackLead { dim: 4, clocks_seen: Vec::new() };
+        let mut logic = TrackLead {
+            dim: 4,
+            clocks_seen: Vec::new(),
+        };
         engine.run(DenseVector::zeros(4), &mut logic, |_, _, _| false);
         // Under BSP, tick c+1 computations never start before every tick-c
         // compute has happened: the sequence of observed clocks is sorted.
@@ -362,7 +395,10 @@ mod tests {
 
         let run = |consistency| {
             let mut engine = PsEngine::new(&cost, cfg(consistency, 10));
-            let mut logic = ConstDelta { dim: 8, calls: Vec::new() };
+            let mut logic = ConstDelta {
+                dim: 8,
+                calls: Vec::new(),
+            };
             let (_, stats) = engine.run(DenseVector::zeros(8), &mut logic, |_, _, _| false);
             stats.end_time.as_secs_f64()
         };
@@ -375,7 +411,10 @@ mod tests {
     fn early_stop_halts_run() {
         let cost = cost(2);
         let mut engine = PsEngine::new(&cost, cfg(Consistency::Bsp, 100));
-        let mut logic = ConstDelta { dim: 4, calls: Vec::new() };
+        let mut logic = ConstDelta {
+            dim: 4,
+            calls: Vec::new(),
+        };
         let (_, stats) = engine.run(DenseVector::zeros(4), &mut logic, |clock, _, _| clock >= 3);
         assert!(stats.stopped_early);
         assert!(stats.total_pushes < 200, "stopped long before 100 clocks");
@@ -414,10 +453,18 @@ mod tests {
     fn gantt_records_pull_compute_push() {
         let cost = cost(2);
         let mut engine = PsEngine::new(&cost, cfg(Consistency::Bsp, 2));
-        let mut logic = ConstDelta { dim: 4, calls: Vec::new() };
+        let mut logic = ConstDelta {
+            dim: 4,
+            calls: Vec::new(),
+        };
         engine.run(DenseVector::zeros(4), &mut logic, |_, _, _| false);
         let g = engine.gantt();
-        for a in [Activity::PsPull, Activity::Compute, Activity::PsPush, Activity::ServerUpdate] {
+        for a in [
+            Activity::PsPull,
+            Activity::Compute,
+            Activity::PsPush,
+            Activity::ServerUpdate,
+        ] {
             assert!(
                 g.spans().iter().any(|s| s.activity == a),
                 "missing {a:?} span"
@@ -430,7 +477,10 @@ mod tests {
         let cost = cost(3);
         let run = || {
             let mut engine = PsEngine::new(&cost, cfg(Consistency::Ssp { staleness: 1 }, 4));
-            let mut logic = ConstDelta { dim: 4, calls: Vec::new() };
+            let mut logic = ConstDelta {
+                dim: 4,
+                calls: Vec::new(),
+            };
             let (m, s) = engine.run(DenseVector::zeros(4), &mut logic, |_, _, _| false);
             (m, s.end_time, logic.calls)
         };
@@ -445,7 +495,10 @@ mod tests {
     #[should_panic(expected = "at least one server")]
     fn zero_servers_rejected() {
         let cost = cost(1);
-        let bad = PsConfig { num_servers: 0, ..cfg(Consistency::Bsp, 1) };
+        let bad = PsConfig {
+            num_servers: 0,
+            ..cfg(Consistency::Bsp, 1)
+        };
         let _ = PsEngine::new(&cost, bad);
     }
 }

@@ -18,7 +18,9 @@ impl KeyRouter {
     ///
     /// Panics if `num_shards == 0`.
     pub fn new(dim: usize, num_shards: usize) -> Self {
-        KeyRouter { ranges: partition_ranges(dim, num_shards) }
+        KeyRouter {
+            ranges: partition_ranges(dim, num_shards),
+        }
     }
 
     /// Number of shards.

@@ -3,9 +3,7 @@
 
 use mlstar_linalg::DenseVector;
 use mlstar_ps::{Aggregation, Consistency, PsConfig, PsEngine, WorkerLogic, WorkerStep};
-use mlstar_sim::{
-    ClusterSpec, CostModel, NetworkSpec, NodeSpec, SimDuration, StragglerModel,
-};
+use mlstar_sim::{ClusterSpec, CostModel, NetworkSpec, NodeSpec, SimDuration, StragglerModel};
 
 /// Logic that pushes +1 on coordinate `worker` and records the model
 /// versions it observed (for staleness measurements).
@@ -49,7 +47,10 @@ fn run(consistency: Consistency, clocks: u64, k: usize) -> (DenseVector, f64, u6
             seed: 9,
         },
     );
-    let mut logic = Recorder { dim: 8, observed_sums: Vec::new() };
+    let mut logic = Recorder {
+        dim: 8,
+        observed_sums: Vec::new(),
+    };
     let (model, stats) = engine.run(DenseVector::zeros(8), &mut logic, |_, _, _| false);
     (model, stats.end_time.as_secs_f64(), stats.total_pushes)
 }
@@ -96,7 +97,10 @@ fn asp_observes_fresher_models_on_average_than_its_clock_suggests() {
             seed: 4,
         },
     );
-    let mut logic = Recorder { dim: 8, observed_sums: Vec::new() };
+    let mut logic = Recorder {
+        dim: 8,
+        observed_sums: Vec::new(),
+    };
     let (model, stats) = engine.run(DenseVector::zeros(8), &mut logic, |_, _, _| false);
     // Every observation is between 0 and the final total mass.
     let final_mass: f64 = (0..8).map(|i| model.get(i)).sum();
@@ -146,7 +150,11 @@ fn ssp_bounds_worker_lead() {
             seed: 11,
         },
     );
-    let mut logic = GapTracker { dim: 4, completed: vec![0; 5], max_gap: 0 };
+    let mut logic = GapTracker {
+        dim: 4,
+        completed: vec![0; 5],
+        max_gap: 0,
+    };
     engine.run(DenseVector::zeros(4), &mut logic, |_, _, _| false);
     // The observed gap may exceed the staleness bound by at most the
     // in-flight tick (a worker admitted at gap ≤ s can finish at gap s+1).

@@ -21,9 +21,17 @@ fn main() {
         ..TrainConfig::default()
     };
 
-    for system in [System::Mllib, System::MllibMa, System::MllibStar, System::PetuumStar] {
+    for system in [
+        System::Mllib,
+        System::MllibMa,
+        System::MllibStar,
+        System::PetuumStar,
+    ] {
         let out = system.train_default(&dataset, &cluster, &cfg);
-        let horizon = out.gantt.makespan().max(SimTime::ZERO + SimDuration::from_millis(1));
+        let horizon = out
+            .gantt
+            .makespan()
+            .max(SimTime::ZERO + SimDuration::from_millis(1));
         println!("=== {} ===", system.name());
         print!("{}", out.gantt.render_text(84, horizon));
         println!(

@@ -7,9 +7,7 @@
 //! ```
 
 use mllib_star::data::{libsvm, libsvm::ChunkedReader, SyntheticConfig};
-use mllib_star::glm::{
-    objective_value, sgd_epoch_lazy, LearningRate, Loss, Regularizer,
-};
+use mllib_star::glm::{objective_value, sgd_epoch_lazy, LearningRate, Loss, Regularizer};
 use mllib_star::linalg::ScaledVector;
 
 fn main() {
@@ -40,10 +38,22 @@ fn main() {
     for chunk in ChunkedReader::new(std::io::BufReader::new(file), dim, 2_000) {
         let chunk = chunk.expect("valid chunk");
         let order: Vec<usize> = (0..chunk.len()).collect();
-        t = sgd_epoch_lazy(loss, reg, &mut w, chunk.rows(), chunk.labels(), &order, lr, t);
+        t = sgd_epoch_lazy(
+            loss,
+            reg,
+            &mut w,
+            chunk.rows(),
+            chunk.labels(),
+            &order,
+            lr,
+            t,
+        );
         chunk_count += 1;
         let f = objective_value(loss, reg, &w.to_dense(), chunk.rows(), chunk.labels());
-        println!("chunk {chunk_count:>2}: {} rows | chunk objective {f:.4}", chunk.len());
+        println!(
+            "chunk {chunk_count:>2}: {} rows | chunk objective {f:.4}",
+            chunk.len()
+        );
     }
 
     let final_f = objective_value(loss, reg, &w.to_dense(), dataset.rows(), dataset.labels());

@@ -38,7 +38,12 @@ fn main() {
     //    time — the axes of the paper's figures).
     println!("\n step | sim time | objective");
     for p in &output.trace.points {
-        println!("{:>5} | {:>7.3}s | {:.4}", p.step, p.time.as_secs_f64(), p.objective);
+        println!(
+            "{:>5} | {:>7.3}s | {:.4}",
+            p.step,
+            p.time.as_secs_f64(),
+            p.objective
+        );
     }
 
     let acc = accuracy(output.model.weights(), dataset.rows(), dataset.labels());

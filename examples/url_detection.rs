@@ -22,7 +22,11 @@ fn main() {
         "URL dataset: {} URLs × {} features — {}",
         stats.instances,
         stats.features,
-        if stats.underdetermined { "underdetermined (d > n)" } else { "determined" }
+        if stats.underdetermined {
+            "underdetermined (d > n)"
+        } else {
+            "determined"
+        }
     );
 
     let cluster = ClusterSpec::cluster1();
@@ -40,7 +44,9 @@ fn main() {
             batch_fracs: vec![1.0],
             stalenesses: vec![0],
         };
-        let result = grid.run(&base, 0.0, |cfg, _| train_mllib_star(&dataset, &cluster, cfg));
+        let result = grid.run(&base, 0.0, |cfg, _| {
+            train_mllib_star(&dataset, &cluster, cfg)
+        });
         let out = &result.best_output;
         println!(
             "\n{}: best η = {} ({} combinations tried)",

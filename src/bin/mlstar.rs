@@ -69,7 +69,9 @@ impl Options {
     fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{key}: {v:?}")),
         }
     }
 }
@@ -95,7 +97,9 @@ fn print_help() {
     println!("subcommands:");
     println!("  generate --preset <avazu|url|kddb|kdd12|wx> --out <file> [--scale N]");
     println!("  inspect  --data <file.libsvm>");
-    println!("  train    --data <file.libsvm> --system <mllib|ma|star|petuum|petuum_star|angel|lbfgs>");
+    println!(
+        "  train    --data <file.libsvm> --system <mllib|ma|star|petuum|petuum_star|angel|lbfgs>"
+    );
     println!("           [--reg-l2 λ] [--eta η] [--rounds N] [--executors K]");
     println!("           [--batch-frac F] [--seed S] [--model-out <file.bin>]");
     println!("  predict  --data <file.libsvm> --model <file.bin>");
@@ -141,7 +145,11 @@ fn cmd_inspect(opts: &Options) -> Result<(), String> {
     println!("in-memory size:   {}", s.size_human());
     println!(
         "shape:            {}",
-        if s.underdetermined { "underdetermined (d > n)" } else { "determined (n ≥ d)" }
+        if s.underdetermined {
+            "underdetermined (d > n)"
+        } else {
+            "determined (n ≥ d)"
+        }
     );
     Ok(())
 }
@@ -191,7 +199,12 @@ fn cmd_train(opts: &Options) -> Result<(), String> {
     let out = system.train_default(&ds, &cluster, &cfg);
     println!("\n step | sim time | objective");
     for p in &out.trace.points {
-        println!("{:>5} | {:>8.3}s | {:.6}", p.step, p.time.as_secs_f64(), p.objective);
+        println!(
+            "{:>5} | {:>8.3}s | {:.6}",
+            p.step,
+            p.time.as_secs_f64(),
+            p.objective
+        );
     }
     println!(
         "\nfinal objective {:.6} | accuracy {:.2}% | AUC {:.4} | {} updates in {} steps",
@@ -223,10 +236,20 @@ fn cmd_predict(opts: &Options) -> Result<(), String> {
         ));
     }
     let model = GlmModel::from_weights(weights);
-    println!("accuracy {:.2}%", accuracy(model.weights(), ds.rows(), ds.labels()) * 100.0);
-    println!("AUC      {:.4}", auc(model.weights(), ds.rows(), ds.labels()));
+    println!(
+        "accuracy {:.2}%",
+        accuracy(model.weights(), ds.rows(), ds.labels()) * 100.0
+    );
+    println!(
+        "AUC      {:.4}",
+        auc(model.weights(), ds.rows(), ds.labels())
+    );
     for (i, row) in ds.rows().iter().take(5).enumerate() {
-        println!("example {i}: margin {:+.4} → {:+.0}", model.margin(row), model.predict(row));
+        println!(
+            "example {i}: margin {:+.4} → {:+.0}",
+            model.margin(row),
+            model.predict(row)
+        );
     }
     Ok(())
 }
@@ -276,12 +299,23 @@ mod tests {
         let data = dir.join("tiny.libsvm").to_string_lossy().into_owned();
         let model = dir.join("model.bin").to_string_lossy().into_owned();
 
-        run(&args(&["generate", "--preset", "avazu", "--out", &data, "--scale", "256"]))
-            .expect("generate");
+        run(&args(&[
+            "generate", "--preset", "avazu", "--out", &data, "--scale", "256",
+        ]))
+        .expect("generate");
         run(&args(&["inspect", "--data", &data])).expect("inspect");
         run(&args(&[
-            "train", "--data", &data, "--system", "star", "--rounds", "3", "--executors", "4",
-            "--model-out", &model,
+            "train",
+            "--data",
+            &data,
+            "--system",
+            "star",
+            "--rounds",
+            "3",
+            "--executors",
+            "4",
+            "--model-out",
+            &model,
         ]))
         .expect("train");
         run(&args(&["predict", "--data", &data, "--model", &model])).expect("predict");

@@ -1,0 +1,25 @@
+//! Tier-1 gate: `cargo test` at the workspace root must fail if any
+//! source file violates the workspace's determinism / panic-policy rules.
+//! The same scan is available interactively as `cargo run -p mlstar-lint`.
+
+use std::path::Path;
+
+use mlstar_lint::{report, scan_workspace, walk};
+
+#[test]
+fn workspace_passes_mlstar_lint() {
+    let root = walk::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("test runs inside the workspace");
+    let scan = scan_workspace(&root).expect("workspace sources are readable");
+    assert!(
+        scan.files_scanned > 20,
+        "suspiciously few files scanned ({}) — did the walker break?",
+        scan.files_scanned
+    );
+    let rendered: Vec<String> = scan.violations.iter().map(report::human_line).collect();
+    assert!(
+        rendered.is_empty(),
+        "mlstar-lint violations (fix or waive with `// lint:allow(<rule>): <reason>`):\n{}",
+        rendered.join("\n")
+    );
+}

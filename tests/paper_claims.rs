@@ -7,8 +7,7 @@ use mllib_star::collectives::{
     all_reduce_average, broadcast_model, dense_bytes, partition_bytes, tree_aggregate,
 };
 use mllib_star::core::{
-    train_mllib, train_mllib_ma, train_mllib_star, train_petuum_star, PsSystemConfig,
-    TrainConfig,
+    train_mllib, train_mllib_ma, train_mllib_star, train_petuum_star, PsSystemConfig, TrainConfig,
 };
 use mllib_star::data::SyntheticConfig;
 use mllib_star::glm::LearningRate;
@@ -42,7 +41,10 @@ fn b1_updates_per_communication_step() {
             ..TrainConfig::default()
         },
     );
-    assert_eq!(mllib.total_updates, rounds, "SendGradient: one update per step");
+    assert_eq!(
+        mllib.total_updates, rounds,
+        "SendGradient: one update per step"
+    );
 
     let star = train_mllib_star(
         &ds,
@@ -95,7 +97,10 @@ fn b2_traffic_is_unchanged_latency_is_not() {
     };
     assert_eq!(driver_bytes, 2 * k * dense_bytes(dim));
     assert_eq!(allreduce_bytes, 2 * (k - 1) * k * partition_bytes(dim, k));
-    assert!(allreduce_bytes <= driver_bytes, "AllReduce never moves more");
+    assert!(
+        allreduce_bytes <= driver_bytes,
+        "AllReduce never moves more"
+    );
     assert!(
         allreduce_time < driver_time,
         "but it finishes sooner: {allreduce_time} vs {driver_time}"
@@ -120,7 +125,10 @@ fn fig3_wait_bars() {
         .iter()
         .filter(|s| s.activity == Activity::Wait && matches!(s.node, NodeId::Executor(_)))
         .count();
-    assert!(waits_ma > 0, "driver-centric rounds leave executors waiting");
+    assert!(
+        waits_ma > 0,
+        "driver-centric rounds leave executors waiting"
+    );
 
     let star = train_mllib_star(&ds, &cluster, &cfg);
     let exec_util: f64 = (0..8)

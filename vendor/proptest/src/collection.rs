@@ -1,0 +1,101 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A vector length specification: an exact size or a half-open range,
+/// mirroring `proptest::collection::SizeRange` conversions.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range {r:?}");
+        SizeRange {
+            lo: r.start,
+            hi_exclusive: r.end,
+        }
+    }
+}
+
+/// Generates `Vec`s whose length is drawn from `size` and whose elements
+/// come from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.hi_exclusive - self.size.lo) as u64;
+        let len = self.size.lo
+            + if span <= 1 {
+                0
+            } else {
+                rng.below(span) as usize
+            };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_size_is_exact() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..50 {
+            assert_eq!(vec(0u8..5, 7usize).generate(&mut rng).len(), 7);
+        }
+    }
+
+    #[test]
+    fn ranged_size_spans_the_range() {
+        let mut rng = TestRng::new(2);
+        let s = vec(0u8..5, 1..4);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(s.generate(&mut rng).len());
+        }
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_length_is_allowed() {
+        let mut rng = TestRng::new(3);
+        let s = vec(0u8..5, 0..2);
+        let mut saw_empty = false;
+        for _ in 0..100 {
+            if s.generate(&mut rng).is_empty() {
+                saw_empty = true;
+            }
+        }
+        assert!(saw_empty);
+    }
+}

@@ -1,0 +1,224 @@
+//! Offline std-only stand-in for `proptest` 1.x.
+//!
+//! The build environment has no access to the crates.io registry, so the
+//! workspace patches `proptest` with this stub (see `[patch.crates-io]` in
+//! the root manifest). It is a *generate-only* property tester: the
+//! `proptest!` macro, strategy combinators (`prop_map`, `prop_flat_map`,
+//! `prop_oneof!`, `Just`, ranges, tuples, `collection::vec`) and the
+//! `prop_assert*` macros all work, driving each test over
+//! [`ProptestConfig::cases`] deterministic pseudo-random cases.
+//!
+//! Differences from the registry crate, by design:
+//!
+//! * **No shrinking** — a failing case reports its seed and case number
+//!   instead of a minimized input.
+//! * **Deterministic cases** — the case stream is a pure function of the
+//!   test name and case index (SplitMix64), so failures reproduce exactly;
+//!   there is no `PROPTEST_` environment handling.
+//! * Only the strategy surface this workspace uses is implemented.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the `proptest::prelude::*` imports in this workspace need.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests.
+///
+/// Supports the standard forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn my_property(x in 0u32..100, v in proptest::collection::vec(0.0f64..1.0, 1..8)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $($(#[$meta:meta])* fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                $crate::test_runner::run(stringify!($name), &__config, |__rng| {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    let mut __case = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body;
+                        Ok(())
+                    };
+                    __case()
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            lhs == rhs,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($lhs), stringify!($rhs), lhs, rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(lhs == rhs, $($fmt)+);
+    }};
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            lhs != rhs,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($lhs), stringify!($rhs), lhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(lhs != rhs, $($fmt)+);
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, f in -2.0f64..2.0, n in 1usize..9) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+            prop_assert!((1..9).contains(&n));
+        }
+
+        #[test]
+        fn vec_respects_size_and_element_ranges(
+            v in crate::collection::vec(0u64..100, 2..6)
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn map_flat_map_oneof_compose(
+            pair in (1usize..5, 10u32..20).prop_flat_map(|(n, base)| {
+                crate::collection::vec(
+                    prop_oneof![Just(base), (0u32..5).prop_map(move |d| base + d)],
+                    n,
+                )
+            })
+        ) {
+            prop_assert!(!pair.is_empty());
+            prop_assert!(pair.iter().all(|&x| (10..25).contains(&x)));
+        }
+
+        #[test]
+        fn any_bool_is_generable(b in any::<bool>()) {
+            // Not a distribution test — just must be generable.
+            prop_assert!(u8::from(b) <= 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_override_applies(x in 0u8..=255) {
+            let _ = x;
+            prop_assert!(true);
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_seed() {
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::run("always_fails", &ProptestConfig::with_cases(3), |_rng| {
+                Err(TestCaseError::fail("boom".to_string()))
+            });
+        });
+        let msg = *result
+            .expect_err("must panic")
+            .downcast::<String>()
+            .expect("string payload");
+        assert!(
+            msg.contains("always_fails") && msg.contains("boom"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first = Vec::new();
+        crate::test_runner::run("det", &ProptestConfig::with_cases(4), |rng| {
+            first.push(Strategy::generate(&(0u64..1_000_000), rng));
+            Ok(())
+        });
+        let mut second = Vec::new();
+        crate::test_runner::run("det", &ProptestConfig::with_cases(4), |rng| {
+            second.push(Strategy::generate(&(0u64..1_000_000), rng));
+            Ok(())
+        });
+        assert_eq!(first, second);
+        assert!(
+            first
+                .iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
+                > 1
+        );
+    }
+}

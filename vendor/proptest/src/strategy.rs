@@ -1,0 +1,313 @@
+//! Strategies: deterministic value generators with the combinator surface
+//! the workspace's property tests use.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A generator of test values, mirroring `proptest::strategy::Strategy`.
+///
+/// The stub collapses proptest's value-tree model (generate + shrink) into
+/// plain generation.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates an intermediate value, then generates from the strategy
+    /// `f` builds from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// A type-erased strategy, mirroring `proptest::strategy::BoxedStrategy`.
+#[derive(Clone)]
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies (the `prop_oneof!` backend).
+#[derive(Clone)]
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let arm = rng.below(self.arms.len() as u64) as usize;
+        self.arms[arm].generate(rng)
+    }
+}
+
+macro_rules! impl_strategy_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy {self:?}");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = if span > u64::MAX as u128 {
+                    rng.next_u64() as u128
+                } else {
+                    rng.below(span as u64) as u128
+                };
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy {self:?}");
+                let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                let draw = if span > u64::MAX as u128 {
+                    rng.next_u64() as u128
+                } else {
+                    rng.below(span as u64) as u128
+                };
+                (*self.start() as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_for_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy {self:?}");
+                loop {
+                    let v = self.start as f64
+                        + (self.end as f64 - self.start as f64) * rng.u01();
+                    let v = v as $t;
+                    if v < self.end {
+                        return v;
+                    }
+                }
+            }
+        }
+    )*};
+}
+impl_strategy_for_float_range!(f32, f64);
+
+macro_rules! impl_strategy_for_tuple {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_for_tuple! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// Types with a canonical strategy, mirroring `proptest::arbitrary`.
+pub trait Arbitrary: Sized {
+    /// Draws one value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Bounded, finite: property tests want usable numbers by default.
+        rng.u01() * 2e6 - 1e6
+    }
+}
+
+/// The canonical strategy for `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn just_clones_and_union_picks_every_arm() {
+        let mut rng = TestRng::new(1);
+        assert_eq!(Just(41).generate(&mut rng), 41);
+        let u = Union::new(vec![
+            Just(1u8).boxed(),
+            Just(2u8).boxed(),
+            Just(3u8).boxed(),
+        ]);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(u.generate(&mut rng));
+        }
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn tuple_and_map_compose() {
+        let mut rng = TestRng::new(2);
+        let s = (0u32..10, -1.0f64..1.0).prop_map(|(a, b)| (a as f64) + b);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((-1.0..10.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn inclusive_ranges_hit_endpoints() {
+        let mut rng = TestRng::new(3);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..500 {
+            match (0u8..=3).generate(&mut rng) {
+                0 => saw_lo = true,
+                3 => saw_hi = true,
+                _ => {}
+            }
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn flat_map_threads_the_intermediate_value() {
+        let mut rng = TestRng::new(4);
+        let s = (1usize..4).prop_flat_map(|n| crate::collection::vec(0u8..10, n));
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Deterministic case driver for the stub proptest.
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The registry crate defaults to 256; the stub keeps that so
+        // property coverage matches what the tests were written against.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed case, mirroring `proptest::test_runner::TestCaseError`.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: String) -> Self {
+        TestCaseError { message }
+    }
+
+    /// Mirrors the registry crate's `TestCaseError::fail` usage with
+    /// `Reject` semantics collapsed into failure.
+    pub fn reject(message: String) -> Self {
+        TestCaseError { message }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The per-case generator state: SplitMix64, seeded from the test name and
+/// case index so every run of every test is reproducible bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// A generator rooted at `seed`.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: splitmix64(seed),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, 1)` with 53-bit precision.
+    pub fn u01(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Unbiased uniform draw from `[0, span)`; `span` must be non-zero.
+    pub fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        let zone = span.wrapping_neg() % span;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (span as u128);
+            if (m as u64) >= zone || zone == 0 {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+/// Derives the case-0 seed for a named test.
+fn seed_for(name: &str, case: u32) -> u64 {
+    let mut h = 0xA076_1D64_78BD_642Fu64; // arbitrary non-zero root
+    for b in name.bytes() {
+        h = splitmix64(h ^ u64::from(b));
+    }
+    splitmix64(h ^ u64::from(case))
+}
+
+/// Runs `f` over `config.cases` deterministic cases, panicking (like a
+/// normal failed `#[test]`) on the first case that returns `Err`.
+pub fn run<F>(name: &str, config: &ProptestConfig, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    for case in 0..config.cases {
+        let seed = seed_for(name, case);
+        let mut rng = TestRng::new(seed);
+        if let Err(e) = f(&mut rng) {
+            panic!(
+                "proptest `{name}` failed at case {case}/{} (seed {seed:#018x}, no shrinking in offline stub): {e}",
+                config.cases
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_differ_by_name_and_case() {
+        assert_ne!(seed_for("a", 0), seed_for("b", 0));
+        assert_ne!(seed_for("a", 0), seed_for("a", 1));
+        assert_eq!(seed_for("a", 3), seed_for("a", 3));
+    }
+
+    #[test]
+    fn below_is_unbiased_enough_and_bounded() {
+        let mut rng = TestRng::new(1);
+        let mut counts = [0u32; 7];
+        for _ in 0..70_000 {
+            counts[rng.below(7) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((c as i64 - 10_000).abs() < 1_000, "count {c}");
+        }
+    }
+
+    #[test]
+    fn u01_is_in_unit_interval() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..10_000 {
+            let x = rng.u01();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Sequence utilities, mirroring `rand::seq`.
+
+use crate::{Rng, RngCore};
+
+/// Shuffle and choose over slices, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher–Yates shuffle (the same construction rand 0.8 uses).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Uniformly chosen element, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = usize::sample_range(rng, 0, i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[usize::sample_range(rng, 0, self.len() - 1)])
+        }
+    }
+}
+
+/// Inclusive uniform index draw used by the slice helpers (kept off the
+/// public `Rng` trait, whose `gen_range` takes range values).
+trait SampleRangeInclusive: Sized {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+impl SampleRangeInclusive for usize {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: usize, hi: usize) -> usize {
+        crate::SampleUniform::sample_uniform(rng, lo, hi, true)
+    }
+}
+
+/// Index sampling without replacement, mirroring `rand::seq::index`.
+pub mod index {
+    use super::*;
+
+    /// The sampled indices.
+    #[derive(Debug, Clone)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// Consumes into a plain vector.
+        pub fn into_vec(self) -> Vec<usize> {
+            self.0
+        }
+
+        /// Number of sampled indices.
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// Whether the sample is empty.
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+
+        /// Iterates over the sampled indices.
+        pub fn iter(&self) -> std::slice::Iter<'_, usize> {
+            self.0.iter()
+        }
+    }
+
+    impl IntoIterator for IndexVec {
+        type Item = usize;
+        type IntoIter = std::vec::IntoIter<usize>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Samples `amount` distinct indices from `0..length` via a partial
+    /// Fisher–Yates pass (uniform without replacement, random order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount > length`.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+        assert!(amount <= length, "cannot sample {amount} of {length}");
+        let mut pool: Vec<usize> = (0..length).collect();
+        for i in 0..amount {
+            let j = super::SampleRangeInclusive::sample_range(rng, i, length - 1);
+            pool.swap(i, j);
+        }
+        pool.truncate(amount);
+        IndexVec(pool)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation_and_seed_stable() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+
+        let mut rng2 = StdRng::seed_from_u64(1);
+        let mut v2: Vec<u32> = (0..50).collect();
+        v2.shuffle(&mut rng2);
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn choose_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let v = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(v.contains(v.choose(&mut rng).expect("non-empty")));
+        }
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn index_sample_is_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = index::sample(&mut rng, 100, 10).into_vec();
+        assert_eq!(s.len(), 10);
+        let mut dedup = s.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10);
+        assert!(s.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn index_sample_full_range_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut s = index::sample(&mut rng, 8, 8).into_vec();
+        s.sort_unstable();
+        assert_eq!(s, (0..8).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,75 @@
+//! Offline std-only stand-in for `serde`.
+//!
+//! The build environment has no access to the crates.io registry, so the
+//! workspace patches `serde` with this stub (see `[patch.crates-io]` in the
+//! root manifest). It provides just enough surface for the workspace to
+//! compile: the `Serialize`/`Deserialize` trait names and the derive macros
+//! (which expand to nothing — no workspace code serializes through serde
+//! yet; persistence goes through the hand-rolled CSV/LIBSVM/wire encoders).
+//!
+//! If real serialization is ever needed, replace this stub by restoring the
+//! registry dependency; the call sites are already source-compatible.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. The no-op derive does not
+/// implement it; nothing in the workspace requires the bound.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// Mirrors `serde::ser` far enough for `use serde::ser::Serialize` paths.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Mirrors `serde::de` far enough for `use serde::de::Deserialize` paths.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+#[cfg(test)]
+mod tests {
+    // The derives must parse struct/enum definitions (with helper
+    // attributes) without emitting anything that fails to compile.
+    use super::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Plain {
+        a: u32,
+        b: String,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    #[serde(rename_all = "snake_case")]
+    #[allow(dead_code)] // only needs to compile; the inert derive reads nothing
+    enum WithAttrs {
+        One,
+        Two { x: f64 },
+    }
+
+    #[test]
+    fn derives_are_inert() {
+        let p = Plain {
+            a: 1,
+            b: "x".into(),
+        };
+        assert_eq!(
+            p,
+            Plain {
+                a: 1,
+                b: "x".into()
+            }
+        );
+        let _ = WithAttrs::Two { x: 1.0 };
+        let _ = WithAttrs::One;
+    }
+}

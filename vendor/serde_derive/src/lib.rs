@@ -1,0 +1,23 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! The build environment has no access to the crates.io registry, so the
+//! workspace patches `serde`/`serde_derive` with these std-only stubs (see
+//! `[patch.crates-io]` in the root manifest). Nothing in the workspace
+//! actually serializes through serde yet — the derives exist so struct
+//! definitions stay source-compatible with the real crate. The macros
+//! accept the usual derive syntax (including `#[serde(...)]` helper
+//! attributes) and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
