@@ -1,8 +1,9 @@
 //! Shared command-line handling for the exhibit binaries.
 
 /// Handles the stub-bin command line: `-h`/`--help` prints a usage line
-/// and exits 0, any other argument is rejected with exit 2, no arguments
-/// falls through to the exhibit itself.
+/// and exits 0, `--json` turns on JSON artifact output (see
+/// [`crate::report::json_mode`]), any other argument is rejected with
+/// exit 2, no arguments falls through to the exhibit itself.
 ///
 /// `bin` is the binary name and `what` a one-line description of the
 /// exhibit it regenerates.
@@ -15,14 +16,22 @@ pub fn exhibit_args(bin: &str, what: &str) {
         println!("{bin}: {what}");
         println!();
         println!("USAGE:");
-        println!("    cargo run --release -p mlstar-bench --bin {bin}");
+        println!("    cargo run --release -p mlstar-bench --bin {bin} [-- --json]");
         println!();
-        println!("Takes no arguments. Writes CSV artifacts to bench_results/");
-        println!("(override with MLSTAR_OUT) and prints the exhibit to stdout.");
+        println!("OPTIONS:");
+        println!("    --json    also write per-round telemetry (compute/comm/idle");
+        println!("              breakdown, bytes per pattern) as JSON artifacts");
+        println!();
+        println!("Writes artifacts to bench_results/ (override with MLSTAR_OUT)");
+        println!("and prints the exhibit to stdout.");
         std::process::exit(0);
     }
-    eprintln!("{bin}: unexpected arguments {args:?} (this exhibit takes none; see --help)");
-    std::process::exit(2);
+    let unknown: Vec<&String> = args.iter().filter(|a| a.as_str() != "--json").collect();
+    if !unknown.is_empty() {
+        eprintln!("{bin}: unexpected arguments {unknown:?} (see --help)");
+        std::process::exit(2);
+    }
+    crate::report::set_json_mode(true);
 }
 
 #[cfg(test)]

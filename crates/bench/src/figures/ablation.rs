@@ -18,7 +18,9 @@ use mlstar_glm::{LearningRate, Loss, Regularizer};
 use mlstar_sim::ClusterSpec;
 
 use crate::figures::tuning::{quick_mode, tune_system};
-use crate::report::{banner, fmt_opt, write_artifact, Table};
+use crate::report::{
+    banner, fmt_opt, json_mode, round_stats_json, summarize_rounds, write_artifact, Table,
+};
 use mlstar_core::System;
 
 /// Runs all five ablations.
@@ -70,28 +72,45 @@ fn technique_isolation(
         "steps to target",
         "time to target",
         "updates/step",
+        "comp/comm/idle",
     ]);
-    let mut csv = String::from("system,steps,time_s,updates_per_step\n");
+    let mut csv =
+        String::from("system,steps,time_s,updates_per_step,compute_s,comm_s,idle_s,recovery_s\n");
     for o in [&mllib, &ma, &star] {
         let steps = o.trace.steps_to_reach(target);
         let time = o.trace.time_to_reach(target);
         let ups = o.total_updates as f64 / o.rounds_run.max(1) as f64;
+        let phases = summarize_rounds(&o.round_stats);
         table.row(&[
             o.trace.system.clone(),
             steps.map_or("—".into(), |s| s.to_string()),
             fmt_opt(time, "s"),
             format!("{ups:.0}"),
+            phases.fmt_split(),
         ]);
         csv.push_str(&format!(
-            "{},{},{},{ups:.1}\n",
+            "{},{},{},{ups:.1},{:.4},{:.4},{:.4},{:.4}\n",
             o.trace.system,
             steps.map_or(-1i64, |s| s as i64),
             time.map_or(-1.0, |t| t),
+            phases.compute_s,
+            phases.comm_s,
+            phases.idle_s,
+            phases.recovery_s,
         ));
     }
     table.print();
     println!("(model averaging cuts steps; AllReduce additionally cuts per-step latency)");
     write_artifact("ablation_techniques.csv", &csv);
+    if json_mode() {
+        let runs: Vec<(String, &[mlstar_core::RoundStats])> = [&mllib, &ma, &star]
+            .iter()
+            .map(|o| (o.trace.system.clone(), o.round_stats.as_slice()))
+            .collect();
+        let json = round_stats_json("ablation_technique_isolation", &runs);
+        let path = write_artifact("ablation_techniques.json", &json);
+        println!("wrote {}", path.display());
+    }
 }
 
 fn fanin_sweep(

@@ -16,7 +16,8 @@ use mlstar_sim::ClusterSpec;
 
 use crate::figures::tuning::{quick_mode, tune_system};
 use crate::report::{
-    ascii_convergence, banner, fmt_opt, fmt_speedup, traces_to_csv, write_artifact, Table,
+    ascii_convergence, banner, fmt_opt, fmt_speedup, json_mode, round_stats_json, traces_to_csv,
+    write_artifact, Table,
 };
 
 /// Regenerates the Figure 4 grid.
@@ -37,6 +38,7 @@ pub fn run_fig4() {
         "time speedup",
     ]);
     let mut all_csv = Vec::new();
+    let mut all_stats: Vec<(String, Vec<mlstar_core::RoundStats>)> = Vec::new();
 
     for preset in catalog::public_presets() {
         let ds = super::scale_for_quick(preset.clone()).generate();
@@ -79,12 +81,24 @@ pub fn run_fig4() {
                 ascii_convergence(&[&mllib.trace, &star.trace], 72, 12)
             );
             println!();
-            all_csv.push(mllib.trace);
-            all_csv.push(star.trace);
+            for o in [mllib, star] {
+                let label = format!("{} {} {}", o.trace.system, preset.name, reg.label());
+                all_stats.push((label, o.round_stats));
+                all_csv.push(o.trace);
+            }
         }
     }
     table.print();
     let refs: Vec<&mlstar_core::ConvergenceTrace> = all_csv.iter().collect();
     let path = write_artifact("fig4_mllib_vs_star.csv", &traces_to_csv(&refs));
     println!("\nwrote {}", path.display());
+    if json_mode() {
+        let runs: Vec<(String, &[mlstar_core::RoundStats])> = all_stats
+            .iter()
+            .map(|(label, s)| (label.clone(), s.as_slice()))
+            .collect();
+        let json = round_stats_json("fig4_mllib_vs_star", &runs);
+        let path = write_artifact("fig4_round_stats.json", &json);
+        println!("wrote {}", path.display());
+    }
 }

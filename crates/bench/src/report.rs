@@ -1,9 +1,25 @@
-//! Report formatting and CSV output shared by the figure harnesses.
+//! Report formatting and CSV/JSON output shared by the figure harnesses.
 
 use std::io::Write;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 
-use mlstar_core::ConvergenceTrace;
+use mlstar_core::{ConvergenceTrace, RoundStats};
+
+/// Whether the exhibit was invoked with `--json` (set by
+/// [`crate::cli::exhibit_args`]): harnesses that have a structured report
+/// additionally write it as a JSON artifact.
+static JSON_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Turns `--json` artifact output on (or off).
+pub fn set_json_mode(on: bool) {
+    JSON_MODE.store(on, Ordering::Relaxed);
+}
+
+/// True when the exhibit should also emit JSON artifacts.
+pub fn json_mode() -> bool {
+    JSON_MODE.load(Ordering::Relaxed)
+}
 
 /// The output directory for CSV artifacts (`bench_results/` by default,
 /// overridable via `MLSTAR_OUT`). Created on first use.
@@ -106,6 +122,149 @@ pub fn fmt_speedup(v: Option<f64>) -> String {
         Some(_) => "∞".to_owned(),
         None => "—".to_owned(),
     }
+}
+
+/// A run's per-phase sim-time totals, folded over its [`RoundStats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseSummary {
+    /// Total per-round compute time (averaged over nodes within a round).
+    pub compute_s: f64,
+    /// Total communication time.
+    pub comm_s: f64,
+    /// Total straggler-idle time.
+    pub idle_s: f64,
+    /// Total failure-recovery time.
+    pub recovery_s: f64,
+    /// Total elapsed sim time across the rounds.
+    pub elapsed_s: f64,
+    /// Total bytes moved across all communication patterns.
+    pub bytes: u64,
+    /// Total model updates performed.
+    pub updates: u64,
+}
+
+impl PhaseSummary {
+    /// Renders the compute/comm/idle split as percentages of elapsed time
+    /// (recovery, when present, is folded into the remainder).
+    pub fn fmt_split(&self) -> String {
+        if self.elapsed_s <= 0.0 {
+            return "—".to_owned();
+        }
+        let pct = |x: f64| (x / self.elapsed_s * 100.0).round();
+        format!(
+            "{:.0}/{:.0}/{:.0}%",
+            pct(self.compute_s),
+            pct(self.comm_s),
+            pct(self.idle_s + self.recovery_s)
+        )
+    }
+}
+
+/// Folds a run's [`RoundStats`] into per-phase totals.
+pub fn summarize_rounds(rounds: &[RoundStats]) -> PhaseSummary {
+    let mut s = PhaseSummary::default();
+    for r in rounds {
+        s.compute_s += r.compute_s;
+        s.comm_s += r.comm_s;
+        s.idle_s += r.idle_s;
+        s.recovery_s += r.recovery_s;
+        s.elapsed_s += r.elapsed_s;
+        s.bytes += r.bytes.total();
+        s.updates += r.updates;
+    }
+    s
+}
+
+/// Escapes a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (finite values round-trip; non-finite
+/// values — which our reports never produce — degrade to `null`).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Serializes one round's telemetry as a JSON object.
+fn round_to_json(r: &RoundStats) -> String {
+    format!(
+        concat!(
+            "{{\"round\":{},\"updates\":{},\"flops\":{},",
+            "\"compute_s\":{},\"comm_s\":{},\"idle_s\":{},\"recovery_s\":{},",
+            "\"elapsed_s\":{},\"bytes\":{{\"broadcast\":{},\"tree_aggregate\":{},",
+            "\"reduce_scatter\":{},\"all_gather\":{},\"ps_pull\":{},\"ps_push\":{},",
+            "\"total\":{}}}}}"
+        ),
+        r.round,
+        r.updates,
+        json_f64(r.flops),
+        json_f64(r.compute_s),
+        json_f64(r.comm_s),
+        json_f64(r.idle_s),
+        json_f64(r.recovery_s),
+        json_f64(r.elapsed_s),
+        r.bytes.broadcast,
+        r.bytes.tree_aggregate,
+        r.bytes.reduce_scatter,
+        r.bytes.all_gather,
+        r.bytes.ps_pull,
+        r.bytes.ps_push,
+        r.bytes.total(),
+    )
+}
+
+/// Serializes per-run round telemetry into a JSON report: one entry per
+/// labeled run, each with its per-round records and folded totals (the
+/// compute/comm/idle breakdown the `--json` mode exists for).
+pub fn round_stats_json(report: &str, runs: &[(String, &[RoundStats])]) -> String {
+    let mut out = format!("{{\"report\":\"{}\",\"runs\":[", json_escape(report));
+    for (i, (label, rounds)) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let s = summarize_rounds(rounds);
+        out.push_str(&format!(
+            concat!(
+                "{{\"label\":\"{}\",\"totals\":{{\"compute_s\":{},\"comm_s\":{},",
+                "\"idle_s\":{},\"recovery_s\":{},\"elapsed_s\":{},\"bytes\":{},",
+                "\"updates\":{}}},\"rounds\":["
+            ),
+            json_escape(label),
+            json_f64(s.compute_s),
+            json_f64(s.comm_s),
+            json_f64(s.idle_s),
+            json_f64(s.recovery_s),
+            json_f64(s.elapsed_s),
+            s.bytes,
+            s.updates,
+        ));
+        for (j, r) in rounds.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&round_to_json(r));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}\n");
+    out
 }
 
 /// Concatenates trace CSVs (single header).
@@ -253,6 +412,57 @@ mod tests {
         let a = trace("X", &[(0, 1.0, 0.5)]);
         let plot = ascii_convergence(&[&a], 40, 10);
         assert!(plot.contains("no plottable data"));
+    }
+
+    fn sample_round(round: u64) -> RoundStats {
+        let mut r = RoundStats {
+            round,
+            updates: 3,
+            flops: 1e6,
+            compute_s: 0.6,
+            comm_s: 0.3,
+            idle_s: 0.08,
+            recovery_s: 0.02,
+            elapsed_s: 1.0,
+            ..RoundStats::default()
+        };
+        r.bytes.broadcast = 100;
+        r.bytes.tree_aggregate = 200;
+        r
+    }
+
+    #[test]
+    fn phase_summary_folds_rounds() {
+        let rounds = [sample_round(0), sample_round(1)];
+        let s = summarize_rounds(&rounds);
+        assert_eq!(s.updates, 6);
+        assert_eq!(s.bytes, 600);
+        assert!((s.elapsed_s - 2.0).abs() < 1e-12);
+        assert_eq!(s.fmt_split(), "60/30/10%");
+        assert_eq!(PhaseSummary::default().fmt_split(), "—");
+    }
+
+    #[test]
+    fn round_stats_json_is_well_formed() {
+        let rounds = [sample_round(0)];
+        let json = round_stats_json("demo \"quoted\"", &[("MLlib*".to_owned(), &rounds[..])]);
+        assert!(json.starts_with("{\"report\":\"demo \\\"quoted\\\"\""));
+        assert!(json.contains("\"label\":\"MLlib*\""));
+        assert!(json.contains("\"compute_s\":0.6"));
+        assert!(json.contains("\"broadcast\":100"));
+        assert!(json.contains("\"total\":300"));
+        // Balanced braces/brackets (cheap well-formedness probe).
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes, "{json}");
+    }
+
+    #[test]
+    fn json_mode_toggles() {
+        assert!(!json_mode());
+        set_json_mode(true);
+        assert!(json_mode());
+        set_json_mode(false);
     }
 
     #[test]

@@ -2,8 +2,55 @@
 
 use std::collections::BTreeMap;
 
-use crate::gantt::{Activity, GanttRecorder, NodeId};
+use crate::gantt::{Activity, ActivityKind, GanttRecorder, NodeId};
 use crate::time::{SimDuration, SimTime};
+
+/// Per-phase wall-clock totals of one BSP round, in seconds, averaged over
+/// the participating nodes so that the four phases sum to the round's
+/// elapsed simulated time (every node's spans tile the round exactly:
+/// `work` advances a clock by the span it records, and barriers fill the
+/// gaps with [`Activity::Wait`] spans).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTotals {
+    /// Time in [`ActivityKind::Compute`] activities.
+    pub compute_s: f64,
+    /// Time in [`ActivityKind::Communication`] activities.
+    pub comm_s: f64,
+    /// Time in [`ActivityKind::Idle`] (barrier/straggler waits).
+    pub idle_s: f64,
+    /// Time inside a failure-recovery window (see
+    /// [`RoundBuilder::set_recovery`]), regardless of activity kind.
+    pub recovery_s: f64,
+}
+
+impl PhaseTotals {
+    /// Sum of the four phases — equals the round's elapsed seconds up to
+    /// floating-point rounding.
+    pub fn sum(&self) -> f64 {
+        self.compute_s + self.comm_s + self.idle_s + self.recovery_s
+    }
+
+    fn charge(&mut self, kind: ActivityKind, secs: f64, in_recovery: bool) {
+        if in_recovery {
+            self.recovery_s += secs;
+        } else {
+            match kind {
+                ActivityKind::Compute => self.compute_s += secs,
+                ActivityKind::Communication => self.comm_s += secs,
+                ActivityKind::Idle => self.idle_s += secs,
+            }
+        }
+    }
+
+    fn averaged(mut self, nodes: usize) -> PhaseTotals {
+        let inv = 1.0 / nodes as f64;
+        self.compute_s *= inv;
+        self.comm_s *= inv;
+        self.idle_s *= inv;
+        self.recovery_s *= inv;
+        self
+    }
+}
 
 /// Builds one BSP communication round as a sequence of per-node work
 /// phases separated by barriers, recording Gantt spans as it goes.
@@ -17,6 +64,8 @@ pub struct RoundBuilder<'a> {
     gantt: &'a mut GanttRecorder,
     round: u64,
     clocks: BTreeMap<NodeId, SimTime>,
+    phases: PhaseTotals,
+    in_recovery: bool,
 }
 
 impl<'a> RoundBuilder<'a> {
@@ -32,6 +81,8 @@ impl<'a> RoundBuilder<'a> {
             gantt,
             round,
             clocks,
+            phases: PhaseTotals::default(),
+            in_recovery: false,
         }
     }
 
@@ -61,6 +112,8 @@ impl<'a> RoundBuilder<'a> {
             self.gantt
                 .record(node, activity, *clock, *clock + duration, self.round);
         }
+        self.phases
+            .charge(activity.kind(), duration.as_secs_f64(), self.in_recovery);
         *clock += duration;
     }
 
@@ -72,16 +125,37 @@ impl<'a> RoundBuilder<'a> {
             if *clock < latest {
                 self.gantt
                     .record(node, Activity::Wait, *clock, latest, self.round);
+                self.phases.charge(
+                    ActivityKind::Idle,
+                    latest.since(*clock).as_secs_f64(),
+                    self.in_recovery,
+                );
                 *clock = latest;
             }
         }
         latest
     }
 
+    /// Marks subsequent work and waits as failure recovery: their time is
+    /// charged to [`PhaseTotals::recovery_s`] instead of the activity's
+    /// normal phase until recovery is switched off again.
+    pub fn set_recovery(&mut self, on: bool) {
+        self.in_recovery = on;
+    }
+
     /// Finishes the round: implicit final barrier, returning the round end
     /// time.
-    pub fn finish(mut self) -> SimTime {
-        self.barrier()
+    pub fn finish(self) -> SimTime {
+        self.finish_with_phases().0
+    }
+
+    /// Like [`RoundBuilder::finish`], also returning the per-phase time
+    /// breakdown averaged over the participating nodes (so the phases sum
+    /// to the round's elapsed time).
+    pub fn finish_with_phases(mut self) -> (SimTime, PhaseTotals) {
+        let end = self.barrier();
+        let n = self.clocks.len();
+        (end, self.phases.averaged(n))
     }
 }
 
@@ -166,5 +240,48 @@ mod tests {
     fn empty_round_rejected() {
         let mut g = GanttRecorder::new();
         let _ = RoundBuilder::new(&mut g, 0, SimTime::ZERO, &[]);
+    }
+
+    #[test]
+    fn phases_sum_to_elapsed() {
+        let mut g = GanttRecorder::new();
+        let nodes = [NodeId::Driver, NodeId::Executor(0), NodeId::Executor(1)];
+        let start = SimTime::ZERO + secs(5.0);
+        let mut rb = RoundBuilder::new(&mut g, 0, start, &nodes);
+        rb.work(NodeId::Driver, Activity::Broadcast, secs(1.0));
+        rb.barrier();
+        rb.work(NodeId::Executor(0), Activity::Compute, secs(3.0));
+        rb.work(NodeId::Executor(1), Activity::Compute, secs(1.0));
+        rb.barrier();
+        rb.work(NodeId::Driver, Activity::DriverUpdate, secs(0.5));
+        let (end, phases) = rb.finish_with_phases();
+        let elapsed = end.since(start).as_secs_f64();
+        assert!(
+            (phases.sum() - elapsed).abs() < 1e-9,
+            "{phases:?} vs {elapsed}"
+        );
+        // Per-node averages: compute (3+1+0.5)/3, comm 1/3, idle the rest.
+        assert!((phases.compute_s - 4.5 / 3.0).abs() < 1e-9);
+        assert!((phases.comm_s - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(phases.recovery_s, 0.0);
+        assert!(phases.idle_s > 0.0);
+    }
+
+    #[test]
+    fn recovery_window_charges_to_recovery() {
+        let mut g = GanttRecorder::new();
+        let nodes = [NodeId::Executor(0), NodeId::Executor(1)];
+        let mut rb = RoundBuilder::new(&mut g, 0, SimTime::ZERO, &nodes);
+        rb.work(NodeId::Executor(0), Activity::Compute, secs(1.0));
+        rb.set_recovery(true);
+        rb.work(NodeId::Executor(1), Activity::Compute, secs(2.0));
+        rb.barrier();
+        rb.set_recovery(false);
+        let (end, phases) = rb.finish_with_phases();
+        // Recovery holds executor 1's redo (2 s) plus executor 0's wait
+        // (1 s), averaged over 2 nodes.
+        assert!((phases.recovery_s - 1.5).abs() < 1e-9, "{phases:?}");
+        assert!((phases.compute_s - 0.5).abs() < 1e-9);
+        assert!((phases.sum() - end.as_secs_f64()).abs() < 1e-9);
     }
 }

@@ -55,7 +55,43 @@ pub enum Activity {
     Wait,
 }
 
+/// The coarse phase an [`Activity`] is charged to when building per-round
+/// time breakdowns (compute vs. communication vs. idle).
+///
+/// Aggregation activities ([`Activity::TreeAggregate`],
+/// [`Activity::ReduceScatter`]) bundle a small combine computation with
+/// the transfer they model; they are charged to
+/// [`ActivityKind::Communication`] because the transfer dominates and the
+/// span exists only because data moved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActivityKind {
+    /// Local gradient/model/server computation.
+    Compute,
+    /// Moving bytes between nodes (including bundled combine work).
+    Communication,
+    /// Blocked at a barrier or waiting on a straggler.
+    Idle,
+}
+
 impl Activity {
+    /// The coarse phase this activity is charged to.
+    pub fn kind(self) -> ActivityKind {
+        match self {
+            Activity::Compute | Activity::DriverUpdate | Activity::ServerUpdate => {
+                ActivityKind::Compute
+            }
+            Activity::Wait => ActivityKind::Idle,
+            Activity::SendGradient
+            | Activity::SendModel
+            | Activity::Broadcast
+            | Activity::TreeAggregate
+            | Activity::ReduceScatter
+            | Activity::AllGather
+            | Activity::PsPush
+            | Activity::PsPull => ActivityKind::Communication,
+        }
+    }
+
     /// One-character code used by the text renderer.
     pub fn code(self) -> char {
         match self {
@@ -341,6 +377,26 @@ mod tests {
         assert_eq!(codes.len(), all.len());
         for a in all {
             assert!(!a.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn activity_kinds_partition_the_phases() {
+        assert_eq!(Activity::Compute.kind(), ActivityKind::Compute);
+        assert_eq!(Activity::DriverUpdate.kind(), ActivityKind::Compute);
+        assert_eq!(Activity::ServerUpdate.kind(), ActivityKind::Compute);
+        assert_eq!(Activity::Wait.kind(), ActivityKind::Idle);
+        for comm in [
+            Activity::SendGradient,
+            Activity::SendModel,
+            Activity::Broadcast,
+            Activity::TreeAggregate,
+            Activity::ReduceScatter,
+            Activity::AllGather,
+            Activity::PsPush,
+            Activity::PsPull,
+        ] {
+            assert_eq!(comm.kind(), ActivityKind::Communication, "{}", comm.name());
         }
     }
 }

@@ -50,10 +50,10 @@ mod rng;
 mod spec;
 mod time;
 
-pub use barrier::RoundBuilder;
+pub use barrier::{PhaseTotals, RoundBuilder};
 pub use cost::{dense_op_flops, pass_flops, CostModel};
 pub use event::EventQueue;
-pub use gantt::{Activity, GanttRecorder, NodeId, Span};
+pub use gantt::{Activity, ActivityKind, GanttRecorder, NodeId, Span};
 pub use rng::{lognormal, normal, SeedStream};
 pub use spec::{ClusterSpec, NetworkSpec, NodeSpec, StragglerModel};
 pub use time::{SimDuration, SimTime};

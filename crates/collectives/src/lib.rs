@@ -57,7 +57,7 @@ mod tree;
 pub mod wire;
 
 pub use allgather::all_gather;
-pub use allreduce::all_reduce_average;
+pub use allreduce::{all_reduce_average, reduce_scatter_average};
 pub use broadcast::broadcast_model;
 pub use ring::ring_all_reduce_average;
 pub use size::{dense_bytes, partition_bytes, sparse_bytes};

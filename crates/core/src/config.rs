@@ -4,7 +4,7 @@ use mlstar_glm::{GlmModel, LearningRate, Loss, Regularizer};
 use mlstar_sim::GanttRecorder;
 use serde::{Deserialize, Serialize};
 
-use crate::ConvergenceTrace;
+use crate::{ConvergenceTrace, RoundStats};
 
 /// How the SendModel systems combine worker models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -82,6 +82,13 @@ impl Default for TrainConfig {
 }
 
 impl TrainConfig {
+    /// Objective ceiling above which a run is declared divergent: any
+    /// non-finite objective, or one strictly greater than this, stops
+    /// training via [`TrainConfig::should_stop`]. The paper's objectives
+    /// live in `[0, ~10]`, so anything past `1e9` is a blown-up model,
+    /// not slow convergence.
+    pub const DIVERGENCE_THRESHOLD: f64 = 1e9;
+
     /// Resolves the batch size against a pool of `pool_len` examples
     /// (at least 1).
     pub fn batch_size(&self, pool_len: usize) -> usize {
@@ -89,9 +96,10 @@ impl TrainConfig {
     }
 
     /// True if training should stop at this objective value (target
-    /// reached or divergence detected).
+    /// reached, or divergence per
+    /// [`TrainConfig::DIVERGENCE_THRESHOLD`]).
     pub fn should_stop(&self, objective: f64) -> bool {
-        if !objective.is_finite() || objective > 1e9 {
+        if !objective.is_finite() || objective > Self::DIVERGENCE_THRESHOLD {
             return true;
         }
         match self.target_objective {
@@ -171,6 +179,10 @@ pub struct TrainOutput {
     pub rounds_run: u64,
     /// True if the run ended by reaching `target_objective`.
     pub converged: bool,
+    /// Per-round telemetry: updates, flops, bytes per communication
+    /// pattern, and a per-phase simulated-time breakdown whose phases sum
+    /// to each round's elapsed time. One entry per executed round.
+    pub round_stats: Vec<RoundStats>,
 }
 
 #[cfg(test)]
@@ -209,6 +221,14 @@ mod tests {
         assert!(cfg.should_stop(0.05));
         assert!(cfg.should_stop(f64::NAN), "divergence stops training");
         assert!(cfg.should_stop(1e12), "blow-up stops training");
+        assert!(
+            !cfg.should_stop(TrainConfig::DIVERGENCE_THRESHOLD),
+            "the threshold itself is still finite training"
+        );
+        assert!(
+            cfg.should_stop(TrainConfig::DIVERGENCE_THRESHOLD * 1.01),
+            "just past the threshold stops"
+        );
         let no_target = TrainConfig {
             target_objective: None,
             ..TrainConfig::default()

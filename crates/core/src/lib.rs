@@ -42,6 +42,7 @@ mod angel;
 mod common;
 mod comparison;
 mod config;
+mod engine;
 mod grid;
 mod local_pass;
 mod mllib;
@@ -57,6 +58,7 @@ mod trace;
 pub use angel::train_angel;
 pub use comparison::{Comparison, ComparisonReport, ComparisonRow};
 pub use config::{AngelConfig, MaWeighting, PsSystemConfig, TrainConfig, TrainOutput};
+pub use engine::{CommBytes, RoundStats};
 pub use grid::{GridPoint, GridResult, GridSearch};
 pub use mllib::train_mllib;
 pub use mllib_ma::train_mllib_ma;

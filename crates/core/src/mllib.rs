@@ -14,17 +14,114 @@
 //! One update per step is bottleneck **B1**; the driver-serialized
 //! broadcast/aggregate is bottleneck **B2**.
 
-use mlstar_collectives::{broadcast_model, tree_aggregate};
 use mlstar_data::{BatchSampler, SparseDataset};
-use mlstar_glm::{batch_gradient_into, GlmModel};
+use mlstar_glm::batch_gradient_into;
 use mlstar_linalg::DenseVector;
-use mlstar_sim::{
-    dense_op_flops, pass_flops, Activity, ClusterSpec, GanttRecorder, NodeId, RoundBuilder,
-    SeedStream, SimTime,
-};
+use mlstar_sim::{dense_op_flops, pass_flops, Activity, ClusterSpec, NodeId, SeedStream};
 
-use crate::common::{eval_objective, maybe_inject_failure, workload_label, BspHarness};
-use crate::{ConvergenceTrace, TracePoint, TrainConfig, TrainOutput};
+use crate::common::BspHarness;
+use crate::engine::{run_rounds, RoundStrategy, StepCtx};
+use crate::{TrainConfig, TrainOutput};
+
+/// The MLlib round: broadcast, batch gradients, treeAggregate, one
+/// driver-side update.
+struct MllibStrategy {
+    h: BspHarness,
+    samplers: Vec<BatchSampler>,
+    w: DenseVector,
+    /// Per-worker gradient buffers, reused across rounds.
+    grads: Vec<DenseVector>,
+}
+
+impl MllibStrategy {
+    fn new(ds: &SparseDataset, cluster: &ClusterSpec, cfg: &TrainConfig) -> Self {
+        let h = BspHarness::new(ds, cluster, cfg.seed);
+        let k = h.k();
+        let dim = ds.num_features();
+        let seeds = SeedStream::new(cfg.seed);
+        MllibStrategy {
+            h,
+            samplers: (0..k)
+                .map(|r| BatchSampler::new(seeds.child("batch").child_idx(r as u64).seed()))
+                .collect(),
+            w: DenseVector::zeros(dim),
+            grads: (0..k).map(|_| DenseVector::zeros(dim)).collect(),
+        }
+    }
+}
+
+impl RoundStrategy for MllibStrategy {
+    fn name(&self) -> &'static str {
+        "MLlib"
+    }
+
+    fn weights(&self) -> &DenseVector {
+        &self.w
+    }
+
+    fn into_weights(self) -> DenseVector {
+        self.w
+    }
+
+    fn step(
+        &mut self,
+        ctx: &mut StepCtx,
+        ds: &SparseDataset,
+        cfg: &TrainConfig,
+        round: u64,
+    ) -> Option<u64> {
+        let MllibStrategy {
+            h,
+            samplers,
+            w,
+            grads,
+        } = self;
+        let k = h.k();
+        let dim = ds.num_features();
+        ctx.round(&h.all_nodes, |rd| {
+            // (1) Driver broadcasts the model.
+            rd.broadcast(&h.cost, dim);
+
+            // (2) Executors compute batch gradients.
+            for r in 0..k {
+                if h.parts[r].is_empty() {
+                    grads[r].clear();
+                    continue;
+                }
+                let batch_size = cfg.batch_size(h.parts[r].len());
+                let batch = samplers[r].sample(&h.parts[r], batch_size);
+                let batch_nnz: usize = batch.iter().map(|&i| ds.rows()[i].nnz()).sum();
+                batch_gradient_into(cfg.loss, w, ds.rows(), ds.labels(), &batch, &mut grads[r]);
+                rd.charge_flops(pass_flops(batch_nnz));
+                rd.rb.work(
+                    NodeId::Executor(r),
+                    Activity::Compute,
+                    h.cost
+                        .executor_waves(r, pass_flops(batch_nnz), cfg.waves, rd.straggler_rng),
+                );
+            }
+            rd.rb.barrier();
+            rd.inject_failure(h, cfg, |r| pass_flops(h.part_nnz[r]) * cfg.batch_frac);
+
+            // (3) Hierarchical aggregation of gradients to the driver.
+            let mut grad =
+                rd.tree_aggregate(&h.cost, grads, cfg.tree_fanin, Activity::SendGradient);
+
+            // (4) Single driver-side update.
+            grad.scale(1.0 / k as f64);
+            cfg.reg.add_gradient(w, &mut grad);
+            let eta = cfg.lr.eta(round);
+            w.axpy(-eta, &grad);
+            rd.charge_flops(2.0 * dense_op_flops(dim));
+            rd.rb.work(
+                NodeId::Driver,
+                Activity::DriverUpdate,
+                h.cost.driver_compute(2.0 * dense_op_flops(dim)),
+            );
+        });
+        Some(1)
+    }
+}
 
 /// Trains with the MLlib baseline. See the module docs for the protocol.
 ///
@@ -33,114 +130,7 @@ use crate::{ConvergenceTrace, TracePoint, TrainConfig, TrainOutput};
 /// Panics if the dataset is empty.
 pub fn train_mllib(ds: &SparseDataset, cluster: &ClusterSpec, cfg: &TrainConfig) -> TrainOutput {
     assert!(!ds.is_empty(), "cannot train on an empty dataset");
-    let h = BspHarness::new(ds, cluster, cfg.seed);
-    let k = h.k();
-    let dim = ds.num_features();
-    let seeds = SeedStream::new(cfg.seed);
-    let mut straggler_rng = seeds.child("straggler").rng();
-    let mut failure_rng = seeds.child("failures").rng();
-    let mut samplers: Vec<BatchSampler> = (0..k)
-        .map(|r| BatchSampler::new(seeds.child("batch").child_idx(r as u64).seed()))
-        .collect();
-
-    let mut gantt = GanttRecorder::new();
-    let mut w = DenseVector::zeros(dim);
-    let mut trace = ConvergenceTrace::new("MLlib", workload_label(ds, cfg.reg));
-    trace.push(TracePoint {
-        step: 0,
-        time: SimTime::ZERO,
-        objective: eval_objective(ds, cfg.loss, cfg.reg, &w),
-        total_updates: 0,
-    });
-
-    let mut now = SimTime::ZERO;
-    let mut total_updates = 0u64;
-    let mut rounds_run = 0u64;
-    let mut converged = false;
-    // Per-worker gradient buffers, reused across rounds.
-    let mut grads: Vec<DenseVector> = (0..k).map(|_| DenseVector::zeros(dim)).collect();
-
-    for round in 0..cfg.max_rounds {
-        let mut rb = RoundBuilder::new(&mut gantt, round, now, &h.all_nodes);
-
-        // (1) Driver broadcasts the model.
-        broadcast_model(&mut rb, &h.cost, dim);
-
-        // (2) Executors compute batch gradients.
-        for r in 0..k {
-            if h.parts[r].is_empty() {
-                grads[r].clear();
-                continue;
-            }
-            let batch_size = cfg.batch_size(h.parts[r].len());
-            let batch = samplers[r].sample(&h.parts[r], batch_size);
-            let batch_nnz: usize = batch.iter().map(|&i| ds.rows()[i].nnz()).sum();
-            batch_gradient_into(cfg.loss, &w, ds.rows(), ds.labels(), &batch, &mut grads[r]);
-            rb.work(
-                NodeId::Executor(r),
-                Activity::Compute,
-                h.cost
-                    .executor_waves(r, pass_flops(batch_nnz), cfg.waves, &mut straggler_rng),
-            );
-        }
-        rb.barrier();
-        maybe_inject_failure(
-            &mut rb,
-            &h,
-            cfg.failure_prob,
-            cfg.waves,
-            |r| pass_flops(h.part_nnz[r]) * cfg.batch_frac,
-            &mut failure_rng,
-            &mut straggler_rng,
-        );
-
-        // (3) Hierarchical aggregation of gradients to the driver.
-        let (gsum, _) = tree_aggregate(
-            &mut rb,
-            &h.cost,
-            &grads,
-            cfg.tree_fanin,
-            Activity::SendGradient,
-        );
-
-        // (4) Single driver-side update.
-        let mut grad = gsum;
-        grad.scale(1.0 / k as f64);
-        cfg.reg.add_gradient(&w, &mut grad);
-        let eta = cfg.lr.eta(round);
-        w.axpy(-eta, &grad);
-        rb.work(
-            NodeId::Driver,
-            Activity::DriverUpdate,
-            h.cost.driver_compute(2.0 * dense_op_flops(dim)),
-        );
-        now = rb.finish();
-        total_updates += 1;
-        rounds_run = round + 1;
-
-        if rounds_run.is_multiple_of(cfg.eval_every) || rounds_run == cfg.max_rounds {
-            let f = eval_objective(ds, cfg.loss, cfg.reg, &w);
-            trace.push(TracePoint {
-                step: rounds_run,
-                time: now,
-                objective: f,
-                total_updates,
-            });
-            if cfg.should_stop(f) {
-                converged = cfg.target_objective.is_some_and(|t| f <= t);
-                break;
-            }
-        }
-    }
-
-    TrainOutput {
-        trace,
-        gantt,
-        model: GlmModel::from_weights(w),
-        total_updates,
-        rounds_run,
-        converged,
-    }
+    run_rounds(ds, cfg, MllibStrategy::new(ds, cluster, cfg))
 }
 
 #[cfg(test)]
@@ -236,5 +226,32 @@ mod tests {
         // step 0, 5, 10.
         assert_eq!(out.trace.points.len(), 3);
         assert_eq!(out.trace.points[1].step, 5);
+    }
+
+    #[test]
+    fn round_stats_track_every_round() {
+        let ds = tiny_ds();
+        let cfg = TrainConfig {
+            max_rounds: 4,
+            ..quick_cfg()
+        };
+        let out = train_mllib(&ds, &ClusterSpec::cluster1(), &cfg);
+        assert_eq!(out.round_stats.len(), 4);
+        for rs in &out.round_stats {
+            assert_eq!(rs.updates, 1, "one driver update per MLlib round");
+            assert!(rs.bytes.broadcast > 0);
+            assert!(rs.bytes.tree_aggregate > 0);
+            assert_eq!(rs.bytes.reduce_scatter, 0);
+            assert!(rs.flops > 0.0);
+            assert!(
+                (rs.phase_sum() - rs.elapsed_s).abs() < 1e-9,
+                "phases must tile the round: {rs:?}"
+            );
+        }
+        // Rounds are laid end to end: per-round elapsed sums to the
+        // final trace time.
+        let total: f64 = out.round_stats.iter().map(|r| r.elapsed_s).sum();
+        let end = out.trace.points.last().unwrap().time.as_secs_f64();
+        assert!((total - end).abs() < 1e-6, "{total} vs {end}");
     }
 }

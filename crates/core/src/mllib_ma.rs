@@ -13,18 +13,132 @@
 //! Many updates per step → far fewer steps to converge than MLlib; but the
 //! communication pattern still serializes at the driver.
 
-use mlstar_collectives::{broadcast_model, tree_aggregate};
 use mlstar_data::{EpochOrder, SparseDataset};
-use mlstar_glm::GlmModel;
 use mlstar_linalg::DenseVector;
-use mlstar_sim::{
-    dense_op_flops, pass_flops, Activity, ClusterSpec, GanttRecorder, NodeId, RoundBuilder,
-    SeedStream, SimTime,
-};
+use mlstar_sim::{dense_op_flops, pass_flops, Activity, ClusterSpec, NodeId, SeedStream};
 
-use crate::common::{eval_objective, maybe_inject_failure, workload_label, BspHarness};
+use crate::common::BspHarness;
+use crate::engine::{run_rounds, RoundStrategy, StepCtx};
 use crate::local_pass::{host_threads, local_sgd_passes};
-use crate::{ConvergenceTrace, MaWeighting, TracePoint, TrainConfig, TrainOutput};
+use crate::{MaWeighting, TrainConfig, TrainOutput};
+
+/// The MLlib+MA round: broadcast, local SGD pass, treeAggregate, driver
+/// average.
+struct MllibMaStrategy {
+    h: BspHarness,
+    orders: Vec<EpochOrder>,
+    update_counters: Vec<u64>,
+    w: DenseVector,
+    /// Per-worker local-model buffers, reused across rounds.
+    locals: Vec<DenseVector>,
+}
+
+impl MllibMaStrategy {
+    fn new(ds: &SparseDataset, cluster: &ClusterSpec, cfg: &TrainConfig) -> Self {
+        let h = BspHarness::with_skew(ds, cluster, cfg.seed, cfg.partition_skew);
+        let k = h.k();
+        let dim = ds.num_features();
+        let seeds = SeedStream::new(cfg.seed);
+        MllibMaStrategy {
+            h,
+            orders: (0..k)
+                .map(|r| EpochOrder::new(seeds.child("epoch").child_idx(r as u64).seed()))
+                .collect(),
+            update_counters: vec![0u64; k],
+            w: DenseVector::zeros(dim),
+            locals: (0..k).map(|_| DenseVector::zeros(dim)).collect(),
+        }
+    }
+}
+
+impl RoundStrategy for MllibMaStrategy {
+    fn name(&self) -> &'static str {
+        "MLlib+MA"
+    }
+
+    fn weights(&self) -> &DenseVector {
+        &self.w
+    }
+
+    fn into_weights(self) -> DenseVector {
+        self.w
+    }
+
+    fn step(
+        &mut self,
+        ctx: &mut StepCtx,
+        ds: &SparseDataset,
+        cfg: &TrainConfig,
+        _round: u64,
+    ) -> Option<u64> {
+        let MllibMaStrategy {
+            h,
+            orders,
+            update_counters,
+            w,
+            locals,
+        } = self;
+        let k = h.k();
+        let dim = ds.num_features();
+        let updates = ctx.round(&h.all_nodes, |rd| {
+            // (1) Broadcast the global model.
+            rd.broadcast(&h.cost, dim);
+
+            // (2) Local SGD pass on every executor (math possibly on
+            // several host threads; simulated time recorded below,
+            // identically).
+            let updates = local_sgd_passes(
+                ds,
+                &h.parts,
+                cfg.loss,
+                cfg.reg,
+                cfg.lr,
+                w,
+                orders,
+                update_counters,
+                locals,
+                host_threads(),
+            );
+            for r in 0..k {
+                if h.parts[r].is_empty() {
+                    continue;
+                }
+                rd.charge_flops(pass_flops(h.part_nnz[r]));
+                rd.rb.work(
+                    NodeId::Executor(r),
+                    Activity::Compute,
+                    h.cost.executor_waves(
+                        r,
+                        pass_flops(h.part_nnz[r]),
+                        cfg.waves,
+                        rd.straggler_rng,
+                    ),
+                );
+            }
+            // Optional Zhang & Jordan reweighting (see mllib_star).
+            if cfg.ma_weighting == MaWeighting::PartitionSize {
+                for (local, part) in locals.iter_mut().zip(h.parts.iter()) {
+                    local.scale(k as f64 * part.len() as f64 / ds.len() as f64);
+                }
+            }
+            rd.rb.barrier();
+            rd.inject_failure(h, cfg, |r| pass_flops(h.part_nnz[r]));
+
+            // (3) + (4) treeAggregate the local models; driver averages.
+            let sum = rd.tree_aggregate(&h.cost, locals, cfg.tree_fanin, Activity::SendModel);
+            *w = sum;
+            w.scale(1.0 / k as f64);
+            rd.charge_flops(dense_op_flops(dim));
+            rd.rb.work(
+                NodeId::Driver,
+                Activity::DriverUpdate,
+                h.cost.driver_compute(dense_op_flops(dim)),
+            );
+            updates
+        });
+        Some(updates)
+    }
+}
 
 /// Trains with MLlib + model averaging (driver-centric SendModel).
 ///
@@ -33,123 +147,7 @@ use crate::{ConvergenceTrace, MaWeighting, TracePoint, TrainConfig, TrainOutput}
 /// Panics if the dataset is empty.
 pub fn train_mllib_ma(ds: &SparseDataset, cluster: &ClusterSpec, cfg: &TrainConfig) -> TrainOutput {
     assert!(!ds.is_empty(), "cannot train on an empty dataset");
-    let h = BspHarness::with_skew(ds, cluster, cfg.seed, cfg.partition_skew);
-    let k = h.k();
-    let dim = ds.num_features();
-    let seeds = SeedStream::new(cfg.seed);
-    let mut straggler_rng = seeds.child("straggler").rng();
-    let mut failure_rng = seeds.child("failures").rng();
-    let mut orders: Vec<EpochOrder> = (0..k)
-        .map(|r| EpochOrder::new(seeds.child("epoch").child_idx(r as u64).seed()))
-        .collect();
-    let mut update_counters = vec![0u64; k];
-
-    let mut gantt = GanttRecorder::new();
-    let mut w = DenseVector::zeros(dim);
-    let mut trace = ConvergenceTrace::new("MLlib+MA", workload_label(ds, cfg.reg));
-    trace.push(TracePoint {
-        step: 0,
-        time: SimTime::ZERO,
-        objective: eval_objective(ds, cfg.loss, cfg.reg, &w),
-        total_updates: 0,
-    });
-
-    let mut now = SimTime::ZERO;
-    let mut total_updates = 0u64;
-    let mut rounds_run = 0u64;
-    let mut converged = false;
-    // Per-worker local-model buffers, reused across rounds.
-    let mut locals: Vec<DenseVector> = (0..k).map(|_| DenseVector::zeros(dim)).collect();
-
-    for round in 0..cfg.max_rounds {
-        let mut rb = RoundBuilder::new(&mut gantt, round, now, &h.all_nodes);
-
-        // (1) Broadcast the global model.
-        broadcast_model(&mut rb, &h.cost, dim);
-
-        // (2) Local SGD pass on every executor (math possibly on several
-        // host threads; simulated time recorded below, identically).
-        total_updates += local_sgd_passes(
-            ds,
-            &h.parts,
-            cfg.loss,
-            cfg.reg,
-            cfg.lr,
-            &w,
-            &mut orders,
-            &mut update_counters,
-            &mut locals,
-            host_threads(),
-        );
-        for r in 0..k {
-            if h.parts[r].is_empty() {
-                continue;
-            }
-            rb.work(
-                NodeId::Executor(r),
-                Activity::Compute,
-                h.cost
-                    .executor_waves(r, pass_flops(h.part_nnz[r]), cfg.waves, &mut straggler_rng),
-            );
-        }
-        // Optional Zhang & Jordan reweighting (see mllib_star).
-        if cfg.ma_weighting == MaWeighting::PartitionSize {
-            for (local, part) in locals.iter_mut().zip(h.parts.iter()) {
-                local.scale(k as f64 * part.len() as f64 / ds.len() as f64);
-            }
-        }
-        rb.barrier();
-        maybe_inject_failure(
-            &mut rb,
-            &h,
-            cfg.failure_prob,
-            cfg.waves,
-            |r| pass_flops(h.part_nnz[r]),
-            &mut failure_rng,
-            &mut straggler_rng,
-        );
-
-        // (3) + (4) treeAggregate the local models; driver averages.
-        let (sum, _) = tree_aggregate(
-            &mut rb,
-            &h.cost,
-            &locals,
-            cfg.tree_fanin,
-            Activity::SendModel,
-        );
-        w = sum;
-        w.scale(1.0 / k as f64);
-        rb.work(
-            NodeId::Driver,
-            Activity::DriverUpdate,
-            h.cost.driver_compute(dense_op_flops(dim)),
-        );
-        now = rb.finish();
-        rounds_run = round + 1;
-
-        if rounds_run.is_multiple_of(cfg.eval_every) || rounds_run == cfg.max_rounds {
-            let f = eval_objective(ds, cfg.loss, cfg.reg, &w);
-            trace.push(TracePoint {
-                step: rounds_run,
-                time: now,
-                objective: f,
-                total_updates,
-            });
-            if cfg.should_stop(f) {
-                converged = cfg.target_objective.is_some_and(|t| f <= t);
-                break;
-            }
-        }
-    }
-
-    TrainOutput {
-        trace,
-        gantt,
-        model: GlmModel::from_weights(w),
-        total_updates,
-        rounds_run,
-        converged,
-    }
+    run_rounds(ds, cfg, MllibMaStrategy::new(ds, cluster, cfg))
 }
 
 #[cfg(test)]
@@ -182,6 +180,10 @@ mod tests {
         let out = train_mllib_ma(&ds, &ClusterSpec::cluster1(), &quick_cfg());
         // Each step performs one update per local example: n per round.
         assert_eq!(out.total_updates, out.rounds_run * ds.len() as u64);
+        // The telemetry agrees, round by round.
+        for rs in &out.round_stats {
+            assert_eq!(rs.updates, ds.len() as u64);
+        }
     }
 
     #[test]

@@ -14,17 +14,124 @@
 //! No driver on the critical path; same `≈ 2km` traffic as the
 //! driver-centric pattern but without NIC serialization.
 
-use mlstar_collectives::all_reduce_average;
 use mlstar_data::{EpochOrder, SparseDataset};
-use mlstar_glm::GlmModel;
 use mlstar_linalg::DenseVector;
-use mlstar_sim::{
-    pass_flops, Activity, ClusterSpec, GanttRecorder, NodeId, RoundBuilder, SeedStream, SimTime,
-};
+use mlstar_sim::{pass_flops, Activity, ClusterSpec, NodeId, SeedStream};
 
-use crate::common::{eval_objective, maybe_inject_failure, workload_label, BspHarness};
+use crate::common::BspHarness;
+use crate::engine::{run_rounds, RoundStrategy, StepCtx};
 use crate::local_pass::{host_threads, local_sgd_passes};
-use crate::{ConvergenceTrace, MaWeighting, TracePoint, TrainConfig, TrainOutput};
+use crate::{MaWeighting, TrainConfig, TrainOutput};
+
+/// The MLlib\* round: local SGD pass, then AllReduce (Reduce-Scatter +
+/// AllGather) with no driver on the critical path.
+struct MllibStarStrategy {
+    h: BspHarness,
+    orders: Vec<EpochOrder>,
+    update_counters: Vec<u64>,
+    /// Every executor holds an identical copy of the global model; we
+    /// track one copy (they are bit-identical by construction).
+    w: DenseVector,
+    /// Per-worker local-model buffers, reused across rounds.
+    locals: Vec<DenseVector>,
+}
+
+impl MllibStarStrategy {
+    fn new(ds: &SparseDataset, cluster: &ClusterSpec, cfg: &TrainConfig) -> Self {
+        let h = BspHarness::with_skew(ds, cluster, cfg.seed, cfg.partition_skew);
+        let k = h.k();
+        let dim = ds.num_features();
+        let seeds = SeedStream::new(cfg.seed);
+        MllibStarStrategy {
+            h,
+            orders: (0..k)
+                .map(|r| EpochOrder::new(seeds.child("epoch").child_idx(r as u64).seed()))
+                .collect(),
+            update_counters: vec![0u64; k],
+            w: DenseVector::zeros(dim),
+            locals: (0..k).map(|_| DenseVector::zeros(dim)).collect(),
+        }
+    }
+}
+
+impl RoundStrategy for MllibStarStrategy {
+    fn name(&self) -> &'static str {
+        "MLlib*"
+    }
+
+    fn weights(&self) -> &DenseVector {
+        &self.w
+    }
+
+    fn into_weights(self) -> DenseVector {
+        self.w
+    }
+
+    fn step(
+        &mut self,
+        ctx: &mut StepCtx,
+        ds: &SparseDataset,
+        cfg: &TrainConfig,
+        _round: u64,
+    ) -> Option<u64> {
+        let MllibStarStrategy {
+            h,
+            orders,
+            update_counters,
+            w,
+            locals,
+        } = self;
+        let k = h.k();
+        // Note: executors only — there is no driver in this pattern.
+        let updates = ctx.round(&h.exec_nodes, |rd| {
+            // (1) Local SGD pass (UpdateModel) — math possibly on several
+            // host threads; simulated time recorded below, identically.
+            let updates = local_sgd_passes(
+                ds,
+                &h.parts,
+                cfg.loss,
+                cfg.reg,
+                cfg.lr,
+                w,
+                orders,
+                update_counters,
+                locals,
+                host_threads(),
+            );
+            for r in 0..k {
+                if h.parts[r].is_empty() {
+                    continue;
+                }
+                rd.charge_flops(pass_flops(h.part_nnz[r]));
+                rd.rb.work(
+                    NodeId::Executor(r),
+                    Activity::Compute,
+                    h.cost.executor_waves(
+                        r,
+                        pass_flops(h.part_nnz[r]),
+                        cfg.waves,
+                        rd.straggler_rng,
+                    ),
+                );
+            }
+            // Optional Zhang & Jordan reweighting: scale each local model
+            // by k·n_r/n so the uniform average below becomes the
+            // partition-size-weighted average.
+            if cfg.ma_weighting == MaWeighting::PartitionSize {
+                for (local, part) in locals.iter_mut().zip(h.parts.iter()) {
+                    local.scale(k as f64 * part.len() as f64 / ds.len() as f64);
+                }
+            }
+            rd.rb.barrier();
+            rd.inject_failure(h, cfg, |r| pass_flops(h.part_nnz[r]));
+
+            // (2) + (3) Reduce-Scatter then AllGather.
+            *w = rd.all_reduce_average(&h.cost, locals);
+            updates
+        });
+        Some(updates)
+    }
+}
 
 /// Trains with MLlib\* (model averaging + AllReduce).
 ///
@@ -37,113 +144,7 @@ pub fn train_mllib_star(
     cfg: &TrainConfig,
 ) -> TrainOutput {
     assert!(!ds.is_empty(), "cannot train on an empty dataset");
-    let h = BspHarness::with_skew(ds, cluster, cfg.seed, cfg.partition_skew);
-    let k = h.k();
-    let dim = ds.num_features();
-    let seeds = SeedStream::new(cfg.seed);
-    let mut straggler_rng = seeds.child("straggler").rng();
-    let mut failure_rng = seeds.child("failures").rng();
-    let mut orders: Vec<EpochOrder> = (0..k)
-        .map(|r| EpochOrder::new(seeds.child("epoch").child_idx(r as u64).seed()))
-        .collect();
-    let mut update_counters = vec![0u64; k];
-
-    let mut gantt = GanttRecorder::new();
-    // Every executor holds an identical copy of the global model; we track
-    // one copy (they are bit-identical by construction).
-    let mut w = DenseVector::zeros(dim);
-    let mut trace = ConvergenceTrace::new("MLlib*", workload_label(ds, cfg.reg));
-    trace.push(TracePoint {
-        step: 0,
-        time: SimTime::ZERO,
-        objective: eval_objective(ds, cfg.loss, cfg.reg, &w),
-        total_updates: 0,
-    });
-
-    let mut now = SimTime::ZERO;
-    let mut total_updates = 0u64;
-    let mut rounds_run = 0u64;
-    let mut converged = false;
-    // Per-worker local-model buffers, reused across rounds.
-    let mut locals: Vec<DenseVector> = (0..k).map(|_| DenseVector::zeros(dim)).collect();
-
-    for round in 0..cfg.max_rounds {
-        // Note: executors only — there is no driver in this pattern.
-        let mut rb = RoundBuilder::new(&mut gantt, round, now, &h.exec_nodes);
-
-        // (1) Local SGD pass (UpdateModel) — math possibly on several host
-        // threads; simulated time recorded below, identically.
-        total_updates += local_sgd_passes(
-            ds,
-            &h.parts,
-            cfg.loss,
-            cfg.reg,
-            cfg.lr,
-            &w,
-            &mut orders,
-            &mut update_counters,
-            &mut locals,
-            host_threads(),
-        );
-        for r in 0..k {
-            if h.parts[r].is_empty() {
-                continue;
-            }
-            rb.work(
-                NodeId::Executor(r),
-                Activity::Compute,
-                h.cost
-                    .executor_waves(r, pass_flops(h.part_nnz[r]), cfg.waves, &mut straggler_rng),
-            );
-        }
-        // Optional Zhang & Jordan reweighting: scale each local model by
-        // k·n_r/n so the uniform average below becomes the
-        // partition-size-weighted average.
-        if cfg.ma_weighting == MaWeighting::PartitionSize {
-            for (local, part) in locals.iter_mut().zip(h.parts.iter()) {
-                local.scale(k as f64 * part.len() as f64 / ds.len() as f64);
-            }
-        }
-        rb.barrier();
-        maybe_inject_failure(
-            &mut rb,
-            &h,
-            cfg.failure_prob,
-            cfg.waves,
-            |r| pass_flops(h.part_nnz[r]),
-            &mut failure_rng,
-            &mut straggler_rng,
-        );
-
-        // (2) + (3) Reduce-Scatter then AllGather.
-        let (avg, _) = all_reduce_average(&mut rb, &h.cost, &locals);
-        w = avg;
-        now = rb.finish();
-        rounds_run = round + 1;
-
-        if rounds_run.is_multiple_of(cfg.eval_every) || rounds_run == cfg.max_rounds {
-            let f = eval_objective(ds, cfg.loss, cfg.reg, &w);
-            trace.push(TracePoint {
-                step: rounds_run,
-                time: now,
-                objective: f,
-                total_updates,
-            });
-            if cfg.should_stop(f) {
-                converged = cfg.target_objective.is_some_and(|t| f <= t);
-                break;
-            }
-        }
-    }
-
-    TrainOutput {
-        trace,
-        gantt,
-        model: GlmModel::from_weights(w),
-        total_updates,
-        rounds_run,
-        converged,
-    }
+    run_rounds(ds, cfg, MllibStarStrategy::new(ds, cluster, cfg))
 }
 
 #[cfg(test)]
@@ -293,6 +294,30 @@ mod tests {
         let t_clean = clean.trace.points.last().unwrap().time;
         let t_faulty = faulty.trace.points.last().unwrap().time;
         assert!(t_faulty > t_clean, "{t_faulty} vs {t_clean}");
+        // The extra time shows up as failure-recovery phase telemetry.
+        assert!(clean.round_stats.iter().all(|r| r.recovery_s == 0.0));
+        assert!(faulty.round_stats.iter().all(|r| r.recovery_s > 0.0));
+    }
+
+    #[test]
+    fn round_stats_split_allreduce_bytes() {
+        let ds = tiny_ds();
+        let cfg = TrainConfig {
+            max_rounds: 3,
+            ..quick_cfg()
+        };
+        let out = train_mllib_star(&ds, &ClusterSpec::cluster1(), &cfg);
+        assert_eq!(out.round_stats.len(), 3);
+        for rs in &out.round_stats {
+            assert!(rs.bytes.reduce_scatter > 0);
+            assert!(rs.bytes.all_gather > 0);
+            assert_eq!(rs.bytes.broadcast, 0, "no driver broadcast in MLlib*");
+            assert_eq!(rs.bytes.tree_aggregate, 0);
+            assert!(
+                (rs.phase_sum() - rs.elapsed_s).abs() < 1e-9,
+                "phases must tile the round: {rs:?}"
+            );
+        }
     }
 
     #[test]

@@ -19,15 +19,14 @@ use std::cell::Cell;
 use std::rc::Rc;
 
 use mlstar_data::{BatchSampler, Partitioner, SparseDataset};
-use mlstar_glm::{mgd_step, sgd_epoch_lazy, GlmModel, LearningRate, Loss, Regularizer};
+use mlstar_glm::{mgd_step, sgd_epoch_lazy, LearningRate, Loss, Regularizer};
 use mlstar_linalg::{DenseVector, ScaledVector};
 use mlstar_ps::{Aggregation, Consistency, PsConfig, PsEngine, WorkerLogic, WorkerStep};
-use mlstar_sim::{
-    dense_op_flops, pass_flops, ClusterSpec, CostModel, SeedStream, SimDuration, SimTime,
-};
+use mlstar_sim::{dense_op_flops, pass_flops, ClusterSpec, CostModel, SeedStream, SimDuration};
 
-use crate::common::{eval_objective, partition_active_coords, workload_label};
-use crate::{ConvergenceTrace, PsSystemConfig, TracePoint, TrainConfig, TrainOutput};
+use crate::common::partition_active_coords;
+use crate::engine::{assemble_output, ps_round_stats, ClockTracer};
+use crate::{PsSystemConfig, TrainConfig, TrainOutput};
 
 /// The Petuum worker-local computation.
 struct PetuumWorker<'a> {
@@ -222,44 +221,20 @@ fn train_petuum_inner(
         },
     );
 
-    let mut trace = ConvergenceTrace::new(name, workload_label(ds, cfg.reg));
-    trace.push(TracePoint {
-        step: 0,
-        time: SimTime::ZERO,
-        objective: eval_objective(ds, cfg.loss, cfg.reg, &DenseVector::zeros(dim)),
-        total_updates: 0,
+    let mut tracer = ClockTracer::new(ds, cfg, name, Rc::clone(&updates));
+    let (final_model, stats) = engine.run(DenseVector::zeros(dim), &mut logic, |clock, time, m| {
+        tracer.on_clock(clock, time, m)
     });
 
-    let mut converged = false;
-    let eval_every = cfg.eval_every.max(1);
-    let trace_ref = &mut trace;
-    let updates_ref = Rc::clone(&updates);
-    let (final_model, stats) =
-        engine.run(DenseVector::zeros(dim), &mut logic, |clock, time, model| {
-            if clock % eval_every == 0 || clock == cfg.max_rounds {
-                let f = eval_objective(ds, cfg.loss, cfg.reg, model);
-                trace_ref.push(TracePoint {
-                    step: clock,
-                    time,
-                    objective: f,
-                    total_updates: updates_ref.get(),
-                });
-                if cfg.should_stop(f) {
-                    converged = cfg.target_objective.is_some_and(|t| f <= t);
-                    return true;
-                }
-            }
-            false
-        });
-
-    TrainOutput {
-        trace,
-        gantt: engine.gantt().clone(),
-        model: GlmModel::from_weights(final_model),
-        total_updates: updates.get(),
-        rounds_run: stats.clock_times.len() as u64,
-        converged,
-    }
+    assemble_output(
+        tracer.trace,
+        engine.gantt().clone(),
+        final_model,
+        updates.get(),
+        stats.clock_times.len() as u64,
+        tracer.converged,
+        ps_round_stats(&stats, k),
+    )
 }
 
 #[cfg(test)]

@@ -18,18 +18,15 @@
 //!   L-BFGS iterations are expensive in Spark;
 //! * convergence typically needs far fewer outer iterations than MGD.
 
-use mlstar_collectives::{broadcast_model, tree_aggregate};
 use mlstar_data::SparseDataset;
-use mlstar_glm::{batch_gradient_into, lbfgs_direction, objective_value_subset, GlmModel};
+use mlstar_glm::{batch_gradient_into, lbfgs_direction, objective_value_subset};
 use mlstar_linalg::DenseVector;
-use mlstar_sim::{
-    dense_op_flops, pass_flops, Activity, ClusterSpec, GanttRecorder, NodeId, RoundBuilder,
-    SeedStream, SimTime,
-};
+use mlstar_sim::{dense_op_flops, pass_flops, Activity, ClusterSpec, NodeId};
 use serde::{Deserialize, Serialize};
 
-use crate::common::{eval_objective, workload_label, BspHarness};
-use crate::{ConvergenceTrace, TracePoint, TrainConfig, TrainOutput};
+use crate::common::{eval_objective, BspHarness};
+use crate::engine::{run_rounds, RoundStrategy, StepCtx};
+use crate::{TrainConfig, TrainOutput};
 
 /// Extra configuration for the `spark.ml` L-BFGS trainer.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -56,57 +53,57 @@ impl Default for SparkMlConfig {
     }
 }
 
-/// Trains with distributed L-BFGS following `spark.ml`'s plan.
-///
-/// `cfg.max_rounds` bounds outer iterations; `cfg.lr` and
-/// `cfg.batch_frac` are unused (L-BFGS is full-batch with line search).
-///
-/// # Panics
-///
-/// Panics if the dataset is empty.
-pub fn train_sparkml_lbfgs(
+/// The `spark.ml` outer iteration: L-BFGS direction at the driver, a
+/// backtracking line search (one superstep per trial), and a full
+/// distributed gradient — each opening its own superstep against the
+/// engine's shared round counter.
+struct SparkMlStrategy {
+    h: BspHarness,
+    ml: SparkMlConfig,
+    w: DenseVector,
+    grad: DenseVector,
+    pairs: Vec<(DenseVector, DenseVector)>,
+    /// Cached objective at `w` — already paid for by the line search, so
+    /// the engine's trace points reuse it instead of re-evaluating.
+    f: f64,
+}
+
+impl SparkMlStrategy {
+    fn new(
+        ds: &SparseDataset,
+        cluster: &ClusterSpec,
+        cfg: &TrainConfig,
+        ml: &SparkMlConfig,
+    ) -> Self {
+        let h = BspHarness::new(ds, cluster, cfg.seed);
+        let dim = ds.num_features();
+        let w = DenseVector::zeros(dim);
+        let f = eval_objective(ds, cfg.loss, cfg.reg, &w);
+        SparkMlStrategy {
+            h,
+            ml: *ml,
+            w,
+            grad: DenseVector::zeros(dim),
+            pairs: Vec::new(),
+            f,
+        }
+    }
+}
+
+/// One distributed full gradient (broadcast + per-partition compute +
+/// treeAggregate), charged to simulated time.
+fn distributed_gradient(
+    h: &BspHarness,
+    ctx: &mut StepCtx,
     ds: &SparseDataset,
-    cluster: &ClusterSpec,
     cfg: &TrainConfig,
-    ml: &SparkMlConfig,
-) -> TrainOutput {
-    assert!(!ds.is_empty(), "cannot train on an empty dataset");
-    let h = BspHarness::new(ds, cluster, cfg.seed);
+    w: &DenseVector,
+    grad: &mut DenseVector,
+) {
     let k = h.k();
     let dim = ds.num_features();
-    let seeds = SeedStream::new(cfg.seed);
-    let mut straggler_rng = seeds.child("straggler").rng();
-
-    let mut gantt = GanttRecorder::new();
-    let mut w = DenseVector::zeros(dim);
-    let mut trace = ConvergenceTrace::new("spark.ml(L-BFGS)", workload_label(ds, cfg.reg));
-    let mut f = eval_objective(ds, cfg.loss, cfg.reg, &w);
-    trace.push(TracePoint {
-        step: 0,
-        time: SimTime::ZERO,
-        objective: f,
-        total_updates: 0,
-    });
-
-    let mut grad = DenseVector::zeros(dim);
-    let mut pairs: Vec<(DenseVector, DenseVector)> = Vec::new();
-    let mut now = SimTime::ZERO;
-    let mut total_updates = 0u64;
-    let mut rounds_run = 0u64;
-    let mut converged = false;
-    let mut round_counter = 0u64;
-
-    // One distributed full gradient (broadcast + per-partition compute +
-    // treeAggregate), charged to simulated time.
-    let distributed_gradient = |w: &DenseVector,
-                                grad: &mut DenseVector,
-                                now: &mut SimTime,
-                                round: &mut u64,
-                                gantt: &mut GanttRecorder,
-                                rng: &mut rand::rngs::StdRng| {
-        let mut rb = RoundBuilder::new(gantt, *round, *now, &h.all_nodes);
-        *round += 1;
-        broadcast_model(&mut rb, &h.cost, dim);
+    ctx.round(&h.all_nodes, |rd| {
+        rd.broadcast(&h.cost, dim);
         let mut partials: Vec<DenseVector> = Vec::with_capacity(k);
         for r in 0..k {
             let mut g_r = DenseVector::zeros(dim);
@@ -115,43 +112,42 @@ pub fn train_sparkml_lbfgs(
                 // Weight by partition size so the sum over workers is
                 // the dataset-average gradient.
                 g_r.scale(h.parts[r].len() as f64 / ds.len() as f64);
-                rb.work(
+                rd.charge_flops(pass_flops(h.part_nnz[r]));
+                rd.rb.work(
                     NodeId::Executor(r),
                     Activity::Compute,
-                    h.cost.executor_compute(r, pass_flops(h.part_nnz[r]), rng),
+                    h.cost
+                        .executor_compute(r, pass_flops(h.part_nnz[r]), rd.straggler_rng),
                 );
             }
             partials.push(g_r);
         }
-        rb.barrier();
-        let (sum, _) = tree_aggregate(
-            &mut rb,
-            &h.cost,
-            &partials,
-            cfg.tree_fanin,
-            Activity::SendGradient,
-        );
+        rd.rb.barrier();
+        let sum = rd.tree_aggregate(&h.cost, &partials, cfg.tree_fanin, Activity::SendGradient);
         *grad = sum;
         cfg.reg.add_gradient(w, grad);
-        rb.work(
+        rd.charge_flops(dense_op_flops(dim));
+        rd.rb.work(
             NodeId::Driver,
             Activity::DriverUpdate,
             h.cost.driver_compute(dense_op_flops(dim)),
         );
-        *now = rb.finish();
-    };
+    });
+}
 
-    // One distributed objective evaluation (line-search trial): broadcast
-    // the trial model, compute local losses, gather scalars at the driver.
-    let distributed_objective = |w: &DenseVector,
-                                 now: &mut SimTime,
-                                 round: &mut u64,
-                                 gantt: &mut GanttRecorder,
-                                 rng: &mut rand::rngs::StdRng|
-     -> f64 {
-        let mut rb = RoundBuilder::new(gantt, *round, *now, &h.all_nodes);
-        *round += 1;
-        broadcast_model(&mut rb, &h.cost, dim);
+/// One distributed objective evaluation (line-search trial): broadcast
+/// the trial model, compute local losses, gather scalars at the driver.
+fn distributed_objective(
+    h: &BspHarness,
+    ctx: &mut StepCtx,
+    ds: &SparseDataset,
+    cfg: &TrainConfig,
+    w: &DenseVector,
+) -> f64 {
+    let k = h.k();
+    let dim = ds.num_features();
+    ctx.round(&h.all_nodes, |rd| {
+        rd.broadcast(&h.cost, dim);
         let mut weighted = 0.0;
         for r in 0..k {
             if h.parts[r].is_empty() {
@@ -167,126 +163,132 @@ pub fn train_sparkml_lbfgs(
             );
             weighted += local * h.parts[r].len() as f64 / ds.len() as f64;
             // Loss evaluation is ~half the flops of a gradient pass.
-            rb.work(
+            rd.charge_flops(pass_flops(h.part_nnz[r]) / 2.0);
+            rd.rb.work(
                 NodeId::Executor(r),
                 Activity::Compute,
                 h.cost
-                    .executor_compute(r, pass_flops(h.part_nnz[r]) / 2.0, rng),
+                    .executor_compute(r, pass_flops(h.part_nnz[r]) / 2.0, rd.straggler_rng),
             );
         }
-        rb.barrier();
-        // Scalar gather: k tiny messages through the driver NIC.
+        rd.rb.barrier();
+        // Scalar gather: k tiny messages through the driver NIC (counted
+        // under tree_aggregate — it serializes at the driver the same
+        // way).
         for r in 0..k {
-            rb.work(
+            rd.rb.work(
                 NodeId::Executor(r),
                 Activity::SendGradient,
                 h.cost.transfer(24),
             );
         }
-        rb.work(
+        rd.bytes.tree_aggregate += 24 * k as u64;
+        rd.rb.work(
             NodeId::Driver,
             Activity::TreeAggregate,
             h.cost.serialized_transfers(24, k),
         );
-        *now = rb.finish();
         weighted + cfg.reg.value(w)
-    };
+    })
+}
 
-    distributed_gradient(
-        &w,
-        &mut grad,
-        &mut now,
-        &mut round_counter,
-        &mut gantt,
-        &mut straggler_rng,
-    );
+impl RoundStrategy for SparkMlStrategy {
+    fn name(&self) -> &'static str {
+        "spark.ml(L-BFGS)"
+    }
 
-    for iter in 0..cfg.max_rounds {
-        if grad.norm2() <= 1e-8 {
-            break;
+    fn weights(&self) -> &DenseVector {
+        &self.w
+    }
+
+    fn into_weights(self) -> DenseVector {
+        self.w
+    }
+
+    fn objective(&self, _ds: &SparseDataset, _cfg: &TrainConfig) -> f64 {
+        self.f
+    }
+
+    fn init(&mut self, ctx: &mut StepCtx, ds: &SparseDataset, cfg: &TrainConfig) {
+        // Warm-up gradient at w₀ — costs a superstep but is not an outer
+        // iteration.
+        distributed_gradient(&self.h, ctx, ds, cfg, &self.w, &mut self.grad);
+    }
+
+    fn step(
+        &mut self,
+        ctx: &mut StepCtx,
+        ds: &SparseDataset,
+        cfg: &TrainConfig,
+        _round: u64,
+    ) -> Option<u64> {
+        if self.grad.norm2() <= 1e-8 {
+            return None;
         }
-        let mut direction = lbfgs_direction(&grad, &pairs);
-        let mut dg = direction.dot(&grad);
+        let mut direction = lbfgs_direction(&self.grad, &self.pairs);
+        let mut dg = direction.dot(&self.grad);
         if dg >= 0.0 {
-            direction = grad.clone();
+            direction = self.grad.clone();
             direction.scale(-1.0);
-            dg = -grad.norm2_sq();
+            dg = -self.grad.norm2_sq();
         }
 
         // Backtracking line search, each trial a distributed pass.
         let mut step = 1.0;
         let mut accepted = false;
-        let mut w_new = w.clone();
-        let mut f_new = f;
-        for _ in 0..ml.max_line_search {
-            w_new = w.clone();
+        let mut w_new = self.w.clone();
+        let mut f_new = self.f;
+        for _ in 0..self.ml.max_line_search {
+            w_new = self.w.clone();
             w_new.axpy(step, &direction);
-            f_new = distributed_objective(
-                &w_new,
-                &mut now,
-                &mut round_counter,
-                &mut gantt,
-                &mut straggler_rng,
-            );
-            if f_new <= f + ml.c1 * step * dg {
+            f_new = distributed_objective(&self.h, ctx, ds, cfg, &w_new);
+            if f_new <= self.f + self.ml.c1 * step * dg {
                 accepted = true;
                 break;
             }
-            step *= ml.backtrack;
+            step *= self.ml.backtrack;
         }
         if !accepted {
-            break;
+            return None;
         }
 
-        let mut grad_new = DenseVector::zeros(dim);
-        distributed_gradient(
-            &w_new,
-            &mut grad_new,
-            &mut now,
-            &mut round_counter,
-            &mut gantt,
-            &mut straggler_rng,
-        );
+        let mut grad_new = DenseVector::zeros(ds.num_features());
+        distributed_gradient(&self.h, ctx, ds, cfg, &w_new, &mut grad_new);
 
         let mut s = w_new.clone();
-        s.axpy(-1.0, &w);
+        s.axpy(-1.0, &self.w);
         let mut y = grad_new.clone();
-        y.axpy(-1.0, &grad);
+        y.axpy(-1.0, &self.grad);
         if s.dot(&y) > 1e-12 {
-            if pairs.len() == ml.history {
-                pairs.remove(0);
+            if self.pairs.len() == self.ml.history {
+                self.pairs.remove(0);
             }
-            pairs.push((s, y));
+            self.pairs.push((s, y));
         }
 
-        w = w_new;
-        grad = grad_new;
-        f = f_new;
-        total_updates += 1;
-        rounds_run = iter + 1;
-
-        if rounds_run.is_multiple_of(cfg.eval_every.max(1)) || rounds_run == cfg.max_rounds {
-            trace.push(TracePoint {
-                step: rounds_run,
-                time: now,
-                objective: f,
-                total_updates,
-            });
-            if cfg.should_stop(f) {
-                converged = cfg.target_objective.is_some_and(|t| f <= t);
-                break;
-            }
-        }
+        self.w = w_new;
+        self.grad = grad_new;
+        self.f = f_new;
+        Some(1)
     }
+}
 
-    TrainOutput {
-        trace,
-        gantt,
-        model: GlmModel::from_weights(w),
-        total_updates,
-        rounds_run,
-        converged,
-    }
+/// Trains with distributed L-BFGS following `spark.ml`'s plan.
+///
+/// `cfg.max_rounds` bounds outer iterations; `cfg.lr` and
+/// `cfg.batch_frac` are unused (L-BFGS is full-batch with line search).
+///
+/// # Panics
+///
+/// Panics if the dataset is empty.
+pub fn train_sparkml_lbfgs(
+    ds: &SparseDataset,
+    cluster: &ClusterSpec,
+    cfg: &TrainConfig,
+    ml: &SparkMlConfig,
+) -> TrainOutput {
+    assert!(!ds.is_empty(), "cannot train on an empty dataset");
+    run_rounds(ds, cfg, SparkMlStrategy::new(ds, cluster, cfg, ml))
 }
 
 #[cfg(test)]
@@ -415,5 +417,30 @@ mod tests {
             &SparkMlConfig::default(),
         );
         assert!(out.trace.final_objective().unwrap() < 0.6);
+    }
+
+    #[test]
+    fn round_stats_cover_line_search_supersteps() {
+        let ds = tiny_ds();
+        let out = train_sparkml_lbfgs(
+            &ds,
+            &ClusterSpec::cluster1(),
+            &TrainConfig {
+                max_rounds: 3,
+                ..quick_cfg()
+            },
+            &SparkMlConfig::default(),
+        );
+        assert_eq!(out.round_stats.len() as u64, out.rounds_run);
+        for rs in &out.round_stats {
+            // Every outer iteration holds ≥ 2 supersteps (≥ 1 trial + the
+            // gradient), all folded into one RoundStats entry.
+            assert!(rs.bytes.broadcast > 0);
+            assert!(rs.bytes.tree_aggregate > 0);
+            assert!(
+                (rs.phase_sum() - rs.elapsed_s).abs() < 1e-9,
+                "phases must tile the iteration: {rs:?}"
+            );
+        }
     }
 }

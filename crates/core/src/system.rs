@@ -104,6 +104,34 @@ impl std::fmt::Display for System {
     }
 }
 
+impl std::str::FromStr for System {
+    type Err = String;
+
+    /// Parses both the paper's display names (`MLlib*`, `Petuum*`,
+    /// `spark.ml(L-BFGS)`) and CLI-friendly slugs (`mllib-star`, `ma`,
+    /// `lbfgs`), case-insensitively and ignoring `-`/`_`/`.`/spaces.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm: String = s
+            .chars()
+            .filter(|c| !matches!(c, '-' | '_' | '.' | ' ' | '(' | ')'))
+            .flat_map(char::to_lowercase)
+            .collect();
+        match norm.as_str() {
+            "mllib" => Ok(System::Mllib),
+            "mllibma" | "mllib+ma" | "ma" => Ok(System::MllibMa),
+            "mllibstar" | "mllib*" | "star" => Ok(System::MllibStar),
+            "petuum" => Ok(System::Petuum),
+            "petuumstar" | "petuum*" => Ok(System::PetuumStar),
+            "angel" => Ok(System::Angel),
+            "sparkml" | "sparkmllbfgs" | "lbfgs" => Ok(System::SparkMl),
+            _ => Err(format!(
+                "unknown system '{s}' (expected one of: mllib, ma, star, petuum, \
+                 petuum-star, angel, lbfgs)"
+            )),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +145,23 @@ mod tests {
         assert_eq!(System::PetuumStar.to_string(), "Petuum*");
         assert_eq!(System::SparkMl.name(), "spark.ml(L-BFGS)");
         assert_eq!(System::ALL.len(), 7);
+    }
+
+    #[test]
+    fn parses_paper_names_and_slugs() {
+        // Round trip: every display name parses back to its system.
+        for system in System::ALL {
+            assert_eq!(system.name().parse::<System>(), Ok(system), "{system}");
+        }
+        // CLI slugs.
+        assert_eq!("mllib-star".parse::<System>(), Ok(System::MllibStar));
+        assert_eq!("star".parse::<System>(), Ok(System::MllibStar));
+        assert_eq!("MA".parse::<System>(), Ok(System::MllibMa));
+        assert_eq!("petuum_star".parse::<System>(), Ok(System::PetuumStar));
+        assert_eq!("lbfgs".parse::<System>(), Ok(System::SparkMl));
+        assert_eq!("spark.ml".parse::<System>(), Ok(System::SparkMl));
+        assert!("spark".parse::<System>().is_err());
+        assert!("".parse::<System>().is_err());
     }
 
     #[test]

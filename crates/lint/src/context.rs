@@ -34,7 +34,15 @@ pub struct FileContext {
 /// Crates whose library code participates in the simulated cluster and
 /// must therefore be deterministic: no std hash collections, no ambient
 /// time or randomness.
-pub const SIM_CRITICAL_CRATES: &[&str] = &["cluster", "core", "collectives", "ps", "glm"];
+pub const SIM_CRITICAL_CRATES: &[&str] = &[
+    "cluster",
+    "core",
+    "collectives",
+    "ps",
+    "glm",
+    "data",
+    "linalg",
+];
 
 /// The one crate allowed to read wall-clock time and hold measurement
 /// loops: host-side benchmarking is its entire purpose.

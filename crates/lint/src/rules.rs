@@ -512,7 +512,15 @@ mod tests {
             rules_fired("crates/cluster/src/x.rs", src),
             vec!["std_hash"]
         );
-        assert_eq!(rules_fired("crates/data/src/x.rs", src), Vec::<&str>::new());
+        // `data` and `linalg` feed the simulation too, so they are held to
+        // the same determinism bar.
+        assert_eq!(rules_fired("crates/data/src/x.rs", src), vec!["std_hash"]);
+        assert_eq!(rules_fired("crates/linalg/src/x.rs", src), vec!["std_hash"]);
+        // The host-side bench harness is exempt.
+        assert_eq!(
+            rules_fired("crates/bench/src/x.rs", src),
+            Vec::<&str>::new()
+        );
     }
 
     #[test]

@@ -63,6 +63,30 @@ pub struct PsConfig {
     pub seed: u64,
 }
 
+/// Per-clock telemetry summed over all workers: bytes moved through the
+/// parameter server, flops charged, and how worker wall-clock time split
+/// between computing, communicating, and waiting on consistency.
+///
+/// Server-side apply time is *not* included — servers run in parallel with
+/// the workers and their spans are visible in the Gantt chart instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PsClockStats {
+    /// Bytes pulled from the servers by all workers during this tick.
+    pub pull_bytes: u64,
+    /// Bytes pushed to the servers by all workers during this tick.
+    pub push_bytes: u64,
+    /// Floating-point work charged across all workers.
+    pub flops: f64,
+    /// Summed worker compute time (including tick overheads), seconds.
+    pub compute_s: f64,
+    /// Summed worker pull + push transfer time, seconds.
+    pub comm_s: f64,
+    /// Summed worker time parked on the consistency constraint, seconds.
+    pub idle_s: f64,
+    /// Local model updates performed across all workers.
+    pub updates: u64,
+}
+
 /// Statistics of a completed run.
 #[derive(Debug, Clone)]
 pub struct PsRunStats {
@@ -75,8 +99,22 @@ pub struct PsRunStats {
     /// Simulated time at which each global clock (min over workers)
     /// completed.
     pub clock_times: Vec<SimTime>,
+    /// Per-clock telemetry, indexed by 0-based tick. Entries past the last
+    /// globally completed clock hold partial data from workers running
+    /// ahead under SSP; consumers should truncate to
+    /// [`PsRunStats::clock_times`]`.len()`.
+    pub per_clock: Vec<PsClockStats>,
     /// Whether the run stopped early via the `on_clock` callback.
     pub stopped_early: bool,
+}
+
+/// The accumulation slot for `clock`, growing the vector on demand.
+fn clock_slot(per_clock: &mut Vec<PsClockStats>, clock: u64) -> &mut PsClockStats {
+    let idx = clock as usize;
+    if per_clock.len() <= idx {
+        per_clock.resize(idx + 1, PsClockStats::default());
+    }
+    &mut per_clock[idx]
 }
 
 /// Wire size of a sparse message with `nnz` entries (u32 index + f64
@@ -157,6 +195,7 @@ impl<'a> PsEngine<'a> {
             total_updates: 0,
             end_time: SimTime::ZERO,
             clock_times: Vec::new(),
+            per_clock: Vec::new(),
             stopped_early: false,
         };
 
@@ -204,6 +243,14 @@ impl<'a> PsEngine<'a> {
                         .record(node, Activity::Compute, pull_end, compute_end, clock);
                     self.gantt
                         .record(node, Activity::PsPush, compute_end, push_end, clock);
+
+                    let slot = clock_slot(&mut stats.per_clock, clock);
+                    slot.pull_bytes += pull_bytes as u64;
+                    slot.push_bytes += push_bytes as u64;
+                    slot.flops += step.flops;
+                    slot.compute_s += compute_dur.as_secs_f64();
+                    slot.comm_s += (pull_dur + push_dur).as_secs_f64();
+                    slot.updates += step.local_updates;
 
                     queue.push(
                         push_end,
@@ -262,6 +309,8 @@ impl<'a> PsEngine<'a> {
                                             now,
                                             completed[w],
                                         );
+                                        clock_slot(&mut stats.per_clock, completed[w]).idle_s +=
+                                            now.since(wait_start).as_secs_f64();
                                     }
                                     parked[w] = None;
                                     queue.push(now, Ev::PullStart { worker: w });
@@ -489,6 +538,54 @@ mod tests {
         assert_eq!(m1.as_slice(), m2.as_slice());
         assert_eq!(t1, t2);
         assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn per_clock_stats_cover_every_tick() {
+        let cost = cost(4);
+        let mut engine = PsEngine::new(&cost, cfg(Consistency::Bsp, 3));
+        let mut logic = ConstDelta {
+            dim: 8,
+            calls: Vec::new(),
+        };
+        let (_, stats) = engine.run(DenseVector::zeros(8), &mut logic, |_, _, _| false);
+        assert_eq!(stats.per_clock.len(), 3);
+        for (c, s) in stats.per_clock.iter().enumerate() {
+            assert_eq!(s.updates, 4, "clock {c}: one update per worker");
+            assert!(s.flops > 0.0 && s.compute_s > 0.0 && s.comm_s > 0.0);
+            assert!(s.pull_bytes > 0 && s.push_bytes > 0);
+        }
+        // Summed per-clock updates equal the run total.
+        let total: u64 = stats.per_clock.iter().map(|s| s.updates).sum();
+        assert_eq!(total, stats.total_updates);
+    }
+
+    #[test]
+    fn per_clock_idle_matches_wait_spans() {
+        // A heterogeneous cluster under BSP parks fast workers; their
+        // recorded Wait spans and the per-clock idle totals must agree.
+        let mut spec = ClusterSpec::uniform(4, NodeSpec::standard(), NetworkSpec::gbps1());
+        spec.straggler = StragglerModel::LogNormal { sigma: 0.8 };
+        let cost = CostModel::new(spec);
+        let mut engine = PsEngine::new(&cost, cfg(Consistency::Bsp, 4));
+        let mut logic = ConstDelta {
+            dim: 8,
+            calls: Vec::new(),
+        };
+        let (_, stats) = engine.run(DenseVector::zeros(8), &mut logic, |_, _, _| false);
+        let wait_total: f64 = engine
+            .gantt()
+            .spans()
+            .iter()
+            .filter(|s| s.activity == Activity::Wait)
+            .map(|s| (s.end - s.start).as_secs_f64())
+            .sum();
+        let idle_total: f64 = stats.per_clock.iter().map(|s| s.idle_s).sum();
+        assert!(
+            (wait_total - idle_total).abs() < 1e-9,
+            "waits {wait_total} vs idle {idle_total}"
+        );
+        assert!(idle_total > 0.0, "BSP on a straggly cluster must park");
     }
 
     #[test]

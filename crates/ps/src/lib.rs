@@ -68,6 +68,6 @@ mod router;
 mod server;
 
 pub use consistency::Consistency;
-pub use engine::{PsConfig, PsEngine, PsRunStats, WorkerLogic, WorkerStep};
+pub use engine::{PsClockStats, PsConfig, PsEngine, PsRunStats, WorkerLogic, WorkerStep};
 pub use router::KeyRouter;
 pub use server::{Aggregation, ServerGroup};

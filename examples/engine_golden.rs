@@ -1,0 +1,81 @@
+//! Regenerates the golden fixtures for `tests/engine_equivalence.rs`.
+//!
+//! Trains every system in [`System::ALL`] on a small synthetic workload at
+//! two seeds and prints a line-oriented fixture capturing the convergence
+//! trace (times in integer nanoseconds, objectives as exact `f64` bit
+//! patterns), the final model norm, the Gantt makespan, and the run
+//! counters. The equivalence tests parse this file and require the current
+//! trainers to reproduce it bit for bit.
+//!
+//! ```text
+//! cargo run --release --example engine_golden > tests/fixtures/golden_traces.txt
+//! ```
+//!
+//! The fixtures checked in under `tests/fixtures/` were captured from the
+//! pre-round-engine trainers, so they pin the refactored engine to the
+//! original per-trainer implementations.
+
+use mllib_star::core::{System, TrainConfig};
+use mllib_star::data::SyntheticConfig;
+use mllib_star::glm::{LearningRate, Loss, Regularizer};
+use mllib_star::sim::ClusterSpec;
+
+/// The seeds at which every system is captured.
+pub const SEEDS: [u64; 2] = [42, 7];
+
+/// The fixture workload: small enough to run in milliseconds, large enough
+/// that every executor holds a non-trivial partition.
+pub fn golden_dataset() -> mllib_star::data::SparseDataset {
+    let mut gen = SyntheticConfig::small("golden", 240, 30);
+    gen.margin_noise = 0.05;
+    gen.flip_prob = 0.0;
+    gen.generate()
+}
+
+/// The fixture configuration. `eval_every = 2` exercises trace thinning and
+/// `failure_prob` exercises the failure-injection path (and thereby the
+/// failure RNG stream) in the MLlib-family trainers.
+pub fn golden_config(seed: u64) -> TrainConfig {
+    TrainConfig {
+        loss: Loss::Hinge,
+        reg: Regularizer::None,
+        lr: LearningRate::Constant(0.05),
+        batch_frac: 0.2,
+        max_rounds: 6,
+        eval_every: 2,
+        failure_prob: 0.15,
+        seed,
+        ..TrainConfig::default()
+    }
+}
+
+fn main() {
+    let ds = golden_dataset();
+    let cluster = ClusterSpec::cluster1();
+    println!("# golden fixtures: system runs captured pre-refactor");
+    println!("# format: run <system> <seed> / point <step> <ns> <obj_bits> <updates>");
+    println!("#         final <model_norm_bits> <makespan_ns> <rounds_run> <total_updates>");
+    for system in System::ALL {
+        for seed in SEEDS {
+            let cfg = golden_config(seed);
+            let out = system.train_default(&ds, &cluster, &cfg);
+            println!("run {system} {seed}");
+            for p in &out.trace.points {
+                println!(
+                    "point {} {} {:016x} {}",
+                    p.step,
+                    p.time.as_nanos(),
+                    p.objective.to_bits(),
+                    p.total_updates
+                );
+            }
+            println!(
+                "final {:016x} {} {} {}",
+                out.model.weights().norm2().to_bits(),
+                out.gantt.makespan().as_nanos(),
+                out.rounds_run,
+                out.total_updates
+            );
+        }
+    }
+}

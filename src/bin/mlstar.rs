@@ -154,22 +154,9 @@ fn cmd_inspect(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_system(name: &str) -> Result<System, String> {
-    Ok(match name {
-        "mllib" => System::Mllib,
-        "ma" => System::MllibMa,
-        "star" => System::MllibStar,
-        "petuum" => System::Petuum,
-        "petuum_star" => System::PetuumStar,
-        "angel" => System::Angel,
-        "lbfgs" => System::SparkMl,
-        other => return Err(format!("unknown system {other:?}")),
-    })
-}
-
 fn cmd_train(opts: &Options) -> Result<(), String> {
     let ds = load_dataset(opts)?;
-    let system = parse_system(opts.require("system")?)?;
+    let system: System = opts.require("system")?.parse()?;
     let lambda: f64 = opts.get_parsed("reg-l2", 0.0)?;
     let eta: f64 = opts.get_parsed("eta", 0.05)?;
     let rounds: u64 = opts.get_parsed("rounds", 20)?;
@@ -287,9 +274,11 @@ mod tests {
 
     #[test]
     fn parses_systems() {
-        assert_eq!(parse_system("star").unwrap(), System::MllibStar);
-        assert_eq!(parse_system("lbfgs").unwrap(), System::SparkMl);
-        assert!(parse_system("spark").is_err());
+        // Slugs and paper names both work via core's `FromStr`.
+        assert_eq!("star".parse::<System>(), Ok(System::MllibStar));
+        assert_eq!("MLlib*".parse::<System>(), Ok(System::MllibStar));
+        assert_eq!("lbfgs".parse::<System>(), Ok(System::SparkMl));
+        assert!("spark".parse::<System>().is_err());
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! `proptest!` macro, strategy combinators (`prop_map`, `prop_flat_map`,
 //! `prop_oneof!`, `Just`, ranges, tuples, `collection::vec`) and the
 //! `prop_assert*` macros all work, driving each test over
-//! [`ProptestConfig::cases`] deterministic pseudo-random cases.
+//! [`ProptestConfig::cases`](test_runner::ProptestConfig) deterministic
+//! pseudo-random cases.
 //!
 //! Differences from the registry crate, by design:
 //!
