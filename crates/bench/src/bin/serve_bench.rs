@@ -1,0 +1,226 @@
+//! Exercises the `mlstar-serve` subsystem end to end: trains a model,
+//! packages it as a versioned artifact, walks a staged rollout through
+//! the registry, scores a seeded open-loop workload at several worker
+//! shard counts, and reports the serving telemetry (batch fill, queue
+//! depth, queue/score/merge latency percentiles, throughput).
+//!
+//! The shard sweep doubles as a live determinism check: predictions and
+//! batch-formation telemetry must be identical at every shard count.
+
+use std::time::Instant;
+
+use mlstar_bench::report::{self, ServeSummary, Table};
+use mlstar_core::{System, TrainConfig};
+use mlstar_data::{catalog, SyntheticConfig};
+use mlstar_serve::{
+    BatchPolicy, ModelArtifact, ModelRegistry, Prediction, QueryWorkload, ScoringEngine,
+};
+use mlstar_sim::ClusterSpec;
+
+const SHARD_SWEEP: [usize; 3] = [1, 2, 8];
+
+fn usage(code: i32) -> ! {
+    println!("serve_bench: micro-batched model serving on a trained MLlib* model");
+    println!();
+    println!("USAGE:");
+    println!("    cargo run --release -p mlstar-bench --bin serve_bench -- [OPTIONS]");
+    println!();
+    println!("OPTIONS:");
+    println!("    --dataset <name>   synthetic (default), avazu, url, kddb, kdd12");
+    println!("    --requests <n>     workload size (default 2048)");
+    println!("    --json             also write the serving telemetry as a JSON artifact");
+    println!("    -h, --help         this message");
+    println!();
+    println!("Writes artifacts to bench_results/ (override with MLSTAR_OUT).");
+    std::process::exit(code);
+}
+
+fn parse_args() -> (String, usize) {
+    let mut dataset = "synthetic".to_owned();
+    let mut requests = 2048usize;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-h" | "--help" => usage(0),
+            "--json" => report::set_json_mode(true),
+            "--dataset" => {
+                i += 1;
+                dataset = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("serve_bench: --dataset needs a value");
+                    std::process::exit(2);
+                });
+            }
+            "--requests" => {
+                i += 1;
+                requests = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("serve_bench: --requests needs a positive integer");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("serve_bench: unexpected argument {other:?} (see --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    (dataset, requests)
+}
+
+fn load_dataset(name: &str) -> mlstar_data::SparseDataset {
+    let preset = match name {
+        "synthetic" => SyntheticConfig::small("serve-bench", 2000, 128),
+        "avazu" => catalog::avazu_like().scaled_down(20_000),
+        "url" => catalog::url_like().scaled_down(20_000),
+        "kddb" => catalog::kddb_like().scaled_down(200_000),
+        "kdd12" => catalog::kdd12_like().scaled_down(200_000),
+        other => {
+            eprintln!("serve_bench: unknown dataset {other:?} (see --help)");
+            std::process::exit(2);
+        }
+    };
+    preset.generate()
+}
+
+fn main() {
+    let (dataset_name, num_requests) = parse_args();
+    let ds = load_dataset(&dataset_name);
+    report::banner(&format!(
+        "serve_bench — {dataset_name}: {} examples × {} features",
+        ds.len(),
+        ds.num_features()
+    ));
+
+    // Train two model versions and walk them through a staged rollout.
+    let cluster = ClusterSpec::cluster1();
+    let system = System::MllibStar;
+    let mut registry = ModelRegistry::new();
+    let cfg_v1 = TrainConfig {
+        max_rounds: 6,
+        seed: 42,
+        ..TrainConfig::default()
+    };
+    let out_v1 = system.train_default(&ds, &cluster, &cfg_v1);
+    let v1 = registry
+        .publish(
+            &dataset_name,
+            ModelArtifact::from_run(system, &cfg_v1, &out_v1, &ds).expect("artifact v1"),
+        )
+        .expect("publish v1");
+    let cfg_v2 = TrainConfig {
+        max_rounds: 12,
+        seed: 42,
+        ..TrainConfig::default()
+    };
+    let out_v2 = system.train_default(&ds, &cluster, &cfg_v2);
+    let v2 = registry
+        .publish(
+            &dataset_name,
+            ModelArtifact::from_run(system, &cfg_v2, &out_v2, &ds).expect("artifact v2"),
+        )
+        .expect("publish v2");
+    println!("registry: published v{v1} (active) then v{v2} (staged); promoting v{v2}…");
+    registry.promote(&dataset_name).expect("promote");
+    let active = registry.active(&dataset_name).expect("active artifact");
+    println!(
+        "serving {} v{} — trained by {} (seed {}, {} rounds, final objective {})",
+        dataset_name,
+        registry.active_version(&dataset_name).expect("version"),
+        active.provenance().system,
+        active.provenance().seed,
+        active.provenance().rounds_run,
+        report::fmt_opt(active.provenance().final_objective, ""),
+    );
+
+    // Codec round trip on the serving artifact.
+    let encoded = active.encode();
+    let decoded = ModelArtifact::decode(&encoded).expect("decode artifact");
+    assert_eq!(&decoded, active, "artifact codec round trip");
+    println!(
+        "artifact codec: {} bytes, round-trips bit-exactly\n",
+        encoded.len()
+    );
+
+    // Seeded open-loop workload, then the shard sweep.
+    let workload = QueryWorkload {
+        num_requests,
+        ..QueryWorkload::default()
+    };
+    let requests = workload.generate(&ds);
+    println!(
+        "workload: {} requests at {} req/s (burst p={}, hot {}% of rows takes {}% of queries)\n",
+        requests.len(),
+        workload.arrival_rate,
+        workload.burst_prob,
+        workload.hot_row_fraction * 100.0,
+        workload.hot_query_prob * 100.0,
+    );
+
+    let mut table = Table::new(&[
+        "shards",
+        "batches",
+        "fill",
+        "depth",
+        "q p50/p95/p99 (µs)",
+        "score p99 (µs)",
+        "merge p99 (µs)",
+        "rps (sim)",
+        "wall ms",
+    ]);
+    let mut summaries: Vec<(String, ServeSummary)> = Vec::new();
+    let mut baseline: Option<Vec<Prediction>> = None;
+    for shards in SHARD_SWEEP {
+        let engine = ScoringEngine::for_artifact(active, BatchPolicy::default(), shards);
+        let wall = Instant::now();
+        let run = engine.run(&requests).expect("serve run");
+        let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+        match &baseline {
+            None => baseline = Some(run.predictions.clone()),
+            Some(b) => assert_eq!(
+                b, &run.predictions,
+                "predictions must be bit-identical across shard counts"
+            ),
+        }
+        let t = &run.telemetry;
+        let us = |s: f64| s * 1e6;
+        table.row(&[
+            shards.to_string(),
+            t.num_batches().to_string(),
+            format!("{:.2}", t.mean_fill()),
+            format!("{:.1}", t.mean_queue_depth()),
+            format!(
+                "{:.0}/{:.0}/{:.0}",
+                us(t.queue.p50()),
+                us(t.queue.p95()),
+                us(t.queue.p99())
+            ),
+            format!("{:.0}", us(t.score.p99())),
+            format!("{:.0}", us(t.merge.p99())),
+            format!("{:.0}", t.throughput_rps()),
+            format!("{wall_ms:.1}"),
+        ]);
+        summaries.push((
+            format!("shards={shards}"),
+            ServeSummary {
+                shards,
+                requests: t.requests,
+                batches: t.num_batches(),
+                mean_fill: t.mean_fill(),
+                mean_queue_depth: t.mean_queue_depth(),
+                throughput_rps: t.throughput_rps(),
+                queue_p: [t.queue.p50(), t.queue.p95(), t.queue.p99()],
+                score_p: [t.score.p50(), t.score.p95(), t.score.p99()],
+                merge_p: [t.merge.p50(), t.merge.p95(), t.merge.p99()],
+            },
+        ));
+    }
+    table.print();
+    println!("\npredictions are bit-identical across the shard sweep ✔");
+
+    if report::json_mode() {
+        let json = report::serve_stats_json("serve_bench", &summaries);
+        let path = report::write_artifact("serve_bench.json", &json);
+        println!("wrote {}", path.display());
+    }
+}

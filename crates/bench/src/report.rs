@@ -267,6 +267,73 @@ pub fn round_stats_json(report: &str, runs: &[(String, &[RoundStats])]) -> Strin
     out
 }
 
+/// One serving run's headline numbers, as plain fields so this module
+/// needs no dependency on `mlstar-serve` (the serve bench fills it from
+/// its telemetry).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeSummary {
+    /// Worker shards the engine scored with.
+    pub shards: usize,
+    /// Requests scored.
+    pub requests: u64,
+    /// Micro-batches formed.
+    pub batches: usize,
+    /// Mean batch fill ratio (size / max batch).
+    pub mean_fill: f64,
+    /// Mean queue depth observed at batch close.
+    pub mean_queue_depth: f64,
+    /// Virtual-time throughput in requests/s.
+    pub throughput_rps: f64,
+    /// Queue-latency percentiles in seconds (p50, p95, p99).
+    pub queue_p: [f64; 3],
+    /// Score-latency percentiles in seconds.
+    pub score_p: [f64; 3],
+    /// Merge-latency percentiles in seconds.
+    pub merge_p: [f64; 3],
+}
+
+/// Serializes one latency percentile triple.
+fn percentiles_json(p: &[f64; 3]) -> String {
+    format!(
+        "{{\"p50\":{},\"p95\":{},\"p99\":{}}}",
+        json_f64(p[0]),
+        json_f64(p[1]),
+        json_f64(p[2])
+    )
+}
+
+/// Serializes labeled serving runs into a JSON report with the same
+/// top-level shape as [`round_stats_json`] (`report` + `runs` array), so
+/// downstream tooling can ingest both.
+pub fn serve_stats_json(report: &str, runs: &[(String, ServeSummary)]) -> String {
+    let mut out = format!("{{\"report\":\"{}\",\"runs\":[", json_escape(report));
+    for (i, (label, s)) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            concat!(
+                "{{\"label\":\"{}\",\"shards\":{},\"requests\":{},",
+                "\"batching\":{{\"batches\":{},\"mean_fill\":{},\"mean_queue_depth\":{}}},",
+                "\"throughput_rps\":{},",
+                "\"latency_s\":{{\"queue\":{},\"score\":{},\"merge\":{}}}}}"
+            ),
+            json_escape(label),
+            s.shards,
+            s.requests,
+            s.batches,
+            json_f64(s.mean_fill),
+            json_f64(s.mean_queue_depth),
+            json_f64(s.throughput_rps),
+            percentiles_json(&s.queue_p),
+            percentiles_json(&s.score_p),
+            percentiles_json(&s.merge_p),
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
 /// Concatenates trace CSVs (single header).
 pub fn traces_to_csv(traces: &[&ConvergenceTrace]) -> String {
     let mut out = String::from("system,workload,step,time_s,objective,total_updates\n");
@@ -452,6 +519,32 @@ mod tests {
         assert!(json.contains("\"broadcast\":100"));
         assert!(json.contains("\"total\":300"));
         // Balanced braces/brackets (cheap well-formedness probe).
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes, "{json}");
+    }
+
+    #[test]
+    fn serve_stats_json_is_well_formed() {
+        let s = ServeSummary {
+            shards: 4,
+            requests: 1024,
+            batches: 40,
+            mean_fill: 0.8,
+            mean_queue_depth: 2.5,
+            throughput_rps: 18_000.0,
+            queue_p: [1e-4, 2e-4, 4e-4],
+            score_p: [1e-5, 2e-5, 2e-5],
+            merge_p: [5e-6, 5e-6, 5e-6],
+        };
+        let json = serve_stats_json("serve demo", &[("shards=4".to_owned(), s)]);
+        assert!(json.starts_with("{\"report\":\"serve demo\""));
+        assert!(json.contains("\"label\":\"shards=4\""));
+        assert!(json.contains("\"shards\":4"));
+        assert!(json.contains("\"requests\":1024"));
+        assert!(json.contains("\"mean_fill\":0.8"));
+        assert!(json.contains("\"throughput_rps\":18000"));
+        assert!(json.contains("\"queue\":{\"p50\":0.0001"));
         let opens = json.matches(['{', '[']).count();
         let closes = json.matches(['}', ']']).count();
         assert_eq!(opens, closes, "{json}");

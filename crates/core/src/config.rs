@@ -164,6 +164,28 @@ impl Default for AngelConfig {
     }
 }
 
+/// Training provenance extracted from a finished run — everything a
+/// downstream consumer (the `mlstar-serve` artifact registry) needs to
+/// identify where a model came from without holding the full
+/// [`TrainOutput`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainProvenance {
+    /// Display name of the system that trained the model (round-trips
+    /// through [`crate::System`]'s `Display`/`FromStr` pair).
+    pub system: String,
+    /// The experiment seed of the run.
+    pub seed: u64,
+    /// Communication steps actually executed.
+    pub rounds_run: u64,
+    /// Total model updates performed across the cluster.
+    pub total_updates: u64,
+    /// True if the run ended by reaching its target objective.
+    pub converged: bool,
+    /// Final objective value of the convergence trace, if any point was
+    /// recorded.
+    pub final_objective: Option<f64>,
+}
+
 /// The output of one distributed training run.
 #[derive(Debug, Clone)]
 pub struct TrainOutput {
@@ -183,6 +205,22 @@ pub struct TrainOutput {
     /// pattern, and a per-phase simulated-time breakdown whose phases sum
     /// to each round's elapsed time. One entry per executed round.
     pub round_stats: Vec<RoundStats>,
+}
+
+impl TrainOutput {
+    /// Extracts the run's provenance for export into a serving artifact.
+    /// The system is recorded by its `Display` name so the string parses
+    /// back via `FromStr`.
+    pub fn provenance(&self, system: crate::System, cfg: &TrainConfig) -> TrainProvenance {
+        TrainProvenance {
+            system: system.to_string(),
+            seed: cfg.seed,
+            rounds_run: self.rounds_run,
+            total_updates: self.total_updates,
+            converged: self.converged,
+            final_objective: self.trace.final_objective(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -57,7 +57,9 @@ mod trace;
 
 pub use angel::train_angel;
 pub use comparison::{Comparison, ComparisonReport, ComparisonRow};
-pub use config::{AngelConfig, MaWeighting, PsSystemConfig, TrainConfig, TrainOutput};
+pub use config::{
+    AngelConfig, MaWeighting, PsSystemConfig, TrainConfig, TrainOutput, TrainProvenance,
+};
 pub use engine::{CommBytes, RoundStats};
 pub use grid::{GridPoint, GridResult, GridSearch};
 pub use mllib::train_mllib;

@@ -5,7 +5,7 @@
 //! this crate. Prediction is argmax over the `C` binary margins.
 
 use mlstar_data::{MulticlassDataset, SparseDataset};
-use mlstar_glm::GlmModel;
+use mlstar_glm::{BinaryConfusion, GlmModel};
 use mlstar_linalg::SparseVector;
 use mlstar_sim::ClusterSpec;
 
@@ -65,6 +65,28 @@ impl OvrModel {
             .filter(|(x, &y)| self.predict(x) == y)
             .count();
         correct as f64 / ds.len() as f64
+    }
+
+    /// The binary confusion matrix of one class's one-vs-rest scorer:
+    /// examples of `class` are the positives, all other classes the
+    /// negatives. Goes through the shared
+    /// [`BinaryConfusion::evaluate_model`] entry point, the same API the
+    /// serving subsystem scores with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or `class` is out of range.
+    pub fn class_confusion(&self, class: u32, ds: &MulticlassDataset) -> BinaryConfusion {
+        assert!(
+            !ds.is_empty(),
+            "metrics over an empty dataset are undefined"
+        );
+        let binary_labels: Vec<f64> = ds
+            .labels()
+            .iter()
+            .map(|&y| if y == class { 1.0 } else { -1.0 })
+            .collect();
+        BinaryConfusion::evaluate_model(self.class_model(class), ds.rows(), &binary_labels)
     }
 }
 
@@ -212,6 +234,20 @@ mod tests {
         assert_eq!(a.model.accuracy(&ds), b.model.accuracy(&ds));
         for (ma, mb) in a.per_class.iter().zip(b.per_class.iter()) {
             assert_eq!(ma.trace, mb.trace);
+        }
+    }
+
+    #[test]
+    fn class_confusion_counts_one_vs_rest() {
+        let ds = tiny();
+        let out = OneVsRest::new(System::MllibStar, cfg()).train(&ds, &ClusterSpec::cluster1());
+        for class in 0..out.model.num_classes() {
+            let c = out.model.class_confusion(class, &ds);
+            assert_eq!(c.total() as usize, ds.len(), "every example is counted");
+            let positives = ds.labels().iter().filter(|&&y| y == class).count() as u64;
+            assert_eq!(c.tp + c.fn_, positives, "positives = members of the class");
+            // The trained scorers do far better than chance on their class.
+            assert!(c.accuracy() > 0.7, "class {class}: {}", c.accuracy());
         }
     }
 

@@ -148,11 +148,18 @@ mod tests {
     }
 
     #[test]
-    fn parses_paper_names_and_slugs() {
-        // Round trip: every display name parses back to its system.
+    fn display_roundtrips_through_fromstr_for_all_systems() {
+        // The serving artifact stores provenance by Display name, so the
+        // `Display` → `FromStr` round trip must hold for all 7 variants.
         for system in System::ALL {
-            assert_eq!(system.name().parse::<System>(), Ok(system), "{system}");
+            let shown = system.to_string();
+            assert_eq!(shown, system.name(), "Display matches name()");
+            assert_eq!(shown.parse::<System>(), Ok(system), "{shown}");
         }
+    }
+
+    #[test]
+    fn parses_paper_names_and_slugs() {
         // CLI slugs.
         assert_eq!("mllib-star".parse::<System>(), Ok(System::MllibStar));
         assert_eq!("star".parse::<System>(), Ok(System::MllibStar));

@@ -65,6 +65,63 @@ impl EpochOrder {
     }
 }
 
+/// Draws query rows for a serving workload with optional hot-key skew.
+///
+/// A seeded shuffle of the row indices picks a "hot set" (the shuffle's
+/// prefix); each draw then flips a seeded coin between the hot set and
+/// the full dataset. Real scoring traffic is rarely uniform — a few
+/// entities dominate — and the hot fraction models that skew while
+/// keeping every draw reproducible.
+#[derive(Debug, Clone)]
+pub struct RowSampler {
+    order: Vec<usize>,
+    hot_len: usize,
+}
+
+impl RowSampler {
+    /// A sampler over `num_rows` rows where a seeded `hot_fraction` of
+    /// them (at least one, when the fraction is positive) forms the hot
+    /// set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_rows == 0` or `hot_fraction` is outside `[0, 1]`.
+    pub fn new(num_rows: usize, hot_fraction: f64, seed: u64) -> Self {
+        assert!(num_rows > 0, "cannot sample rows from an empty dataset");
+        assert!(
+            (0.0..=1.0).contains(&hot_fraction),
+            "hot_fraction must be in [0, 1] (got {hot_fraction})"
+        );
+        let mut order: Vec<usize> = (0..num_rows).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(seed));
+        let hot_len = if hot_fraction > 0.0 {
+            ((num_rows as f64 * hot_fraction).round() as usize).clamp(1, num_rows)
+        } else {
+            0
+        };
+        RowSampler { order, hot_len }
+    }
+
+    /// The hot-set row indices (the shuffle prefix).
+    pub fn hot_rows(&self) -> &[usize] {
+        &self.order[..self.hot_len]
+    }
+
+    /// Draws one row index: with probability `hot_prob` uniformly from
+    /// the hot set (when non-empty), otherwise uniformly from all rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hot_prob` is outside `[0, 1]`.
+    pub fn draw<R: rand::Rng>(&self, rng: &mut R, hot_prob: f64) -> usize {
+        if self.hot_len > 0 && rng.gen_bool(hot_prob) {
+            self.order[rng.gen_range(0..self.hot_len)]
+        } else {
+            self.order[rng.gen_range(0..self.order.len())]
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,5 +199,52 @@ mod tests {
         let a = EpochOrder::new(11).next_order(&pool);
         let b = EpochOrder::new(11).next_order(&pool);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn row_sampler_hot_set_is_seeded_prefix() {
+        let s = RowSampler::new(100, 0.1, 7);
+        assert_eq!(s.hot_rows().len(), 10);
+        assert_eq!(RowSampler::new(100, 0.1, 7).hot_rows(), s.hot_rows());
+        assert_ne!(RowSampler::new(100, 0.1, 8).hot_rows(), s.hot_rows());
+        // A positive fraction always yields at least one hot row.
+        assert_eq!(RowSampler::new(3, 0.01, 7).hot_rows().len(), 1);
+        assert_eq!(RowSampler::new(3, 0.0, 7).hot_rows().len(), 0);
+    }
+
+    #[test]
+    fn row_sampler_skews_toward_hot_rows() {
+        let s = RowSampler::new(1000, 0.01, 42);
+        let hot: std::collections::BTreeSet<usize> = s.hot_rows().iter().copied().collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let draws = 5000;
+        let hot_hits = (0..draws)
+            .filter(|_| hot.contains(&s.draw(&mut rng, 0.9)))
+            .count();
+        // ~90% of draws hit the 1% hot set (plus ~1% uniform spillover).
+        assert!(hot_hits > draws * 8 / 10, "hot hits {hot_hits}/{draws}");
+        let uniform_hits = (0..draws)
+            .filter(|_| hot.contains(&s.draw(&mut rng, 0.0)))
+            .count();
+        assert!(uniform_hits < draws / 10, "uniform hits {uniform_hits}");
+        for _ in 0..200 {
+            assert!(s.draw(&mut rng, 0.5) < 1000);
+        }
+    }
+
+    #[test]
+    fn row_sampler_draws_are_deterministic() {
+        let s = RowSampler::new(50, 0.2, 3);
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        let a: Vec<usize> = (0..100).map(|_| s.draw(&mut r1, 0.5)).collect();
+        let b: Vec<usize> = (0..100).map(|_| s.draw(&mut r2, 0.5)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn row_sampler_rejects_empty() {
+        let _ = RowSampler::new(0, 0.5, 1);
     }
 }

@@ -48,7 +48,7 @@ mod partition;
 mod synthetic;
 pub mod workload;
 
-pub use batch::{BatchSampler, EpochOrder};
+pub use batch::{BatchSampler, EpochOrder, RowSampler};
 pub use dataset::{DatasetStats, SparseDataset};
 pub use error::DataError;
 pub use multiclass::{MulticlassConfig, MulticlassDataset};

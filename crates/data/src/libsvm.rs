@@ -17,13 +17,18 @@ use mlstar_linalg::SparseVector;
 
 use crate::{DataError, SparseDataset};
 
+/// A parsed row awaiting dimension resolution: its 1-based file line (so
+/// second-pass errors point at the right line even when blank/comment
+/// lines were skipped), its `(index, value)` pairs, and its label.
+type ParsedRow = (usize, Vec<(u32, f64)>, f64);
+
 /// Parses a LIBSVM-format stream into a dataset.
 ///
 /// `num_features` bounds the dimensionality; pass 0 to infer it as
 /// (max index seen) and the dataset is then rebuilt with that dimension.
 /// Blank lines and lines starting with `#` are skipped.
 pub fn read<R: BufRead>(reader: R, num_features: usize) -> Result<SparseDataset, DataError> {
-    let mut parsed: Vec<(Vec<(u32, f64)>, f64)> = Vec::new();
+    let mut parsed: Vec<ParsedRow> = Vec::new();
     let mut max_index: usize = 0;
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
@@ -67,7 +72,7 @@ pub fn read<R: BufRead>(reader: R, num_features: usize) -> Result<SparseDataset,
             max_index = max_index.max(idx);
             pairs.push(((idx - 1) as u32, val));
         }
-        parsed.push((pairs, label));
+        parsed.push((lineno + 1, pairs, label));
     }
 
     let dim = if num_features == 0 {
@@ -76,9 +81,9 @@ pub fn read<R: BufRead>(reader: R, num_features: usize) -> Result<SparseDataset,
         num_features
     };
     let mut ds = SparseDataset::empty(dim);
-    for (lineno, (pairs, label)) in parsed.into_iter().enumerate() {
+    for (file_line, pairs, label) in parsed {
         let row = SparseVector::from_pairs(dim, &pairs).map_err(|e| DataError::Parse {
-            line: lineno + 1,
+            line: file_line,
             message: e.to_string(),
         })?;
         ds.push(row, label);
@@ -336,6 +341,24 @@ mod tests {
     fn rejects_out_of_bounds_index_for_fixed_dim() {
         let err = read_str("+1 9:1\n", 4).unwrap_err();
         assert!(matches!(err, DataError::Parse { .. }));
+    }
+
+    #[test]
+    fn out_of_bounds_error_reports_file_line_past_blanks() {
+        // The bad row is on file line 4; two skipped lines (a comment and
+        // a blank) precede it, so the parsed-row index would be 2. The
+        // error must name the file line.
+        let err = read_str("# header\n+1 1:1\n\n+1 9:1\n", 4).unwrap_err();
+        assert!(
+            matches!(err, DataError::Parse { line: 4, .. }),
+            "expected line 4, got {err}"
+        );
+        // Same shape with a mid-file blank only.
+        let err = read_str("+1 1:1\n\n+1 9:1\n", 4).unwrap_err();
+        assert!(
+            matches!(err, DataError::Parse { line: 3, .. }),
+            "expected line 3, got {err}"
+        );
     }
 
     #[test]

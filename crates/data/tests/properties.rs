@@ -90,6 +90,66 @@ proptest! {
         prop_assert_eq!(s.underdetermined, s.features > s.instances);
     }
 
+    /// Arbitrary mixes of valid, blank, comment, and malformed LIBSVM
+    /// lines never panic the parser, and the error names the *file* line
+    /// of the first offending row — including rows whose index exceeds
+    /// the declared dimension, which are only caught in the reader's
+    /// second pass after blank/comment lines have been dropped.
+    #[test]
+    fn libsvm_malformed_lines_error_with_file_line(
+        kinds in proptest::collection::vec(0usize..8, 1..30),
+        seed in 0u64..1000,
+    ) {
+        const DIM: usize = 8;
+        let mut text = String::new();
+        let mut first_pass_err: Option<usize> = None; // label/pair syntax
+        let mut second_pass_err: Option<usize> = None; // out-of-bounds idx
+        let mut valid_rows = 0usize;
+        for (i, kind) in kinds.iter().enumerate() {
+            let line_no = i + 1;
+            let idx = (seed + i as u64) % DIM as u64 + 1; // in-bounds, 1-based
+            match kind {
+                0 | 1 => {
+                    text.push_str(&format!("+1 {idx}:1.5\n"));
+                    if first_pass_err.is_none() && second_pass_err.is_none() {
+                        valid_rows += 1;
+                    }
+                }
+                2 => text.push('\n'),
+                3 => text.push_str("# comment\n"),
+                4 => {
+                    text.push_str("banana 1:1\n");
+                    first_pass_err.get_or_insert(line_no);
+                }
+                5 => {
+                    text.push_str("+1 notapair\n");
+                    first_pass_err.get_or_insert(line_no);
+                }
+                6 => {
+                    text.push_str("+1 0:1\n");
+                    first_pass_err.get_or_insert(line_no);
+                }
+                _ => {
+                    text.push_str(&format!("+1 {}:1\n", DIM + 1));
+                    if first_pass_err.is_none() {
+                        second_pass_err.get_or_insert(line_no);
+                    }
+                }
+            }
+        }
+        match libsvm::read_str(&text, DIM) {
+            Ok(ds) => {
+                prop_assert!(first_pass_err.is_none() && second_pass_err.is_none());
+                prop_assert_eq!(ds.len(), valid_rows);
+            }
+            Err(mlstar_data::DataError::Parse { line, .. }) => {
+                let expected = first_pass_err.or(second_pass_err);
+                prop_assert_eq!(Some(line), expected);
+            }
+            Err(other) => prop_assert!(false, "unexpected error kind: {other}"),
+        }
+    }
+
     /// Skewed partitioning gives worker 0 its share (within rounding) and
     /// still covers every row exactly once.
     #[test]

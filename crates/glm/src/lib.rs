@@ -65,7 +65,9 @@ pub use lazy_l1::LazyL1;
 pub use lbfgs::{lbfgs_direction, Lbfgs, LbfgsConfig, LbfgsResult};
 pub use loss::Loss;
 pub use lr_schedule::LearningRate;
-pub use metrics::{accuracy, auc, BinaryConfusion};
+pub use metrics::{
+    accuracy, auc, auc_from_scores, margins, model_accuracy, model_auc, BinaryConfusion,
+};
 pub use model::GlmModel;
 pub use objective::{objective_value, objective_value_subset, training_loss};
 pub use optimizer::{MgdConfig, MiniBatchGd, OptimizerResult};

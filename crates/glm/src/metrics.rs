@@ -1,7 +1,20 @@
 //! Binary-classification metrics.
+//!
+//! Every metric here is built from one margin loop ([`margins`]) and two
+//! score-space primitives ([`BinaryConfusion::from_scores`] and
+//! [`auc_from_scores`]); the weight-based and [`GlmModel`]-based entry
+//! points are thin wrappers, so training code, one-vs-rest, and the
+//! serving subsystem all score through the same arithmetic.
 
+use crate::GlmModel;
 use mlstar_linalg::{DenseVector, SparseVector};
 use serde::{Deserialize, Serialize};
+
+/// The margins `w·x` of every row — the single scoring loop all metrics
+/// share.
+pub fn margins(w: &DenseVector, rows: &[SparseVector]) -> Vec<f64> {
+    rows.iter().map(|x| w.dot_sparse(x)).collect()
+}
 
 /// Classification accuracy of the linear model `w` on `(rows, labels)`,
 /// with labels in `{−1, +1}` and ties (zero margin) predicted as `+1`.
@@ -11,6 +24,15 @@ use serde::{Deserialize, Serialize};
 /// Panics if `rows` is empty or lengths differ.
 pub fn accuracy(w: &DenseVector, rows: &[SparseVector], labels: &[f64]) -> f64 {
     BinaryConfusion::evaluate(w, rows, labels).accuracy()
+}
+
+/// [`accuracy`] for a [`GlmModel`].
+///
+/// # Panics
+///
+/// Panics if `rows` is empty or lengths differ.
+pub fn model_accuracy(model: &GlmModel, rows: &[SparseVector], labels: &[f64]) -> f64 {
+    accuracy(model.weights(), rows, labels)
 }
 
 /// Area under the ROC curve via the rank-statistic formulation:
@@ -23,10 +45,30 @@ pub fn accuracy(w: &DenseVector, rows: &[SparseVector], labels: &[f64]) -> f64 {
 pub fn auc(w: &DenseVector, rows: &[SparseVector], labels: &[f64]) -> f64 {
     assert_eq!(rows.len(), labels.len(), "one label per row required");
     assert!(!rows.is_empty(), "AUC over an empty dataset is undefined");
-    let mut scored: Vec<(f64, bool)> = rows
+    auc_from_scores(&margins(w, rows), labels)
+}
+
+/// [`auc`] for a [`GlmModel`].
+///
+/// # Panics
+///
+/// Panics if `rows` is empty or lengths differ.
+pub fn model_auc(model: &GlmModel, rows: &[SparseVector], labels: &[f64]) -> f64 {
+    auc(model.weights(), rows, labels)
+}
+
+/// AUC over precomputed scores (see [`auc`] for the formulation).
+///
+/// # Panics
+///
+/// Panics if `scores` is empty or lengths differ.
+pub fn auc_from_scores(scores: &[f64], labels: &[f64]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "one label per score required");
+    assert!(!scores.is_empty(), "AUC over an empty dataset is undefined");
+    let mut scored: Vec<(f64, bool)> = scores
         .iter()
         .zip(labels.iter())
-        .map(|(x, &y)| (w.dot_sparse(x), y > 0.0))
+        .map(|(&s, &y)| (s, y > 0.0))
         .collect();
     let n_pos = scored.iter().filter(|(_, p)| *p).count();
     let n_neg = scored.len() - n_pos;
@@ -80,10 +122,29 @@ impl BinaryConfusion {
             !rows.is_empty(),
             "metrics over an empty dataset are undefined"
         );
+        BinaryConfusion::from_scores(&margins(w, rows), labels)
+    }
+
+    /// [`BinaryConfusion::evaluate`] for a [`GlmModel`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or lengths differ.
+    pub fn evaluate_model(model: &GlmModel, rows: &[SparseVector], labels: &[f64]) -> Self {
+        BinaryConfusion::evaluate(model.weights(), rows, labels)
+    }
+
+    /// Builds the confusion matrix from precomputed scores (ties at zero
+    /// predict `+1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn from_scores(scores: &[f64], labels: &[f64]) -> Self {
+        assert_eq!(scores.len(), labels.len(), "one label per score required");
         let mut c = BinaryConfusion::default();
-        for (x, &y) in rows.iter().zip(labels.iter()) {
-            let predicted_positive = w.dot_sparse(x) >= 0.0;
-            match (y > 0.0, predicted_positive) {
+        for (&s, &y) in scores.iter().zip(labels.iter()) {
+            match (y > 0.0, s >= 0.0) {
                 (true, true) => c.tp += 1,
                 (true, false) => c.fn_ += 1,
                 (false, true) => c.fp += 1,
@@ -235,6 +296,34 @@ mod tests {
         let labels = vec![-1.0, 1.0, -1.0, 1.0];
         // ranks of positives (1-based): 2 and 4 → (6 − 3) / (2·2) = 0.75.
         assert!((auc(&w, &rows, &labels) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn model_wrappers_match_weight_entry_points() {
+        let (w, rows, labels) = problem();
+        let model = GlmModel::from_weights(w.clone());
+        assert_eq!(
+            BinaryConfusion::evaluate_model(&model, &rows, &labels),
+            BinaryConfusion::evaluate(&w, &rows, &labels)
+        );
+        assert_eq!(
+            model_accuracy(&model, &rows, &labels).to_bits(),
+            accuracy(&w, &rows, &labels).to_bits()
+        );
+        assert_eq!(
+            model_auc(&model, &rows, &labels).to_bits(),
+            auc(&w, &rows, &labels).to_bits()
+        );
+        // The score-space primitives agree with the margin loop.
+        let scores = margins(&w, &rows);
+        assert_eq!(
+            BinaryConfusion::from_scores(&scores, &labels),
+            BinaryConfusion::evaluate(&w, &rows, &labels)
+        );
+        assert_eq!(
+            auc_from_scores(&scores, &labels).to_bits(),
+            auc(&w, &rows, &labels).to_bits()
+        );
     }
 
     #[test]

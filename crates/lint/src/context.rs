@@ -42,6 +42,7 @@ pub const SIM_CRITICAL_CRATES: &[&str] = &[
     "glm",
     "data",
     "linalg",
+    "serve",
 ];
 
 /// The one crate allowed to read wall-clock time and hold measurement

@@ -1,0 +1,555 @@
+//! Versioned model artifacts and their std-only binary codec.
+//!
+//! A [`ModelArtifact`] is the unit the registry stores and the scoring
+//! engine loads: the trained weights plus a fingerprint of the dataset the
+//! model was trained against and the run's [`TrainProvenance`]. The codec
+//! is deliberately std-only (hand-packed little-endian, FNV-1a checksum)
+//! so artifacts written today remain readable without any dependency.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic u32 | codec_version u32 | payload_len u64 | checksum u64 | payload
+//! payload:
+//!   system   : len u16 + UTF-8 bytes
+//!   seed u64 | rounds_run u64 | total_updates u64
+//!   converged u8 | has_final_objective u8
+//!   final_objective f64
+//!   fingerprint: features u64 | instances u64 | content_hash u64
+//!   dim u64 | dim × f64 weights
+//! ```
+//!
+//! The checksum covers the payload only, so a flipped bit anywhere in the
+//! body surfaces as [`ServeError::ChecksumMismatch`] rather than a
+//! garbage model.
+
+use mlstar_core::{TrainConfig, TrainOutput, TrainProvenance};
+use mlstar_data::SparseDataset;
+use mlstar_glm::GlmModel;
+use mlstar_linalg::DenseVector;
+use serde::{Deserialize, Serialize};
+
+use crate::ServeError;
+
+/// `"MLSA"` — the artifact file magic.
+pub const ARTIFACT_MAGIC: u32 = 0x4D4C_5341;
+
+/// The codec version this module writes and reads.
+pub const CODEC_VERSION: u32 = 1;
+
+/// Fixed prefix: magic + version + payload length + checksum.
+const HEADER_LEN: usize = 4 + 4 + 8 + 8;
+
+/// A fingerprint of the dataset a model was trained on: enough to refuse
+/// scoring a model against data of the wrong shape, and to tell two
+/// same-shape datasets apart by content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetFingerprint {
+    /// Feature dimensionality the model expects.
+    pub features: usize,
+    /// Number of training examples.
+    pub instances: usize,
+    /// FNV-1a hash over the dataset's structure and content.
+    pub content_hash: u64,
+}
+
+impl DatasetFingerprint {
+    /// Fingerprints a dataset: dimensions plus an FNV-1a hash over every
+    /// row's indices, values, and label (bit-exact, order-sensitive).
+    pub fn of(ds: &SparseDataset) -> DatasetFingerprint {
+        let mut h = Fnv1a::new();
+        h.write_u64(ds.num_features() as u64);
+        h.write_u64(ds.len() as u64);
+        for (row, &label) in ds.rows().iter().zip(ds.labels().iter()) {
+            h.write_u64(label.to_bits());
+            h.write_u64(row.nnz() as u64);
+            for (i, v) in row.iter() {
+                h.write_u64(i as u64);
+                h.write_u64(v.to_bits());
+            }
+        }
+        DatasetFingerprint {
+            features: ds.num_features(),
+            instances: ds.len(),
+            content_hash: h.finish(),
+        }
+    }
+}
+
+/// A versioned, self-describing trained-model artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelArtifact {
+    weights: DenseVector,
+    fingerprint: DatasetFingerprint,
+    provenance: TrainProvenance,
+}
+
+impl ModelArtifact {
+    /// Wraps trained weights with their provenance and dataset
+    /// fingerprint. Rejects zero-dimensional models — they cannot score
+    /// anything and the codec refuses to move them.
+    pub fn new(
+        model: &GlmModel,
+        fingerprint: DatasetFingerprint,
+        provenance: TrainProvenance,
+    ) -> Result<ModelArtifact, ServeError> {
+        if model.dim() == 0 {
+            return Err(ServeError::EmptyModel);
+        }
+        Ok(ModelArtifact {
+            weights: model.weights().clone(),
+            fingerprint,
+            provenance,
+        })
+    }
+
+    /// Exports a finished training run: extracts provenance from the
+    /// output/config pair and fingerprints the training dataset.
+    pub fn from_run(
+        system: mlstar_core::System,
+        cfg: &TrainConfig,
+        out: &TrainOutput,
+        ds: &SparseDataset,
+    ) -> Result<ModelArtifact, ServeError> {
+        ModelArtifact::new(
+            &out.model,
+            DatasetFingerprint::of(ds),
+            out.provenance(system, cfg),
+        )
+    }
+
+    /// The model's feature dimension.
+    pub fn dim(&self) -> usize {
+        self.weights.dim()
+    }
+
+    /// The trained weights.
+    pub fn weights(&self) -> &DenseVector {
+        &self.weights
+    }
+
+    /// An in-memory model ready to score.
+    pub fn model(&self) -> GlmModel {
+        GlmModel::from_weights(self.weights.clone())
+    }
+
+    /// The training dataset's fingerprint.
+    pub fn fingerprint(&self) -> &DatasetFingerprint {
+        &self.fingerprint
+    }
+
+    /// The training run's provenance.
+    pub fn provenance(&self) -> &TrainProvenance {
+        &self.provenance
+    }
+
+    /// Encodes the artifact into its binary form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(64 + self.weights.dim() * 8);
+        let system = self.provenance.system.as_bytes();
+        // The system name is a short display name; u16 is ample.
+        payload.extend_from_slice(&(system.len() as u16).to_le_bytes());
+        payload.extend_from_slice(system);
+        payload.extend_from_slice(&self.provenance.seed.to_le_bytes());
+        payload.extend_from_slice(&self.provenance.rounds_run.to_le_bytes());
+        payload.extend_from_slice(&self.provenance.total_updates.to_le_bytes());
+        payload.push(u8::from(self.provenance.converged));
+        payload.push(u8::from(self.provenance.final_objective.is_some()));
+        payload.extend_from_slice(&self.provenance.final_objective.unwrap_or(0.0).to_le_bytes());
+        payload.extend_from_slice(&(self.fingerprint.features as u64).to_le_bytes());
+        payload.extend_from_slice(&(self.fingerprint.instances as u64).to_le_bytes());
+        payload.extend_from_slice(&self.fingerprint.content_hash.to_le_bytes());
+        payload.extend_from_slice(&(self.weights.dim() as u64).to_le_bytes());
+        for &w in self.weights.as_slice() {
+            payload.extend_from_slice(&w.to_le_bytes());
+        }
+
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(&ARTIFACT_MAGIC.to_le_bytes());
+        out.extend_from_slice(&CODEC_VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decodes an artifact, verifying magic, codec version, length, and
+    /// checksum before touching the payload.
+    pub fn decode(bytes: &[u8]) -> Result<ModelArtifact, ServeError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(ServeError::Truncated {
+                expected: HEADER_LEN,
+                actual: bytes.len(),
+            });
+        }
+        let magic = u32::from_le_bytes(bytes[0..4].try_into().map_err(invalid_slice)?);
+        if magic != ARTIFACT_MAGIC {
+            return Err(ServeError::BadMagic(magic));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().map_err(invalid_slice)?);
+        if version != CODEC_VERSION {
+            return Err(ServeError::VersionMismatch {
+                found: version,
+                supported: CODEC_VERSION,
+            });
+        }
+        let payload_len =
+            u64::from_le_bytes(bytes[8..16].try_into().map_err(invalid_slice)?) as usize;
+        let stored = u64::from_le_bytes(bytes[16..24].try_into().map_err(invalid_slice)?);
+        let expected = HEADER_LEN + payload_len;
+        if bytes.len() != expected {
+            return Err(ServeError::Truncated {
+                expected,
+                actual: bytes.len(),
+            });
+        }
+        let payload = &bytes[HEADER_LEN..];
+        let computed = fnv1a(payload);
+        if computed != stored {
+            return Err(ServeError::ChecksumMismatch { stored, computed });
+        }
+
+        let mut r = Reader::new(payload);
+        let system_len = r.u16()? as usize;
+        let system = String::from_utf8(r.bytes(system_len)?.to_vec())
+            .map_err(|_| ServeError::Corrupt("system name is not UTF-8".into()))?;
+        let seed = r.u64()?;
+        let rounds_run = r.u64()?;
+        let total_updates = r.u64()?;
+        let converged = r.u8()? != 0;
+        let has_objective = r.u8()? != 0;
+        let objective = r.f64()?;
+        let features = r.u64()? as usize;
+        let instances = r.u64()? as usize;
+        let content_hash = r.u64()?;
+        let dim = r.u64()? as usize;
+        if dim == 0 {
+            return Err(ServeError::EmptyModel);
+        }
+        let mut weights = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            weights.push(r.f64()?);
+        }
+        if !r.is_empty() {
+            return Err(ServeError::Corrupt(format!(
+                "{} trailing payload bytes",
+                r.remaining()
+            )));
+        }
+        Ok(ModelArtifact {
+            weights: DenseVector::from_vec(weights),
+            fingerprint: DatasetFingerprint {
+                features,
+                instances,
+                content_hash,
+            },
+            provenance: TrainProvenance {
+                system,
+                seed,
+                rounds_run,
+                total_updates,
+                converged,
+                final_objective: has_objective.then_some(objective),
+            },
+        })
+    }
+
+    /// Writes the encoded artifact to a file.
+    pub fn write_file(&self, path: impl AsRef<std::path::Path>) -> Result<(), ServeError> {
+        std::fs::write(path, self.encode())?;
+        Ok(())
+    }
+
+    /// Reads and decodes an artifact file.
+    pub fn read_file(path: impl AsRef<std::path::Path>) -> Result<ModelArtifact, ServeError> {
+        ModelArtifact::decode(&std::fs::read(path)?)
+    }
+}
+
+fn invalid_slice(_: std::array::TryFromSliceError) -> ServeError {
+    ServeError::Corrupt("header slice out of bounds".into())
+}
+
+/// Sequential little-endian payload reader that turns overruns into
+/// [`ServeError::Corrupt`] (the outer length/checksum checks make these
+/// unreachable for well-formed frames, but a crafted payload must not
+/// panic).
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], ServeError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let s = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(ServeError::Corrupt(format!(
+                "payload ends inside a {n}-byte field"
+            ))),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, ServeError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ServeError> {
+        let b = self.bytes(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, ServeError> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f64(&mut self) -> Result<f64, ServeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// FNV-1a over a byte slice.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Incremental 64-bit FNV-1a.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn provenance() -> TrainProvenance {
+        TrainProvenance {
+            system: "MLlib*".into(),
+            seed: 42,
+            rounds_run: 7,
+            total_updates: 1234,
+            converged: true,
+            final_objective: Some(0.25),
+        }
+    }
+
+    fn artifact() -> ModelArtifact {
+        let model = GlmModel::from_weights(DenseVector::from_vec(vec![1.5, -2.25, 0.0, 1e-300]));
+        let fp = DatasetFingerprint {
+            features: 4,
+            instances: 99,
+            content_hash: 0xDEAD_BEEF,
+        };
+        ModelArtifact::new(&model, fp, provenance()).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let a = artifact();
+        let back = ModelArtifact::decode(&a.encode()).unwrap();
+        assert_eq!(a, back);
+        assert_eq!(back.weights().as_slice(), &[1.5, -2.25, 0.0, 1e-300]);
+        assert_eq!(back.provenance().system, "MLlib*");
+        assert_eq!(back.provenance().final_objective, Some(0.25));
+        assert_eq!(back.fingerprint().content_hash, 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn roundtrip_without_objective() {
+        let model = GlmModel::from_weights(DenseVector::from_vec(vec![1.0]));
+        let fp = DatasetFingerprint {
+            features: 1,
+            instances: 1,
+            content_hash: 0,
+        };
+        let a = ModelArtifact::new(
+            &model,
+            fp,
+            TrainProvenance {
+                final_objective: None,
+                converged: false,
+                ..provenance()
+            },
+        )
+        .unwrap();
+        let back = ModelArtifact::decode(&a.encode()).unwrap();
+        assert_eq!(back.provenance().final_objective, None);
+        assert!(!back.provenance().converged);
+    }
+
+    #[test]
+    fn zero_dim_model_is_rejected_at_construction() {
+        let fp = DatasetFingerprint {
+            features: 0,
+            instances: 0,
+            content_hash: 0,
+        };
+        let err = ModelArtifact::new(&GlmModel::zeros(0), fp, provenance()).unwrap_err();
+        assert!(matches!(err, ServeError::EmptyModel));
+    }
+
+    #[test]
+    fn zero_dim_model_is_rejected_at_decode() {
+        // Hand-craft a frame whose payload declares dim = 0 but is
+        // otherwise valid (correct checksum), to pin the decode-side guard.
+        let a = artifact();
+        let encoded = a.encode();
+        let payload = &encoded[HEADER_LEN..];
+        // dim field sits 8 bytes before the first weight; rebuild the
+        // payload truncated to the dim field and zero it.
+        let weights_bytes = a.dim() * 8;
+        let mut p = payload[..payload.len() - weights_bytes].to_vec();
+        let n = p.len();
+        p[n - 8..].copy_from_slice(&0u64.to_le_bytes());
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&ARTIFACT_MAGIC.to_le_bytes());
+        frame.extend_from_slice(&CODEC_VERSION.to_le_bytes());
+        frame.extend_from_slice(&(p.len() as u64).to_le_bytes());
+        frame.extend_from_slice(&fnv1a(&p).to_le_bytes());
+        frame.extend_from_slice(&p);
+        assert!(matches!(
+            ModelArtifact::decode(&frame),
+            Err(ServeError::EmptyModel)
+        ));
+    }
+
+    #[test]
+    fn truncated_file_errors() {
+        let encoded = artifact().encode();
+        // Below the header length.
+        assert!(matches!(
+            ModelArtifact::decode(&encoded[..10]),
+            Err(ServeError::Truncated { .. })
+        ));
+        // Header intact, payload short.
+        assert!(matches!(
+            ModelArtifact::decode(&encoded[..encoded.len() - 5]),
+            Err(ServeError::Truncated { .. })
+        ));
+        // Trailing junk is also a length violation, not silently ignored.
+        let mut long = encoded.clone();
+        long.push(0);
+        assert!(matches!(
+            ModelArtifact::decode(&long),
+            Err(ServeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn checksum_flip_is_detected() {
+        let mut encoded = artifact().encode();
+        // Flip one bit in the middle of the weights.
+        let idx = encoded.len() - 9;
+        encoded[idx] ^= 0x10;
+        assert!(matches!(
+            ModelArtifact::decode(&encoded),
+            Err(ServeError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn version_mismatch_is_detected() {
+        let mut encoded = artifact().encode();
+        encoded[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            ModelArtifact::decode(&encoded),
+            Err(ServeError::VersionMismatch {
+                found: 99,
+                supported: CODEC_VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_is_detected() {
+        let mut encoded = artifact().encode();
+        encoded[0] ^= 0xFF;
+        assert!(matches!(
+            ModelArtifact::decode(&encoded),
+            Err(ServeError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn fingerprint_is_content_sensitive() {
+        use mlstar_linalg::SparseVector;
+        let mut a = SparseDataset::empty(4);
+        a.push(SparseVector::from_pairs(4, &[(0, 1.0)]).unwrap(), 1.0);
+        let mut b = a.clone();
+        let fa = DatasetFingerprint::of(&a);
+        assert_eq!(fa, DatasetFingerprint::of(&b), "same content, same print");
+        b.push(SparseVector::from_pairs(4, &[(1, 2.0)]).unwrap(), -1.0);
+        let fb = DatasetFingerprint::of(&b);
+        assert_ne!(fa.content_hash, fb.content_hash);
+        assert_eq!(fb.instances, 2);
+        // A value change alone flips the hash.
+        let mut c = SparseDataset::empty(4);
+        c.push(
+            SparseVector::from_pairs(4, &[(0, 1.0 + 1e-12)]).unwrap(),
+            1.0,
+        );
+        assert_ne!(fa.content_hash, DatasetFingerprint::of(&c).content_hash);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("mlstar_serve_artifact_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.mlsa");
+        let a = artifact();
+        a.write_file(&path).unwrap();
+        let back = ModelArtifact::read_file(&path).unwrap();
+        assert_eq!(a, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            ModelArtifact::read_file("/nonexistent/missing.mlsa"),
+            Err(ServeError::Io(_))
+        ));
+    }
+}

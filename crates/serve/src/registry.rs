@@ -1,0 +1,321 @@
+//! The versioned model registry with staged rollout.
+//!
+//! A registry holds named model lines. Each publish of an artifact under
+//! a name allocates the next version number. The first publish becomes
+//! the **active** (serving) version; later publishes land as **staged**
+//! — warmed but not serving — until [`ModelRegistry::promote`] flips them
+//! active, mirroring how a serving fleet rolls a new model out behind the
+//! one currently taking traffic. [`ModelRegistry::pin`] rolls back (or
+//! forward) to any retained version.
+//!
+//! All state lives in ordered maps so iteration order — and therefore any
+//! report derived from the registry — is deterministic.
+
+use std::collections::BTreeMap;
+
+use crate::{ModelArtifact, ServeError};
+
+/// One named model line: every retained version plus rollout state.
+#[derive(Debug, Clone)]
+struct ModelEntry {
+    versions: BTreeMap<u64, ModelArtifact>,
+    /// The version currently serving traffic.
+    active: u64,
+    /// A published-but-not-yet-promoted version, if any.
+    staged: Option<u64>,
+}
+
+/// An in-memory versioned artifact store with staged rollout.
+#[derive(Debug, Clone, Default)]
+pub struct ModelRegistry {
+    entries: BTreeMap<String, ModelEntry>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ModelRegistry::default()
+    }
+
+    /// Publishes `artifact` under `name`, returning the version number it
+    /// was assigned (versions start at 1). The first version of a name
+    /// becomes active immediately; subsequent versions are staged and
+    /// replace any previously staged version.
+    ///
+    /// Fails with [`ServeError::DimensionMismatch`] if the artifact's
+    /// dimension disagrees with the versions already published under the
+    /// same name — a model line serves one feature space.
+    pub fn publish(&mut self, name: &str, artifact: ModelArtifact) -> Result<u64, ServeError> {
+        match self.entries.get_mut(name) {
+            None => {
+                let mut versions = BTreeMap::new();
+                versions.insert(1, artifact);
+                self.entries.insert(
+                    name.to_string(),
+                    ModelEntry {
+                        versions,
+                        active: 1,
+                        staged: None,
+                    },
+                );
+                Ok(1)
+            }
+            Some(entry) => {
+                let expected = entry.versions[&entry.active].dim();
+                if artifact.dim() != expected {
+                    return Err(ServeError::DimensionMismatch {
+                        expected,
+                        found: artifact.dim(),
+                    });
+                }
+                let version = entry.versions.keys().next_back().copied().unwrap_or(0) + 1;
+                entry.versions.insert(version, artifact);
+                entry.staged = Some(version);
+                Ok(version)
+            }
+        }
+    }
+
+    /// Promotes the staged version of `name` to active.
+    ///
+    /// Fails with [`ServeError::UnknownModel`] for an unregistered name
+    /// and [`ServeError::NothingStaged`] if no rollout is in flight.
+    pub fn promote(&mut self, name: &str) -> Result<u64, ServeError> {
+        let entry = self
+            .entries
+            .get_mut(name)
+            .ok_or_else(|| ServeError::UnknownModel(name.to_string()))?;
+        match entry.staged.take() {
+            Some(v) => {
+                entry.active = v;
+                Ok(v)
+            }
+            None => Err(ServeError::NothingStaged(name.to_string())),
+        }
+    }
+
+    /// Pins the active version of `name` to `version` (rollback or
+    /// roll-forward). Clears the staged version if it is the one pinned.
+    ///
+    /// Fails with [`ServeError::UnknownModel`] /
+    /// [`ServeError::UnknownVersion`].
+    pub fn pin(&mut self, name: &str, version: u64) -> Result<(), ServeError> {
+        let entry = self
+            .entries
+            .get_mut(name)
+            .ok_or_else(|| ServeError::UnknownModel(name.to_string()))?;
+        if !entry.versions.contains_key(&version) {
+            return Err(ServeError::UnknownVersion {
+                name: name.to_string(),
+                version,
+            });
+        }
+        entry.active = version;
+        if entry.staged == Some(version) {
+            entry.staged = None;
+        }
+        Ok(())
+    }
+
+    /// Pins the active version of `name` to its latest published version,
+    /// returning that version.
+    pub fn pin_latest(&mut self, name: &str) -> Result<u64, ServeError> {
+        let latest = {
+            let entry = self
+                .entries
+                .get(name)
+                .ok_or_else(|| ServeError::UnknownModel(name.to_string()))?;
+            *entry.versions.keys().next_back().unwrap_or(&0)
+        };
+        self.pin(name, latest)?;
+        Ok(latest)
+    }
+
+    /// The artifact at a specific version of `name`.
+    pub fn get(&self, name: &str, version: u64) -> Result<&ModelArtifact, ServeError> {
+        let entry = self
+            .entries
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownModel(name.to_string()))?;
+        entry
+            .versions
+            .get(&version)
+            .ok_or(ServeError::UnknownVersion {
+                name: name.to_string(),
+                version,
+            })
+    }
+
+    /// The artifact currently serving traffic for `name`.
+    pub fn active(&self, name: &str) -> Result<&ModelArtifact, ServeError> {
+        let entry = self
+            .entries
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownModel(name.to_string()))?;
+        Ok(&entry.versions[&entry.active])
+    }
+
+    /// The active version number for `name`.
+    pub fn active_version(&self, name: &str) -> Result<u64, ServeError> {
+        self.entries
+            .get(name)
+            .map(|e| e.active)
+            .ok_or_else(|| ServeError::UnknownModel(name.to_string()))
+    }
+
+    /// The staged (published, not yet promoted) artifact for `name`, if a
+    /// rollout is in flight.
+    pub fn staged(&self, name: &str) -> Result<Option<&ModelArtifact>, ServeError> {
+        let entry = self
+            .entries
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownModel(name.to_string()))?;
+        Ok(entry.staged.map(|v| &entry.versions[&v]))
+    }
+
+    /// The latest published artifact for `name` regardless of rollout
+    /// state.
+    pub fn latest(&self, name: &str) -> Result<&ModelArtifact, ServeError> {
+        let entry = self
+            .entries
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownModel(name.to_string()))?;
+        // A registered name always retains at least one version; guard
+        // anyway rather than panic in library code.
+        entry
+            .versions
+            .values()
+            .next_back()
+            .ok_or_else(|| ServeError::UnknownModel(name.to_string()))
+    }
+
+    /// Registered model names, in sorted order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Published versions of `name`, ascending.
+    pub fn versions(&self, name: &str) -> Result<Vec<u64>, ServeError> {
+        self.entries
+            .get(name)
+            .map(|e| e.versions.keys().copied().collect())
+            .ok_or_else(|| ServeError::UnknownModel(name.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DatasetFingerprint, ModelArtifact};
+    use mlstar_core::TrainProvenance;
+    use mlstar_glm::GlmModel;
+    use mlstar_linalg::DenseVector;
+
+    fn artifact(dim: usize, fill: f64) -> ModelArtifact {
+        let model = GlmModel::from_weights(DenseVector::from_vec(vec![fill; dim]));
+        let fp = DatasetFingerprint {
+            features: dim,
+            instances: 10,
+            content_hash: 7,
+        };
+        let prov = TrainProvenance {
+            system: "mllib*".to_string(),
+            seed: 1,
+            rounds_run: 2,
+            total_updates: 3,
+            converged: true,
+            final_objective: Some(0.5),
+        };
+        ModelArtifact::new(&model, fp, prov).unwrap()
+    }
+
+    #[test]
+    fn first_publish_is_active_later_ones_stage() {
+        let mut reg = ModelRegistry::new();
+        assert_eq!(reg.publish("ctr", artifact(4, 1.0)).unwrap(), 1);
+        assert_eq!(reg.active_version("ctr").unwrap(), 1);
+        assert!(reg.staged("ctr").unwrap().is_none());
+
+        assert_eq!(reg.publish("ctr", artifact(4, 2.0)).unwrap(), 2);
+        assert_eq!(reg.active_version("ctr").unwrap(), 1, "v2 only staged");
+        assert_eq!(reg.staged("ctr").unwrap().unwrap().weights().get(0), 2.0);
+        assert_eq!(reg.latest("ctr").unwrap().weights().get(0), 2.0);
+        assert_eq!(reg.active("ctr").unwrap().weights().get(0), 1.0);
+
+        assert_eq!(reg.promote("ctr").unwrap(), 2);
+        assert_eq!(reg.active_version("ctr").unwrap(), 2);
+        assert!(reg.staged("ctr").unwrap().is_none());
+    }
+
+    #[test]
+    fn republish_replaces_staged() {
+        let mut reg = ModelRegistry::new();
+        reg.publish("m", artifact(2, 1.0)).unwrap();
+        reg.publish("m", artifact(2, 2.0)).unwrap();
+        reg.publish("m", artifact(2, 3.0)).unwrap();
+        assert_eq!(reg.staged("m").unwrap().unwrap().weights().get(0), 3.0);
+        assert_eq!(reg.versions("m").unwrap(), vec![1, 2, 3]);
+        assert_eq!(
+            reg.promote("m").unwrap(),
+            3,
+            "promote takes the newest stage"
+        );
+    }
+
+    #[test]
+    fn pin_rolls_back_and_forward() {
+        let mut reg = ModelRegistry::new();
+        reg.publish("m", artifact(2, 1.0)).unwrap();
+        reg.publish("m", artifact(2, 2.0)).unwrap();
+        reg.promote("m").unwrap();
+        reg.pin("m", 1).unwrap();
+        assert_eq!(reg.active_version("m").unwrap(), 1);
+        assert_eq!(reg.pin_latest("m").unwrap(), 2);
+        assert_eq!(reg.active_version("m").unwrap(), 2);
+        // Pinning the staged version consumes the stage.
+        reg.publish("m", artifact(2, 3.0)).unwrap();
+        reg.pin("m", 3).unwrap();
+        assert!(reg.staged("m").unwrap().is_none());
+        assert!(matches!(
+            reg.promote("m"),
+            Err(ServeError::NothingStaged(_))
+        ));
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        let mut reg = ModelRegistry::new();
+        assert!(matches!(
+            reg.active("ghost"),
+            Err(ServeError::UnknownModel(_))
+        ));
+        assert!(matches!(
+            reg.promote("ghost"),
+            Err(ServeError::UnknownModel(_))
+        ));
+        reg.publish("m", artifact(4, 1.0)).unwrap();
+        assert!(matches!(
+            reg.get("m", 9),
+            Err(ServeError::UnknownVersion { version: 9, .. })
+        ));
+        assert!(matches!(
+            reg.promote("m"),
+            Err(ServeError::NothingStaged(_))
+        ));
+        assert!(matches!(
+            reg.publish("m", artifact(5, 1.0)),
+            Err(ServeError::DimensionMismatch {
+                expected: 4,
+                found: 5
+            })
+        ));
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let mut reg = ModelRegistry::new();
+        reg.publish("zeta", artifact(2, 1.0)).unwrap();
+        reg.publish("alpha", artifact(2, 1.0)).unwrap();
+        assert_eq!(reg.names(), vec!["alpha", "zeta"]);
+    }
+}

@@ -15,7 +15,7 @@ use std::process::ExitCode;
 use mllib_star::collectives::wire;
 use mllib_star::core::{System, TrainConfig};
 use mllib_star::data::{catalog, libsvm, SparseDataset};
-use mllib_star::glm::{accuracy, auc, GlmModel, LearningRate, Loss, Regularizer};
+use mllib_star::glm::{model_accuracy, model_auc, GlmModel, LearningRate, Loss, Regularizer};
 use mllib_star::sim::{ClusterSpec, NetworkSpec, NodeSpec};
 
 fn main() -> ExitCode {
@@ -178,8 +178,7 @@ fn cmd_train(opts: &Options) -> Result<(), String> {
         ..TrainConfig::default()
     };
     println!(
-        "training {} on {} examples × {} features over {executors} simulated executors…",
-        system.name(),
+        "training {system} on {} examples × {} features over {executors} simulated executors…",
         ds.len(),
         ds.num_features()
     );
@@ -196,8 +195,8 @@ fn cmd_train(opts: &Options) -> Result<(), String> {
     println!(
         "\nfinal objective {:.6} | accuracy {:.2}% | AUC {:.4} | {} updates in {} steps",
         out.trace.final_objective().unwrap_or(f64::NAN),
-        accuracy(out.model.weights(), ds.rows(), ds.labels()) * 100.0,
-        auc(out.model.weights(), ds.rows(), ds.labels()),
+        model_accuracy(&out.model, ds.rows(), ds.labels()) * 100.0,
+        model_auc(&out.model, ds.rows(), ds.labels()),
         out.total_updates,
         out.rounds_run
     );
@@ -225,12 +224,9 @@ fn cmd_predict(opts: &Options) -> Result<(), String> {
     let model = GlmModel::from_weights(weights);
     println!(
         "accuracy {:.2}%",
-        accuracy(model.weights(), ds.rows(), ds.labels()) * 100.0
+        model_accuracy(&model, ds.rows(), ds.labels()) * 100.0
     );
-    println!(
-        "AUC      {:.4}",
-        auc(model.weights(), ds.rows(), ds.labels())
-    );
+    println!("AUC      {:.4}", model_auc(&model, ds.rows(), ds.labels()));
     for (i, row) in ds.rows().iter().take(5).enumerate() {
         println!(
             "example {i}: margin {:+.4} → {:+.0}",

@@ -13,7 +13,10 @@
 //!   AllGather / AllReduce over the simulated cluster,
 //! * [`ps`] — the parameter-server substrate (BSP/SSP/ASP),
 //! * [`core`] — the six distributed training systems (MLlib, MLlib+MA,
-//!   MLlib\*, Petuum, Petuum\*, Angel), traces, grid search and runners.
+//!   MLlib\*, Petuum, Petuum\*, Angel), traces, grid search and runners,
+//! * [`serve`] — deterministic model serving: versioned artifacts, a
+//!   registry with staged rollout, micro-batched sharded scoring, and
+//!   latency telemetry.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory and the per-experiment index.
@@ -26,4 +29,5 @@ pub use mlstar_data as data;
 pub use mlstar_glm as glm;
 pub use mlstar_linalg as linalg;
 pub use mlstar_ps as ps;
+pub use mlstar_serve as serve;
 pub use mlstar_sim as sim;
