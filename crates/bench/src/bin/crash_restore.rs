@@ -1,0 +1,168 @@
+//! Crash-and-restore harness: proves every trainer's checkpoint/resume
+//! path is bit-exact.
+//!
+//! For each of the seven systems the harness runs training to completion
+//! with checkpointing on (the *reference* run), then simulates a crash by
+//! discarding all in-memory state, reads an **interior** checkpoint file
+//! back off disk, resumes it, and compares the resumed run against the
+//! reference field by field: convergence trace, per-round telemetry,
+//! Gantt spans, update counts, and the final model down to the last
+//! weight bit. Any mismatch is a hard failure (non-zero exit).
+//!
+//! BSP systems restore their full engine state and continue in place;
+//! parameter-server systems replay deterministically from clock zero and
+//! must pass through the anchor bit-exactly (see
+//! `mlstar_core::TrainCheckpoint`). Both paths must end indistinguishable
+//! from a run that never stopped.
+
+use std::process::ExitCode;
+
+use mlstar_bench::report::{self, Table};
+use mlstar_core::{
+    checkpoint_path, AngelConfig, PsSystemConfig, System, TrainCheckpoint, TrainConfig, TrainOutput,
+};
+use mlstar_data::SyntheticConfig;
+use mlstar_glm::LearningRate;
+use mlstar_sim::ClusterSpec;
+
+const MAX_ROUNDS: u64 = 8;
+const CHECKPOINT_EVERY: u64 = 2;
+/// The interior round the crash recovers from: mid-run, not the last file.
+const RESUME_ROUND: u64 = 4;
+
+fn usage(code: u8) -> ExitCode {
+    println!("crash_restore: checkpoint, crash, resume, and diff every trainer");
+    println!();
+    println!("USAGE:");
+    println!("    cargo run --release -p mlstar-bench --bin crash_restore -- [OPTIONS]");
+    println!();
+    println!("OPTIONS:");
+    println!("    --seed <n>     training seed (default 42)");
+    println!("    -h, --help     this message");
+    ExitCode::from(code)
+}
+
+fn main() -> ExitCode {
+    let mut seed = 42u64;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-h" | "--help" => return usage(0),
+            "--seed" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(s) => seed = s,
+                    None => {
+                        eprintln!("crash_restore: --seed needs an integer");
+                        return usage(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("crash_restore: unknown option {other:?}");
+                return usage(2);
+            }
+        }
+        i += 1;
+    }
+
+    report::banner("crash-and-restore: bit-exact resume across all systems");
+
+    let ds = SyntheticConfig::small("crash-restore", 320, 40).generate();
+    let cluster = ClusterSpec::cluster1();
+    let cfg = TrainConfig {
+        lr: LearningRate::Constant(0.05 / 8.0),
+        batch_frac: 0.2,
+        max_rounds: MAX_ROUNDS,
+        // Stragglers AND node failures, so the crash also has to restore
+        // the engine's failure/straggler RNG streams mid-sequence.
+        failure_prob: 0.1,
+        checkpoint_every: CHECKPOINT_EVERY,
+        seed,
+        ..TrainConfig::default()
+    };
+    let ps = PsSystemConfig::default();
+    let angel = AngelConfig::default();
+
+    let dir = std::env::temp_dir().join(format!("mlstar_crash_restore_{seed}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create checkpoint dir");
+
+    let mut table = Table::new(&[
+        "system", "mode", "rounds", "trace", "stats", "gantt", "model", "verdict",
+    ]);
+    let mut all_ok = true;
+
+    for system in System::ALL {
+        let reference = system
+            .train_checkpointed(&ds, &cluster, &cfg, &ps, &angel, &dir)
+            .expect("reference run");
+
+        // The crash: every live structure from the run above is dropped;
+        // only the checkpoint files survive.
+        let path = checkpoint_path(&dir, system, RESUME_ROUND);
+        let ckpt = TrainCheckpoint::read_file(&path).expect("read interior checkpoint");
+        let mode = if ckpt.is_ps_anchor() {
+            "replay"
+        } else {
+            "restore"
+        };
+        let resumed = system
+            .resume(&ds, &cluster, &cfg, &ps, &angel, &dir, ckpt)
+            .expect("resume");
+
+        let checks = diff(&reference, &resumed);
+        let ok = checks.iter().all(|&(_, same)| same);
+        all_ok &= ok;
+        table.row(&[
+            system.name().to_string(),
+            mode.to_string(),
+            format!("{}", resumed.rounds_run),
+            tick(checks[0].1),
+            tick(checks[1].1),
+            tick(checks[2].1),
+            tick(checks[3].1),
+            if ok { "bit-exact" } else { "DIVERGED" }.to_string(),
+        ]);
+    }
+    table.print();
+
+    std::fs::remove_dir_all(&dir).ok();
+    if all_ok {
+        println!("\nall systems resumed bit-identically to never having crashed");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\ncrash_restore: at least one system diverged after resume");
+        ExitCode::FAILURE
+    }
+}
+
+fn tick(ok: bool) -> String {
+    if ok { "ok" } else { "MISMATCH" }.to_string()
+}
+
+/// Field-by-field comparison of two runs; floats are compared by bit
+/// pattern, never by tolerance.
+fn diff(a: &TrainOutput, b: &TrainOutput) -> [(&'static str, bool); 4] {
+    let model_same = a.model.weights().as_slice().len() == b.model.weights().as_slice().len()
+        && a.model
+            .weights()
+            .as_slice()
+            .iter()
+            .zip(b.model.weights().as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits());
+    [
+        ("trace", a.trace == b.trace),
+        (
+            "stats",
+            a.round_stats == b.round_stats
+                && a.total_updates == b.total_updates
+                && a.rounds_run == b.rounds_run
+                && a.converged == b.converged
+                && a.host_threads == b.host_threads,
+        ),
+        ("gantt", a.gantt.spans() == b.gantt.spans()),
+        ("model", model_same),
+    ]
+}

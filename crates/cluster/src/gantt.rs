@@ -74,6 +74,22 @@ pub enum ActivityKind {
 }
 
 impl Activity {
+    /// Every activity, in a fixed order (for serialization and legends).
+    pub const ALL: [Activity; 12] = [
+        Activity::Compute,
+        Activity::SendGradient,
+        Activity::SendModel,
+        Activity::Broadcast,
+        Activity::TreeAggregate,
+        Activity::DriverUpdate,
+        Activity::ReduceScatter,
+        Activity::AllGather,
+        Activity::PsPush,
+        Activity::PsPull,
+        Activity::ServerUpdate,
+        Activity::Wait,
+    ];
+
     /// The coarse phase this activity is charged to.
     pub fn kind(self) -> ActivityKind {
         match self {
@@ -108,6 +124,13 @@ impl Activity {
             Activity::ServerUpdate => 'S',
             Activity::Wait => '.',
         }
+    }
+
+    /// The inverse of [`Activity::code`]: `None` for characters that are
+    /// not an activity code. Round-tripping through `code` lets durable
+    /// formats (checkpoints) store a span's activity in one byte.
+    pub fn from_code(code: char) -> Option<Activity> {
+        Activity::ALL.into_iter().find(|a| a.code() == code)
     }
 
     /// Short name for the CSV export / legend.
@@ -155,6 +178,20 @@ impl GanttRecorder {
     /// An empty recorder.
     pub fn new() -> Self {
         GanttRecorder::default()
+    }
+
+    /// Rebuilds a recorder from previously recorded spans (checkpoint
+    /// restore). Recording order is preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any span ends before it starts — such a span can only
+    /// come from a corrupted source, never from [`GanttRecorder::record`].
+    pub fn from_spans(spans: Vec<Span>) -> Self {
+        for s in &spans {
+            assert!(s.end >= s.start, "span ends before it starts");
+        }
+        GanttRecorder { spans }
     }
 
     /// Records a span. Zero-length spans are kept (they mark instantaneous
@@ -356,28 +393,39 @@ mod tests {
     }
 
     #[test]
-    fn activity_codes_are_unique() {
-        let all = [
-            Activity::Compute,
-            Activity::SendGradient,
-            Activity::SendModel,
-            Activity::Broadcast,
-            Activity::TreeAggregate,
-            Activity::DriverUpdate,
-            Activity::ReduceScatter,
-            Activity::AllGather,
-            Activity::PsPush,
-            Activity::PsPull,
-            Activity::ServerUpdate,
-            Activity::Wait,
-        ];
-        let mut codes: Vec<char> = all.iter().map(|a| a.code()).collect();
+    fn activity_codes_are_unique_and_roundtrip() {
+        let mut codes: Vec<char> = Activity::ALL.iter().map(|a| a.code()).collect();
         codes.sort_unstable();
         codes.dedup();
-        assert_eq!(codes.len(), all.len());
-        for a in all {
+        assert_eq!(codes.len(), Activity::ALL.len());
+        for a in Activity::ALL {
             assert!(!a.name().is_empty());
+            assert_eq!(Activity::from_code(a.code()), Some(a));
         }
+        assert_eq!(Activity::from_code('Z'), None);
+    }
+
+    #[test]
+    fn from_spans_restores_recording_order() {
+        let mut g = GanttRecorder::new();
+        g.record(NodeId::Driver, Activity::Broadcast, t(0.0), t(1.0), 0);
+        g.record(NodeId::Executor(3), Activity::Compute, t(1.0), t(2.0), 1);
+        let restored = GanttRecorder::from_spans(g.spans().to_vec());
+        assert_eq!(restored.spans(), g.spans());
+        assert_eq!(restored.makespan(), g.makespan());
+    }
+
+    #[test]
+    #[should_panic(expected = "ends before")]
+    fn from_spans_rejects_backwards_span() {
+        let span = Span {
+            node: NodeId::Driver,
+            activity: Activity::Compute,
+            start: t(2.0),
+            end: t(1.0),
+            round: 0,
+        };
+        let _ = GanttRecorder::from_spans(vec![span]);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use mlstar_linalg::DenseVector;
 use mlstar_ps::{Aggregation, Consistency, PsConfig, PsEngine, WorkerLogic, WorkerStep};
 use mlstar_sim::{dense_op_flops, pass_flops, ClusterSpec, CostModel, SeedStream, SimDuration};
 
+use crate::checkpoint::{CheckpointError, PsCkptHook, PsCkptRun};
 use crate::common::partition_active_coords;
 use crate::engine::{assemble_output, ps_round_stats, ClockTracer};
 use crate::{AngelConfig, TrainConfig, TrainOutput};
@@ -122,7 +123,25 @@ pub fn train_angel(
     cfg: &TrainConfig,
     angel: &AngelConfig,
 ) -> TrainOutput {
+    match train_angel_ckpt(ds, cluster, cfg, angel, None) {
+        Ok(out) => out,
+        // Without a checkpoint run there is no I/O and no anchor to miss.
+        Err(e) => panic!("checkpoint-free run cannot fail: {e}"),
+    }
+}
+
+/// [`train_angel`] with optional anchor checkpointing and replay
+/// verification (see [`PsCkptHook`](crate::checkpoint::PsCkptHook)).
+pub(crate) fn train_angel_ckpt(
+    ds: &SparseDataset,
+    cluster: &ClusterSpec,
+    cfg: &TrainConfig,
+    angel: &AngelConfig,
+    ckpt: Option<PsCkptRun<'_>>,
+) -> Result<TrainOutput, CheckpointError> {
     assert!(!ds.is_empty(), "cannot train on an empty dataset");
+    let validation = cfg.validate();
+    assert!(validation.is_ok(), "invalid TrainConfig: {validation:?}");
     let k = cluster.num_executors();
     let dim = ds.num_features();
     let seeds = SeedStream::new(cfg.seed);
@@ -176,11 +195,13 @@ pub fn train_angel(
     );
 
     let mut tracer = ClockTracer::new(ds, cfg, "Angel", Rc::clone(&updates));
+    let mut hook = PsCkptHook::new(ds, cfg, ckpt);
     let (final_model, stats) = engine.run(DenseVector::zeros(dim), &mut logic, |clock, time, m| {
-        tracer.on_clock(clock, time, m)
+        hook.on_clock(&mut tracer, clock, time, m, updates.get())
     });
+    hook.finish()?;
 
-    assemble_output(
+    Ok(assemble_output(
         tracer.trace,
         engine.gantt().clone(),
         final_model,
@@ -188,7 +209,8 @@ pub fn train_angel(
         stats.clock_times.len() as u64,
         tracer.converged,
         ps_round_stats(&stats, k),
-    )
+        1,
+    ))
 }
 
 #[cfg(test)]

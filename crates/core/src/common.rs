@@ -18,6 +18,12 @@ pub(crate) struct BspHarness {
     pub parts: Vec<Vec<usize>>,
     /// Total stored nonzeros per partition (drives compute cost).
     pub part_nnz: Vec<usize>,
+    /// Host threads for local passes, read from `MLSTAR_HOST_THREADS`
+    /// exactly once when the harness is built. Re-reading the environment
+    /// every round would let a mid-run change of the variable silently
+    /// alter the execution plan; capturing it here pins the whole run to
+    /// one setting and lets provenance record it.
+    pub host_threads: usize,
 }
 
 impl BspHarness {
@@ -59,6 +65,7 @@ impl BspHarness {
             exec_nodes,
             parts,
             part_nnz,
+            host_threads: crate::local_pass::host_threads(),
         }
     }
 

@@ -57,6 +57,13 @@ pub struct TrainConfig {
     /// [`mlstar_data::Partitioner::SkewedShuffled`]: worker 0 owns this
     /// fraction of the data. `None` = balanced shuffle (the default).
     pub partition_skew: Option<f64>,
+    /// Write a training checkpoint every this many communication steps
+    /// (BSP rounds / PS global clocks) when a checkpoint directory is
+    /// supplied (see [`crate::System::train_checkpointed`]). `0` (the
+    /// default) disables checkpointing. Deliberately excluded from the
+    /// checkpoint's config digest: changing the cadence must not
+    /// invalidate an existing checkpoint.
+    pub checkpoint_every: u64,
     /// Experiment seed (drives partitioning, batch sampling, stragglers).
     pub seed: u64,
 }
@@ -76,6 +83,7 @@ impl Default for TrainConfig {
             waves: 1,
             ma_weighting: MaWeighting::Uniform,
             partition_skew: None,
+            checkpoint_every: 0,
             seed: 42,
         }
     }
@@ -93,6 +101,37 @@ impl TrainConfig {
     /// (at least 1).
     pub fn batch_size(&self, pool_len: usize) -> usize {
         ((pool_len as f64 * self.batch_frac).round() as usize).clamp(1, pool_len.max(1))
+    }
+
+    /// Checks the configuration for parameter values that would make a
+    /// run silently train something other than what was asked for.
+    /// Trainer entry points assert this, so a bad sweep fails loudly at
+    /// configuration time rather than producing a plausible-looking but
+    /// wrong convergence curve.
+    pub fn validate(&self) -> Result<(), String> {
+        self.lr.validate()?;
+        if !self.batch_frac.is_finite() || self.batch_frac <= 0.0 {
+            return Err(format!(
+                "batch_frac must be finite and > 0, got {}",
+                self.batch_frac
+            ));
+        }
+        if self.eval_every == 0 {
+            return Err("eval_every must be ≥ 1".to_string());
+        }
+        if self.tree_fanin < 2 {
+            return Err(format!("tree_fanin must be ≥ 2, got {}", self.tree_fanin));
+        }
+        if self.waves == 0 {
+            return Err("waves must be ≥ 1".to_string());
+        }
+        if !self.failure_prob.is_finite() || !(0.0..=1.0).contains(&self.failure_prob) {
+            return Err(format!(
+                "failure_prob must be in [0, 1], got {}",
+                self.failure_prob
+            ));
+        }
+        Ok(())
     }
 
     /// True if training should stop at this objective value (target
@@ -184,6 +223,11 @@ pub struct TrainProvenance {
     /// Final objective value of the convergence trace, if any point was
     /// recorded.
     pub final_objective: Option<f64>,
+    /// Host threads used for local compute during the run (the
+    /// `MLSTAR_HOST_THREADS` setting, captured once at training start).
+    /// Affects wall-clock only, never results — recorded so an artifact
+    /// documents the environment it was produced in.
+    pub host_threads: usize,
 }
 
 /// The output of one distributed training run.
@@ -205,6 +249,10 @@ pub struct TrainOutput {
     /// pattern, and a per-phase simulated-time breakdown whose phases sum
     /// to each round's elapsed time. One entry per executed round.
     pub round_stats: Vec<RoundStats>,
+    /// Host threads used for local compute (read once from
+    /// `MLSTAR_HOST_THREADS` at training start, 1 for systems that never
+    /// parallelize local passes).
+    pub host_threads: usize,
 }
 
 impl TrainOutput {
@@ -219,6 +267,7 @@ impl TrainOutput {
             total_updates: self.total_updates,
             converged: self.converged,
             final_objective: self.trace.final_objective(),
+            host_threads: self.host_threads,
         }
     }
 }
@@ -285,5 +334,35 @@ mod tests {
         assert_eq!(cfg.failure_prob, 0.0);
         assert!(PsSystemConfig::default().num_servers >= 1);
         assert!(AngelConfig::default().alloc_bandwidth_bps > 0.0);
+        assert_eq!(cfg.checkpoint_every, 0, "checkpointing is opt-in");
+        assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let zero_period = TrainConfig {
+            lr: LearningRate::Exponential {
+                eta0: 0.1,
+                factor: 0.5,
+                period: 0,
+            },
+            ..TrainConfig::default()
+        };
+        assert!(zero_period.validate().unwrap_err().contains("period"));
+        let bad_frac = TrainConfig {
+            batch_frac: 0.0,
+            ..TrainConfig::default()
+        };
+        assert!(bad_frac.validate().is_err());
+        let bad_eval = TrainConfig {
+            eval_every: 0,
+            ..TrainConfig::default()
+        };
+        assert!(bad_eval.validate().is_err());
+        let bad_fail = TrainConfig {
+            failure_prob: 1.5,
+            ..TrainConfig::default()
+        };
+        assert!(bad_fail.validate().is_err());
     }
 }

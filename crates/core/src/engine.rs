@@ -20,7 +20,8 @@
 //! breakdown (compute / communication / straggler-idle / failure-recovery)
 //! that sums to the round's elapsed simulated time.
 
-use mlstar_data::SparseDataset;
+use mlstar_codec::{CodecError, Reader, Writer};
+use mlstar_data::{DatasetFingerprint, SparseDataset};
 use mlstar_glm::GlmModel;
 use mlstar_linalg::DenseVector;
 use mlstar_ps::PsRunStats;
@@ -29,9 +30,14 @@ use mlstar_sim::{
 };
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
+use crate::checkpoint::{
+    checkpoint_path, config_digest, BspState, CheckpointError, CheckpointState, EngineState,
+    TrainCheckpoint,
+};
 use crate::common::{eval_objective, maybe_inject_failure, workload_label, BspHarness};
-use crate::{ConvergenceTrace, TracePoint, TrainConfig, TrainOutput};
+use crate::{ConvergenceTrace, System, TracePoint, TrainConfig, TrainOutput};
 
 /// Bytes moved in one communication step, split by pattern.
 ///
@@ -263,6 +269,39 @@ impl StepCtx {
         self.bytes = CommBytes::default();
         self.flops = 0.0;
     }
+
+    /// Snapshots the engine state at a round boundary. Valid only there:
+    /// the per-step accumulators are drained by `take_step_stats` at every
+    /// boundary, so they are (and must be) empty and are not captured.
+    fn export(&self) -> EngineState {
+        EngineState {
+            now_nanos: self.now.as_nanos(),
+            round_counter: self.round_counter,
+            straggler_rng: self.straggler_rng.export_state(),
+            failure_rng: self.failure_rng.export_state(),
+            spans: self.gantt.spans().to_vec(),
+        }
+    }
+
+    /// Rebuilds a context from an exported round-boundary snapshot. Both
+    /// RNG streams resume mid-stride, so every subsequent straggler and
+    /// failure draw replays exactly.
+    fn restore(state: &EngineState) -> Result<StepCtx, CodecError> {
+        let straggler_rng = StdRng::restore_state(&state.straggler_rng)
+            .ok_or_else(|| CodecError::Corrupt("invalid straggler RNG state".into()))?;
+        let failure_rng = StdRng::restore_state(&state.failure_rng)
+            .ok_or_else(|| CodecError::Corrupt("invalid failure RNG state".into()))?;
+        Ok(StepCtx {
+            gantt: GanttRecorder::from_spans(state.spans.clone()),
+            now: SimTime::from_nanos(state.now_nanos),
+            round_counter: state.round_counter,
+            straggler_rng,
+            failure_rng,
+            phases: PhaseTotals::default(),
+            bytes: CommBytes::default(),
+            flops: 0.0,
+        })
+    }
 }
 
 /// One trainer, expressed as the engine's per-round hook.
@@ -297,6 +336,34 @@ pub(crate) trait RoundStrategy {
         cfg: &TrainConfig,
         round: u64,
     ) -> Option<u64>;
+
+    /// Serializes everything the strategy needs to resume bit-exactly at
+    /// a round boundary: model weights, per-worker RNG streams mid-stride,
+    /// update counters, optimizer history. Scratch buffers that every
+    /// step fully overwrites before reading are deliberately excluded.
+    fn save_state(&self, w: &mut Writer);
+
+    /// Restores state written by [`RoundStrategy::save_state`] into a
+    /// freshly constructed strategy for the same dataset, cluster, and
+    /// config. Dimension or worker-count disagreements mean the payload
+    /// does not belong to this run and surface as
+    /// [`CodecError::Corrupt`].
+    fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), CodecError>;
+
+    /// Host threads the strategy uses for local passes (recorded in
+    /// provenance; affects wall-clock only, never results).
+    fn host_threads(&self) -> usize {
+        1
+    }
+}
+
+/// Checkpointing instructions for one [`run_rounds_ckpt`] call: where to
+/// write (cadence comes from [`TrainConfig::checkpoint_every`]), which
+/// system name to stamp, and optionally a decoded state to resume from.
+pub(crate) struct CheckpointRun<'a> {
+    pub dir: &'a Path,
+    pub system: System,
+    pub resume: Option<BspState>,
 }
 
 /// The single BSP driver: owns seeding, the trace cadence, stop handling
@@ -304,25 +371,84 @@ pub(crate) trait RoundStrategy {
 pub(crate) fn run_rounds<S: RoundStrategy>(
     ds: &SparseDataset,
     cfg: &TrainConfig,
-    mut strategy: S,
+    strategy: S,
 ) -> TrainOutput {
-    let mut ctx = StepCtx::new(cfg.seed);
-    let mut trace = ConvergenceTrace::new(strategy.name(), workload_label(ds, cfg.reg));
-    trace.push(TracePoint {
-        step: 0,
-        time: SimTime::ZERO,
-        objective: strategy.objective(ds, cfg),
-        total_updates: 0,
-    });
-    strategy.init(&mut ctx, ds, cfg);
-    ctx.discard_step_accumulators();
+    match run_rounds_ckpt(ds, cfg, strategy, None) {
+        Ok(out) => out,
+        // Without a checkpoint directory there is no I/O and no decoding,
+        // so no error path is reachable.
+        Err(e) => panic!("checkpoint-free run cannot fail: {e}"),
+    }
+}
 
+/// [`run_rounds`] with optional checkpointing: when `ckpt` is supplied,
+/// a [`TrainCheckpoint`] is written every
+/// [`TrainConfig::checkpoint_every`] rounds (unless the run stops at
+/// that round), and an embedded `resume` state re-enters the loop at its
+/// saved round with every RNG stream mid-stride — producing bit-identical
+/// traces, [`RoundStats`], and final models versus never stopping.
+pub(crate) fn run_rounds_ckpt<S: RoundStrategy>(
+    ds: &SparseDataset,
+    cfg: &TrainConfig,
+    mut strategy: S,
+    ckpt: Option<CheckpointRun<'_>>,
+) -> Result<TrainOutput, CheckpointError> {
+    let validation = cfg.validate();
+    assert!(validation.is_ok(), "invalid TrainConfig: {validation:?}");
+    let host_threads = strategy.host_threads();
+
+    let (meta, resume) = match ckpt {
+        Some(CheckpointRun {
+            dir,
+            system,
+            resume,
+        }) => {
+            let meta = (cfg.checkpoint_every > 0)
+                .then(|| (dir, system, DatasetFingerprint::of(ds), config_digest(cfg)));
+            (meta, resume)
+        }
+        None => (None, None),
+    };
+
+    let mut trace = ConvergenceTrace::new(strategy.name(), workload_label(ds, cfg.reg));
     let mut total_updates = 0u64;
     let mut rounds_run = 0u64;
     let mut converged = false;
     let mut round_stats = Vec::new();
+    let mut ctx;
+    let first_round = match resume {
+        Some(state) => {
+            ctx = StepCtx::restore(&state.engine)?;
+            let mut r = Reader::new(&state.strategy);
+            strategy.restore_state(&mut r)?;
+            r.finish()?;
+            // The saved trace already contains the step-0 point, and
+            // `init` already ran (its time lives in the restored clock
+            // and spans) — re-running either would double-count.
+            for p in &state.trace_points {
+                trace.push(*p);
+            }
+            total_updates = state.total_updates;
+            rounds_run = state.rounds_done;
+            round_stats = state.round_stats;
+            state.rounds_done
+        }
+        None => {
+            ctx = StepCtx::new(cfg.seed);
+            trace.push(TracePoint {
+                step: 0,
+                time: SimTime::ZERO,
+                objective: strategy.objective(ds, cfg),
+                total_updates: 0,
+            });
+            strategy.init(&mut ctx, ds, cfg);
+            ctx.discard_step_accumulators();
+            0
+        }
+    };
+
     let eval_every = cfg.eval_every.max(1);
-    for round in 0..cfg.max_rounds {
+    for round in first_round..cfg.max_rounds {
         let start = ctx.now;
         let Some(updates) = strategy.step(&mut ctx, ds, cfg, round) else {
             break;
@@ -331,6 +457,7 @@ pub(crate) fn run_rounds<S: RoundStrategy>(
         rounds_run = round + 1;
         round_stats.push(ctx.take_step_stats(round, start, updates));
 
+        let mut stopped = false;
         if rounds_run.is_multiple_of(eval_every) || rounds_run == cfg.max_rounds {
             let f = strategy.objective(ds, cfg);
             trace.push(TracePoint {
@@ -341,12 +468,36 @@ pub(crate) fn run_rounds<S: RoundStrategy>(
             });
             if cfg.should_stop(f) {
                 converged = cfg.target_objective.is_some_and(|t| f <= t);
-                break;
+                stopped = true;
+            }
+        }
+        if stopped {
+            break;
+        }
+
+        if let Some((dir, system, fingerprint, digest)) = &meta {
+            if rounds_run.is_multiple_of(cfg.checkpoint_every) {
+                let mut w = Writer::new();
+                strategy.save_state(&mut w);
+                let ck = TrainCheckpoint {
+                    system: system.name().to_string(),
+                    config_digest: *digest,
+                    fingerprint: *fingerprint,
+                    state: CheckpointState::Bsp(BspState {
+                        rounds_done: rounds_run,
+                        total_updates,
+                        trace_points: trace.points.clone(),
+                        round_stats: round_stats.clone(),
+                        engine: ctx.export(),
+                        strategy: w.into_payload(),
+                    }),
+                };
+                ck.write_file(&checkpoint_path(dir, *system, rounds_run))?;
             }
         }
     }
 
-    assemble_output(
+    Ok(assemble_output(
         trace,
         ctx.gantt,
         strategy.into_weights(),
@@ -354,11 +505,13 @@ pub(crate) fn run_rounds<S: RoundStrategy>(
         rounds_run,
         converged,
         round_stats,
-    )
+        host_threads,
+    ))
 }
 
 /// The one place a [`TrainOutput`] is built — BSP and PS paths both end
 /// here.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn assemble_output(
     trace: ConvergenceTrace,
     gantt: GanttRecorder,
@@ -367,6 +520,7 @@ pub(crate) fn assemble_output(
     rounds_run: u64,
     converged: bool,
     round_stats: Vec<RoundStats>,
+    host_threads: usize,
 ) -> TrainOutput {
     TrainOutput {
         trace,
@@ -376,6 +530,7 @@ pub(crate) fn assemble_output(
         rounds_run,
         converged,
         round_stats,
+        host_threads,
     }
 }
 

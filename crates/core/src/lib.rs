@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod angel;
+mod checkpoint;
 mod common;
 mod comparison;
 mod config;
@@ -56,6 +57,9 @@ mod system;
 mod trace;
 
 pub use angel::train_angel;
+pub use checkpoint::{
+    checkpoint_path, CheckpointError, TrainCheckpoint, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+};
 pub use comparison::{Comparison, ComparisonReport, ComparisonRow};
 pub use config::{
     AngelConfig, MaWeighting, PsSystemConfig, TrainConfig, TrainOutput, TrainProvenance,

@@ -14,18 +14,20 @@
 //! One update per step is bottleneck **B1**; the driver-serialized
 //! broadcast/aggregate is bottleneck **B2**.
 
+use mlstar_codec::{CodecError, Reader, Writer};
 use mlstar_data::{BatchSampler, SparseDataset};
 use mlstar_glm::batch_gradient_into;
 use mlstar_linalg::DenseVector;
 use mlstar_sim::{dense_op_flops, pass_flops, Activity, ClusterSpec, NodeId, SeedStream};
 
+use crate::checkpoint::{put_vector, read_rng_state, read_vector};
 use crate::common::BspHarness;
 use crate::engine::{run_rounds, RoundStrategy, StepCtx};
 use crate::{TrainConfig, TrainOutput};
 
 /// The MLlib round: broadcast, batch gradients, treeAggregate, one
 /// driver-side update.
-struct MllibStrategy {
+pub(crate) struct MllibStrategy {
     h: BspHarness,
     samplers: Vec<BatchSampler>,
     w: DenseVector,
@@ -34,7 +36,7 @@ struct MllibStrategy {
 }
 
 impl MllibStrategy {
-    fn new(ds: &SparseDataset, cluster: &ClusterSpec, cfg: &TrainConfig) -> Self {
+    pub(crate) fn new(ds: &SparseDataset, cluster: &ClusterSpec, cfg: &TrainConfig) -> Self {
         let h = BspHarness::new(ds, cluster, cfg.seed);
         let k = h.k();
         let dim = ds.num_features();
@@ -120,6 +122,34 @@ impl RoundStrategy for MllibStrategy {
             );
         });
         Some(1)
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        // The gradient buffers are scratch: every round clears or fully
+        // overwrites them before reading, so only the model and the
+        // per-worker sampler streams carry state across rounds.
+        put_vector(w, &self.w);
+        w.put_u64(self.samplers.len() as u64);
+        for sampler in &self.samplers {
+            w.put_bytes(&sampler.export_state());
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), CodecError> {
+        self.w = read_vector(r, self.w.dim())?;
+        let k = r.u64()? as usize;
+        if k != self.samplers.len() {
+            return Err(CodecError::Corrupt(format!(
+                "checkpoint has {k} workers, run has {}",
+                self.samplers.len()
+            )));
+        }
+        for sampler in &mut self.samplers {
+            let state = read_rng_state(r)?;
+            *sampler = BatchSampler::restore_state(&state)
+                .ok_or_else(|| CodecError::Corrupt("invalid batch sampler state".into()))?;
+        }
+        Ok(())
     }
 }
 

@@ -13,18 +13,20 @@
 //! Many updates per step → far fewer steps to converge than MLlib; but the
 //! communication pattern still serializes at the driver.
 
+use mlstar_codec::{CodecError, Reader, Writer};
 use mlstar_data::{EpochOrder, SparseDataset};
 use mlstar_linalg::DenseVector;
 use mlstar_sim::{dense_op_flops, pass_flops, Activity, ClusterSpec, NodeId, SeedStream};
 
+use crate::checkpoint::{put_vector, read_rng_state, read_vector};
 use crate::common::BspHarness;
 use crate::engine::{run_rounds, RoundStrategy, StepCtx};
-use crate::local_pass::{host_threads, local_sgd_passes};
+use crate::local_pass::local_sgd_passes;
 use crate::{MaWeighting, TrainConfig, TrainOutput};
 
 /// The MLlib+MA round: broadcast, local SGD pass, treeAggregate, driver
 /// average.
-struct MllibMaStrategy {
+pub(crate) struct MllibMaStrategy {
     h: BspHarness,
     orders: Vec<EpochOrder>,
     update_counters: Vec<u64>,
@@ -34,7 +36,7 @@ struct MllibMaStrategy {
 }
 
 impl MllibMaStrategy {
-    fn new(ds: &SparseDataset, cluster: &ClusterSpec, cfg: &TrainConfig) -> Self {
+    pub(crate) fn new(ds: &SparseDataset, cluster: &ClusterSpec, cfg: &TrainConfig) -> Self {
         let h = BspHarness::with_skew(ds, cluster, cfg.seed, cfg.partition_skew);
         let k = h.k();
         let dim = ds.num_features();
@@ -86,7 +88,9 @@ impl RoundStrategy for MllibMaStrategy {
 
             // (2) Local SGD pass on every executor (math possibly on
             // several host threads; simulated time recorded below,
-            // identically).
+            // identically). The thread count was captured once at harness
+            // build — re-reading the environment per round would let a
+            // mid-run change alter the execution plan.
             let updates = local_sgd_passes(
                 ds,
                 &h.parts,
@@ -97,7 +101,7 @@ impl RoundStrategy for MllibMaStrategy {
                 orders,
                 update_counters,
                 locals,
-                host_threads(),
+                h.host_threads,
             );
             for r in 0..k {
                 if h.parts[r].is_empty() {
@@ -137,6 +141,45 @@ impl RoundStrategy for MllibMaStrategy {
             updates
         });
         Some(updates)
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        // The local-model buffers are scratch: every pass seeds them from
+        // the broadcast model (empty partitions copy it verbatim), so only
+        // the global model, the per-worker epoch streams, and the lazy-reg
+        // update counters survive a round boundary.
+        put_vector(w, &self.w);
+        w.put_u64(self.orders.len() as u64);
+        for order in &self.orders {
+            w.put_bytes(&order.export_state());
+        }
+        for &count in &self.update_counters {
+            w.put_u64(count);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), CodecError> {
+        self.w = read_vector(r, self.w.dim())?;
+        let k = r.u64()? as usize;
+        if k != self.orders.len() {
+            return Err(CodecError::Corrupt(format!(
+                "checkpoint has {k} workers, run has {}",
+                self.orders.len()
+            )));
+        }
+        for order in &mut self.orders {
+            let state = read_rng_state(r)?;
+            *order = EpochOrder::restore_state(&state)
+                .ok_or_else(|| CodecError::Corrupt("invalid epoch order state".into()))?;
+        }
+        for count in &mut self.update_counters {
+            *count = r.u64()?;
+        }
+        Ok(())
+    }
+
+    fn host_threads(&self) -> usize {
+        self.h.host_threads
     }
 }
 

@@ -14,18 +14,20 @@
 //! No driver on the critical path; same `≈ 2km` traffic as the
 //! driver-centric pattern but without NIC serialization.
 
+use mlstar_codec::{CodecError, Reader, Writer};
 use mlstar_data::{EpochOrder, SparseDataset};
 use mlstar_linalg::DenseVector;
 use mlstar_sim::{pass_flops, Activity, ClusterSpec, NodeId, SeedStream};
 
+use crate::checkpoint::{put_vector, read_rng_state, read_vector};
 use crate::common::BspHarness;
 use crate::engine::{run_rounds, RoundStrategy, StepCtx};
-use crate::local_pass::{host_threads, local_sgd_passes};
+use crate::local_pass::local_sgd_passes;
 use crate::{MaWeighting, TrainConfig, TrainOutput};
 
 /// The MLlib\* round: local SGD pass, then AllReduce (Reduce-Scatter +
 /// AllGather) with no driver on the critical path.
-struct MllibStarStrategy {
+pub(crate) struct MllibStarStrategy {
     h: BspHarness,
     orders: Vec<EpochOrder>,
     update_counters: Vec<u64>,
@@ -37,7 +39,7 @@ struct MllibStarStrategy {
 }
 
 impl MllibStarStrategy {
-    fn new(ds: &SparseDataset, cluster: &ClusterSpec, cfg: &TrainConfig) -> Self {
+    pub(crate) fn new(ds: &SparseDataset, cluster: &ClusterSpec, cfg: &TrainConfig) -> Self {
         let h = BspHarness::with_skew(ds, cluster, cfg.seed, cfg.partition_skew);
         let k = h.k();
         let dim = ds.num_features();
@@ -86,6 +88,8 @@ impl RoundStrategy for MllibStarStrategy {
         let updates = ctx.round(&h.exec_nodes, |rd| {
             // (1) Local SGD pass (UpdateModel) — math possibly on several
             // host threads; simulated time recorded below, identically.
+            // The thread count was captured once at harness build — see
+            // `BspHarness::host_threads`.
             let updates = local_sgd_passes(
                 ds,
                 &h.parts,
@@ -96,7 +100,7 @@ impl RoundStrategy for MllibStarStrategy {
                 orders,
                 update_counters,
                 locals,
-                host_threads(),
+                h.host_threads,
             );
             for r in 0..k {
                 if h.parts[r].is_empty() {
@@ -130,6 +134,44 @@ impl RoundStrategy for MllibStarStrategy {
             updates
         });
         Some(updates)
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        // Same reasoning as MLlib+MA: the local-model buffers are
+        // re-seeded from the global model every pass, so only the model,
+        // epoch streams, and lazy-reg counters carry across rounds.
+        put_vector(w, &self.w);
+        w.put_u64(self.orders.len() as u64);
+        for order in &self.orders {
+            w.put_bytes(&order.export_state());
+        }
+        for &count in &self.update_counters {
+            w.put_u64(count);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), CodecError> {
+        self.w = read_vector(r, self.w.dim())?;
+        let k = r.u64()? as usize;
+        if k != self.orders.len() {
+            return Err(CodecError::Corrupt(format!(
+                "checkpoint has {k} workers, run has {}",
+                self.orders.len()
+            )));
+        }
+        for order in &mut self.orders {
+            let state = read_rng_state(r)?;
+            *order = EpochOrder::restore_state(&state)
+                .ok_or_else(|| CodecError::Corrupt("invalid epoch order state".into()))?;
+        }
+        for count in &mut self.update_counters {
+            *count = r.u64()?;
+        }
+        Ok(())
+    }
+
+    fn host_threads(&self) -> usize {
+        self.h.host_threads
     }
 }
 

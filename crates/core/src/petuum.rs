@@ -24,6 +24,7 @@ use mlstar_linalg::{DenseVector, ScaledVector};
 use mlstar_ps::{Aggregation, Consistency, PsConfig, PsEngine, WorkerLogic, WorkerStep};
 use mlstar_sim::{dense_op_flops, pass_flops, ClusterSpec, CostModel, SeedStream, SimDuration};
 
+use crate::checkpoint::{CheckpointError, PsCkptHook, PsCkptRun};
 use crate::common::partition_active_coords;
 use crate::engine::{assemble_output, ps_round_stats, ClockTracer};
 use crate::{PsSystemConfig, TrainConfig, TrainOutput};
@@ -149,7 +150,11 @@ pub fn train_petuum(
     cfg: &TrainConfig,
     ps: &PsSystemConfig,
 ) -> TrainOutput {
-    train_petuum_inner(ds, cluster, cfg, ps, Aggregation::Sum, "Petuum")
+    match train_petuum_ckpt(ds, cluster, cfg, ps, false, None) {
+        Ok(out) => out,
+        // Without a checkpoint run there is no I/O and no anchor to miss.
+        Err(e) => panic!("checkpoint-free run cannot fail: {e}"),
+    }
 }
 
 /// Trains with Petuum\* (the paper's model-**averaging** variant).
@@ -159,15 +164,31 @@ pub fn train_petuum_star(
     cfg: &TrainConfig,
     ps: &PsSystemConfig,
 ) -> TrainOutput {
+    match train_petuum_ckpt(ds, cluster, cfg, ps, true, None) {
+        Ok(out) => out,
+        // Without a checkpoint run there is no I/O and no anchor to miss.
+        Err(e) => panic!("checkpoint-free run cannot fail: {e}"),
+    }
+}
+
+/// [`train_petuum`] / [`train_petuum_star`] with optional anchor
+/// checkpointing and replay verification (see
+/// [`PsCkptHook`](crate::checkpoint::PsCkptHook)).
+pub(crate) fn train_petuum_ckpt(
+    ds: &SparseDataset,
+    cluster: &ClusterSpec,
+    cfg: &TrainConfig,
+    ps: &PsSystemConfig,
+    star: bool,
+    ckpt: Option<PsCkptRun<'_>>,
+) -> Result<TrainOutput, CheckpointError> {
     let k = cluster.num_executors();
-    train_petuum_inner(
-        ds,
-        cluster,
-        cfg,
-        ps,
-        Aggregation::Average { num_workers: k },
-        "Petuum*",
-    )
+    let (aggregation, name) = if star {
+        (Aggregation::Average { num_workers: k }, "Petuum*")
+    } else {
+        (Aggregation::Sum, "Petuum")
+    };
+    train_petuum_inner(ds, cluster, cfg, ps, aggregation, name, ckpt)
 }
 
 fn train_petuum_inner(
@@ -177,8 +198,11 @@ fn train_petuum_inner(
     ps: &PsSystemConfig,
     aggregation: Aggregation,
     name: &str,
-) -> TrainOutput {
+    ckpt: Option<PsCkptRun<'_>>,
+) -> Result<TrainOutput, CheckpointError> {
     assert!(!ds.is_empty(), "cannot train on an empty dataset");
+    let validation = cfg.validate();
+    assert!(validation.is_ok(), "invalid TrainConfig: {validation:?}");
     let k = cluster.num_executors();
     let dim = ds.num_features();
     let seeds = SeedStream::new(cfg.seed);
@@ -222,11 +246,13 @@ fn train_petuum_inner(
     );
 
     let mut tracer = ClockTracer::new(ds, cfg, name, Rc::clone(&updates));
+    let mut hook = PsCkptHook::new(ds, cfg, ckpt);
     let (final_model, stats) = engine.run(DenseVector::zeros(dim), &mut logic, |clock, time, m| {
-        tracer.on_clock(clock, time, m)
+        hook.on_clock(&mut tracer, clock, time, m, updates.get())
     });
+    hook.finish()?;
 
-    assemble_output(
+    Ok(assemble_output(
         tracer.trace,
         engine.gantt().clone(),
         final_model,
@@ -234,7 +260,8 @@ fn train_petuum_inner(
         stats.clock_times.len() as u64,
         tracer.converged,
         ps_round_stats(&stats, k),
-    )
+        1,
+    ))
 }
 
 #[cfg(test)]

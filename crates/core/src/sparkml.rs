@@ -18,12 +18,14 @@
 //!   L-BFGS iterations are expensive in Spark;
 //! * convergence typically needs far fewer outer iterations than MGD.
 
+use mlstar_codec::{CodecError, Reader, Writer};
 use mlstar_data::SparseDataset;
 use mlstar_glm::{batch_gradient_into, lbfgs_direction, objective_value_subset};
 use mlstar_linalg::DenseVector;
 use mlstar_sim::{dense_op_flops, pass_flops, Activity, ClusterSpec, NodeId};
 use serde::{Deserialize, Serialize};
 
+use crate::checkpoint::{put_vector, read_vector};
 use crate::common::{eval_objective, BspHarness};
 use crate::engine::{run_rounds, RoundStrategy, StepCtx};
 use crate::{TrainConfig, TrainOutput};
@@ -57,7 +59,7 @@ impl Default for SparkMlConfig {
 /// backtracking line search (one superstep per trial), and a full
 /// distributed gradient — each opening its own superstep against the
 /// engine's shared round counter.
-struct SparkMlStrategy {
+pub(crate) struct SparkMlStrategy {
     h: BspHarness,
     ml: SparkMlConfig,
     w: DenseVector,
@@ -69,7 +71,7 @@ struct SparkMlStrategy {
 }
 
 impl SparkMlStrategy {
-    fn new(
+    pub(crate) fn new(
         ds: &SparseDataset,
         cluster: &ClusterSpec,
         cfg: &TrainConfig,
@@ -270,6 +272,41 @@ impl RoundStrategy for SparkMlStrategy {
         self.grad = grad_new;
         self.f = f_new;
         Some(1)
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        // L-BFGS holds no RNG of its own (stragglers live in the engine
+        // streams); its resumable state is the model, the warm gradient,
+        // the `(s, y)` correction history, and the cached objective.
+        put_vector(w, &self.w);
+        put_vector(w, &self.grad);
+        w.put_u64(self.pairs.len() as u64);
+        for (s, y) in &self.pairs {
+            put_vector(w, s);
+            put_vector(w, y);
+        }
+        w.put_f64(self.f);
+    }
+
+    fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), CodecError> {
+        let dim = self.w.dim();
+        self.w = read_vector(r, dim)?;
+        self.grad = read_vector(r, dim)?;
+        let n_pairs = r.u64()? as usize;
+        if n_pairs > self.ml.history {
+            return Err(CodecError::Corrupt(format!(
+                "checkpoint holds {n_pairs} correction pairs, history is {}",
+                self.ml.history
+            )));
+        }
+        self.pairs.clear();
+        for _ in 0..n_pairs {
+            let s = read_vector(r, dim)?;
+            let y = read_vector(r, dim)?;
+            self.pairs.push((s, y));
+        }
+        self.f = r.f64()?;
+        Ok(())
     }
 }
 

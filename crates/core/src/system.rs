@@ -1,12 +1,24 @@
 //! Unified dispatch over the six systems.
 
-use mlstar_data::SparseDataset;
+use std::path::Path;
+
+use mlstar_codec::CodecError;
+use mlstar_data::{DatasetFingerprint, SparseDataset};
 use mlstar_sim::ClusterSpec;
 use serde::{Deserialize, Serialize};
 
+use crate::angel::train_angel_ckpt;
+use crate::checkpoint::{config_digest, CheckpointState, PsCkptRun, TrainCheckpoint};
+use crate::engine::{run_rounds_ckpt, CheckpointRun};
+use crate::mllib::MllibStrategy;
+use crate::mllib_ma::MllibMaStrategy;
+use crate::mllib_star::MllibStarStrategy;
+use crate::petuum::train_petuum_ckpt;
+use crate::sparkml::SparkMlStrategy;
 use crate::{
     train_angel, train_mllib, train_mllib_ma, train_mllib_star, train_petuum, train_petuum_star,
-    train_sparkml_lbfgs, AngelConfig, PsSystemConfig, SparkMlConfig, TrainConfig, TrainOutput,
+    train_sparkml_lbfgs, AngelConfig, CheckpointError, PsSystemConfig, SparkMlConfig, TrainConfig,
+    TrainOutput,
 };
 
 /// The six distributed training systems compared in the paper.
@@ -95,6 +107,143 @@ impl System {
             &PsSystemConfig::default(),
             &AngelConfig::default(),
         )
+    }
+
+    /// Like [`System::train`], writing a [`TrainCheckpoint`] into `dir`
+    /// every [`TrainConfig::checkpoint_every`] communication steps (BSP
+    /// rounds, or PS global clocks for the parameter-server systems).
+    /// With `checkpoint_every == 0` this is plain training plus an error
+    /// type.
+    ///
+    /// Checkpoint files are named
+    /// `<system-slug>-round-<round>.ckpt` (see [`checkpoint_path`]); a
+    /// run that stops (converged/diverged) at a cadence round does not
+    /// write, so every file on disk resumes into a run that keeps going.
+    ///
+    /// [`checkpoint_path`]: crate::checkpoint_path
+    pub fn train_checkpointed(
+        &self,
+        ds: &SparseDataset,
+        cluster: &ClusterSpec,
+        cfg: &TrainConfig,
+        ps: &PsSystemConfig,
+        angel: &AngelConfig,
+        dir: &Path,
+    ) -> Result<TrainOutput, CheckpointError> {
+        self.run_ckpt(ds, cluster, cfg, ps, angel, dir, None)
+    }
+
+    /// Resumes a run from `ckpt`, continuing to checkpoint into `dir`.
+    ///
+    /// The checkpoint must match this system, the offered `cfg` (by
+    /// digest, ignoring the checkpoint cadence), and the dataset's
+    /// fingerprint — anything else is an error, not a silent wrong
+    /// answer. BSP checkpoints resume in place at their saved round; PS
+    /// anchors resume by deterministic replay from clock 0, verified
+    /// bit-exactly against the anchor
+    /// ([`CheckpointError::ReplayDiverged`] otherwise).
+    ///
+    /// The contract (enforced by the crash-and-restore tests): the
+    /// resumed [`TrainOutput`] is bit-identical — trace, round stats,
+    /// Gantt spans, and final model — to the run that never stopped.
+    #[allow(clippy::too_many_arguments)]
+    pub fn resume(
+        &self,
+        ds: &SparseDataset,
+        cluster: &ClusterSpec,
+        cfg: &TrainConfig,
+        ps: &PsSystemConfig,
+        angel: &AngelConfig,
+        dir: &Path,
+        ckpt: TrainCheckpoint,
+    ) -> Result<TrainOutput, CheckpointError> {
+        if ckpt.system != self.name() {
+            return Err(CheckpointError::WrongSystem {
+                found: ckpt.system,
+                expected: self.name().to_string(),
+            });
+        }
+        let expected = config_digest(cfg);
+        if ckpt.config_digest != expected {
+            return Err(CheckpointError::ConfigMismatch {
+                found: ckpt.config_digest,
+                expected,
+            });
+        }
+        if ckpt.fingerprint != DatasetFingerprint::of(ds) {
+            return Err(CheckpointError::DatasetMismatch);
+        }
+        self.run_ckpt(ds, cluster, cfg, ps, angel, dir, Some(ckpt.state))
+    }
+
+    /// Shared dispatch for checkpointed training and resume.
+    #[allow(clippy::too_many_arguments)]
+    fn run_ckpt(
+        &self,
+        ds: &SparseDataset,
+        cluster: &ClusterSpec,
+        cfg: &TrainConfig,
+        ps: &PsSystemConfig,
+        angel: &AngelConfig,
+        dir: &Path,
+        state: Option<CheckpointState>,
+    ) -> Result<TrainOutput, CheckpointError> {
+        if self.is_parameter_server() {
+            let verify = match state {
+                Some(CheckpointState::PsAnchor(anchor)) => Some(anchor),
+                Some(CheckpointState::Bsp(_)) => {
+                    return Err(CheckpointError::Codec(CodecError::Corrupt(
+                        "BSP checkpoint state offered to a parameter-server system".into(),
+                    )))
+                }
+                None => None,
+            };
+            let run = PsCkptRun {
+                dir: Some(dir),
+                system: *self,
+                verify,
+            };
+            return match self {
+                System::Petuum => train_petuum_ckpt(ds, cluster, cfg, ps, false, Some(run)),
+                System::PetuumStar => train_petuum_ckpt(ds, cluster, cfg, ps, true, Some(run)),
+                System::Angel => train_angel_ckpt(ds, cluster, cfg, angel, Some(run)),
+                _ => unreachable!("is_parameter_server covers exactly these variants"),
+            };
+        }
+
+        let resume = match state {
+            Some(CheckpointState::Bsp(bsp)) => Some(bsp),
+            Some(CheckpointState::PsAnchor(_)) => {
+                return Err(CheckpointError::Codec(CodecError::Corrupt(
+                    "parameter-server anchor offered to a BSP system".into(),
+                )))
+            }
+            None => None,
+        };
+        let run = CheckpointRun {
+            dir,
+            system: *self,
+            resume,
+        };
+        assert!(!ds.is_empty(), "cannot train on an empty dataset");
+        match self {
+            System::Mllib => {
+                run_rounds_ckpt(ds, cfg, MllibStrategy::new(ds, cluster, cfg), Some(run))
+            }
+            System::MllibMa => {
+                run_rounds_ckpt(ds, cfg, MllibMaStrategy::new(ds, cluster, cfg), Some(run))
+            }
+            System::MllibStar => {
+                run_rounds_ckpt(ds, cfg, MllibStarStrategy::new(ds, cluster, cfg), Some(run))
+            }
+            System::SparkMl => run_rounds_ckpt(
+                ds,
+                cfg,
+                SparkMlStrategy::new(ds, cluster, cfg, &SparkMlConfig::default()),
+                Some(run),
+            ),
+            _ => unreachable!("BSP branch covers exactly these variants"),
+        }
     }
 }
 

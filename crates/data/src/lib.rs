@@ -42,6 +42,7 @@ mod batch;
 pub mod catalog;
 mod dataset;
 mod error;
+mod fingerprint;
 pub mod libsvm;
 mod multiclass;
 mod partition;
@@ -51,6 +52,7 @@ pub mod workload;
 pub use batch::{BatchSampler, EpochOrder, RowSampler};
 pub use dataset::{DatasetStats, SparseDataset};
 pub use error::DataError;
+pub use fingerprint::DatasetFingerprint;
 pub use multiclass::{MulticlassConfig, MulticlassDataset};
 pub use partition::Partitioner;
 pub use synthetic::SyntheticConfig;

@@ -167,6 +167,83 @@ mod tests {
     }
 
     #[test]
+    fn skewed_single_worker_ignores_hot_fraction() {
+        // k = 1 takes the early-return path: one partition, the full
+        // shuffle, no clamping arithmetic (1/k = 1.0 would exceed the 0.95
+        // clamp ceiling and must not panic or drop rows).
+        for hot_fraction in [0.0, 0.5, 0.95, 1.0, 7.3] {
+            let parts = Partitioner::SkewedShuffled {
+                seed: 11,
+                hot_fraction,
+            }
+            .partition(9, 1);
+            assert_eq!(parts.len(), 1);
+            assert_exact_cover(&parts, 9);
+        }
+        // And it matches the plain shuffle of the same seed.
+        let skewed = Partitioner::SkewedShuffled {
+            seed: 11,
+            hot_fraction: 0.5,
+        }
+        .partition(9, 1);
+        let shuffled = Partitioner::Shuffled { seed: 11 }.partition(9, 1);
+        assert_eq!(skewed, shuffled);
+    }
+
+    #[test]
+    fn skewed_hot_fraction_clamps_at_both_bounds() {
+        // Below the 1/k floor: clamps up to an even share for worker 0.
+        for low in [-1.0, 0.0, 0.1] {
+            let parts = Partitioner::SkewedShuffled {
+                seed: 4,
+                hot_fraction: low,
+            }
+            .partition(100, 4);
+            assert_exact_cover(&parts, 100);
+            assert_eq!(parts[0].len(), 25, "floor clamp for {low}");
+        }
+        // Exactly at the floor is untouched.
+        let parts = Partitioner::SkewedShuffled {
+            seed: 4,
+            hot_fraction: 0.25,
+        }
+        .partition(100, 4);
+        assert_eq!(parts[0].len(), 25);
+        // At and beyond the 0.95 ceiling: worker 0 gets 95%, the others
+        // still cover the remainder without losing a row.
+        for high in [0.95, 0.99, 1.0, 100.0] {
+            let parts = Partitioner::SkewedShuffled {
+                seed: 4,
+                hot_fraction: high,
+            }
+            .partition(100, 4);
+            assert_exact_cover(&parts, 100);
+            assert_eq!(parts[0].len(), 95, "ceiling clamp for {high}");
+            assert_eq!(parts.len(), 4);
+            for p in &parts[1..] {
+                assert!(p.len() <= 2, "cold partitions share 5 rows");
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_tiny_datasets_keep_exact_cover() {
+        // Fewer rows than workers with an extreme hot share: cover must
+        // stay exact even when the hot set rounds to all available rows.
+        for n in [1, 2, 3, 5] {
+            for k in [2, 3, 5] {
+                let parts = Partitioner::SkewedShuffled {
+                    seed: 8,
+                    hot_fraction: 0.95,
+                }
+                .partition(n, k);
+                assert_eq!(parts.len(), k);
+                assert_exact_cover(&parts, n);
+            }
+        }
+    }
+
+    #[test]
     fn single_worker_gets_everything() {
         for p in [
             Partitioner::Contiguous,

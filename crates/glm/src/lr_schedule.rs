@@ -44,7 +44,10 @@ impl LearningRate {
                 factor,
                 period,
             } => {
-                let steps = t / period.max(1);
+                // A zero period is a configuration error caught by
+                // `validate`; reaching it here panics (integer division by
+                // zero) instead of silently decaying at some made-up rate.
+                let steps = t / period;
                 eta0 * factor.powi(steps.min(i32::MAX as u64) as i32)
             }
         }
@@ -53,6 +56,44 @@ impl LearningRate {
     /// The initial learning rate `η(0)`.
     pub fn eta0(&self) -> f64 {
         self.eta(0)
+    }
+
+    /// Checks the schedule's parameters, so a bad sweep fails loudly at
+    /// configuration time instead of silently training with a clamped or
+    /// nonsensical rate.
+    ///
+    /// Rejects: a non-finite or non-positive `η₀`, a non-finite `decay`,
+    /// a non-finite or non-positive `factor`, and an `Exponential` period
+    /// of zero (which previously was silently treated as 1).
+    pub fn validate(&self) -> Result<(), String> {
+        let eta0 = match *self {
+            LearningRate::Constant(eta0) | LearningRate::InvSqrt(eta0) => eta0,
+            LearningRate::InvT { eta0, decay } => {
+                if !decay.is_finite() || decay < 0.0 {
+                    return Err(format!("InvT decay must be finite and ≥ 0, got {decay}"));
+                }
+                eta0
+            }
+            LearningRate::Exponential {
+                eta0,
+                factor,
+                period,
+            } => {
+                if period == 0 {
+                    return Err("Exponential period must be ≥ 1 (got 0)".to_string());
+                }
+                if !factor.is_finite() || factor <= 0.0 {
+                    return Err(format!(
+                        "Exponential factor must be finite and > 0, got {factor}"
+                    ));
+                }
+                eta0
+            }
+        };
+        if !eta0.is_finite() || eta0 <= 0.0 {
+            return Err(format!("η₀ must be finite and > 0, got {eta0}"));
+        }
+        Ok(())
     }
 }
 
@@ -97,13 +138,71 @@ mod tests {
         assert_eq!(s.eta(9), 1.0);
         assert_eq!(s.eta(10), 0.5);
         assert_eq!(s.eta(25), 0.25);
-        // Period 0 is clamped to 1 instead of dividing by zero.
+    }
+
+    #[test]
+    fn validate_accepts_sane_schedules() {
+        for s in [
+            LearningRate::Constant(0.5),
+            LearningRate::InvSqrt(1.0),
+            LearningRate::InvT {
+                eta0: 0.3,
+                decay: 0.01,
+            },
+            LearningRate::Exponential {
+                eta0: 1.0,
+                factor: 0.5,
+                period: 10,
+            },
+        ] {
+            assert_eq!(s.validate(), Ok(()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_zero_exponential_period() {
+        // Previously `period: 0` was silently clamped to 1, so a sweep over
+        // periods that accidentally included 0 trained with a different
+        // schedule than it reported. Now it is a loud configuration error.
         let s = LearningRate::Exponential {
             eta0: 1.0,
             factor: 0.5,
             period: 0,
         };
-        assert_eq!(s.eta(1), 0.5);
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("period"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "divide by zero")]
+    fn unvalidated_zero_period_panics_instead_of_clamping() {
+        let s = LearningRate::Exponential {
+            eta0: 1.0,
+            factor: 0.5,
+            period: 0,
+        };
+        let _ = s.eta(1);
+    }
+
+    #[test]
+    fn validate_rejects_bad_rates() {
+        assert!(LearningRate::Constant(0.0).validate().is_err());
+        assert!(LearningRate::Constant(-0.1).validate().is_err());
+        assert!(LearningRate::Constant(f64::NAN).validate().is_err());
+        assert!(LearningRate::InvSqrt(f64::INFINITY).validate().is_err());
+        assert!(LearningRate::InvT {
+            eta0: 0.1,
+            decay: -1.0
+        }
+        .validate()
+        .is_err());
+        assert!(LearningRate::Exponential {
+            eta0: 0.1,
+            factor: 0.0,
+            period: 5
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub struct FileContext {
 /// time or randomness.
 pub const SIM_CRITICAL_CRATES: &[&str] = &[
     "cluster",
+    "codec",
     "core",
     "collectives",
     "ps",

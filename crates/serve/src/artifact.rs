@@ -1,28 +1,30 @@
-//! Versioned model artifacts and their std-only binary codec.
+//! Versioned model artifacts over the shared mlstar codec.
 //!
 //! A [`ModelArtifact`] is the unit the registry stores and the scoring
 //! engine loads: the trained weights plus a fingerprint of the dataset the
-//! model was trained against and the run's [`TrainProvenance`]. The codec
-//! is deliberately std-only (hand-packed little-endian, FNV-1a checksum)
-//! so artifacts written today remain readable without any dependency.
+//! model was trained against and the run's [`TrainProvenance`]. The frame
+//! envelope (magic, version, length, FNV-1a checksum) and the payload
+//! reader/writer come from `mlstar-codec` — the same codec behind training
+//! checkpoints — so every durable mlstar file fails loudly in the same
+//! ways.
 //!
-//! Layout (all little-endian):
+//! Payload layout (all little-endian, inside the standard codec frame):
 //!
 //! ```text
-//! magic u32 | codec_version u32 | payload_len u64 | checksum u64 | payload
-//! payload:
-//!   system   : len u16 + UTF-8 bytes
-//!   seed u64 | rounds_run u64 | total_updates u64
-//!   converged u8 | has_final_objective u8
-//!   final_objective f64
-//!   fingerprint: features u64 | instances u64 | content_hash u64
-//!   dim u64 | dim × f64 weights
+//! system   : len u16 + UTF-8 bytes
+//! seed u64 | rounds_run u64 | total_updates u64
+//! converged u8 | has_final_objective u8
+//! final_objective f64
+//! host_threads u64
+//! fingerprint: features u64 | instances u64 | content_hash u64
+//! dim u64 | dim × f64 weights
 //! ```
 //!
-//! The checksum covers the payload only, so a flipped bit anywhere in the
-//! body surfaces as [`ServeError::ChecksumMismatch`] rather than a
-//! garbage model.
+//! Version 2 added `host_threads` to the provenance section; version-1
+//! files are refused with [`ServeError::VersionMismatch`] rather than
+//! silently decoded with a guessed thread count.
 
+use mlstar_codec::{decode_frame, Reader, Writer, HEADER_LEN};
 use mlstar_core::{TrainConfig, TrainOutput, TrainProvenance};
 use mlstar_data::SparseDataset;
 use mlstar_glm::GlmModel;
@@ -31,50 +33,13 @@ use serde::{Deserialize, Serialize};
 
 use crate::ServeError;
 
+pub use mlstar_data::DatasetFingerprint;
+
 /// `"MLSA"` — the artifact file magic.
 pub const ARTIFACT_MAGIC: u32 = 0x4D4C_5341;
 
 /// The codec version this module writes and reads.
-pub const CODEC_VERSION: u32 = 1;
-
-/// Fixed prefix: magic + version + payload length + checksum.
-const HEADER_LEN: usize = 4 + 4 + 8 + 8;
-
-/// A fingerprint of the dataset a model was trained on: enough to refuse
-/// scoring a model against data of the wrong shape, and to tell two
-/// same-shape datasets apart by content.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct DatasetFingerprint {
-    /// Feature dimensionality the model expects.
-    pub features: usize,
-    /// Number of training examples.
-    pub instances: usize,
-    /// FNV-1a hash over the dataset's structure and content.
-    pub content_hash: u64,
-}
-
-impl DatasetFingerprint {
-    /// Fingerprints a dataset: dimensions plus an FNV-1a hash over every
-    /// row's indices, values, and label (bit-exact, order-sensitive).
-    pub fn of(ds: &SparseDataset) -> DatasetFingerprint {
-        let mut h = Fnv1a::new();
-        h.write_u64(ds.num_features() as u64);
-        h.write_u64(ds.len() as u64);
-        for (row, &label) in ds.rows().iter().zip(ds.labels().iter()) {
-            h.write_u64(label.to_bits());
-            h.write_u64(row.nnz() as u64);
-            for (i, v) in row.iter() {
-                h.write_u64(i as u64);
-                h.write_u64(v.to_bits());
-            }
-        }
-        DatasetFingerprint {
-            features: ds.num_features(),
-            instances: ds.len(),
-            content_hash: h.finish(),
-        }
-    }
-}
+pub const CODEC_VERSION: u32 = 2;
 
 /// A versioned, self-describing trained-model artifact.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -145,80 +110,38 @@ impl ModelArtifact {
 
     /// Encodes the artifact into its binary form.
     pub fn encode(&self) -> Vec<u8> {
-        let mut payload = Vec::with_capacity(64 + self.weights.dim() * 8);
-        let system = self.provenance.system.as_bytes();
-        // The system name is a short display name; u16 is ample.
-        payload.extend_from_slice(&(system.len() as u16).to_le_bytes());
-        payload.extend_from_slice(system);
-        payload.extend_from_slice(&self.provenance.seed.to_le_bytes());
-        payload.extend_from_slice(&self.provenance.rounds_run.to_le_bytes());
-        payload.extend_from_slice(&self.provenance.total_updates.to_le_bytes());
-        payload.push(u8::from(self.provenance.converged));
-        payload.push(u8::from(self.provenance.final_objective.is_some()));
-        payload.extend_from_slice(&self.provenance.final_objective.unwrap_or(0.0).to_le_bytes());
-        payload.extend_from_slice(&(self.fingerprint.features as u64).to_le_bytes());
-        payload.extend_from_slice(&(self.fingerprint.instances as u64).to_le_bytes());
-        payload.extend_from_slice(&self.fingerprint.content_hash.to_le_bytes());
-        payload.extend_from_slice(&(self.weights.dim() as u64).to_le_bytes());
-        for &w in self.weights.as_slice() {
-            payload.extend_from_slice(&w.to_le_bytes());
+        let mut w = Writer::with_capacity(HEADER_LEN + 96 + self.weights.dim() * 8);
+        w.put_str16(&self.provenance.system);
+        w.put_u64(self.provenance.seed);
+        w.put_u64(self.provenance.rounds_run);
+        w.put_u64(self.provenance.total_updates);
+        w.put_u8(u8::from(self.provenance.converged));
+        w.put_u8(u8::from(self.provenance.final_objective.is_some()));
+        w.put_f64(self.provenance.final_objective.unwrap_or(0.0));
+        w.put_u64(self.provenance.host_threads as u64);
+        w.put_u64(self.fingerprint.features as u64);
+        w.put_u64(self.fingerprint.instances as u64);
+        w.put_u64(self.fingerprint.content_hash);
+        w.put_u64(self.weights.dim() as u64);
+        for &x in self.weights.as_slice() {
+            w.put_f64(x);
         }
-
-        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
-        out.extend_from_slice(&ARTIFACT_MAGIC.to_le_bytes());
-        out.extend_from_slice(&CODEC_VERSION.to_le_bytes());
-        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
-        out.extend_from_slice(&payload);
-        out
+        w.into_frame(ARTIFACT_MAGIC, CODEC_VERSION)
     }
 
     /// Decodes an artifact, verifying magic, codec version, length, and
     /// checksum before touching the payload.
     pub fn decode(bytes: &[u8]) -> Result<ModelArtifact, ServeError> {
-        if bytes.len() < HEADER_LEN {
-            return Err(ServeError::Truncated {
-                expected: HEADER_LEN,
-                actual: bytes.len(),
-            });
-        }
-        let magic = u32::from_le_bytes(bytes[0..4].try_into().map_err(invalid_slice)?);
-        if magic != ARTIFACT_MAGIC {
-            return Err(ServeError::BadMagic(magic));
-        }
-        let version = u32::from_le_bytes(bytes[4..8].try_into().map_err(invalid_slice)?);
-        if version != CODEC_VERSION {
-            return Err(ServeError::VersionMismatch {
-                found: version,
-                supported: CODEC_VERSION,
-            });
-        }
-        let payload_len =
-            u64::from_le_bytes(bytes[8..16].try_into().map_err(invalid_slice)?) as usize;
-        let stored = u64::from_le_bytes(bytes[16..24].try_into().map_err(invalid_slice)?);
-        let expected = HEADER_LEN + payload_len;
-        if bytes.len() != expected {
-            return Err(ServeError::Truncated {
-                expected,
-                actual: bytes.len(),
-            });
-        }
-        let payload = &bytes[HEADER_LEN..];
-        let computed = fnv1a(payload);
-        if computed != stored {
-            return Err(ServeError::ChecksumMismatch { stored, computed });
-        }
-
+        let payload = decode_frame(bytes, ARTIFACT_MAGIC, CODEC_VERSION)?;
         let mut r = Reader::new(payload);
-        let system_len = r.u16()? as usize;
-        let system = String::from_utf8(r.bytes(system_len)?.to_vec())
-            .map_err(|_| ServeError::Corrupt("system name is not UTF-8".into()))?;
+        let system = r.str16()?;
         let seed = r.u64()?;
         let rounds_run = r.u64()?;
         let total_updates = r.u64()?;
         let converged = r.u8()? != 0;
         let has_objective = r.u8()? != 0;
         let objective = r.f64()?;
+        let host_threads = r.u64()? as usize;
         let features = r.u64()? as usize;
         let instances = r.u64()? as usize;
         let content_hash = r.u64()?;
@@ -230,12 +153,7 @@ impl ModelArtifact {
         for _ in 0..dim {
             weights.push(r.f64()?);
         }
-        if !r.is_empty() {
-            return Err(ServeError::Corrupt(format!(
-                "{} trailing payload bytes",
-                r.remaining()
-            )));
-        }
+        r.finish()?;
         Ok(ModelArtifact {
             weights: DenseVector::from_vec(weights),
             fingerprint: DatasetFingerprint {
@@ -250,6 +168,7 @@ impl ModelArtifact {
                 total_updates,
                 converged,
                 final_objective: has_objective.then_some(objective),
+                host_threads,
             },
         })
     }
@@ -266,103 +185,10 @@ impl ModelArtifact {
     }
 }
 
-fn invalid_slice(_: std::array::TryFromSliceError) -> ServeError {
-    ServeError::Corrupt("header slice out of bounds".into())
-}
-
-/// Sequential little-endian payload reader that turns overruns into
-/// [`ServeError::Corrupt`] (the outer length/checksum checks make these
-/// unreachable for well-formed frames, but a crafted payload must not
-/// panic).
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
-        Reader { buf, pos: 0 }
-    }
-
-    fn bytes(&mut self, n: usize) -> Result<&'a [u8], ServeError> {
-        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
-        match end {
-            Some(end) => {
-                let s = &self.buf[self.pos..end];
-                self.pos = end;
-                Ok(s)
-            }
-            None => Err(ServeError::Corrupt(format!(
-                "payload ends inside a {n}-byte field"
-            ))),
-        }
-    }
-
-    fn u8(&mut self) -> Result<u8, ServeError> {
-        Ok(self.bytes(1)?[0])
-    }
-
-    fn u16(&mut self) -> Result<u16, ServeError> {
-        let b = self.bytes(2)?;
-        Ok(u16::from_le_bytes([b[0], b[1]]))
-    }
-
-    fn u64(&mut self) -> Result<u64, ServeError> {
-        let b = self.bytes(8)?;
-        Ok(u64::from_le_bytes([
-            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-        ]))
-    }
-
-    fn f64(&mut self) -> Result<f64, ServeError> {
-        Ok(f64::from_bits(self.u64()?))
-    }
-
-    fn is_empty(&self) -> bool {
-        self.pos == self.buf.len()
-    }
-
-    fn remaining(&self) -> usize {
-        self.buf.len() - self.pos
-    }
-}
-
-/// FNV-1a over a byte slice.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = Fnv1a::new();
-    h.write(bytes);
-    h.finish()
-}
-
-/// Incremental 64-bit FNV-1a.
-struct Fnv1a(u64);
-
-impl Fnv1a {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-
-    fn new() -> Self {
-        Fnv1a(Self::OFFSET)
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
-        }
-    }
-
-    fn write_u64(&mut self, v: u64) {
-        self.write(&v.to_le_bytes());
-    }
-
-    fn finish(&self) -> u64 {
-        self.0
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mlstar_codec::encode_frame;
 
     fn provenance() -> TrainProvenance {
         TrainProvenance {
@@ -372,6 +198,7 @@ mod tests {
             total_updates: 1234,
             converged: true,
             final_objective: Some(0.25),
+            host_threads: 8,
         }
     }
 
@@ -393,6 +220,7 @@ mod tests {
         assert_eq!(back.weights().as_slice(), &[1.5, -2.25, 0.0, 1e-300]);
         assert_eq!(back.provenance().system, "MLlib*");
         assert_eq!(back.provenance().final_objective, Some(0.25));
+        assert_eq!(back.provenance().host_threads, 8);
         assert_eq!(back.fingerprint().content_hash, 0xDEAD_BEEF);
     }
 
@@ -443,12 +271,7 @@ mod tests {
         let mut p = payload[..payload.len() - weights_bytes].to_vec();
         let n = p.len();
         p[n - 8..].copy_from_slice(&0u64.to_le_bytes());
-        let mut frame = Vec::new();
-        frame.extend_from_slice(&ARTIFACT_MAGIC.to_le_bytes());
-        frame.extend_from_slice(&CODEC_VERSION.to_le_bytes());
-        frame.extend_from_slice(&(p.len() as u64).to_le_bytes());
-        frame.extend_from_slice(&fnv1a(&p).to_le_bytes());
-        frame.extend_from_slice(&p);
+        let frame = encode_frame(ARTIFACT_MAGIC, CODEC_VERSION, &p);
         assert!(matches!(
             ModelArtifact::decode(&frame),
             Err(ServeError::EmptyModel)
@@ -497,6 +320,22 @@ mod tests {
             ModelArtifact::decode(&encoded),
             Err(ServeError::VersionMismatch {
                 found: 99,
+                supported: CODEC_VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn version_one_files_are_refused_not_misread() {
+        // A v1 frame lacks the host_threads field; decoding it under the
+        // v2 layout would shift every later field by eight bytes. The
+        // version gate must reject it before any field is read.
+        let mut encoded = artifact().encode();
+        encoded[4..8].copy_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(
+            ModelArtifact::decode(&encoded),
+            Err(ServeError::VersionMismatch {
+                found: 1,
                 supported: CODEC_VERSION
             })
         ));

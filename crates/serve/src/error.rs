@@ -107,6 +107,23 @@ impl From<std::io::Error> for ServeError {
     }
 }
 
+impl From<mlstar_codec::CodecError> for ServeError {
+    fn from(e: mlstar_codec::CodecError) -> Self {
+        use mlstar_codec::CodecError as C;
+        match e {
+            C::BadMagic(m) => ServeError::BadMagic(m),
+            C::VersionMismatch { found, supported } => {
+                ServeError::VersionMismatch { found, supported }
+            }
+            C::Truncated { expected, actual } => ServeError::Truncated { expected, actual },
+            C::ChecksumMismatch { stored, computed } => {
+                ServeError::ChecksumMismatch { stored, computed }
+            }
+            C::Corrupt(msg) => ServeError::Corrupt(msg),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,5 +169,48 @@ mod tests {
         assert!(e.to_string().contains("gone"));
         assert!(std::error::Error::source(&e).is_some());
         assert!(std::error::Error::source(&ServeError::EmptyModel).is_none());
+    }
+
+    #[test]
+    fn codec_errors_map_one_to_one() {
+        use mlstar_codec::CodecError as C;
+        assert!(matches!(
+            ServeError::from(C::BadMagic(7)),
+            ServeError::BadMagic(7)
+        ));
+        assert!(matches!(
+            ServeError::from(C::VersionMismatch {
+                found: 9,
+                supported: 2
+            }),
+            ServeError::VersionMismatch {
+                found: 9,
+                supported: 2
+            }
+        ));
+        assert!(matches!(
+            ServeError::from(C::Truncated {
+                expected: 24,
+                actual: 3
+            }),
+            ServeError::Truncated {
+                expected: 24,
+                actual: 3
+            }
+        ));
+        assert!(matches!(
+            ServeError::from(C::ChecksumMismatch {
+                stored: 1,
+                computed: 2
+            }),
+            ServeError::ChecksumMismatch {
+                stored: 1,
+                computed: 2
+            }
+        ));
+        assert!(matches!(
+            ServeError::from(C::Corrupt("x".into())),
+            ServeError::Corrupt(_)
+        ));
     }
 }

@@ -13,7 +13,9 @@
 //!    model.
 //! 2. **Registry** ([`ModelRegistry`]) — named, versioned artifact lines
 //!    with staged rollout: publish warms a new version behind the active
-//!    one, promote flips it live, pin rolls back.
+//!    one, promote flips it live, pin rolls back. The whole registry
+//!    snapshots to disk through the same shared codec
+//!    ([`ModelRegistry::write_file`] / [`ModelRegistry::read_file`]).
 //! 3. **Engine** ([`ScoringEngine`]) — micro-batched scoring under a
 //!    fixed batch-size + batch-deadline policy ([`BatchPolicy`]), scored
 //!    by a sharded `std::thread` worker pool.
@@ -86,7 +88,7 @@ mod workload;
 pub use artifact::{DatasetFingerprint, ModelArtifact, ARTIFACT_MAGIC, CODEC_VERSION};
 pub use engine::{BatchPolicy, Prediction, ScoreCostModel, ScoreRequest, ScoringEngine, ServeRun};
 pub use error::ServeError;
-pub use registry::ModelRegistry;
+pub use registry::{ModelRegistry, REGISTRY_MAGIC, REGISTRY_VERSION};
 pub use telemetry::{BatchRecord, LatencyHistogram, ServeTelemetry};
 pub use workload::QueryWorkload;
 

@@ -10,13 +10,29 @@
 //!
 //! All state lives in ordered maps so iteration order — and therefore any
 //! report derived from the registry — is deterministic.
+//!
+//! A registry is durable: [`ModelRegistry::encode`] snapshots every model
+//! line — retained versions, active pointer, in-flight stage — into a
+//! single checksummed `mlstar-codec` frame (magic `"MLSR"`), and
+//! [`ModelRegistry::decode`] restores it, refusing structurally impossible
+//! snapshots (an active pointer at a missing version, duplicate version
+//! numbers, dimension drift within a line) with distinct [`ServeError`]
+//! variants instead of serving from inconsistent state.
 
 use std::collections::BTreeMap;
 
+use mlstar_codec::{decode_frame, Reader, Writer};
+
 use crate::{ModelArtifact, ServeError};
 
+/// `"MLSR"` — the registry snapshot file magic.
+pub const REGISTRY_MAGIC: u32 = 0x4D4C_5352;
+
+/// The registry snapshot codec version this module writes and reads.
+pub const REGISTRY_VERSION: u32 = 1;
+
 /// One named model line: every retained version plus rollout state.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct ModelEntry {
     versions: BTreeMap<u64, ModelArtifact>,
     /// The version currently serving traffic.
@@ -25,8 +41,9 @@ struct ModelEntry {
     staged: Option<u64>,
 }
 
-/// An in-memory versioned artifact store with staged rollout.
-#[derive(Debug, Clone, Default)]
+/// A versioned artifact store with staged rollout and a durable snapshot
+/// codec ([`ModelRegistry::encode`] / [`ModelRegistry::decode`]).
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ModelRegistry {
     entries: BTreeMap<String, ModelEntry>,
 }
@@ -201,6 +218,113 @@ impl ModelRegistry {
             .map(|e| e.versions.keys().copied().collect())
             .ok_or_else(|| ServeError::UnknownModel(name.to_string()))
     }
+
+    /// Encodes the whole registry — every line's retained versions,
+    /// active pointer, and staged version — into one checksummed frame.
+    ///
+    /// Each artifact is embedded as its own complete frame
+    /// ([`ModelArtifact::encode`]), so an artifact extracted from a
+    /// snapshot is byte-identical to one written standalone.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u64(self.entries.len() as u64);
+        for (name, entry) in &self.entries {
+            w.put_str16(name);
+            w.put_u64(entry.active);
+            match entry.staged {
+                Some(v) => {
+                    w.put_u8(1);
+                    w.put_u64(v);
+                }
+                None => w.put_u8(0),
+            }
+            w.put_u64(entry.versions.len() as u64);
+            for (&version, artifact) in &entry.versions {
+                w.put_u64(version);
+                w.put_blob64(&artifact.encode());
+            }
+        }
+        w.into_frame(REGISTRY_MAGIC, REGISTRY_VERSION)
+    }
+
+    /// Decodes a registry snapshot, verifying the frame envelope and then
+    /// the structural invariants [`ModelRegistry::publish`] maintains:
+    /// version numbers unique within a line, active and staged pointers
+    /// resolving to retained versions, and one feature dimension per line.
+    pub fn decode(bytes: &[u8]) -> Result<ModelRegistry, ServeError> {
+        let payload = decode_frame(bytes, REGISTRY_MAGIC, REGISTRY_VERSION)?;
+        let mut r = Reader::new(payload);
+        let n_entries = r.u64()?;
+        let mut entries = BTreeMap::new();
+        for _ in 0..n_entries {
+            let name = r.str16()?;
+            let active = r.u64()?;
+            let staged = match r.u8()? {
+                0 => None,
+                1 => Some(r.u64()?),
+                tag => {
+                    return Err(ServeError::Corrupt(format!(
+                        "staged flag must be 0 or 1, found {tag}"
+                    )))
+                }
+            };
+            let n_versions = r.u64()?;
+            let mut versions: BTreeMap<u64, ModelArtifact> = BTreeMap::new();
+            for _ in 0..n_versions {
+                let version = r.u64()?;
+                let artifact = ModelArtifact::decode(r.blob64()?)?;
+                if let Some(first) = versions.values().next() {
+                    if artifact.dim() != first.dim() {
+                        return Err(ServeError::Corrupt(format!(
+                            "model {name:?} mixes dimensions {} and {}",
+                            first.dim(),
+                            artifact.dim()
+                        )));
+                    }
+                }
+                if versions.insert(version, artifact).is_some() {
+                    return Err(ServeError::Corrupt(format!(
+                        "model {name:?} repeats version {version}"
+                    )));
+                }
+            }
+            if !versions.contains_key(&active) {
+                return Err(ServeError::Corrupt(format!(
+                    "model {name:?} activates missing version {active}"
+                )));
+            }
+            if let Some(s) = staged {
+                if !versions.contains_key(&s) {
+                    return Err(ServeError::Corrupt(format!(
+                        "model {name:?} stages missing version {s}"
+                    )));
+                }
+            }
+            let entry = ModelEntry {
+                versions,
+                active,
+                staged,
+            };
+            if entries.insert(name.clone(), entry).is_some() {
+                return Err(ServeError::Corrupt(format!(
+                    "registry repeats model name {name:?}"
+                )));
+            }
+        }
+        r.finish()?;
+        Ok(ModelRegistry { entries })
+    }
+
+    /// Writes the encoded snapshot to a file.
+    pub fn write_file(&self, path: impl AsRef<std::path::Path>) -> Result<(), ServeError> {
+        std::fs::write(path, self.encode())?;
+        Ok(())
+    }
+
+    /// Reads and decodes a registry snapshot file.
+    pub fn read_file(path: impl AsRef<std::path::Path>) -> Result<ModelRegistry, ServeError> {
+        ModelRegistry::decode(&std::fs::read(path)?)
+    }
 }
 
 #[cfg(test)]
@@ -225,6 +349,7 @@ mod tests {
             total_updates: 3,
             converged: true,
             final_objective: Some(0.5),
+            host_threads: 4,
         };
         ModelArtifact::new(&model, fp, prov).unwrap()
     }
@@ -317,5 +442,109 @@ mod tests {
         reg.publish("zeta", artifact(2, 1.0)).unwrap();
         reg.publish("alpha", artifact(2, 1.0)).unwrap();
         assert_eq!(reg.names(), vec!["alpha", "zeta"]);
+    }
+
+    /// A registry mid-rollout: two lines, one with history, an active
+    /// pointer rolled back behind the latest version, and a stage in
+    /// flight.
+    fn populated() -> ModelRegistry {
+        let mut reg = ModelRegistry::new();
+        reg.publish("ctr", artifact(4, 1.0)).unwrap();
+        reg.publish("ctr", artifact(4, 2.0)).unwrap();
+        reg.promote("ctr").unwrap();
+        reg.publish("ctr", artifact(4, 3.0)).unwrap();
+        reg.publish("spam", artifact(2, 9.0)).unwrap();
+        reg
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_rollout_state() {
+        let reg = populated();
+        let back = ModelRegistry::decode(&reg.encode()).unwrap();
+        assert_eq!(reg, back);
+        assert_eq!(back.active_version("ctr").unwrap(), 2);
+        assert_eq!(back.staged("ctr").unwrap().unwrap().weights().get(0), 3.0);
+        assert_eq!(back.versions("ctr").unwrap(), vec![1, 2, 3]);
+        assert_eq!(back.active("spam").unwrap().weights().get(0), 9.0);
+        // The restored registry keeps working, not just reading.
+        let mut back = back;
+        assert_eq!(back.promote("ctr").unwrap(), 3);
+        assert!(matches!(
+            back.publish("spam", artifact(3, 1.0)),
+            Err(ServeError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_registry_roundtrips() {
+        let reg = ModelRegistry::new();
+        let back = ModelRegistry::decode(&reg.encode()).unwrap();
+        assert!(back.names().is_empty());
+    }
+
+    #[test]
+    fn snapshot_corruption_is_refused() {
+        let encoded = populated().encode();
+        // Bit flip inside an embedded artifact → outer checksum catches it.
+        let mut flipped = encoded.clone();
+        let idx = flipped.len() - 20;
+        flipped[idx] ^= 0x40;
+        assert!(matches!(
+            ModelRegistry::decode(&flipped),
+            Err(ServeError::ChecksumMismatch { .. })
+        ));
+        assert!(matches!(
+            ModelRegistry::decode(&encoded[..encoded.len() - 3]),
+            Err(ServeError::Truncated { .. })
+        ));
+        let mut wrong_magic = encoded.clone();
+        wrong_magic[0] ^= 0xFF;
+        assert!(matches!(
+            ModelRegistry::decode(&wrong_magic),
+            Err(ServeError::BadMagic(_))
+        ));
+        let mut wrong_version = encoded;
+        wrong_version[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            ModelRegistry::decode(&wrong_version),
+            Err(ServeError::VersionMismatch {
+                found: 99,
+                supported: REGISTRY_VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn snapshot_with_dangling_active_pointer_is_corrupt() {
+        // Hand-build a payload whose active pointer names version 5 while
+        // only version 1 is retained.
+        let mut w = mlstar_codec::Writer::new();
+        w.put_u64(1);
+        w.put_str16("ctr");
+        w.put_u64(5); // active
+        w.put_u8(0); // no stage
+        w.put_u64(1); // one retained version
+        w.put_u64(1);
+        w.put_blob64(&artifact(2, 1.0).encode());
+        let frame = w.into_frame(REGISTRY_MAGIC, REGISTRY_VERSION);
+        match ModelRegistry::decode(&frame) {
+            Err(ServeError::Corrupt(msg)) => assert!(msg.contains("missing version 5"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_file_roundtrip() {
+        let dir = std::env::temp_dir().join("mlstar_serve_registry_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("registry.mlsr");
+        let reg = populated();
+        reg.write_file(&path).unwrap();
+        assert_eq!(ModelRegistry::read_file(&path).unwrap(), reg);
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(
+            ModelRegistry::read_file(&path),
+            Err(ServeError::Io(_))
+        ));
     }
 }

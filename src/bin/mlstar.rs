@@ -10,10 +10,11 @@
 //! mlstar help
 //! ```
 
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use mllib_star::collectives::wire;
-use mllib_star::core::{System, TrainConfig};
+use mllib_star::core::{AngelConfig, PsSystemConfig, System, TrainCheckpoint, TrainConfig};
 use mllib_star::data::{catalog, libsvm, SparseDataset};
 use mllib_star::glm::{model_accuracy, model_auc, GlmModel, LearningRate, Loss, Regularizer};
 use mllib_star::sim::{ClusterSpec, NetworkSpec, NodeSpec};
@@ -102,7 +103,14 @@ fn print_help() {
     );
     println!("           [--reg-l2 λ] [--eta η] [--rounds N] [--executors K]");
     println!("           [--batch-frac F] [--seed S] [--model-out <file.bin>]");
+    println!("           [--checkpoint-every N --checkpoint-dir <dir>]");
+    println!("           [--resume <file.ckpt>]");
     println!("  predict  --data <file.libsvm> --model <file.bin>");
+    println!();
+    println!("checkpointing: --checkpoint-every N writes a snapshot into");
+    println!("--checkpoint-dir every N communication steps; --resume restores one");
+    println!("and continues the run bit-identically to never having stopped.");
+    println!("The other train options must match the original run exactly.");
 }
 
 fn load_dataset(opts: &Options) -> Result<SparseDataset, String> {
@@ -163,6 +171,7 @@ fn cmd_train(opts: &Options) -> Result<(), String> {
     let executors: usize = opts.get_parsed("executors", 8)?;
     let batch_frac: f64 = opts.get_parsed("batch-frac", 0.01)?;
     let seed: u64 = opts.get_parsed("seed", 42)?;
+    let checkpoint_every: u64 = opts.get_parsed("checkpoint-every", 0)?;
     if executors == 0 {
         return Err("--executors must be positive".into());
     }
@@ -175,14 +184,55 @@ fn cmd_train(opts: &Options) -> Result<(), String> {
         batch_frac,
         max_rounds: rounds,
         seed,
+        checkpoint_every,
         ..TrainConfig::default()
     };
-    println!(
-        "training {system} on {} examples × {} features over {executors} simulated executors…",
-        ds.len(),
-        ds.num_features()
-    );
-    let out = system.train_default(&ds, &cluster, &cfg);
+    let ps = PsSystemConfig::default();
+    let angel = AngelConfig::default();
+
+    let out = if let Some(ckpt_path) = opts.get("resume") {
+        let ckpt = TrainCheckpoint::read_file(Path::new(ckpt_path))
+            .map_err(|e| format!("reading {ckpt_path}: {e}"))?;
+        // Keep checkpointing into the directory the snapshot came from
+        // unless the user redirects it.
+        let dir = match opts.get("checkpoint-dir") {
+            Some(d) => PathBuf::from(d),
+            None => Path::new(ckpt_path)
+                .parent()
+                .filter(|p| !p.as_os_str().is_empty())
+                .map(Path::to_path_buf)
+                .unwrap_or_else(|| PathBuf::from(".")),
+        };
+        std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        println!(
+            "resuming {} from {ckpt_path} ({} steps done)…",
+            ckpt.system(),
+            ckpt.rounds_done()
+        );
+        system
+            .resume(&ds, &cluster, &cfg, &ps, &angel, &dir, ckpt)
+            .map_err(|e| format!("resuming {ckpt_path}: {e}"))?
+    } else if checkpoint_every > 0 {
+        let dir = PathBuf::from(opts.require("checkpoint-dir")?);
+        std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        println!(
+            "training {system} on {} examples × {} features over {executors} simulated \
+             executors (checkpoint every {checkpoint_every} steps into {})…",
+            ds.len(),
+            ds.num_features(),
+            dir.display()
+        );
+        system
+            .train_checkpointed(&ds, &cluster, &cfg, &ps, &angel, &dir)
+            .map_err(|e| e.to_string())?
+    } else {
+        println!(
+            "training {system} on {} examples × {} features over {executors} simulated executors…",
+            ds.len(),
+            ds.num_features()
+        );
+        system.train(&ds, &cluster, &cfg, &ps, &angel)
+    };
     println!("\n step | sim time | objective");
     for p in &out.trace.points {
         println!(
@@ -307,6 +357,79 @@ mod tests {
 
         std::fs::remove_file(&data).ok();
         std::fs::remove_file(&model).ok();
+    }
+
+    #[test]
+    fn checkpoint_and_resume_via_cli() {
+        let dir = std::env::temp_dir().join("mlstar_cli_ckpt_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("tiny.libsvm").to_string_lossy().into_owned();
+        let ckpt_dir = dir.join("ckpts").to_string_lossy().into_owned();
+
+        run(&args(&[
+            "generate", "--preset", "avazu", "--out", &data, "--scale", "256",
+        ]))
+        .expect("generate");
+        run(&args(&[
+            "train",
+            "--data",
+            &data,
+            "--system",
+            "star",
+            "--rounds",
+            "6",
+            "--executors",
+            "4",
+            "--checkpoint-every",
+            "2",
+            "--checkpoint-dir",
+            &ckpt_dir,
+        ]))
+        .expect("checkpointed train");
+
+        let mut ckpts: Vec<PathBuf> = std::fs::read_dir(&ckpt_dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|x| x == "ckpt"))
+            .collect();
+        ckpts.sort();
+        let first = ckpts.first().expect("at least one checkpoint on disk");
+
+        run(&args(&[
+            "train",
+            "--data",
+            &data,
+            "--system",
+            "star",
+            "--rounds",
+            "6",
+            "--executors",
+            "4",
+            "--checkpoint-every",
+            "2",
+            "--resume",
+            &first.to_string_lossy(),
+        ]))
+        .expect("resumed train");
+
+        // Resuming under the wrong system is refused, not silently retrained.
+        assert!(run(&args(&[
+            "train",
+            "--data",
+            &data,
+            "--system",
+            "mllib",
+            "--rounds",
+            "6",
+            "--executors",
+            "4",
+            "--resume",
+            &first.to_string_lossy(),
+        ]))
+        .is_err());
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

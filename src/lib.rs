@@ -23,6 +23,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use mlstar_codec as codec;
 pub use mlstar_collectives as collectives;
 pub use mlstar_core as core;
 pub use mlstar_data as data;

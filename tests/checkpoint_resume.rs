@@ -1,0 +1,346 @@
+//! Resume equivalence: a run restored from a checkpoint must be
+//! **bit-identical** to one that never stopped.
+//!
+//! For every system and two seeds, a reference run trains straight
+//! through with checkpointing on. Each interior checkpoint file is then
+//! read back cold and resumed, and the resumed `TrainOutput` is compared
+//! field by field against the reference: trace steps, integer-nanosecond
+//! sim times, exact `f64` objective and weight bit patterns, per-round
+//! telemetry, Gantt spans, and the run counters. BSP systems restore
+//! engine state in place; parameter-server systems replay from clock zero
+//! through a verified anchor — both must erase the crash completely.
+//!
+//! The second half pins the failure taxonomy: corrupt files, wrong-system
+//! / wrong-config / wrong-dataset resumes, and diverging PS replays must
+//! each surface their own `CheckpointError` variant, never a silently
+//! different run.
+
+use std::path::{Path, PathBuf};
+
+use mllib_star::codec::CodecError;
+use mllib_star::core::{
+    checkpoint_path, AngelConfig, CheckpointError, PsSystemConfig, System, TrainCheckpoint,
+    TrainConfig, TrainOutput,
+};
+use mllib_star::data::{SparseDataset, SyntheticConfig};
+use mllib_star::glm::LearningRate;
+use mllib_star::sim::{ClusterSpec, NetworkSpec, NodeSpec};
+
+const SEEDS: [u64; 2] = [42, 7];
+const BSP: [System; 4] = [
+    System::Mllib,
+    System::MllibMa,
+    System::MllibStar,
+    System::SparkMl,
+];
+const PS: [System; 3] = [System::Petuum, System::PetuumStar, System::Angel];
+
+fn dataset() -> SparseDataset {
+    let mut gen = SyntheticConfig::small("ckpt-resume", 240, 30);
+    gen.margin_noise = 0.05;
+    gen.flip_prob = 0.0;
+    gen.generate()
+}
+
+fn config(seed: u64) -> TrainConfig {
+    TrainConfig {
+        // Low enough for Petuum's summed updates to stay stable.
+        lr: LearningRate::Constant(0.05 / 8.0),
+        batch_frac: 0.2,
+        max_rounds: 6,
+        eval_every: 2,
+        // Node failures force the resume to restore the engine's
+        // straggler AND failure RNG streams mid-sequence.
+        failure_prob: 0.15,
+        checkpoint_every: 2,
+        seed,
+        ..TrainConfig::default()
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mlstar_resume_test_{tag}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Bitwise equality of two runs — floats by bit pattern, never tolerance.
+fn assert_identical(reference: &TrainOutput, resumed: &TrainOutput, what: &str) {
+    assert_eq!(reference.trace, resumed.trace, "{what}: trace diverged");
+    assert_eq!(
+        reference.round_stats, resumed.round_stats,
+        "{what}: round_stats diverged"
+    );
+    assert_eq!(
+        reference.gantt.spans(),
+        resumed.gantt.spans(),
+        "{what}: gantt diverged"
+    );
+    assert_eq!(reference.rounds_run, resumed.rounds_run, "{what}: rounds");
+    assert_eq!(
+        reference.total_updates, resumed.total_updates,
+        "{what}: updates"
+    );
+    assert_eq!(reference.converged, resumed.converged, "{what}: converged");
+    assert_eq!(
+        reference.host_threads, resumed.host_threads,
+        "{what}: host_threads"
+    );
+    let a = reference.model.weights().as_slice();
+    let b = resumed.model.weights().as_slice();
+    assert_eq!(a.len(), b.len(), "{what}: model dim");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: weight {i} differs ({x} vs {y})"
+        );
+    }
+}
+
+fn train_reference(
+    system: System,
+    ds: &SparseDataset,
+    cfg: &TrainConfig,
+    dir: &Path,
+) -> TrainOutput {
+    system
+        .train_checkpointed(
+            ds,
+            &ClusterSpec::cluster1(),
+            cfg,
+            &PsSystemConfig::default(),
+            &AngelConfig::default(),
+            dir,
+        )
+        .unwrap()
+}
+
+fn resume_from(
+    system: System,
+    ds: &SparseDataset,
+    cfg: &TrainConfig,
+    dir: &Path,
+    round: u64,
+) -> TrainOutput {
+    let ckpt = TrainCheckpoint::read_file(&checkpoint_path(dir, system, round)).unwrap();
+    system
+        .resume(
+            ds,
+            &ClusterSpec::cluster1(),
+            cfg,
+            &PsSystemConfig::default(),
+            &AngelConfig::default(),
+            dir,
+            ckpt,
+        )
+        .unwrap()
+}
+
+#[test]
+fn bsp_resume_is_bit_exact_at_every_interior_round() {
+    let ds = dataset();
+    for seed in SEEDS {
+        let cfg = config(seed);
+        for system in BSP {
+            let dir = scratch_dir(&format!("bsp_{system:?}_{seed}"));
+            let reference = train_reference(system, &ds, &cfg, &dir);
+            for round in [2, 4] {
+                let resumed = resume_from(system, &ds, &cfg, &dir, round);
+                assert_identical(
+                    &reference,
+                    &resumed,
+                    &format!("{system} seed {seed} resumed at round {round}"),
+                );
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
+#[test]
+fn ps_replay_through_anchor_is_bit_exact() {
+    let ds = dataset();
+    for seed in SEEDS {
+        let cfg = config(seed);
+        for system in PS {
+            let dir = scratch_dir(&format!("ps_{system:?}_{seed}"));
+            let reference = train_reference(system, &ds, &cfg, &dir);
+            for clock in [2, 4] {
+                let resumed = resume_from(system, &ds, &cfg, &dir, clock);
+                assert_identical(
+                    &reference,
+                    &resumed,
+                    &format!("{system} seed {seed} replayed through anchor clock {clock}"),
+                );
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
+#[test]
+fn checkpoint_cadence_change_does_not_invalidate_resume() {
+    // The cadence is excluded from the config digest: stopping a run and
+    // resuming it with a different --checkpoint-every must work.
+    let ds = dataset();
+    let cfg = config(42);
+    let dir = scratch_dir("cadence");
+    let reference = train_reference(System::MllibStar, &ds, &cfg, &dir);
+    let recadenced = TrainConfig {
+        checkpoint_every: 3,
+        ..cfg
+    };
+    let resumed = resume_from(System::MllibStar, &ds, &recadenced, &dir, 2);
+    assert_identical(&reference, &resumed, "resume with new cadence");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn one_checkpoint() -> (Vec<u8>, SparseDataset, TrainConfig, PathBuf) {
+    let ds = dataset();
+    let cfg = config(42);
+    let dir = scratch_dir("corruption");
+    train_reference(System::MllibStar, &ds, &cfg, &dir);
+    let path = checkpoint_path(&dir, System::MllibStar, 4);
+    let bytes = std::fs::read(&path).unwrap();
+    (bytes, ds, cfg, dir)
+}
+
+#[test]
+fn corrupt_files_fail_with_the_right_variant() {
+    let (bytes, _ds, _cfg, dir) = one_checkpoint();
+
+    // Truncation at an arbitrary interior byte.
+    let err = TrainCheckpoint::decode(&bytes[..bytes.len() / 2]).unwrap_err();
+    assert!(
+        matches!(err, CodecError::Truncated { .. }),
+        "truncation: {err:?}"
+    );
+
+    // A single flipped bit deep in the payload.
+    let mut flipped = bytes.clone();
+    let idx = flipped.len() - 13;
+    flipped[idx] ^= 0x08;
+    let err = TrainCheckpoint::decode(&flipped).unwrap_err();
+    assert!(
+        matches!(err, CodecError::ChecksumMismatch { .. }),
+        "bit flip: {err:?}"
+    );
+
+    // A future codec version.
+    let mut versioned = bytes.clone();
+    versioned[4..8].copy_from_slice(&99u32.to_le_bytes());
+    let err = TrainCheckpoint::decode(&versioned).unwrap_err();
+    assert!(
+        matches!(err, CodecError::VersionMismatch { found: 99, .. }),
+        "version: {err:?}"
+    );
+
+    // Not one of our files at all.
+    let mut magic = bytes;
+    magic[0] ^= 0xFF;
+    let err = TrainCheckpoint::decode(&magic).unwrap_err();
+    assert!(matches!(err, CodecError::BadMagic(_)), "magic: {err:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mismatched_resumes_are_refused() {
+    let (bytes, ds, cfg, dir) = one_checkpoint();
+    let cluster = ClusterSpec::cluster1();
+    let ps = PsSystemConfig::default();
+    let angel = AngelConfig::default();
+    let read = || TrainCheckpoint::decode(&bytes).unwrap();
+
+    // The wrong system.
+    let err = System::Mllib
+        .resume(&ds, &cluster, &cfg, &ps, &angel, &dir, read())
+        .unwrap_err();
+    match err {
+        CheckpointError::WrongSystem { found, expected } => {
+            assert_eq!(found, "MLlib*");
+            assert_eq!(expected, "MLlib");
+        }
+        other => panic!("expected WrongSystem, got {other:?}"),
+    }
+
+    // A drifted hyperparameter.
+    let drifted = TrainConfig {
+        lr: LearningRate::Constant(0.02),
+        ..cfg.clone()
+    };
+    let err = System::MllibStar
+        .resume(&ds, &cluster, &drifted, &ps, &angel, &dir, read())
+        .unwrap_err();
+    assert!(
+        matches!(err, CheckpointError::ConfigMismatch { .. }),
+        "config drift: {err:?}"
+    );
+
+    // The wrong dataset: same shape, different content (the generator
+    // keys off its seed, not its label).
+    let mut other_gen = SyntheticConfig::small("ckpt-resume", 240, 30).with_seed(7);
+    other_gen.margin_noise = 0.05;
+    other_gen.flip_prob = 0.0;
+    let other_ds = other_gen.generate();
+    let err = System::MllibStar
+        .resume(&other_ds, &cluster, &cfg, &ps, &angel, &dir, read())
+        .unwrap_err();
+    assert!(
+        matches!(err, CheckpointError::DatasetMismatch),
+        "dataset swap: {err:?}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ps_replay_divergence_is_detected() {
+    // A PS anchor is only as good as the deterministic replay that must
+    // pass through it. Replaying on a different cluster (the cluster is
+    // not part of the config digest) produces a different trajectory, and
+    // the anchor check has to catch it rather than hand back a model from
+    // a run that never happened.
+    let ds = dataset();
+    let cfg = config(42);
+    let dir = scratch_dir("diverge");
+    train_reference(System::Petuum, &ds, &cfg, &dir);
+    let ckpt = TrainCheckpoint::read_file(&checkpoint_path(&dir, System::Petuum, 4)).unwrap();
+    let other_cluster = ClusterSpec::uniform(4, NodeSpec::standard(), NetworkSpec::gbps1());
+    let err = System::Petuum
+        .resume(
+            &ds,
+            &other_cluster,
+            &cfg,
+            &PsSystemConfig::default(),
+            &AngelConfig::default(),
+            &dir,
+            ckpt,
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, CheckpointError::ReplayDiverged { clock: 4 }),
+        "cluster swap: {err:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resumed_run_keeps_checkpointing() {
+    // Resuming at round 2 must re-write the later checkpoint files, and
+    // they must be byte-identical to the reference run's.
+    let ds = dataset();
+    let cfg = config(7);
+    let dir = scratch_dir("rewrites");
+    train_reference(System::MllibMa, &ds, &cfg, &dir);
+    let later = checkpoint_path(&dir, System::MllibMa, 4);
+    let original = std::fs::read(&later).unwrap();
+    std::fs::remove_file(&later).unwrap();
+
+    resume_from(System::MllibMa, &ds, &cfg, &dir, 2);
+    let rewritten = std::fs::read(&later).unwrap();
+    assert_eq!(original, rewritten, "round-4 checkpoint bytes differ");
+    std::fs::remove_dir_all(&dir).ok();
+}

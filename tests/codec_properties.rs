@@ -1,0 +1,151 @@
+//! Property tests on the shared binary codec (`mlstar-codec`) and the
+//! file formats built on it.
+//!
+//! The durable formats — model artifacts, registry snapshots, training
+//! checkpoints — all ride the same frame, so the properties are proved
+//! once at the codec layer: any payload round-trips exactly, any
+//! truncation point is detected, and any single flipped bit is refused
+//! (FNV-1a composes byte-injective steps with bijective mixing, so a
+//! one-byte change always changes the checksum). A final property checks
+//! the artifact layer end to end with adversarial weight bit patterns.
+
+use mllib_star::codec::{decode_frame, encode_frame, CodecError, Reader, Writer, HEADER_LEN};
+use mllib_star::core::TrainProvenance;
+use mllib_star::glm::GlmModel;
+use mllib_star::linalg::DenseVector;
+use mllib_star::serve::{DatasetFingerprint, ModelArtifact};
+use proptest::prelude::*;
+
+const MAGIC: u32 = 0x4D4C_5399; // tests-only magic
+const VERSION: u32 = 1;
+
+/// Deterministic pseudo-random bytes (splitmix-style), independent of the
+/// codec under test.
+fn bytes_from_seed(seed: u64, len: usize) -> Vec<u8> {
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 56) as u8
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every payload survives the frame untouched.
+    #[test]
+    fn frame_roundtrip_is_exact(seed in 0u64..10_000, len in 0usize..512) {
+        let payload = bytes_from_seed(seed, len);
+        let frame = encode_frame(MAGIC, VERSION, &payload);
+        prop_assert_eq!(frame.len(), HEADER_LEN + len);
+        let back = decode_frame(&frame, MAGIC, VERSION).unwrap();
+        prop_assert_eq!(back, &payload[..]);
+    }
+
+    /// Cutting a frame anywhere — header or payload — is always refused
+    /// as truncation, never misparsed.
+    #[test]
+    fn every_truncation_point_is_detected(seed in 0u64..10_000, len in 0usize..256, cut in 0usize..1000) {
+        let frame = encode_frame(MAGIC, VERSION, &bytes_from_seed(seed, len));
+        let cut = cut % frame.len();
+        let truncated = matches!(
+            decode_frame(&frame[..cut], MAGIC, VERSION),
+            Err(CodecError::Truncated { .. })
+        );
+        prop_assert!(truncated);
+    }
+
+    /// Any single flipped bit anywhere in the frame is refused. The exact
+    /// variant depends on where the flip lands (magic, version, length,
+    /// checksum, payload) — what matters is that nothing decodes.
+    #[test]
+    fn every_single_bit_flip_is_refused(
+        seed in 0u64..10_000,
+        len in 0usize..256,
+        pos in 0usize..1000,
+        bit in 0u32..8,
+    ) {
+        let mut frame = encode_frame(MAGIC, VERSION, &bytes_from_seed(seed, len));
+        let pos = pos % frame.len();
+        frame[pos] ^= 1 << bit;
+        prop_assert!(decode_frame(&frame, MAGIC, VERSION).is_err());
+    }
+
+    /// Writer → Reader preserves every field kind bit for bit, including
+    /// arbitrary `f64` bit patterns (negative zero, subnormals, NaNs).
+    #[test]
+    fn field_sequence_roundtrip(
+        a in 0u64..u64::MAX,
+        b in 0u64..u64::MAX,
+        str_len in 0usize..40,
+        blob_len in 0usize..128,
+        seed in 0u64..10_000,
+    ) {
+        let s: String = bytes_from_seed(seed, str_len)
+            .into_iter()
+            .map(|x| char::from(b'a' + x % 26))
+            .collect();
+        let blob = bytes_from_seed(seed.wrapping_add(1), blob_len);
+        let mut w = Writer::new();
+        w.put_u8(a as u8);
+        w.put_u16(a as u16);
+        w.put_u32(a as u32);
+        w.put_u64(a);
+        w.put_f64(f64::from_bits(b));
+        w.put_str16(&s);
+        w.put_blob64(&blob);
+        let payload = w.into_payload();
+
+        let mut r = Reader::new(&payload);
+        prop_assert_eq!(r.u8().unwrap(), a as u8);
+        prop_assert_eq!(r.u16().unwrap(), a as u16);
+        prop_assert_eq!(r.u32().unwrap(), a as u32);
+        prop_assert_eq!(r.u64().unwrap(), a);
+        prop_assert_eq!(r.f64().unwrap().to_bits(), b);
+        prop_assert_eq!(r.str16().unwrap(), s);
+        prop_assert_eq!(r.blob64().unwrap(), &blob[..]);
+        r.finish().unwrap();
+    }
+
+    /// The artifact codec end to end: adversarial weight bit patterns
+    /// (generated from raw u64s, so NaNs and subnormals appear) survive
+    /// encode/decode exactly, and a flipped bit in the body is caught.
+    #[test]
+    fn artifact_roundtrip_with_adversarial_weights(
+        dim in 1usize..48,
+        seed in 0u64..10_000,
+        flip in 0usize..1000,
+    ) {
+        let raw = bytes_from_seed(seed, dim * 8);
+        let weights: Vec<f64> = raw
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
+            .collect();
+        let artifact = ModelArtifact::new(
+            &GlmModel::from_weights(DenseVector::from_vec(weights.clone())),
+            DatasetFingerprint { features: dim, instances: 9, content_hash: seed },
+            TrainProvenance {
+                system: "MLlib*".into(),
+                seed,
+                rounds_run: 3,
+                total_updates: 99,
+                converged: false,
+                final_objective: None,
+                host_threads: 2,
+            },
+        )
+        .unwrap();
+        let mut encoded = artifact.encode();
+        let back = ModelArtifact::decode(&encoded).unwrap();
+        for (x, y) in weights.iter().zip(back.weights().as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let pos = HEADER_LEN + flip % (encoded.len() - HEADER_LEN);
+        encoded[pos] ^= 0x20;
+        prop_assert!(ModelArtifact::decode(&encoded).is_err());
+    }
+}

@@ -50,6 +50,54 @@ impl ChaCha12 {
         lo | (hi << 32)
     }
 
+    /// Exports the generator's exact position as an opaque 41-byte state:
+    /// the 32-byte key, the 64-bit block counter, and the index into the
+    /// current output block (`0..=16`), all little-endian.
+    ///
+    /// [`ChaCha12::restore_state`] rebuilds a generator that continues the
+    /// keystream bit-for-bit from this position.
+    pub fn export_state(&self) -> [u8; 41] {
+        let mut out = [0u8; 41];
+        for (i, word) in self.key.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out[32..40].copy_from_slice(&self.counter.to_le_bytes());
+        out[40] = self.idx as u8;
+        out
+    }
+
+    /// Rebuilds a generator from [`ChaCha12::export_state`].
+    ///
+    /// Returns `None` for states that no reachable generator can produce
+    /// (index past the block, or a counter of zero — construction always
+    /// generates the first block eagerly, so the live counter is ≥ 1).
+    pub fn restore_state(state: &[u8; 41]) -> Option<Self> {
+        let mut key = [0u32; 8];
+        for (i, chunk) in state[..32].chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        let counter = u64::from_le_bytes([
+            state[32], state[33], state[34], state[35], state[36], state[37], state[38], state[39],
+        ]);
+        let idx = state[40] as usize;
+        if idx > 16 || counter == 0 {
+            return None;
+        }
+        // Regenerate the current block by replaying `refill` at the
+        // previous counter value; refill recomputes `buf`, re-increments
+        // the counter back to `counter`, and resets `idx`, which we then
+        // advance to the saved position.
+        let mut rng = ChaCha12 {
+            key,
+            counter: counter.wrapping_sub(1),
+            buf: [0; 16],
+            idx: 16,
+        };
+        rng.refill();
+        rng.idx = idx;
+        Some(rng)
+    }
+
     fn refill(&mut self) {
         let mut state = [0u32; 16];
         state[..4].copy_from_slice(&CONSTANTS);
@@ -112,6 +160,33 @@ mod tests {
         let block1: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
         let block2: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
         assert_ne!(block1, block2);
+    }
+
+    #[test]
+    fn state_roundtrip_continues_the_keystream() {
+        // Restore mid-block, at a block boundary (idx 16), and right after
+        // construction; every position must continue bit-for-bit.
+        for draws in [0usize, 5, 16, 17, 40] {
+            let mut rng = ChaCha12::from_seed([3; 32]);
+            for _ in 0..draws {
+                rng.next_u32();
+            }
+            let mut restored = ChaCha12::restore_state(&rng.export_state()).unwrap();
+            let a: Vec<u32> = (0..48).map(|_| rng.next_u32()).collect();
+            let b: Vec<u32> = (0..48).map(|_| restored.next_u32()).collect();
+            assert_eq!(a, b, "diverged after {draws} draws");
+        }
+    }
+
+    #[test]
+    fn invalid_states_are_rejected() {
+        let rng = ChaCha12::from_seed([3; 32]);
+        let mut s = rng.export_state();
+        s[40] = 17; // index past the block
+        assert!(ChaCha12::restore_state(&s).is_none());
+        let mut s = rng.export_state();
+        s[32..40].copy_from_slice(&0u64.to_le_bytes()); // unreachable counter
+        assert!(ChaCha12::restore_state(&s).is_none());
     }
 
     #[test]
