@@ -505,10 +505,48 @@ mod tests {
 
     #[test]
     fn fnv_vector() {
-        // FNV-1a test vector: empty input hashes to the offset basis.
-        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
-        // "a" — published 64-bit FNV-1a value.
-        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        // Known-answer vectors from Noll's published 64-bit FNV-1a test
+        // suite. This is the workspace's single hash implementation
+        // (checkpoint digests, frame checksums, dataset fingerprints),
+        // so a silent constant or order change here corrupts everything.
+        let kat: &[(&[u8], u64)] = &[
+            // Empty input hashes to the offset basis.
+            (b"", 0xcbf2_9ce4_8422_2325),
+            (b"a", 0xaf63_dc4c_8601_ec8c),
+            (b"b", 0xaf63_df4c_8601_f1a5),
+            (b"foobar", 0x8594_4171_f739_67e8),
+            (b"hello", 0xa430_d846_80aa_bd0b),
+            (b"chongo was here!\n", 0x4681_0940_eff5_f915),
+            // Zero bytes must keep mixing, not fix the state.
+            (&[0u8; 8], 0xa8c7_f832_281a_39c5),
+        ];
+        for (input, expected) in kat {
+            assert_eq!(fnv1a(input), *expected, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn fnv_incremental_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let oneshot = fnv1a(data);
+        // Any chunking of the input must produce the same hash.
+        for split in [0, 1, 7, data.len() / 2, data.len()] {
+            let mut h = Fnv1a::new();
+            h.write(&data[..split]);
+            h.write(&data[split..]);
+            assert_eq!(h.finish(), oneshot, "split at {split}");
+        }
+        // `write_u64` is defined as the little-endian byte feed.
+        let mut a = Fnv1a::default();
+        a.write_u64(42);
+        assert_eq!(a.finish(), fnv1a(&42u64.to_le_bytes()));
+        assert_eq!(a.finish(), 0xff3a_dd6b_3789_daef);
+        // `finish` observes without consuming: further writes continue.
+        let mid = a.finish();
+        a.write(b"");
+        assert_eq!(a.finish(), mid);
+        a.write(b"x");
+        assert_ne!(a.finish(), mid);
     }
 
     #[test]

@@ -139,6 +139,7 @@ impl From<std::io::Error> for CheckpointError {
 pub(crate) fn config_digest(cfg: &TrainConfig) -> u64 {
     let canon = TrainConfig {
         checkpoint_every: 0,
+        checkpoint_keep: 0,
         ..cfg.clone()
     };
     fnv1a(format!("{canon:?}").as_bytes())
@@ -419,6 +420,40 @@ pub fn checkpoint_path(dir: &Path, system: System, round: u64) -> PathBuf {
     ))
 }
 
+/// Deletes all but the newest `keep` checkpoints for `system` in `dir`,
+/// by the round number encoded in the filename. Retention is per system:
+/// other systems' checkpoints in the same directory are untouched.
+/// `keep == 0` disables rotation (everything survives). Returns how many
+/// files were removed.
+pub fn prune_checkpoints(dir: &Path, system: System, keep: u64) -> Result<usize, std::io::Error> {
+    if keep == 0 {
+        return Ok(0);
+    }
+    let prefix = format!("{}-round-", system_slug(system.name()));
+    let mut rounds: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Some(stem) = name
+            .strip_prefix(&prefix)
+            .and_then(|s| s.strip_suffix(".ckpt"))
+        else {
+            continue;
+        };
+        if let Ok(round) = stem.parse::<u64>() {
+            rounds.push((round, path));
+        }
+    }
+    rounds.sort();
+    let excess = rounds.len().saturating_sub(keep as usize);
+    for (_, path) in rounds.drain(..excess) {
+        std::fs::remove_file(path)?;
+    }
+    Ok(excess)
+}
+
 /// Checkpointing instructions for one parameter-server run: where to
 /// write anchors (cadence from [`TrainConfig::checkpoint_every`]), which
 /// system to stamp, and optionally an anchor the deterministic replay
@@ -441,8 +476,8 @@ pub(crate) struct PsCkptRun<'a> {
 ///
 /// [`ClockTracer::on_clock`]: crate::engine::ClockTracer::on_clock
 pub(crate) struct PsCkptHook<'a> {
-    /// `(dir, system, fingerprint, digest, cadence)` when writing.
-    meta: Option<(&'a Path, System, DatasetFingerprint, u64, u64)>,
+    /// `(dir, system, fingerprint, digest, cadence, keep)` when writing.
+    meta: Option<(&'a Path, System, DatasetFingerprint, u64, u64, u64)>,
     verify: Option<PsAnchor>,
     diverged: Option<u64>,
     error: Option<CheckpointError>,
@@ -463,6 +498,7 @@ impl<'a> PsCkptHook<'a> {
                         DatasetFingerprint::of(ds),
                         config_digest(cfg),
                         cfg.checkpoint_every,
+                        cfg.checkpoint_keep,
                     )
                 });
                 (meta, verify)
@@ -508,7 +544,7 @@ impl<'a> PsCkptHook<'a> {
         if tracer.on_clock(clock, time, model) {
             return true;
         }
-        if let Some((dir, system, fingerprint, digest, cadence)) = &self.meta {
+        if let Some((dir, system, fingerprint, digest, cadence, keep)) = &self.meta {
             if clock > 0 && clock.is_multiple_of(*cadence) {
                 let ck = TrainCheckpoint {
                     system: system.name().to_string(),
@@ -522,6 +558,10 @@ impl<'a> PsCkptHook<'a> {
                     }),
                 };
                 if let Err(e) = ck.write_file(&checkpoint_path(dir, *system, clock)) {
+                    self.error = Some(e.into());
+                    return true;
+                }
+                if let Err(e) = prune_checkpoints(dir, *system, *keep) {
                     self.error = Some(e.into());
                     return true;
                 }
@@ -866,6 +906,11 @@ mod tests {
             ..base.clone()
         };
         assert_eq!(config_digest(&base), config_digest(&with_cadence));
+        let with_keep = TrainConfig {
+            checkpoint_keep: 3,
+            ..base.clone()
+        };
+        assert_eq!(config_digest(&base), config_digest(&with_keep));
         let different = TrainConfig {
             max_rounds: base.max_rounds + 1,
             ..base.clone()

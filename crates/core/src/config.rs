@@ -64,6 +64,12 @@ pub struct TrainConfig {
     /// checkpoint's config digest: changing the cadence must not
     /// invalidate an existing checkpoint.
     pub checkpoint_every: u64,
+    /// Keep only the newest this-many checkpoints on disk per system,
+    /// deleting older ones after each successful write. `0` (the default)
+    /// keeps everything. Like the cadence, retention changes neither the
+    /// math nor the simulated time, so it is excluded from the
+    /// checkpoint's config digest.
+    pub checkpoint_keep: u64,
     /// Experiment seed (drives partitioning, batch sampling, stragglers).
     pub seed: u64,
 }
@@ -84,6 +90,7 @@ impl Default for TrainConfig {
             ma_weighting: MaWeighting::Uniform,
             partition_skew: None,
             checkpoint_every: 0,
+            checkpoint_keep: 0,
             seed: 42,
         }
     }

@@ -493,6 +493,7 @@ pub(crate) fn run_rounds_ckpt<S: RoundStrategy>(
                     }),
                 };
                 ck.write_file(&checkpoint_path(dir, *system, rounds_run))?;
+                crate::checkpoint::prune_checkpoints(dir, *system, cfg.checkpoint_keep)?;
             }
         }
     }

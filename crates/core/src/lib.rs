@@ -58,7 +58,8 @@ mod trace;
 
 pub use angel::train_angel;
 pub use checkpoint::{
-    checkpoint_path, CheckpointError, TrainCheckpoint, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+    checkpoint_path, prune_checkpoints, CheckpointError, TrainCheckpoint, CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION,
 };
 pub use comparison::{Comparison, ComparisonReport, ComparisonRow};
 pub use config::{

@@ -15,6 +15,7 @@ use mlstar_linalg::{DenseVector, ScaledVector};
 /// Number of host threads for local passes (`MLSTAR_HOST_THREADS`,
 /// default 1).
 pub(crate) fn host_threads() -> usize {
+    // lint:allow(determinism_taint): thread count only changes wall-clock speed; shard merge order is fixed, so results are bit-identical at any setting
     std::env::var("MLSTAR_HOST_THREADS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())

@@ -132,6 +132,12 @@ impl Lbfgs {
         let mut trace = vec![(0u64, f)];
         let mut history: VecDeque<Correction> = VecDeque::with_capacity(cfg.history);
         let mut iterations = 0u64;
+        // Scratch buffers reused across iterations; `spare` recycles the
+        // storage of evicted correction pairs, so the steady state of the
+        // outer loop allocates nothing (hot_loop_alloc discipline).
+        let mut w_new = DenseVector::zeros(dim);
+        let mut grad_new = DenseVector::zeros(dim);
+        let mut spare: Option<(DenseVector, DenseVector)> = None;
 
         for iter in 0..cfg.max_iters {
             if grad.norm2() <= cfg.grad_tolerance {
@@ -144,7 +150,7 @@ impl Lbfgs {
             if dg >= 0.0 {
                 // Not a descent direction (possible with subgradients);
                 // fall back to steepest descent.
-                direction = grad.clone();
+                direction.copy_from(&grad);
                 direction.scale(-1.0);
                 dg = -grad.norm2_sq();
             }
@@ -152,10 +158,9 @@ impl Lbfgs {
             // Armijo backtracking.
             let mut step = 1.0;
             let mut accepted = false;
-            let mut w_new = w.clone();
             let mut f_new = f;
             for _ in 0..cfg.max_line_search {
-                w_new = w.clone();
+                w_new.copy_from(&w);
                 w_new.axpy(step, &direction);
                 f_new = eval_obj(&w_new, &mut evaluations);
                 if f_new <= f + cfg.c1 * step * dg {
@@ -169,28 +174,34 @@ impl Lbfgs {
                 break;
             }
 
-            let mut grad_new = DenseVector::zeros(dim);
             full_gradient(&w_new, &mut grad_new, &mut evaluations);
 
             // Store the correction pair if it has positive curvature.
-            let mut s = w_new.clone();
+            let (mut s, mut y) = spare
+                .take()
+                .unwrap_or_else(|| (DenseVector::zeros(dim), DenseVector::zeros(dim)));
+            s.copy_from(&w_new);
             s.axpy(-1.0, &w);
-            let mut y = grad_new.clone();
+            y.copy_from(&grad_new);
             y.axpy(-1.0, &grad);
             let sy = s.dot(&y);
             if sy > 1e-12 {
                 if history.len() == cfg.history {
-                    history.pop_front();
+                    if let Some(evicted) = history.pop_front() {
+                        spare = Some((evicted.s, evicted.y));
+                    }
                 }
                 history.push_back(Correction {
                     rho: 1.0 / sy,
                     s,
                     y,
                 });
+            } else {
+                spare = Some((s, y));
             }
 
-            w = w_new;
-            grad = grad_new;
+            std::mem::swap(&mut w, &mut w_new);
+            std::mem::swap(&mut grad, &mut grad_new);
             f = f_new;
             iterations = iter + 1;
             trace.push((iterations, f));
@@ -215,10 +226,12 @@ pub fn lbfgs_direction(grad: &DenseVector, pairs: &[(DenseVector, DenseVector)])
     for (s, y) in pairs {
         let sy = s.dot(y);
         if sy > 1e-12 {
+            // lint:allow(hot_loop_alloc): the owned history is built once per call (≤ history pairs), not per optimization step
+            let (s, y) = (s.clone(), y.clone());
             history.push_back(Correction {
                 rho: 1.0 / sy,
-                s: s.clone(),
-                y: y.clone(),
+                s,
+                y,
             });
         }
     }

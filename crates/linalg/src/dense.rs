@@ -143,6 +143,21 @@ impl DenseVector {
         }
     }
 
+    /// Copies `other`'s coordinates into `self`, keeping the allocation.
+    /// The allocation-free counterpart of `clone` for hot loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn copy_from(&mut self, other: &DenseVector) {
+        assert_eq!(
+            self.values.len(),
+            other.values.len(),
+            "copy_from dimension mismatch"
+        );
+        self.values.copy_from_slice(&other.values);
+    }
+
     /// Sets every coordinate to zero, keeping the allocation.
     pub fn clear(&mut self) {
         for v in &mut self.values {
@@ -295,6 +310,25 @@ mod tests {
         assert_eq!(v.norm1(), 7.0);
         assert_eq!(v.norm_inf(), 4.0);
         assert_eq!(v.count_nonzero(), 2);
+    }
+
+    #[test]
+    fn copy_from_reuses_the_allocation() {
+        let src = DenseVector::from_vec(vec![1.0, -0.0, f64::MAX]);
+        let mut dst = DenseVector::filled(3, 9.0);
+        let ptr = dst.as_slice().as_ptr();
+        dst.copy_from(&src);
+        assert_eq!(dst.as_slice().as_ptr(), ptr, "no reallocation");
+        for (a, b) in dst.as_slice().iter().zip(src.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "bit-exact copy");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "copy_from dimension mismatch")]
+    fn copy_from_panics_on_dim_mismatch() {
+        let mut dst = DenseVector::zeros(2);
+        dst.copy_from(&DenseVector::zeros(3));
     }
 
     #[test]

@@ -1,0 +1,14 @@
+//@ path: crates/codec/src/demo.rs
+//@ expect:
+
+//! FNV-1a lives in mlstar-codec by design; the duplicate-impl rule
+//! exempts this crate.
+
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}

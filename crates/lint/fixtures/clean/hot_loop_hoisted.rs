@@ -1,0 +1,14 @@
+//@ path: crates/linalg/src/demo.rs
+//@ expect:
+
+//! The scratch buffer is hoisted; the loop body only reuses it.
+
+pub fn row_norms(rows: &[Vec<f64>], out: &mut Vec<f64>) {
+    out.clear();
+    let mut scratch = Vec::with_capacity(rows.first().map_or(0, Vec::len));
+    for row in rows {
+        scratch.clear();
+        scratch.extend(row.iter().map(|v| v * v));
+        out.push(scratch.iter().sum::<f64>().sqrt());
+    }
+}

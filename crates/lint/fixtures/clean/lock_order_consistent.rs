@@ -1,0 +1,30 @@
+//@ path: crates/ps/src/demo.rs
+//@ expect:
+
+//! Both functions take the locks in the same order — no hierarchy
+//! violation.
+
+use std::sync::Mutex;
+
+pub struct Shards {
+    pub alpha: Mutex<u64>,
+    pub beta: Mutex<u64>,
+}
+
+pub fn credit(s: &Shards) -> u64 {
+    let a = s.alpha.lock();
+    let b = s.beta.lock();
+    match (a, b) {
+        (Ok(x), Ok(y)) => *x + *y,
+        _ => 0,
+    }
+}
+
+pub fn audit(s: &Shards) -> u64 {
+    let a = s.alpha.lock();
+    let b = s.beta.lock();
+    match (a, b) {
+        (Ok(x), Ok(y)) => (*x).max(*y),
+        _ => 0,
+    }
+}

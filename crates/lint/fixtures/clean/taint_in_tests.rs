@@ -1,0 +1,20 @@
+//@ path: crates/glm/src/demo.rs
+//@ expect:
+
+//! Sinks confined to #[cfg(test)] code never taint sim-critical APIs.
+
+pub fn stable_sum(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn helper_uses_hash_map_freely() {
+        let mut m = HashMap::new();
+        m.insert(1u64, 2u64);
+        assert_eq!(m.len(), 1);
+    }
+}

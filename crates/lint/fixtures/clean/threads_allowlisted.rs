@@ -1,0 +1,16 @@
+//@ path: crates/serve/src/engine.rs
+//@ expect:
+
+//! Scoped host-parallelism in an allowlisted module is accepted.
+
+pub fn fan_out(xs: &mut [u64]) {
+    std::thread::scope(|scope| {
+        for chunk in xs.chunks_mut(2) {
+            scope.spawn(move || {
+                for v in chunk.iter_mut() {
+                    *v += 1;
+                }
+            });
+        }
+    });
+}

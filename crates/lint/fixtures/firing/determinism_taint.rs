@@ -1,0 +1,21 @@
+//@ path: crates/glm/src/demo.rs
+//@ expect: determinism_taint
+
+//! Multi-hop taint: the sink sits three calls below the public API, and
+//! the diagnostic must name the whole chain.
+
+pub fn api_entry(keys: &[u64]) -> usize {
+    fold_stats(keys)
+}
+
+fn fold_stats(keys: &[u64]) -> usize {
+    bucket_keys(keys)
+}
+
+fn bucket_keys(keys: &[u64]) -> usize {
+    let mut table = std::collections::HashMap::new();
+    for k in keys {
+        table.insert(*k, ());
+    }
+    table.len()
+}

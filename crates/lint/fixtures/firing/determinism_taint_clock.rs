@@ -1,0 +1,15 @@
+//@ path: crates/core/src/demo.rs
+//@ expect: determinism_taint
+
+//! Wall-clock sink one call below a sim-critical public API.
+
+use std::time::Instant;
+
+pub fn paced_step(n: u64) -> f64 {
+    step_seconds(n)
+}
+
+fn step_seconds(_n: u64) -> f64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,13 @@
+//@ path: crates/data/src/demo.rs
+//@ expect: duplicate_hash_impl
+
+//! A private FNV-1a rewrite outside mlstar-codec.
+
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}

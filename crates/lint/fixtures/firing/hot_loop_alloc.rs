@@ -1,0 +1,13 @@
+//@ path: crates/linalg/src/demo.rs
+//@ expect: hot_loop_alloc
+
+//! Per-iteration allocation in a hot-path module.
+
+pub fn row_norms(rows: &[Vec<f64>]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        let copy = row.to_vec();
+        out.push(copy.iter().map(|v| v * v).sum::<f64>().sqrt());
+    }
+    out
+}

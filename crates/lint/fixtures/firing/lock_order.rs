@@ -1,0 +1,29 @@
+//@ path: crates/ps/src/demo.rs
+//@ expect: lock_order
+
+//! Two functions acquire the same pair of locks in opposite orders.
+
+use std::sync::Mutex;
+
+pub struct Shards {
+    pub alpha: Mutex<u64>,
+    pub beta: Mutex<u64>,
+}
+
+pub fn credit(s: &Shards) -> u64 {
+    let a = s.alpha.lock();
+    let b = s.beta.lock();
+    match (a, b) {
+        (Ok(x), Ok(y)) => *x + *y,
+        _ => 0,
+    }
+}
+
+pub fn audit(s: &Shards) -> u64 {
+    let b = s.beta.lock();
+    let a = s.alpha.lock();
+    match (a, b) {
+        (Ok(x), Ok(y)) => *x + *y,
+        _ => 0,
+    }
+}

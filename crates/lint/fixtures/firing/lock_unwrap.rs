@@ -1,0 +1,12 @@
+//@ path: crates/serve/src/demo.rs
+//@ expect: lock_unwrap
+
+//! `.lock().unwrap()` in library code hides poisoning behind a panic.
+
+use std::sync::Mutex;
+
+pub fn bump(counter: &Mutex<u64>) -> u64 {
+    let mut guard = counter.lock().unwrap();
+    *guard += 1;
+    *guard
+}

@@ -1,15 +1,20 @@
 //@ path: crates/ps/src/demo.rs
-//@ expect: std_hash, wall_clock, panic_in_lib, float_eq
+//@ expect: determinism_taint, lock_unwrap, panic_in_lib, float_eq
 
 use std::collections::HashMap;
+use std::sync::Mutex;
 use std::time::Instant;
 
-pub fn shard(keys: &[u64]) -> HashMap<u64, usize> {
+pub fn shard(keys: &[u64], gate: &Mutex<u64>) -> usize {
     let t0 = Instant::now();
-    let table: HashMap<u64, usize> = HashMap::new();
+    let mut table: HashMap<u64, usize> = HashMap::new();
+    for (pos, k) in keys.iter().enumerate() {
+        table.insert(*k, pos);
+    }
     let elapsed = t0.elapsed().as_secs_f64();
     if elapsed == 0.0 {
-        keys.first().copied().map(|k| k as usize).unwrap();
+        return keys.first().map(|k| *k as usize).unwrap();
     }
-    table
+    let guard = gate.lock().unwrap();
+    table.len() + *guard as usize
 }

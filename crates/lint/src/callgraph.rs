@@ -1,0 +1,363 @@
+//! Workspace call graph over the parsed function items.
+//!
+//! Resolution is name-based (module-path suffix matching) with no type
+//! inference: a `path::to::foo(…)` call resolves to the unique workspace
+//! function whose `[crate, modules…, (Type,) name]` path ends with the
+//! call's (normalized) segments; a bare `foo(…)` call prefers a match in
+//! the same file, then the same crate, then a unique global match; a
+//! `.method(…)` call resolves only when exactly one impl method in the
+//! workspace has that name. Ambiguous calls produce no edge — the graph
+//! under-approximates rather than guessing. Precision limits are
+//! documented in `DESIGN.md` §13.
+
+use std::collections::BTreeMap;
+
+use crate::parse::{Call, FnItem};
+use crate::FileUnit;
+
+/// One node of the call graph: a parsed function plus its file.
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub item: FnItem,
+    /// Workspace-relative path of the defining file.
+    pub file: String,
+}
+
+/// Reachability record produced by [`CallGraph::reach_from`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reach {
+    Unreached,
+    /// The node is itself a BFS root.
+    Root,
+    /// Reached via this parent node (shortest hop count; first root wins
+    /// ties deterministically).
+    Via(usize),
+}
+
+#[derive(Debug)]
+pub struct CallGraph {
+    pub nodes: Vec<Node>,
+    /// Resolved callee indices per node, sorted + deduped.
+    edges: Vec<Vec<usize>>,
+    pub edge_count: usize,
+}
+
+impl CallGraph {
+    /// Builds the graph over every parsed function in `units`. Node order
+    /// follows unit order then source order, so indices are deterministic
+    /// for a given file set.
+    pub fn build(units: &[FileUnit]) -> CallGraph {
+        let mut nodes: Vec<Node> = Vec::new();
+        for unit in units {
+            for item in &unit.items {
+                nodes.push(Node {
+                    item: item.clone(),
+                    file: unit.ctx.rel_path.clone(),
+                });
+            }
+        }
+
+        // Name indexes. `by_last_seg` covers every fn keyed by bare name;
+        // `methods` covers impl methods only.
+        let mut by_last_seg: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (idx, node) in nodes.iter().enumerate() {
+            by_last_seg
+                .entry(node.item.bare_name())
+                .or_default()
+                .push(idx);
+            if node.item.is_method() {
+                methods.entry(node.item.bare_name()).or_default().push(idx);
+            }
+        }
+
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        let mut edge_count = 0usize;
+        for caller in 0..nodes.len() {
+            let calls = nodes[caller].item.calls.clone();
+            for call in &calls {
+                if let Some(callee) = resolve(&nodes, &by_last_seg, &methods, caller, call) {
+                    edges[caller].push(callee);
+                }
+            }
+            edges[caller].sort_unstable();
+            edges[caller].dedup();
+            edge_count += edges[caller].len();
+        }
+
+        CallGraph {
+            nodes,
+            edges,
+            edge_count,
+        }
+    }
+
+    /// The innermost function containing `file:line`, if any.
+    pub fn fn_at(&self, file: &str, line: usize) -> Option<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.file == file && n.item.contains_line(line))
+            .max_by_key(|(_, n)| n.item.start_line)
+            .map(|(idx, _)| idx)
+    }
+
+    /// BFS from `roots`, recording shortest-path parents. Roots must be
+    /// sorted for deterministic tie-breaking.
+    pub fn reach_from(&self, roots: &[usize]) -> Vec<Reach> {
+        let mut reach = vec![Reach::Unreached; self.nodes.len()];
+        let mut queue = std::collections::VecDeque::new();
+        for &r in roots {
+            if reach[r] == Reach::Unreached {
+                reach[r] = Reach::Root;
+                queue.push_back(r);
+            }
+        }
+        while let Some(cur) = queue.pop_front() {
+            for &next in &self.edges[cur] {
+                if reach[next] == Reach::Unreached {
+                    reach[next] = Reach::Via(cur);
+                    queue.push_back(next);
+                }
+            }
+        }
+        reach
+    }
+
+    /// Walks parents back to a root: returns node indices root → … → idx.
+    /// Empty when `idx` is unreached.
+    pub fn path_to(&self, reach: &[Reach], idx: usize) -> Vec<usize> {
+        let mut path = Vec::new();
+        let mut cur = idx;
+        loop {
+            match reach[cur] {
+                Reach::Unreached => return Vec::new(),
+                Reach::Root => {
+                    path.push(cur);
+                    path.reverse();
+                    return path;
+                }
+                Reach::Via(parent) => {
+                    path.push(cur);
+                    cur = parent;
+                    // Defensive: parent chains are acyclic by construction,
+                    // but cap the walk anyway.
+                    if path.len() > self.nodes.len() {
+                        return Vec::new();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Normalizes a call path for suffix matching: strips leading
+/// `crate`/`self`/`super` qualifiers and maps `mlstar_<x>` crate names to
+/// the workspace's bare crate names.
+fn normalize_segs(segs: &[String]) -> Vec<String> {
+    let mut out: Vec<String> = segs
+        .iter()
+        .skip_while(|s| matches!(s.as_str(), "crate" | "self" | "super"))
+        .cloned()
+        .collect();
+    if let Some(first) = out.first_mut() {
+        if let Some(bare) = first.strip_prefix("mlstar_") {
+            *first = bare.to_string();
+        }
+    }
+    out
+}
+
+fn resolve(
+    nodes: &[Node],
+    by_last_seg: &BTreeMap<&str, Vec<usize>>,
+    methods: &BTreeMap<&str, Vec<usize>>,
+    caller: usize,
+    call: &Call,
+) -> Option<usize> {
+    match call {
+        Call::Method { name, .. } => {
+            let cands = methods.get(name.as_str())?;
+            if cands.len() == 1 {
+                Some(cands[0])
+            } else {
+                None
+            }
+        }
+        Call::Path { segs, .. } => {
+            let segs = normalize_segs(segs);
+            let last = segs.last()?;
+            let cands = by_last_seg.get(last.as_str())?;
+            let matching: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&idx| {
+                    let node = &nodes[idx];
+                    // A bare `foo()` never names an impl method directly.
+                    if segs.len() == 1 && node.item.is_method() {
+                        return false;
+                    }
+                    let path = node.item.path_segs();
+                    path.len() >= segs.len() && path[path.len() - segs.len()..] == segs[..]
+                })
+                .collect();
+            // Most-specific tier with exactly one candidate wins.
+            let same_file: Vec<usize> = matching
+                .iter()
+                .copied()
+                .filter(|&i| nodes[i].file == nodes[caller].file)
+                .collect();
+            let tier = if !same_file.is_empty() {
+                same_file
+            } else {
+                let same_crate: Vec<usize> = matching
+                    .iter()
+                    .copied()
+                    .filter(|&i| nodes[i].item.crate_name == nodes[caller].item.crate_name)
+                    .collect();
+                if !same_crate.is_empty() {
+                    same_crate
+                } else {
+                    matching
+                }
+            };
+            if tier.len() == 1 {
+                Some(tier[0])
+            } else {
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::classify;
+    use crate::parse::parse_file;
+    use crate::scanner::scan;
+
+    fn units(files: &[(&str, &str)]) -> Vec<FileUnit> {
+        files
+            .iter()
+            .map(|(path, src)| {
+                let ctx = classify(path).expect("policed path");
+                let lines = scan(src);
+                let items = parse_file(&ctx, &lines);
+                FileUnit {
+                    ctx,
+                    lines,
+                    items,
+                    waivers: Vec::new(),
+                }
+            })
+            .collect()
+    }
+
+    fn idx_of(g: &CallGraph, name: &str) -> usize {
+        g.nodes
+            .iter()
+            .position(|n| n.item.name == name)
+            .unwrap_or_else(|| panic!("no node named {name}"))
+    }
+
+    #[test]
+    fn bare_calls_resolve_within_file_then_crate() {
+        let u = units(&[
+            (
+                "crates/glm/src/a.rs",
+                "pub fn entry() {\n    helper();\n}\nfn helper() {}\n",
+            ),
+            ("crates/glm/src/b.rs", "fn helper() {}\n"),
+        ]);
+        let g = CallGraph::build(&u);
+        let entry = idx_of(&g, "entry");
+        let reach = g.reach_from(&[entry]);
+        // Same-file helper is reached; the b.rs twin is not.
+        let a_helper = g.fn_at("crates/glm/src/a.rs", 4).unwrap();
+        let b_helper = g.fn_at("crates/glm/src/b.rs", 1).unwrap();
+        assert!(matches!(reach[a_helper], Reach::Via(_)));
+        assert_eq!(reach[b_helper], Reach::Unreached);
+    }
+
+    #[test]
+    fn cross_crate_paths_resolve_with_mlstar_prefix() {
+        let u = units(&[
+            (
+                "crates/glm/src/a.rs",
+                "pub fn entry() {\n    mlstar_codec::pack(1);\n}\n",
+            ),
+            ("crates/codec/src/lib.rs", "pub fn pack(x: u32) {}\n"),
+        ]);
+        let g = CallGraph::build(&u);
+        let reach = g.reach_from(&[idx_of(&g, "entry")]);
+        assert!(matches!(reach[idx_of(&g, "pack")], Reach::Via(_)));
+    }
+
+    #[test]
+    fn ambiguous_calls_make_no_edge() {
+        let u = units(&[
+            (
+                "crates/glm/src/a.rs",
+                "pub fn entry() {\n    helper();\n}\n",
+            ),
+            ("crates/data/src/b.rs", "pub fn helper() {}\n"),
+            ("crates/serve/src/c.rs", "pub fn helper() {}\n"),
+        ]);
+        let g = CallGraph::build(&u);
+        assert_eq!(g.edge_count, 0);
+    }
+
+    #[test]
+    fn methods_resolve_only_when_globally_unique() {
+        let u = units(&[
+            (
+                "crates/glm/src/a.rs",
+                "pub fn entry(s: &S) {\n    s.step_once();\n    s.len();\n}\n",
+            ),
+            (
+                "crates/glm/src/b.rs",
+                "impl S {\n    pub fn step_once(&self) {}\n    pub fn len(&self) -> usize { 0 }\n}\n",
+            ),
+            (
+                "crates/data/src/c.rs",
+                "impl T {\n    pub fn len(&self) -> usize { 0 }\n}\n",
+            ),
+        ]);
+        let g = CallGraph::build(&u);
+        let reach = g.reach_from(&[idx_of(&g, "entry")]);
+        assert!(matches!(reach[idx_of(&g, "S::step_once")], Reach::Via(_)));
+        // `len` is defined on two types: no edge to either.
+        assert_eq!(reach[idx_of(&g, "S::len")], Reach::Unreached);
+        assert_eq!(reach[idx_of(&g, "T::len")], Reach::Unreached);
+    }
+
+    #[test]
+    fn path_to_walks_back_to_the_root() {
+        let u = units(&[(
+            "crates/glm/src/a.rs",
+            "pub fn a() { b(); }\nfn b() { c(); }\nfn c() {}\n",
+        )]);
+        let g = CallGraph::build(&u);
+        let reach = g.reach_from(&[idx_of(&g, "a")]);
+        let path = g.path_to(&reach, idx_of(&g, "c"));
+        let names: Vec<&str> = path
+            .iter()
+            .map(|&i| g.nodes[i].item.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn fn_at_picks_the_innermost_item() {
+        let u = units(&[(
+            "crates/glm/src/a.rs",
+            "pub fn outer() {\n    fn inner() {\n        work();\n    }\n    inner();\n}\n",
+        )]);
+        let g = CallGraph::build(&u);
+        let at = g.fn_at("crates/glm/src/a.rs", 3).unwrap();
+        assert_eq!(g.nodes[at].item.name, "inner");
+        let at5 = g.fn_at("crates/glm/src/a.rs", 5).unwrap();
+        assert_eq!(g.nodes[at5].item.name, "outer");
+    }
+}

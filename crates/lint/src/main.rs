@@ -58,9 +58,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 
 fn rule_summary(rule: RuleId) -> &'static str {
     match rule {
-        RuleId::StdHash => "HashMap/HashSet in sim-critical crates (use BTree collections)",
-        RuleId::WallClock => "Instant::now/SystemTime::now outside crates/bench",
+        RuleId::DeterminismTaint => {
+            "nondeterminism sink (HashMap/clock/env/thread-id) in or reachable from sim-critical APIs, with call path"
+        }
         RuleId::AmbientRand => "thread_rng/rand::random/from_entropy outside crates/bench",
+        RuleId::ThreadSpawn => "thread::spawn/scope outside allowlisted host-parallelism modules",
+        RuleId::LockUnwrap => ".lock().unwrap()/.expect( on a mutex in library code",
+        RuleId::LockOrder => "two functions acquire the same lock pair in opposite orders",
+        RuleId::HotLoopAlloc => "allocation inside a loop body in a hot-path module",
+        RuleId::DuplicateHashImpl => "private FNV-1a implementation outside mlstar-codec",
         RuleId::ForbidUnsafeMissing => "crate root missing #![forbid(unsafe_code)]",
         RuleId::PanicInLib => ".unwrap()/.expect( in non-test library code (waivable)",
         RuleId::FloatEq => "bare ==/!= against float literals/constants outside tests",
@@ -118,17 +124,19 @@ fn main() -> ExitCode {
     };
 
     if opts.json {
-        println!(
-            "{}",
-            report::json_report(&scan.violations, scan.files_scanned)
-        );
+        println!("{}", report::json_report(&scan));
     } else {
         for v in &scan.violations {
             println!("{}", report::human_line(v));
         }
+        let analysis_us: u128 = scan.timings.iter().map(|t| t.micros).sum();
         eprintln!(
-            "mlstar-lint: {} file(s) scanned, {} violation(s)",
+            "mlstar-lint: {} file(s), {} fn(s), {} call edge(s) scanned in {}.{:03}ms; {} violation(s)",
             scan.files_scanned,
+            scan.functions,
+            scan.edges,
+            analysis_us / 1000,
+            analysis_us % 1000,
             scan.violations.len()
         );
     }

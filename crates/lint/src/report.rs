@@ -2,20 +2,30 @@
 //! and a hand-rolled JSON mode (std-only — no serde in the analyzer).
 
 use crate::rules::Violation;
+use crate::ScanReport;
 
-/// Renders one violation as `file:line: [rule] message`.
+/// Renders one violation as `file:line: [rule] message`. Path-carrying
+/// rules embed the call chain in the message, so this line is the full
+/// story for humans and CI logs alike.
 pub fn human_line(v: &Violation) -> String {
     format!("{}:{}: [{}] {}", v.file, v.line, v.rule.name(), v.message)
 }
 
 /// Renders the full report as a JSON object:
-/// `{"files_scanned": N, "violations": [{"file", "line", "rule", "message"}…]}`.
-pub fn json_report(violations: &[Violation], files_scanned: usize) -> String {
+/// `{"files_scanned", "functions", "edges", "violation_count",
+///   "violations": [{"file", "line", "rule", "message", "path"}…],
+///   "timings_us": {"<pass>": N, …}}`.
+pub fn json_report(scan: &ScanReport) -> String {
     let mut out = String::from("{\n");
-    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
-    out.push_str(&format!("  \"violation_count\": {},\n", violations.len()));
+    out.push_str(&format!("  \"files_scanned\": {},\n", scan.files_scanned));
+    out.push_str(&format!("  \"functions\": {},\n", scan.functions));
+    out.push_str(&format!("  \"edges\": {},\n", scan.edges));
+    out.push_str(&format!(
+        "  \"violation_count\": {},\n",
+        scan.violations.len()
+    ));
     out.push_str("  \"violations\": [");
-    for (i, v) in violations.iter().enumerate() {
+    for (i, v) in scan.violations.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -23,13 +33,26 @@ pub fn json_report(violations: &[Violation], files_scanned: usize) -> String {
         out.push_str(&format!("\"file\": {}, ", json_string(&v.file)));
         out.push_str(&format!("\"line\": {}, ", v.line));
         out.push_str(&format!("\"rule\": {}, ", json_string(v.rule.name())));
-        out.push_str(&format!("\"message\": {}", json_string(&v.message)));
+        out.push_str(&format!("\"message\": {}, ", json_string(&v.message)));
+        let path: Vec<String> = v.path.iter().map(|p| json_string(p)).collect();
+        out.push_str(&format!("\"path\": [{}]", path.join(", ")));
         out.push('}');
     }
-    if !violations.is_empty() {
+    if !scan.violations.is_empty() {
         out.push_str("\n  ");
     }
-    out.push_str("]\n}\n");
+    out.push_str("],\n");
+    out.push_str("  \"timings_us\": {");
+    for (i, t) in scan.timings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    {}: {}", json_string(t.name), t.micros));
+    }
+    if !scan.timings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("}\n}\n");
     out
 }
 
@@ -56,34 +79,55 @@ fn json_string(s: &str) -> String {
 mod tests {
     use super::*;
     use crate::rules::RuleId;
+    use crate::PassTiming;
 
     fn sample() -> Violation {
         Violation {
             file: "crates/x/src/a.rs".to_string(),
             line: 7,
-            rule: RuleId::StdHash,
+            rule: RuleId::DeterminismTaint,
             message: "say \"no\" to\nHashMap".to_string(),
+            path: vec!["glm::train".to_string(), "HashMap".to_string()],
+        }
+    }
+
+    fn report_with(violations: Vec<Violation>) -> ScanReport {
+        ScanReport {
+            violations,
+            files_scanned: 3,
+            functions: 12,
+            edges: 5,
+            timings: vec![PassTiming {
+                name: "callgraph",
+                micros: 42,
+            }],
         }
     }
 
     #[test]
     fn human_line_format() {
-        assert!(human_line(&sample()).starts_with("crates/x/src/a.rs:7: [std_hash]"));
+        assert!(human_line(&sample()).starts_with("crates/x/src/a.rs:7: [determinism_taint]"));
     }
 
     #[test]
     fn json_escapes_quotes_and_newlines() {
-        let json = json_report(&[sample()], 3);
+        let json = json_report(&report_with(vec![sample()]));
         assert!(json.contains("\\\"no\\\""));
         assert!(json.contains("\\n"));
         assert!(json.contains("\"files_scanned\": 3"));
         assert!(json.contains("\"violation_count\": 1"));
+        assert!(json.contains("\"path\": [\"glm::train\", \"HashMap\"]"));
+        assert!(json.contains("\"functions\": 12"));
+        assert!(json.contains("\"callgraph\": 42"));
         assert!(!json.contains('\u{7}'));
     }
 
     #[test]
     fn empty_report_is_valid_json_shape() {
-        let json = json_report(&[], 10);
+        let mut r = report_with(Vec::new());
+        r.timings.clear();
+        let json = json_report(&r);
         assert!(json.contains("\"violations\": []"));
+        assert!(json.contains("\"timings_us\": {}"));
     }
 }

@@ -1,8 +1,10 @@
-//! The rule set and the per-file rule engine.
+//! The rule set and the per-file / per-workspace rule passes.
 //!
 //! Every rule operates on the scanner's blanked code channel, so tokens
-//! inside strings, chars, and comments never fire. Waivers are ordinary
-//! comments of the form:
+//! inside strings, chars, and comments never fire. Item-aware rules
+//! (taint, lock ordering, hot-loop allocation) additionally consult the
+//! parsed function items and the workspace call graph. Waivers are
+//! ordinary comments of the form:
 //!
 //! ```text
 //! // lint:allow(<rule>): <reason>
@@ -16,19 +18,32 @@
 
 use crate::context::{FileContext, FileRole};
 use crate::scanner::{self, Line};
+use crate::FileUnit;
 
 /// Identifier for one lint rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum RuleId {
-    /// `HashMap`/`HashSet` in sim-critical crate code (iteration order is
-    /// seeded per-process; BTree collections keep runs reproducible).
-    StdHash,
-    /// `Instant::now` / `SystemTime::now` outside the bench crate — the
-    /// simulation has its own virtual clock.
-    WallClock,
+    /// A nondeterminism source (default-hasher collection, wall clock,
+    /// env read, OS thread identity) in — or transitively reachable
+    /// from — sim-critical code. Diagnostics carry the call path from
+    /// the nearest sim-critical public API to the sink.
+    DeterminismTaint,
     /// `thread_rng` / `rand::random` / `from_entropy` outside the bench
     /// crate — all simulation randomness must flow through `SeedStream`.
     AmbientRand,
+    /// Raw `thread::spawn` / `thread::scope` outside the allowlisted
+    /// host-parallelism modules.
+    ThreadSpawn,
+    /// `.lock().unwrap()` / `.lock().expect(` on a mutex in library code.
+    LockUnwrap,
+    /// Two functions acquire the same pair of locks in opposite orders.
+    LockOrder,
+    /// Allocation (`Vec::new`, `vec!`, `.to_vec(`, `.clone(`, `.collect(`,
+    /// `format!`) inside a `for`/`while`/`loop` body in a designated
+    /// hot-path module.
+    HotLoopAlloc,
+    /// A private FNV-1a implementation outside `mlstar-codec`.
+    DuplicateHashImpl,
     /// Crate root missing `#![forbid(unsafe_code)]`.
     ForbidUnsafeMissing,
     /// `.unwrap()` / `.expect(` in non-test library code without a waiver.
@@ -46,9 +61,13 @@ pub enum RuleId {
 
 impl RuleId {
     pub const ALL: &'static [RuleId] = &[
-        RuleId::StdHash,
-        RuleId::WallClock,
+        RuleId::DeterminismTaint,
         RuleId::AmbientRand,
+        RuleId::ThreadSpawn,
+        RuleId::LockUnwrap,
+        RuleId::LockOrder,
+        RuleId::HotLoopAlloc,
+        RuleId::DuplicateHashImpl,
         RuleId::ForbidUnsafeMissing,
         RuleId::PanicInLib,
         RuleId::FloatEq,
@@ -59,9 +78,13 @@ impl RuleId {
     /// The name used in diagnostics and in `lint:allow(<name>)` waivers.
     pub fn name(self) -> &'static str {
         match self {
-            RuleId::StdHash => "std_hash",
-            RuleId::WallClock => "wall_clock",
+            RuleId::DeterminismTaint => "determinism_taint",
             RuleId::AmbientRand => "ambient_rand",
+            RuleId::ThreadSpawn => "thread_spawn",
+            RuleId::LockUnwrap => "lock_unwrap",
+            RuleId::LockOrder => "lock_order",
+            RuleId::HotLoopAlloc => "hot_loop_alloc",
+            RuleId::DuplicateHashImpl => "duplicate_hash_impl",
             RuleId::ForbidUnsafeMissing => "forbid_unsafe_missing",
             RuleId::PanicInLib => "panic_in_lib",
             RuleId::FloatEq => "float_eq",
@@ -75,84 +98,59 @@ impl RuleId {
     }
 }
 
-/// One diagnostic: a rule fired at a file:line.
+/// One diagnostic: a rule fired at a file:line. `path` carries the call
+/// chain for path-aware rules (`determinism_taint`), rendered as
+/// `crate::fn` display names ending with the sink token; it is empty for
+/// purely line-level findings.
 #[derive(Debug, Clone)]
 pub struct Violation {
     pub file: String,
     pub line: usize,
     pub rule: RuleId,
     pub message: String,
+    pub path: Vec<String>,
 }
 
 #[derive(Debug)]
-struct Waiver {
+pub(crate) struct Waiver {
     /// 1-based line the waiver comment sits on.
-    comment_line: usize,
+    pub(crate) comment_line: usize,
     /// 1-based line the waiver suppresses.
-    target_line: usize,
+    pub(crate) target_line: usize,
+    pub(crate) rule: RuleId,
+    pub(crate) used: bool,
+}
+
+/// Pushes a violation for `unit` unless a waiver covers it (marking the
+/// waiver used either way, so it does not read as stale).
+pub(crate) fn push(
+    unit: &mut FileUnit,
+    out: &mut Vec<Violation>,
+    lineno: usize,
     rule: RuleId,
-    used: bool,
-}
-
-/// Runs every applicable rule over one file's source text.
-pub fn check_file(ctx: &FileContext, source: &str) -> Vec<Violation> {
-    let lines = scanner::scan(source);
-    let mut out = Vec::new();
-
-    let (mut waivers, mut malformed) = collect_waivers(ctx, &lines);
-    out.append(&mut malformed);
-
-    check_forbid_unsafe(ctx, &lines, &mut out);
-
-    for (idx, line) in lines.iter().enumerate() {
-        let lineno = idx + 1;
-        let mut push = |rule: RuleId, message: String, waivers: &mut Vec<Waiver>| {
-            if let Some(w) = waivers
-                .iter_mut()
-                .find(|w| w.target_line == lineno && w.rule == rule)
-            {
-                w.used = true;
-                return;
-            }
-            out.push(Violation {
-                file: ctx.rel_path.clone(),
-                line: lineno,
-                rule,
-                message,
-            });
-        };
-
-        check_std_hash(ctx, line, lineno, &mut push, &mut waivers);
-        check_wall_clock(ctx, line, lineno, &mut push, &mut waivers);
-        check_ambient_rand(ctx, line, lineno, &mut push, &mut waivers);
-        check_panic_in_lib(ctx, line, lineno, &mut push, &mut waivers);
-        check_float_eq(ctx, line, lineno, &mut push, &mut waivers);
-        check_print_in_lib(ctx, line, lineno, &mut push, &mut waivers);
+    message: String,
+    path: Vec<String>,
+) {
+    if let Some(w) = unit
+        .waivers
+        .iter_mut()
+        .find(|w| w.target_line == lineno && w.rule == rule)
+    {
+        w.used = true;
+        return;
     }
-
-    for w in &waivers {
-        if !w.used {
-            out.push(Violation {
-                file: ctx.rel_path.clone(),
-                line: w.comment_line,
-                rule: RuleId::InvalidWaiver,
-                message: format!(
-                    "waiver for `{}` suppresses nothing; remove the stale comment",
-                    w.rule.name()
-                ),
-            });
-        }
-    }
-
-    out.sort_by_key(|v| (v.line, v.rule));
-    out
+    out.push(Violation {
+        file: unit.ctx.rel_path.clone(),
+        line: lineno,
+        rule,
+        message,
+        path,
+    });
 }
-
-type Push<'a> = dyn FnMut(RuleId, String, &mut Vec<Waiver>) + 'a;
 
 /// Parses `lint:allow(rule): reason` waivers out of the comment channel.
 /// Returns the usable waivers plus violations for malformed ones.
-fn collect_waivers(ctx: &FileContext, lines: &[Line]) -> (Vec<Waiver>, Vec<Violation>) {
+pub(crate) fn collect_waivers(ctx: &FileContext, lines: &[Line]) -> (Vec<Waiver>, Vec<Violation>) {
     let mut waivers = Vec::new();
     let mut bad = Vec::new();
     for (idx, line) in lines.iter().enumerate() {
@@ -192,6 +190,7 @@ fn collect_waivers(ctx: &FileContext, lines: &[Line]) -> (Vec<Waiver>, Vec<Viola
                 line: lineno,
                 rule: RuleId::InvalidWaiver,
                 message: why,
+                path: Vec::new(),
             }),
         }
     }
@@ -232,169 +231,468 @@ fn parse_waiver_tail(tail: &str) -> Result<RuleId, String> {
     Ok(rule)
 }
 
-fn check_forbid_unsafe(ctx: &FileContext, lines: &[Line], out: &mut Vec<Violation>) {
-    if !ctx.is_crate_root {
-        return;
-    }
-    let has = lines.iter().any(|l| {
-        let compact: String = l.code.chars().filter(|c| !c.is_whitespace()).collect();
-        compact.contains("#![forbid(unsafe_code)]")
-    });
-    if !has {
-        out.push(Violation {
-            file: ctx.rel_path.clone(),
-            line: 1,
-            rule: RuleId::ForbidUnsafeMissing,
-            message: "crate root must declare #![forbid(unsafe_code)]".to_string(),
+// ---------------------------------------------------------------------------
+// Per-file line-level passes
+// ---------------------------------------------------------------------------
+
+pub(crate) fn pass_forbid_unsafe(units: &mut [FileUnit], out: &mut Vec<Violation>) {
+    for unit in units.iter() {
+        if !unit.ctx.is_crate_root {
+            continue;
+        }
+        let has = unit.lines.iter().any(|l| {
+            let compact: String = l.code.chars().filter(|c| !c.is_whitespace()).collect();
+            compact.contains("#![forbid(unsafe_code)]")
         });
-    }
-}
-
-fn check_std_hash(
-    ctx: &FileContext,
-    line: &Line,
-    _lineno: usize,
-    push: &mut Push,
-    waivers: &mut Vec<Waiver>,
-) {
-    if !ctx.is_sim_critical() || line.in_test {
-        return;
-    }
-    if !matches!(ctx.role, FileRole::Lib | FileRole::Bin) {
-        return;
-    }
-    for token in ["HashMap", "HashSet"] {
-        if scanner::contains_word(&line.code, token) {
-            push(
-                RuleId::StdHash,
-                format!(
-                    "`{token}` in sim-critical crate `{}`: iteration order is seeded per-process; use BTreeMap/BTreeSet",
-                    ctx.crate_name
-                ),
-                waivers,
-            );
+        if !has {
+            out.push(Violation {
+                file: unit.ctx.rel_path.clone(),
+                line: 1,
+                rule: RuleId::ForbidUnsafeMissing,
+                message: "crate root must declare #![forbid(unsafe_code)]".to_string(),
+                path: Vec::new(),
+            });
         }
     }
 }
 
-fn check_wall_clock(
-    ctx: &FileContext,
-    line: &Line,
-    _lineno: usize,
-    push: &mut Push,
-    waivers: &mut Vec<Waiver>,
-) {
-    if ctx.is_timing_crate() || line.in_test {
-        return;
-    }
-    for token in ["Instant::now", "SystemTime::now"] {
-        if line.code.contains(token) {
-            push(
-                RuleId::WallClock,
-                format!("`{token}` outside crates/bench: simulated time must come from the virtual clock"),
-                waivers,
-            );
+pub(crate) fn pass_ambient_rand(units: &mut [FileUnit], out: &mut Vec<Violation>) {
+    for unit in units.iter_mut() {
+        if unit.ctx.is_timing_crate() {
+            continue;
+        }
+        for idx in 0..unit.lines.len() {
+            let lineno = idx + 1;
+            if unit.lines[idx].in_test {
+                continue;
+            }
+            let code = unit.lines[idx].code.clone();
+            for token in ["thread_rng", "from_entropy"] {
+                if scanner::contains_word(&code, token) {
+                    push(
+                        unit,
+                        out,
+                        lineno,
+                        RuleId::AmbientRand,
+                        format!(
+                            "`{token}` draws OS entropy: all randomness must flow through SeedStream"
+                        ),
+                        Vec::new(),
+                    );
+                }
+            }
+            if code.contains("rand::random") {
+                push(
+                    unit,
+                    out,
+                    lineno,
+                    RuleId::AmbientRand,
+                    "`rand::random` draws OS entropy: all randomness must flow through SeedStream"
+                        .to_string(),
+                    Vec::new(),
+                );
+            }
         }
     }
 }
 
-fn check_ambient_rand(
-    ctx: &FileContext,
-    line: &Line,
-    _lineno: usize,
-    push: &mut Push,
-    waivers: &mut Vec<Waiver>,
-) {
-    if ctx.is_timing_crate() || line.in_test {
-        return;
-    }
-    for token in ["thread_rng", "from_entropy"] {
-        if scanner::contains_word(&line.code, token) {
-            push(
-                RuleId::AmbientRand,
-                format!("`{token}` draws OS entropy: all randomness must flow through SeedStream"),
-                waivers,
-            );
+/// Modules allowed to touch raw threads: the two host-parallelism shims
+/// whose merge order is proven deterministic (fixed shard partitioning,
+/// ordered joins).
+pub const THREAD_ALLOWLIST: &[(&str, &str)] = &[("core", "local_pass"), ("serve", "engine")];
+
+pub(crate) fn pass_thread_spawn(units: &mut [FileUnit], out: &mut Vec<Violation>) {
+    for unit in units.iter_mut() {
+        if unit.ctx.is_timing_crate() || !matches!(unit.ctx.role, FileRole::Lib | FileRole::Bin) {
+            continue;
+        }
+        let module = file_module(&unit.ctx);
+        if THREAD_ALLOWLIST
+            .iter()
+            .any(|(c, m)| *c == unit.ctx.crate_name && *m == module)
+        {
+            continue;
+        }
+        for idx in 0..unit.lines.len() {
+            let lineno = idx + 1;
+            if unit.lines[idx].in_test {
+                continue;
+            }
+            let code = unit.lines[idx].code.clone();
+            for token in ["thread::spawn", "thread::scope"] {
+                if code.contains(token) {
+                    push(
+                        unit,
+                        out,
+                        lineno,
+                        RuleId::ThreadSpawn,
+                        format!(
+                            "`{token}` outside the allowlisted modules (core::local_pass, serve::engine): raw threads bypass the deterministic merge order"
+                        ),
+                        Vec::new(),
+                    );
+                }
+            }
         }
     }
-    if line.code.contains("rand::random") {
+}
+
+pub(crate) fn pass_lock_unwrap(units: &mut [FileUnit], out: &mut Vec<Violation>) {
+    for unit in units.iter_mut() {
+        if unit.ctx.role != FileRole::Lib {
+            continue;
+        }
+        for idx in 0..unit.lines.len() {
+            let lineno = idx + 1;
+            if unit.lines[idx].in_test {
+                continue;
+            }
+            let compact: String = unit.lines[idx]
+                .code
+                .chars()
+                .filter(|c| !c.is_whitespace())
+                .collect();
+            for pat in [".lock().unwrap()", ".lock().expect("] {
+                if compact.contains(pat) {
+                    push(
+                        unit,
+                        out,
+                        lineno,
+                        RuleId::LockUnwrap,
+                        format!(
+                            "`{pat}` in library code: a poisoned mutex is recoverable state, not a crash; match on the result or use `unwrap_or_else(|e| e.into_inner())`"
+                        ),
+                        Vec::new(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub(crate) fn pass_lock_order(units: &mut [FileUnit], out: &mut Vec<Violation>) {
+    use std::collections::BTreeMap;
+    // Acquisition sites of an ordered lock pair: (unit index, anchor line
+    // of the second acquisition, function display name).
+    type Sites = Vec<(usize, usize, String)>;
+    let mut pairs: BTreeMap<(String, String), Sites> = BTreeMap::new();
+    for (ui, unit) in units.iter().enumerate() {
+        if unit.ctx.is_timing_crate() {
+            continue;
+        }
+        for item in &unit.items {
+            if item.in_test || item.locks.len() < 2 {
+                continue;
+            }
+            // First-acquisition order of distinct locks.
+            let mut seq: Vec<(String, usize)> = Vec::new();
+            for l in &item.locks {
+                let key = lock_key(&unit.ctx.crate_name, item, &l.receiver);
+                if !seq.iter().any(|(k, _)| k == &key) {
+                    seq.push((key, l.line));
+                }
+            }
+            for i in 0..seq.len() {
+                for j in (i + 1)..seq.len() {
+                    pairs
+                        .entry((seq[i].0.clone(), seq[j].0.clone()))
+                        .or_default()
+                        .push((ui, seq[j].1, item.display()));
+                }
+            }
+        }
+    }
+    // A conflict exists when both (a, b) and (b, a) were observed.
+    let mut planned: Vec<(usize, usize, String)> = Vec::new();
+    for ((a, b), sites) in &pairs {
+        if a >= b {
+            continue;
+        }
+        let Some(rev_sites) = pairs.get(&(b.clone(), a.clone())) else {
+            continue;
+        };
+        let fwd_fns: Vec<&str> = sites.iter().map(|(_, _, f)| f.as_str()).collect();
+        let rev_fns: Vec<&str> = rev_sites.iter().map(|(_, _, f)| f.as_str()).collect();
+        for (ui, line, f) in sites {
+            planned.push((*ui, *line, format!(
+                "inconsistent lock order: `{f}` acquires `{a}` then `{b}`, but {} the opposite way — pick one global order",
+                join_fns(&rev_fns)
+            )));
+        }
+        for (ui, line, f) in rev_sites {
+            planned.push((*ui, *line, format!(
+                "inconsistent lock order: `{f}` acquires `{b}` then `{a}`, but {} the opposite way — pick one global order",
+                join_fns(&fwd_fns)
+            )));
+        }
+    }
+    for (ui, line, message) in planned {
         push(
-            RuleId::AmbientRand,
-            "`rand::random` draws OS entropy: all randomness must flow through SeedStream"
-                .to_string(),
-            waivers,
+            &mut units[ui],
+            out,
+            line,
+            RuleId::LockOrder,
+            message,
+            Vec::new(),
         );
     }
 }
 
-fn check_panic_in_lib(
-    ctx: &FileContext,
-    line: &Line,
-    _lineno: usize,
-    push: &mut Push,
-    waivers: &mut Vec<Waiver>,
-) {
-    if ctx.role != FileRole::Lib || line.in_test {
-        return;
-    }
-    if line.code.contains(".unwrap()") {
-        push(
-            RuleId::PanicInLib,
-            "`.unwrap()` in library code: propagate an error or waive with `// lint:allow(panic_in_lib): <reason>`".to_string(),
-            waivers,
-        );
-    }
-    if line.code.contains(".expect(") {
-        push(
-            RuleId::PanicInLib,
-            "`.expect(` in library code: propagate an error or waive with `// lint:allow(panic_in_lib): <reason>`".to_string(),
-            waivers,
-        );
+fn join_fns(fns: &[&str]) -> String {
+    let names: Vec<String> = fns.iter().map(|f| format!("`{f}`")).collect();
+    format!(
+        "{} acquire{} them",
+        names.join(", "),
+        if names.len() == 1 { "s" } else { "" }
+    )
+}
+
+/// Canonical name for a lock receiver: `self`-rooted chains are qualified
+/// by the impl type so distinct types' fields do not collide; everything
+/// is crate-qualified because receivers are matched by name only.
+fn lock_key(crate_name: &str, item: &crate::parse::FnItem, receiver: &str) -> String {
+    if receiver == "self" || receiver.starts_with("self.") {
+        let ty = if item.is_method() {
+            item.name.split("::").next().unwrap_or("_")
+        } else {
+            "_"
+        };
+        format!("{crate_name}::{ty}{}", &receiver["self".len()..])
+    } else {
+        format!("{crate_name}::{receiver}")
     }
 }
 
-fn check_float_eq(
-    ctx: &FileContext,
-    line: &Line,
-    _lineno: usize,
-    push: &mut Push,
-    waivers: &mut Vec<Waiver>,
-) {
-    if line.in_test || !matches!(ctx.role, FileRole::Lib | FileRole::Bin) {
-        return;
+/// Hot-path modules policed for per-iteration allocation. An empty module
+/// list means the whole crate.
+pub const HOT_PATH_MODULES: &[(&str, &[&str])] = &[
+    ("linalg", &[]),
+    ("glm", &["gradient", "lazy_l1", "lbfgs", "optimizer", "sgd"]),
+    ("serve", &["engine"]),
+];
+
+pub(crate) fn pass_hot_loop_alloc(units: &mut [FileUnit], out: &mut Vec<Violation>) {
+    for unit in units.iter_mut() {
+        if unit.ctx.role != FileRole::Lib {
+            continue;
+        }
+        let module = file_module(&unit.ctx);
+        let hot = HOT_PATH_MODULES.iter().any(|(c, mods)| {
+            *c == unit.ctx.crate_name && (mods.is_empty() || mods.contains(&module.as_str()))
+        });
+        if !hot {
+            continue;
+        }
+        let items = unit.items.clone();
+        for item in &items {
+            if item.in_test {
+                continue;
+            }
+            for &(start, end) in &item.loop_ranges {
+                for lineno in start..=end {
+                    let Some(line) = unit.lines.get(lineno - 1) else {
+                        continue;
+                    };
+                    if line.in_test {
+                        continue;
+                    }
+                    let code = line.code.clone();
+                    for token in ["Vec::new", ".to_vec(", ".clone(", ".collect(", "format!"] {
+                        if contains_alloc_token(&code, token) {
+                            push(
+                                unit,
+                                out,
+                                lineno,
+                                RuleId::HotLoopAlloc,
+                                format!(
+                                    "`{token}` allocates inside a loop in hot-path fn `{}`: hoist the buffer out of the loop or reuse scratch space",
+                                    item.display()
+                                ),
+                                Vec::new(),
+                            );
+                        }
+                    }
+                    if let Some(pos) = scanner::find_word(&code, "vec", 0) {
+                        if code[pos + 3..].starts_with('!') {
+                            push(
+                                unit,
+                                out,
+                                lineno,
+                                RuleId::HotLoopAlloc,
+                                format!(
+                                    "`vec!` allocates inside a loop in hot-path fn `{}`: hoist the buffer out of the loop or reuse scratch space",
+                                    item.display()
+                                ),
+                                Vec::new(),
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
-    let bytes = line.code.as_bytes();
-    let mut i = 0;
-    while i + 1 < bytes.len() {
-        let two = &bytes[i..i + 2];
-        let is_eq = two == b"==";
-        let is_ne = two == b"!=";
-        if !(is_eq || is_ne) {
-            i += 1;
+}
+
+/// Substring match with a word boundary before the token's first
+/// identifier character, so `SparseVec::new` does not match `Vec::new`.
+fn contains_alloc_token(code: &str, token: &str) -> bool {
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(token) {
+        let pos = from + rel;
+        let starts_ident = token
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+        if !starts_ident {
+            return true;
+        }
+        let boundary = pos == 0
+            || code[..pos]
+                .chars()
+                .next_back()
+                .is_none_or(|c| !c.is_ascii_alphanumeric() && c != '_' && c != ':');
+        if boundary {
+            return true;
+        }
+        from = pos + token.len();
+    }
+    false
+}
+
+pub(crate) fn pass_duplicate_hash_impl(units: &mut [FileUnit], out: &mut Vec<Violation>) {
+    for unit in units.iter_mut() {
+        if unit.ctx.crate_name == "codec" {
             continue;
         }
-        // Skip `<=`, `>=`, `===`-ish runs, and `x == =` never parses anyway.
-        let prev = if i > 0 { bytes[i - 1] } else { b' ' };
-        let next = bytes.get(i + 2).copied().unwrap_or(b' ');
-        if is_eq && (prev == b'=' || prev == b'<' || prev == b'>' || prev == b'!' || next == b'=') {
-            i += 2;
+        for idx in 0..unit.lines.len() {
+            let lineno = idx + 1;
+            if unit.lines[idx].in_test {
+                continue;
+            }
+            let code = unit.lines[idx].code.clone();
+            let fn_impl = scanner::find_word(&code, "fnv1a", 0)
+                .is_some_and(|pos| code[..pos].trim_end().ends_with("fn"));
+            let compact: String = code
+                .chars()
+                .filter(|c| !c.is_whitespace() && *c != '_')
+                .collect::<String>()
+                .to_ascii_lowercase();
+            let offset_const = compact.contains("0xcbf29ce484222325");
+            if fn_impl || offset_const {
+                push(
+                    unit,
+                    out,
+                    lineno,
+                    RuleId::DuplicateHashImpl,
+                    "FNV-1a implementation outside mlstar-codec: use `mlstar_codec::fnv1a` / `mlstar_codec::Fnv1a` so every fingerprint shares one audited hash"
+                        .to_string(),
+                    Vec::new(),
+                );
+            }
+        }
+    }
+}
+
+pub(crate) fn pass_panic_in_lib(units: &mut [FileUnit], out: &mut Vec<Violation>) {
+    for unit in units.iter_mut() {
+        if unit.ctx.role != FileRole::Lib {
             continue;
         }
-        if is_ne && next == b'=' {
-            i += 2;
+        for idx in 0..unit.lines.len() {
+            let lineno = idx + 1;
+            if unit.lines[idx].in_test {
+                continue;
+            }
+            // `.lock().unwrap()` / `.lock().expect(` belong to the
+            // `lock_unwrap` rule with poison-specific guidance; strip them
+            // so one line does not fire both rules.
+            let compact: String = unit.lines[idx]
+                .code
+                .chars()
+                .filter(|c| !c.is_whitespace())
+                .collect::<String>()
+                .replace(".lock().unwrap()", ".lock()")
+                .replace(".lock().expect(", ".lock()(");
+            if compact.contains(".unwrap()") {
+                push(
+                    unit,
+                    out,
+                    lineno,
+                    RuleId::PanicInLib,
+                    "`.unwrap()` in library code: propagate an error or waive with `// lint:allow(panic_in_lib): <reason>`".to_string(),
+                    Vec::new(),
+                );
+            }
+            if compact.contains(".expect(") {
+                push(
+                    unit,
+                    out,
+                    lineno,
+                    RuleId::PanicInLib,
+                    "`.expect(` in library code: propagate an error or waive with `// lint:allow(panic_in_lib): <reason>`".to_string(),
+                    Vec::new(),
+                );
+            }
+        }
+    }
+}
+
+pub(crate) fn pass_float_eq(units: &mut [FileUnit], out: &mut Vec<Violation>) {
+    for unit in units.iter_mut() {
+        if !matches!(unit.ctx.role, FileRole::Lib | FileRole::Bin) {
             continue;
         }
-        let left = &line.code[..i];
-        let right = &line.code[i + 2..];
-        if operand_is_floaty(left, true) || operand_is_floaty(right, false) {
-            let op = if is_eq { "==" } else { "!=" };
-            push(
-                RuleId::FloatEq,
-                format!("bare `{op}` against a float: compare with an epsilon or total ordering"),
-                waivers,
-            );
+        for idx in 0..unit.lines.len() {
+            let lineno = idx + 1;
+            if unit.lines[idx].in_test {
+                continue;
+            }
+            let code = unit.lines[idx].code.clone();
+            let bytes = code.as_bytes();
+            let mut i = 0;
+            while i + 1 < bytes.len() {
+                let two = &bytes[i..i + 2];
+                let is_eq = two == b"==";
+                let is_ne = two == b"!=";
+                if !(is_eq || is_ne) {
+                    i += 1;
+                    continue;
+                }
+                // Skip `<=`, `>=`, `===`-ish runs.
+                let prev = if i > 0 { bytes[i - 1] } else { b' ' };
+                let next = bytes.get(i + 2).copied().unwrap_or(b' ');
+                if is_eq
+                    && (prev == b'='
+                        || prev == b'<'
+                        || prev == b'>'
+                        || prev == b'!'
+                        || next == b'=')
+                {
+                    i += 2;
+                    continue;
+                }
+                if is_ne && next == b'=' {
+                    i += 2;
+                    continue;
+                }
+                let left = &code[..i];
+                let right = &code[i + 2..];
+                if operand_is_floaty(left, true) || operand_is_floaty(right, false) {
+                    let op = if is_eq { "==" } else { "!=" };
+                    push(
+                        unit,
+                        out,
+                        lineno,
+                        RuleId::FloatEq,
+                        format!(
+                            "bare `{op}` against a float: compare with an epsilon or total ordering"
+                        ),
+                        Vec::new(),
+                    );
+                }
+                i += 2;
+            }
         }
-        i += 2;
     }
 }
 
@@ -465,31 +763,57 @@ fn is_float_literal(token: &str) -> bool {
     seen_digit && seen_dot
 }
 
-fn check_print_in_lib(
-    ctx: &FileContext,
-    line: &Line,
-    _lineno: usize,
-    push: &mut Push,
-    waivers: &mut Vec<Waiver>,
-) {
-    if ctx.role != FileRole::Lib || line.in_test || ctx.is_timing_crate() {
-        return;
-    }
-    for token in ["println!", "print!"] {
-        if scanner::find_word(&line.code, token, 0).is_some() {
-            push(
-                RuleId::PrintInLib,
-                format!("`{token}` in library code: stdout belongs to binaries; use a return value or eprintln! for diagnostics"),
-                waivers,
-            );
-            break;
+pub(crate) fn pass_print_in_lib(units: &mut [FileUnit], out: &mut Vec<Violation>) {
+    for unit in units.iter_mut() {
+        if unit.ctx.role != FileRole::Lib || unit.ctx.is_timing_crate() {
+            continue;
+        }
+        for idx in 0..unit.lines.len() {
+            let lineno = idx + 1;
+            if unit.lines[idx].in_test {
+                continue;
+            }
+            let code = unit.lines[idx].code.clone();
+            for token in ["println!", "print!"] {
+                if scanner::find_word(&code, token, 0).is_some() {
+                    push(
+                        unit,
+                        out,
+                        lineno,
+                        RuleId::PrintInLib,
+                        format!(
+                            "`{token}` in library code: stdout belongs to binaries; use a return value or eprintln! for diagnostics"
+                        ),
+                        Vec::new(),
+                    );
+                    break;
+                }
+            }
         }
     }
+}
+
+/// The top-level file module of a path: `crates/core/src/local_pass.rs` →
+/// `local_pass`, `crates/glm/src/sgd.rs` → `sgd`, `src/lib.rs` → `lib`.
+pub(crate) fn file_module(ctx: &FileContext) -> String {
+    let rest = ctx
+        .rel_path
+        .strip_prefix("crates/")
+        .and_then(|t| t.split_once('/').map(|x| x.1))
+        .unwrap_or(&ctx.rel_path);
+    let in_src = rest.strip_prefix("src/").unwrap_or(rest);
+    in_src
+        .trim_end_matches(".rs")
+        .split('/')
+        .next()
+        .unwrap_or("")
+        .to_string()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::check_file;
     use crate::context::classify;
 
     fn check(path: &str, src: &str) -> Vec<Violation> {
@@ -510,15 +834,22 @@ mod tests {
         let src = "use std::collections::HashMap;\n";
         assert_eq!(
             rules_fired("crates/cluster/src/x.rs", src),
-            vec!["std_hash"]
+            vec!["determinism_taint"]
         );
         // `data` and `linalg` feed the simulation too, so they are held to
         // the same determinism bar.
-        assert_eq!(rules_fired("crates/data/src/x.rs", src), vec!["std_hash"]);
-        assert_eq!(rules_fired("crates/linalg/src/x.rs", src), vec!["std_hash"]);
-        // The host-side bench harness is exempt.
+        assert_eq!(
+            rules_fired("crates/data/src/x.rs", src),
+            vec!["determinism_taint"]
+        );
+        // Non-sim-critical crates only fire when the use is reachable from
+        // a sim-critical public API, which a lone `use` never is.
         assert_eq!(
             rules_fired("crates/bench/src/x.rs", src),
+            Vec::<&str>::new()
+        );
+        assert_eq!(
+            rules_fired("src/lib.rs", &format!("{ROOT_OK}{src}")),
             Vec::<&str>::new()
         );
     }
@@ -531,19 +862,140 @@ mod tests {
 
     #[test]
     fn wall_clock_fires_outside_bench() {
-        let src = "let t = std::time::Instant::now();\n";
-        assert_eq!(rules_fired("crates/core/src/x.rs", src), vec!["wall_clock"]);
+        let src = "fn t() -> std::time::Instant { std::time::Instant::now() }\n";
+        assert_eq!(
+            rules_fired("crates/core/src/x.rs", src),
+            vec!["determinism_taint"]
+        );
+        assert_eq!(
+            rules_fired("crates/lint/src/x.rs", src),
+            vec!["determinism_taint"]
+        );
+        assert!(rules_fired("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn taint_paths_span_call_chains() {
+        let src = "\
+pub fn api_entry(n: u64) -> u64 {\n    mid(n)\n}\n\
+fn mid(n: u64) -> u64 {\n    leaf(n)\n}\n\
+fn leaf(n: u64) -> u64 {\n    let m = std::collections::HashMap::new();\n    m.len() as u64 + n\n}\n";
+        let v = check("crates/glm/src/tainty.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RuleId::DeterminismTaint);
+        assert_eq!(
+            v[0].path,
+            vec!["glm::api_entry", "glm::mid", "glm::leaf", "HashMap"]
+        );
+        assert!(v[0]
+            .message
+            .contains("`glm::api_entry` → `glm::mid` → `glm::leaf`"));
+    }
+
+    #[test]
+    fn env_and_thread_id_are_taint_sinks() {
+        let src = "pub fn f() -> bool { std::env::var(\"X\").is_ok() }\n";
+        assert_eq!(
+            rules_fired("crates/core/src/x.rs", src),
+            vec!["determinism_taint"]
+        );
+        let src2 = "pub fn f() -> std::thread::ThreadId { std::thread::current().id() }\n";
+        assert_eq!(
+            rules_fired("crates/core/src/x.rs", src2),
+            vec!["determinism_taint"]
+        );
+        // Non-sim-critical crates may read the environment freely.
         assert!(rules_fired("crates/bench/src/x.rs", src).is_empty());
     }
 
     #[test]
     fn ambient_rand_fires_outside_bench() {
-        let src = "let mut rng = rand::thread_rng();\n";
+        let src = "fn f() { let mut rng = rand::thread_rng(); }\n";
         assert_eq!(
             rules_fired("crates/data/src/x.rs", src),
             vec!["ambient_rand"]
         );
         assert!(rules_fired("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_fires_outside_allowlist() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        assert_eq!(
+            rules_fired("crates/glm/src/x.rs", src),
+            vec!["thread_spawn"]
+        );
+        // Allowlisted modules and the bench crate are exempt.
+        assert!(rules_fired("crates/core/src/local_pass.rs", src).is_empty());
+        assert!(rules_fired("crates/serve/src/engine.rs", src).is_empty());
+        assert!(rules_fired("crates/bench/src/x.rs", src).is_empty());
+        // Test code may spawn threads.
+        assert!(rules_fired("crates/glm/tests/t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lock_unwrap_fires_instead_of_panic_in_lib() {
+        let src = "fn f(m: &std::sync::Mutex<u32>) { let g = m.lock().unwrap(); }\n";
+        assert_eq!(
+            rules_fired("crates/serve/src/x.rs", src),
+            vec!["lock_unwrap"]
+        );
+        let src2 = "fn f(m: &std::sync::Mutex<u32>) { let g = m.lock().expect(\"poisoned\"); }\n";
+        assert_eq!(
+            rules_fired("crates/serve/src/x.rs", src2),
+            vec!["lock_unwrap"]
+        );
+    }
+
+    #[test]
+    fn lock_order_conflicts_fire_on_both_functions() {
+        let src = "\
+fn ab(s: &S) {\n    let a = s.alpha.lock();\n    let b = s.beta.lock();\n}\n\
+fn ba(s: &S) {\n    let b = s.beta.lock();\n    let a = s.alpha.lock();\n}\n";
+        let v = check("crates/serve/src/x.rs", src);
+        let fired: Vec<_> = v.iter().map(|v| (v.rule.name(), v.line)).collect();
+        assert_eq!(fired, vec![("lock_order", 3), ("lock_order", 7)]);
+        assert!(v[0].message.contains("`serve::ba`"));
+    }
+
+    #[test]
+    fn consistent_lock_order_is_fine() {
+        let src = "\
+fn ab(s: &S) {\n    let a = s.alpha.lock();\n    let b = s.beta.lock();\n}\n\
+fn ab2(s: &S) {\n    let a = s.alpha.lock();\n    let b = s.beta.lock();\n}\n";
+        assert!(rules_fired("crates/serve/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hot_loop_alloc_fires_in_hot_modules_only() {
+        let src = "\
+pub fn kernel(rows: &[Vec<f64>]) -> f64 {\n    let mut acc = 0.0;\n    for r in rows {\n        let copy = r.to_vec();\n        acc += copy.len() as f64;\n    }\n    acc\n}\n";
+        assert_eq!(
+            rules_fired("crates/linalg/src/ops.rs", src),
+            vec!["hot_loop_alloc"]
+        );
+        assert_eq!(
+            rules_fired("crates/glm/src/sgd.rs", src),
+            vec!["hot_loop_alloc"]
+        );
+        // Cold modules of the same crates are exempt.
+        assert!(rules_fired("crates/glm/src/metrics.rs", src).is_empty());
+        assert!(rules_fired("crates/data/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hoisted_allocation_outside_the_loop_is_fine() {
+        let src = "\
+pub fn kernel(rows: &[Vec<f64>]) -> f64 {\n    let mut scratch = Vec::new();\n    let mut acc = 0.0;\n    for r in rows {\n        scratch.extend_from_slice(r);\n        acc += scratch.len() as f64;\n        scratch.clear();\n    }\n    acc\n}\n";
+        assert!(rules_fired("crates/linalg/src/ops.rs", src).is_empty());
+    }
+
+    #[test]
+    fn duplicate_hash_impl_fires_outside_codec() {
+        let src = "fn fnv1a(bytes: &[u8]) -> u64 {\n    let mut h = 0xcbf2_9ce4_8422_2325u64;\n    h\n}\n";
+        let fired = rules_fired("crates/data/src/x.rs", src);
+        assert_eq!(fired, vec!["duplicate_hash_impl", "duplicate_hash_impl"]);
+        assert!(rules_fired("crates/codec/src/x.rs", src).is_empty());
     }
 
     #[test]
@@ -604,7 +1056,7 @@ mod tests {
 
     #[test]
     fn waiver_for_wrong_rule_does_not_suppress() {
-        let src = "pub fn f() { x.unwrap(); } // lint:allow(std_hash): wrong rule\n";
+        let src = "pub fn f() { x.unwrap(); } // lint:allow(determinism_taint): wrong rule\n";
         let fired = rules_fired("crates/data/src/x.rs", src);
         // The unwrap still fires, and the waiver is stale (suppresses nothing).
         assert!(fired.contains(&"panic_in_lib"));
@@ -632,11 +1084,21 @@ mod tests {
     }
 
     #[test]
+    fn old_rule_names_in_waivers_are_invalid() {
+        let src = "// lint:allow(std_hash): superseded name\npub fn f() {}\n";
+        assert_eq!(
+            rules_fired("crates/data/src/x.rs", src),
+            vec!["invalid_waiver"]
+        );
+    }
+
+    #[test]
     fn prose_mentioning_waiver_syntax_is_not_a_waiver() {
         let src =
             "/// Waive with `// lint:allow(panic_in_lib): reason` if needed.\npub fn f() {}\n";
         assert!(rules_fired("crates/data/src/x.rs", src).is_empty());
-        let src2 = "//! ```text\n//! // lint:allow(std_hash): example\n//! ```\npub fn g() {}\n";
+        let src2 =
+            "//! ```text\n//! // lint:allow(determinism_taint): example\n//! ```\npub fn g() {}\n";
         assert!(rules_fired("crates/data/src/x.rs", src2).is_empty());
     }
 
@@ -711,5 +1173,13 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].line, 2);
         assert_eq!(v[0].file, "crates/glm/src/x.rs");
+    }
+
+    #[test]
+    fn file_module_extraction() {
+        let ctx = classify("crates/core/src/local_pass.rs").unwrap();
+        assert_eq!(file_module(&ctx), "local_pass");
+        let root = classify("src/lib.rs").unwrap();
+        assert_eq!(file_module(&root), "lib");
     }
 }

@@ -1,0 +1,204 @@
+//! Determinism taint: connects line-level nondeterminism *sinks* to the
+//! sim-critical public API surface through the workspace call graph, so a
+//! diagnostic names the whole chain —
+//!
+//! ```text
+//! `serve::score_shard` → `data::sample_rows` → `HashMap` [nondeterministic iteration order]
+//! ```
+//!
+//! Sink detection stays line-level (robust against anything the parser
+//! cannot see); the call graph adds the path and extends coverage to
+//! non-sim-critical code that sim-critical public APIs reach.
+//!
+//! Sinks and where they fire:
+//!
+//! * default-hasher `HashMap`/`HashSet` — lib/bin code of sim-critical
+//!   crates always; any other non-bench crate when the enclosing function
+//!   is reachable from a sim-critical public API
+//! * `Instant::now` / `SystemTime::now` — everywhere except crates/bench
+//! * `env::var` / `env::vars` / `env::var_os` — lib/bin code of
+//!   sim-critical crates (ambient process state)
+//! * `thread::current` — lib/bin code of sim-critical crates (OS thread
+//!   identity)
+
+use std::collections::BTreeMap;
+
+use crate::callgraph::CallGraph;
+use crate::context::{FileContext, FileRole};
+use crate::rules::{self, RuleId, Violation};
+use crate::scanner;
+use crate::FileUnit;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SinkKind {
+    Hash,
+    Clock,
+    Env,
+    ThreadId,
+}
+
+struct Sink {
+    token: &'static str,
+    kind: SinkKind,
+    /// Short bracketed tag appended to the path.
+    tag: &'static str,
+    /// Remedy appended to the message.
+    remedy: &'static str,
+}
+
+const SINKS: &[Sink] = &[
+    Sink {
+        token: "HashMap",
+        kind: SinkKind::Hash,
+        tag: "nondeterministic iteration order",
+        remedy: "use BTreeMap/BTreeSet",
+    },
+    Sink {
+        token: "HashSet",
+        kind: SinkKind::Hash,
+        tag: "nondeterministic iteration order",
+        remedy: "use BTreeMap/BTreeSet",
+    },
+    Sink {
+        token: "Instant::now",
+        kind: SinkKind::Clock,
+        tag: "wall clock",
+        remedy: "simulated time must come from the virtual clock",
+    },
+    Sink {
+        token: "SystemTime::now",
+        kind: SinkKind::Clock,
+        tag: "wall clock",
+        remedy: "simulated time must come from the virtual clock",
+    },
+    Sink {
+        token: "env::var",
+        kind: SinkKind::Env,
+        tag: "ambient environment",
+        remedy: "thread configuration through TrainConfig instead of process state",
+    },
+    Sink {
+        token: "thread::current",
+        kind: SinkKind::ThreadId,
+        tag: "OS thread identity",
+        remedy: "identify work by shard index, not by thread",
+    },
+];
+
+/// Runs the determinism-taint rule over every unit.
+pub(crate) fn pass_determinism_taint(
+    units: &mut [FileUnit],
+    graph: &CallGraph,
+    out: &mut Vec<Violation>,
+) {
+    let ctx_by_file: BTreeMap<&str, &FileContext> = units
+        .iter()
+        .map(|u| (u.ctx.rel_path.as_str(), &u.ctx))
+        .collect();
+
+    // Roots: public functions in sim-critical library code. Everything the
+    // simulation can invoke through a crate API starts here.
+    let roots: Vec<usize> = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| {
+            let Some(ctx) = ctx_by_file.get(n.file.as_str()) else {
+                return false;
+            };
+            ctx.is_sim_critical() && ctx.role == FileRole::Lib && n.item.is_pub && !n.item.in_test
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let reach = graph.reach_from(&roots);
+
+    for unit in units.iter_mut() {
+        if unit.ctx.is_timing_crate() {
+            continue;
+        }
+        let rel_path = unit.ctx.rel_path.clone();
+        for idx in 0..unit.lines.len() {
+            let lineno = idx + 1;
+            if unit.lines[idx].in_test {
+                continue;
+            }
+            let code = unit.lines[idx].code.clone();
+            for sink in SINKS {
+                let hit = match sink.kind {
+                    SinkKind::Hash => scanner::contains_word(&code, sink.token),
+                    _ => code.contains(sink.token),
+                };
+                if !hit {
+                    continue;
+                }
+                // Call path from the nearest sim-critical public API to
+                // the function enclosing the sink, when one exists.
+                let chain: Vec<String> = graph
+                    .fn_at(&rel_path, lineno)
+                    .map(|f| graph.path_to(&reach, f))
+                    .unwrap_or_default()
+                    .iter()
+                    .map(|&i| graph.nodes[i].item.display())
+                    .collect();
+
+                let lib_or_bin = matches!(unit.ctx.role, FileRole::Lib | FileRole::Bin);
+                let applies = match sink.kind {
+                    // Hash sinks: sim-critical lib/bin code always; other
+                    // crates only when sim-critical APIs reach them.
+                    SinkKind::Hash => {
+                        lib_or_bin && (unit.ctx.is_sim_critical() || !chain.is_empty())
+                    }
+                    // Wall clock: banned everywhere outside crates/bench.
+                    SinkKind::Clock => true,
+                    SinkKind::Env | SinkKind::ThreadId => lib_or_bin && unit.ctx.is_sim_critical(),
+                };
+                if !applies {
+                    continue;
+                }
+
+                let (message, mut path) = if chain.is_empty() {
+                    (
+                        format!(
+                            "`{}` {} [{}]: {}",
+                            sink.token,
+                            locality(sink.kind, &unit.ctx),
+                            sink.tag,
+                            sink.remedy
+                        ),
+                        Vec::new(),
+                    )
+                } else {
+                    let rendered: Vec<String> = chain.iter().map(|d| format!("`{d}`")).collect();
+                    (
+                        format!(
+                            "determinism taint: {} → `{}` [{}]; {}",
+                            rendered.join(" → "),
+                            sink.token,
+                            sink.tag,
+                            sink.remedy
+                        ),
+                        chain.clone(),
+                    )
+                };
+                if !path.is_empty() {
+                    path.push(sink.token.to_string());
+                }
+                rules::push(unit, out, lineno, RuleId::DeterminismTaint, message, path);
+            }
+        }
+    }
+}
+
+/// The "where/why" clause for pathless sink diagnostics.
+fn locality(kind: SinkKind, ctx: &FileContext) -> String {
+    match kind {
+        SinkKind::Hash => format!(
+            "in sim-critical crate `{}`: iteration order is seeded per-process",
+            ctx.crate_name
+        ),
+        SinkKind::Clock => "outside crates/bench".to_string(),
+        SinkKind::Env | SinkKind::ThreadId => {
+            format!("in sim-critical crate `{}`", ctx.crate_name)
+        }
+    }
+}

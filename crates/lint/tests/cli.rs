@@ -67,7 +67,7 @@ fn violations_exit_nonzero_with_file_line_diagnostics() {
     assert_eq!(out.status.code(), Some(1), "violations must exit 1");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
-        stdout.contains("crates/cluster/src/demo.rs:1: [std_hash]"),
+        stdout.contains("crates/cluster/src/demo.rs:1: [determinism_taint]"),
         "stdout was: {stdout}"
     );
 }
@@ -85,7 +85,7 @@ fn json_mode_emits_machine_readable_report() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.trim_start().starts_with('{'), "stdout was: {stdout}");
     assert!(
-        stdout.contains("\"rule\": \"std_hash\""),
+        stdout.contains("\"rule\": \"determinism_taint\""),
         "stdout was: {stdout}"
     );
     assert!(
@@ -110,7 +110,7 @@ fn help_and_list_rules_exit_zero() {
         let needle = if flag == "--help" {
             "USAGE"
         } else {
-            "std_hash"
+            "determinism_taint"
         };
         assert!(stdout.contains(needle), "{flag} stdout was: {stdout}");
     }

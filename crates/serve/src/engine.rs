@@ -197,6 +197,9 @@ impl ScoringEngine {
         let mut workers_free_at = SimTime::ZERO;
         let mut batch_index = 0u64;
         let mut start = 0usize;
+        // Reused across batches so the dispatch loop allocates only when a
+        // batch outgrows every previous one (hot_loop_alloc discipline).
+        let mut batch: Vec<&ScoreRequest> = Vec::new();
         while start < order.len() {
             // Form the next batch: grow while under max_batch and the next
             // request arrives before the deadline of the batch opener.
@@ -222,8 +225,8 @@ impl ScoringEngine {
                 .take_while(|&&i| requests[i].arrival <= close)
                 .count();
 
-            let batch: Vec<&ScoreRequest> =
-                order[start..end].iter().map(|&i| &requests[i]).collect();
+            batch.clear();
+            batch.extend(order[start..end].iter().map(|&i| &requests[i]));
             let (mut scored, score_s) = self.score_batch(&batch);
             let merge_s = self.cost.merge_per_result.as_secs_f64() * size as f64;
             // Merge by request id: shard outputs were concatenated in

@@ -104,12 +104,14 @@ fn print_help() {
     println!("           [--reg-l2 λ] [--eta η] [--rounds N] [--executors K]");
     println!("           [--batch-frac F] [--seed S] [--model-out <file.bin>]");
     println!("           [--checkpoint-every N --checkpoint-dir <dir>]");
-    println!("           [--resume <file.ckpt>]");
+    println!("           [--checkpoint-keep N] [--resume <file.ckpt>]");
     println!("  predict  --data <file.libsvm> --model <file.bin>");
     println!();
     println!("checkpointing: --checkpoint-every N writes a snapshot into");
     println!("--checkpoint-dir every N communication steps; --resume restores one");
     println!("and continues the run bit-identically to never having stopped.");
+    println!("--checkpoint-keep N rotates the directory, deleting all but the");
+    println!("newest N snapshots of the trained system (default 0 = keep all).");
     println!("The other train options must match the original run exactly.");
 }
 
@@ -172,6 +174,7 @@ fn cmd_train(opts: &Options) -> Result<(), String> {
     let batch_frac: f64 = opts.get_parsed("batch-frac", 0.01)?;
     let seed: u64 = opts.get_parsed("seed", 42)?;
     let checkpoint_every: u64 = opts.get_parsed("checkpoint-every", 0)?;
+    let checkpoint_keep: u64 = opts.get_parsed("checkpoint-keep", 0)?;
     if executors == 0 {
         return Err("--executors must be positive".into());
     }
@@ -185,6 +188,7 @@ fn cmd_train(opts: &Options) -> Result<(), String> {
         max_rounds: rounds,
         seed,
         checkpoint_every,
+        checkpoint_keep,
         ..TrainConfig::default()
     };
     let ps = PsSystemConfig::default();
@@ -428,6 +432,49 @@ mod tests {
             &first.to_string_lossy(),
         ]))
         .is_err());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_keep_rotates_via_cli() {
+        let dir = std::env::temp_dir().join("mlstar_cli_keep_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("tiny.libsvm").to_string_lossy().into_owned();
+        let ckpt_dir = dir.join("ckpts");
+
+        run(&args(&[
+            "generate", "--preset", "avazu", "--out", &data, "--scale", "256",
+        ]))
+        .expect("generate");
+        run(&args(&[
+            "train",
+            "--data",
+            &data,
+            "--system",
+            "star",
+            "--rounds",
+            "6",
+            "--executors",
+            "4",
+            "--checkpoint-every",
+            "2",
+            "--checkpoint-keep",
+            "1",
+            "--checkpoint-dir",
+            &ckpt_dir.to_string_lossy(),
+        ]))
+        .expect("rotated train");
+
+        // Cadence 2 over 6 rounds writes rounds 2, 4, 6; keep=1 leaves
+        // only the newest on disk.
+        let names: Vec<String> = std::fs::read_dir(&ckpt_dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".ckpt"))
+            .collect();
+        assert_eq!(names, vec!["mllib-star-round-00006.ckpt".to_string()]);
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -344,3 +344,107 @@ fn resumed_run_keeps_checkpointing() {
     assert_eq!(original, rewritten, "round-4 checkpoint bytes differ");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+fn snapshots_on_disk(dir: &Path) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".ckpt"))
+        .collect();
+    names.sort();
+    names
+}
+
+#[test]
+fn checkpoint_keep_retains_only_the_newest_snapshots() {
+    // keep=2 with cadence 2 over 6 rounds must leave exactly the two
+    // newest checkpoints — the same files an unrotated run would have
+    // written last — without changing the run itself. Exercises both the
+    // BSP write path and the PS anchor hook.
+    let ds = dataset();
+    for system in [System::MllibStar, System::Petuum] {
+        let all_dir = scratch_dir(&format!("keep_all_{system:?}"));
+        let cfg = config(42);
+        let reference = train_reference(system, &ds, &cfg, &all_dir);
+        let all = snapshots_on_disk(&all_dir);
+        assert!(
+            all.len() > 2,
+            "{system}: need interior checkpoints to rotate, got {all:?}"
+        );
+
+        let kept_dir = scratch_dir(&format!("keep_two_{system:?}"));
+        let rotated_cfg = TrainConfig {
+            checkpoint_keep: 2,
+            ..cfg
+        };
+        let rotated = train_reference(system, &ds, &rotated_cfg, &kept_dir);
+        assert_identical(
+            &reference,
+            &rotated,
+            &format!("{system}: rotation must not change the run"),
+        );
+        let kept = snapshots_on_disk(&kept_dir);
+        assert_eq!(
+            kept,
+            all[all.len() - 2..].to_vec(),
+            "{system}: exactly the newest two snapshots survive"
+        );
+
+        // An interior survivor still resumes bit-exactly.
+        let resumed = resume_from(system, &ds, &rotated_cfg, &kept_dir, 4);
+        assert_identical(
+            &reference,
+            &resumed,
+            &format!("{system}: resume from a rotated directory"),
+        );
+        std::fs::remove_dir_all(&all_dir).ok();
+        std::fs::remove_dir_all(&kept_dir).ok();
+    }
+}
+
+#[test]
+fn checkpoint_keep_change_does_not_invalidate_resume() {
+    // Retention, like cadence, is excluded from the config digest: a
+    // checkpoint written without rotation resumes under --checkpoint-keep.
+    let ds = dataset();
+    let cfg = config(42);
+    let dir = scratch_dir("keep_digest");
+    let reference = train_reference(System::MllibStar, &ds, &cfg, &dir);
+    let rekept = TrainConfig {
+        checkpoint_keep: 1,
+        ..cfg
+    };
+    let resumed = resume_from(System::MllibStar, &ds, &rekept, &dir, 4);
+    assert_identical(&reference, &resumed, "resume with rotation enabled");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pruning_is_per_system_and_ignores_foreign_files() {
+    use mllib_star::core::prune_checkpoints;
+
+    let dir = scratch_dir("prune_scope");
+    for round in [2u64, 4, 6] {
+        std::fs::write(checkpoint_path(&dir, System::MllibStar, round), b"a").unwrap();
+        std::fs::write(checkpoint_path(&dir, System::Petuum, round), b"b").unwrap();
+    }
+    std::fs::write(dir.join("notes.txt"), b"not a checkpoint").unwrap();
+    std::fs::write(dir.join("mllib-star-round-xyz.ckpt"), b"unparseable").unwrap();
+
+    let removed = prune_checkpoints(&dir, System::MllibStar, 1).unwrap();
+    assert_eq!(removed, 2, "two old MLlib* snapshots pruned");
+    let names = snapshots_on_disk(&dir);
+    assert!(names.contains(&"mllib-star-round-00006.ckpt".to_string()));
+    assert!(!names.contains(&"mllib-star-round-00002.ckpt".to_string()));
+    assert!(!names.contains(&"mllib-star-round-00004.ckpt".to_string()));
+    // The other system's snapshots and non-checkpoint files are untouched.
+    for round in [2u64, 4, 6] {
+        assert!(checkpoint_path(&dir, System::Petuum, round).exists());
+    }
+    assert!(dir.join("notes.txt").exists());
+    assert!(dir.join("mllib-star-round-xyz.ckpt").exists());
+    // keep=0 is a no-op.
+    assert_eq!(prune_checkpoints(&dir, System::Petuum, 0).unwrap(), 0);
+    assert_eq!(snapshots_on_disk(&dir).len(), 5);
+    std::fs::remove_dir_all(&dir).ok();
+}
