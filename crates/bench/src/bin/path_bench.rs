@@ -1,0 +1,243 @@
+//! Exercises the cross-validated lambda-path workload end to end: solves
+//! a warm-started coordinate-descent λ path over K folds, schedules the
+//! fold chains as parallel round-engine jobs at several executor counts,
+//! and reports the per-λ validation curve plus scheduling telemetry.
+//!
+//! The executor sweep doubles as a live determinism check: fold models,
+//! validation curves and the chosen λ must be bit-identical at every
+//! executor count — only the simulated timeline may change.
+
+use std::time::Instant;
+
+use mlstar_bench::report::{self, PathCvSummary, Table};
+use mlstar_core::{cross_validate_path, CvConfig, CvResult};
+use mlstar_data::{catalog, SyntheticConfig};
+use mlstar_glm::{Loss, PathConfig};
+use mlstar_sim::{ClusterSpec, NetworkSpec, NodeSpec};
+
+fn usage(code: i32) -> ! {
+    println!("path_bench: K-fold cross-validated λ paths as a cluster workload");
+    println!();
+    println!("USAGE:");
+    println!("    cargo run --release -p mlstar-bench --bin path_bench -- [OPTIONS]");
+    println!();
+    println!("OPTIONS:");
+    println!("    --dataset <name>   synthetic (default), avazu, url, kddb, kdd12");
+    println!("    --folds <k>        cross-validation folds (default 5)");
+    println!("    --lambdas <n>      grid size (default 20)");
+    println!("    --l1-ratio <a>     elastic-net ℓ₁ ratio in [0,1] (default 1.0)");
+    println!("    --smoke            tiny CI configuration (5-λ path, 3 folds)");
+    println!("    --json             also write the telemetry as a JSON artifact");
+    println!("    -h, --help         this message");
+    println!();
+    println!("Writes artifacts to bench_results/ (override with MLSTAR_OUT).");
+    std::process::exit(code);
+}
+
+struct Args {
+    dataset: String,
+    folds: usize,
+    n_lambdas: usize,
+    l1_ratio: f64,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        dataset: "synthetic".to_owned(),
+        folds: 5,
+        n_lambdas: 20,
+        l1_ratio: 1.0,
+        smoke: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |args: &[String], i: usize, what: &str| -> String {
+        args.get(i).cloned().unwrap_or_else(|| {
+            eprintln!("path_bench: {what} needs a value");
+            std::process::exit(2);
+        })
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "-h" | "--help" => usage(0),
+            "--json" => report::set_json_mode(true),
+            "--smoke" => out.smoke = true,
+            "--dataset" => {
+                i += 1;
+                out.dataset = value(&args, i, "--dataset");
+            }
+            "--folds" => {
+                i += 1;
+                out.folds = value(&args, i, "--folds").parse().unwrap_or_else(|_| {
+                    eprintln!("path_bench: --folds needs a positive integer");
+                    std::process::exit(2);
+                });
+            }
+            "--lambdas" => {
+                i += 1;
+                out.n_lambdas = value(&args, i, "--lambdas").parse().unwrap_or_else(|_| {
+                    eprintln!("path_bench: --lambdas needs a positive integer");
+                    std::process::exit(2);
+                });
+            }
+            "--l1-ratio" => {
+                i += 1;
+                out.l1_ratio = value(&args, i, "--l1-ratio").parse().unwrap_or_else(|_| {
+                    eprintln!("path_bench: --l1-ratio needs a number in [0,1]");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("path_bench: unexpected argument {other:?} (see --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if out.smoke {
+        out.folds = 3;
+        out.n_lambdas = 5;
+    }
+    out
+}
+
+fn load_dataset(name: &str, smoke: bool) -> mlstar_data::SparseDataset {
+    let preset = match name {
+        "synthetic" if smoke => SyntheticConfig::small("path-bench-smoke", 120, 24),
+        "synthetic" => SyntheticConfig::small("path-bench", 1500, 96),
+        "avazu" => catalog::avazu_like().scaled_down(20_000),
+        "url" => catalog::url_like().scaled_down(20_000),
+        "kddb" => catalog::kddb_like().scaled_down(200_000),
+        "kdd12" => catalog::kdd12_like().scaled_down(200_000),
+        other => {
+            eprintln!("path_bench: unknown dataset {other:?} (see --help)");
+            std::process::exit(2);
+        }
+    };
+    preset.generate()
+}
+
+/// The pieces of a [`CvResult`] that must not depend on the cluster.
+#[derive(Debug, PartialEq)]
+struct ModelFingerprint {
+    weight_bits: Vec<u64>,
+    loss_bits: Vec<u64>,
+    best_lambda_idx: usize,
+}
+
+fn model_fingerprint(cv: &CvResult) -> ModelFingerprint {
+    ModelFingerprint {
+        weight_bits: cv
+            .folds
+            .iter()
+            .flat_map(|f| f.points.iter())
+            .flat_map(|p| p.weights.as_slice().iter().map(|w| w.to_bits()))
+            .collect(),
+        loss_bits: cv.mean_val_loss.iter().map(|l| l.to_bits()).collect(),
+        best_lambda_idx: cv.best_lambda_idx,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let ds = load_dataset(&args.dataset, args.smoke);
+    report::banner(&format!(
+        "path_bench — {}: {} examples × {} features, {} folds × {} λs (α={})",
+        args.dataset,
+        ds.len(),
+        ds.num_features(),
+        args.folds,
+        args.n_lambdas,
+        args.l1_ratio,
+    ));
+
+    let cfg = CvConfig {
+        loss: Loss::Logistic,
+        folds: args.folds,
+        path: PathConfig {
+            n_lambdas: args.n_lambdas,
+            l1_ratio: args.l1_ratio,
+            ..PathConfig::default()
+        },
+        seed: 42,
+    };
+    let executor_sweep: &[usize] = if args.smoke { &[2, 4] } else { &[2, 4, 8] };
+
+    let mut table = Table::new(&[
+        "executors",
+        "jobs",
+        "rounds",
+        "sweeps",
+        "best λ",
+        "val loss",
+        "makespan",
+        "wall ms",
+    ]);
+    let mut summaries: Vec<(String, PathCvSummary)> = Vec::new();
+    let mut baseline: Option<(ModelFingerprint, CvResult)> = None;
+    for &executors in executor_sweep {
+        let cluster = ClusterSpec::uniform(executors, NodeSpec::standard(), NetworkSpec::gbps1());
+        let wall = Instant::now();
+        let cv = cross_validate_path(&ds, &cluster, &cfg).expect("cross-validated path");
+        let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+        let fp = model_fingerprint(&cv);
+        match &baseline {
+            None => baseline = Some((fp, cv.clone())),
+            Some((b, _)) => assert_eq!(
+                b, &fp,
+                "fold models, validation curves and best λ must be bit-identical \
+                 across executor counts"
+            ),
+        }
+        let total_sweeps: usize = cv.jobs.iter().map(|j| j.sweeps).sum();
+        table.row(&[
+            executors.to_string(),
+            cv.jobs.len().to_string(),
+            cv.round_phases.len().to_string(),
+            total_sweeps.to_string(),
+            format!("{:.5}", cv.best_lambda),
+            format!("{:.5}", cv.mean_val_loss[cv.best_lambda_idx]),
+            format!("{:.3}s", cv.makespan_s),
+            format!("{wall_ms:.1}"),
+        ]);
+        summaries.push((
+            format!("executors={executors}"),
+            PathCvSummary {
+                executors,
+                folds: cfg.folds,
+                n_lambdas: cv.lambdas.len(),
+                l1_ratio: cfg.path.l1_ratio,
+                lambda_max: cv.lambda_max,
+                best_lambda: cv.best_lambda,
+                best_lambda_idx: cv.best_lambda_idx,
+                best_val_loss: cv.mean_val_loss[cv.best_lambda_idx],
+                total_sweeps,
+                jobs: cv.jobs.len(),
+                makespan_s: cv.makespan_s,
+                wall_ms,
+            },
+        ));
+    }
+    table.print();
+    println!("\nmodels, validation curves and best λ are bit-identical across the sweep ✔");
+
+    // The regularization path at a glance (from the baseline run).
+    let (_, cv) = baseline.expect("sweep was nonempty");
+    println!("\n    k |        λ | mean val loss | mean nnz");
+    for (k, &lambda) in cv.lambdas.iter().enumerate() {
+        let mean_nnz: f64 =
+            cv.folds.iter().map(|f| f.points[k].nnz as f64).sum::<f64>() / cv.folds.len() as f64;
+        println!(
+            "{marker} {k:>3} | {lambda:>8.5} | {:>13.6} | {mean_nnz:>8.1}",
+            cv.mean_val_loss[k],
+            marker = if k == cv.best_lambda_idx { "→" } else { " " },
+        );
+    }
+
+    if report::json_mode() {
+        let json = report::path_stats_json("path_bench", &summaries);
+        let path = report::write_artifact("path_bench.json", &json);
+        println!("\nwrote {}", path.display());
+    }
+}

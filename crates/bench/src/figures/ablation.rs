@@ -248,15 +248,17 @@ fn grid_search_demo(
         etas: vec![0.002, 0.02, 0.2],
         batch_fracs: vec![1.0],
         stalenesses: vec![0],
+        lambdas: vec![reg.lambda()],
     };
     let result = grid.run(&base, opt + 0.01, |cfg, _point| {
         train_mllib_star(ds, cluster, cfg)
     });
     println!(
-        "evaluated {} combinations; winner: η={}, batch_frac={} → final f = {:.4}",
+        "evaluated {} combinations; winner: η={}, batch_frac={}, λ={} → final f = {:.4}",
         result.evaluated,
         result.best_point.eta,
         result.best_point.batch_frac,
+        result.best_point.lambda,
         result
             .best_output
             .trace

@@ -334,6 +334,74 @@ pub fn serve_stats_json(report: &str, runs: &[(String, ServeSummary)]) -> String
     out
 }
 
+/// One cross-validated lambda-path run's headline numbers, as plain
+/// fields so this module needs no dependency on the CV scheduler (the
+/// path bench fills it from [`mlstar_core::CvResult`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PathCvSummary {
+    /// Simulated executors the fold chains were scheduled on.
+    pub executors: usize,
+    /// Folds K.
+    pub folds: usize,
+    /// Grid size L.
+    pub n_lambdas: usize,
+    /// ℓ₁ ratio α of the elastic-net penalty.
+    pub l1_ratio: f64,
+    /// `λ_max` anchoring the grid.
+    pub lambda_max: f64,
+    /// The winning λ.
+    pub best_lambda: f64,
+    /// Index of the winning λ in the (decreasing) grid.
+    pub best_lambda_idx: usize,
+    /// Mean held-out loss at the winning λ.
+    pub best_val_loss: f64,
+    /// Coordinate-descent sweeps summed over all jobs.
+    pub total_sweeps: usize,
+    /// Jobs scheduled (folds × lambdas).
+    pub jobs: usize,
+    /// End of the simulated timeline, seconds.
+    pub makespan_s: f64,
+    /// Wall-clock milliseconds the solve actually took.
+    pub wall_ms: f64,
+}
+
+/// Serializes labeled path-CV runs into a JSON report with the same
+/// top-level shape as [`round_stats_json`] (`report` + `runs` array), so
+/// downstream tooling can ingest both.
+pub fn path_stats_json(report: &str, runs: &[(String, PathCvSummary)]) -> String {
+    let mut out = format!("{{\"report\":\"{}\",\"runs\":[", json_escape(report));
+    for (i, (label, s)) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            concat!(
+                "{{\"label\":\"{}\",\"executors\":{},\"folds\":{},",
+                "\"n_lambdas\":{},\"l1_ratio\":{},",
+                "\"grid\":{{\"lambda_max\":{},\"best_lambda\":{},",
+                "\"best_lambda_idx\":{},\"best_val_loss\":{}}},",
+                "\"work\":{{\"jobs\":{},\"total_sweeps\":{}}},",
+                "\"makespan_s\":{},\"wall_ms\":{}}}"
+            ),
+            json_escape(label),
+            s.executors,
+            s.folds,
+            s.n_lambdas,
+            json_f64(s.l1_ratio),
+            json_f64(s.lambda_max),
+            json_f64(s.best_lambda),
+            s.best_lambda_idx,
+            json_f64(s.best_val_loss),
+            s.jobs,
+            s.total_sweeps,
+            json_f64(s.makespan_s),
+            json_f64(s.wall_ms),
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
 /// Concatenates trace CSVs (single header).
 pub fn traces_to_csv(traces: &[&ConvergenceTrace]) -> String {
     let mut out = String::from("system,workload,step,time_s,objective,total_updates\n");
@@ -545,6 +613,34 @@ mod tests {
         assert!(json.contains("\"mean_fill\":0.8"));
         assert!(json.contains("\"throughput_rps\":18000"));
         assert!(json.contains("\"queue\":{\"p50\":0.0001"));
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes, "{json}");
+    }
+
+    #[test]
+    fn path_stats_json_is_well_formed() {
+        let s = PathCvSummary {
+            executors: 4,
+            folds: 5,
+            n_lambdas: 20,
+            l1_ratio: 1.0,
+            lambda_max: 0.25,
+            best_lambda: 0.025,
+            best_lambda_idx: 12,
+            best_val_loss: 0.31,
+            total_sweeps: 840,
+            jobs: 100,
+            makespan_s: 1.75,
+            wall_ms: 12.5,
+        };
+        let json = path_stats_json("path demo", &[("E=4".to_owned(), s)]);
+        assert!(json.starts_with("{\"report\":\"path demo\""));
+        assert!(json.contains("\"label\":\"E=4\""));
+        assert!(json.contains("\"executors\":4"));
+        assert!(json.contains("\"best_lambda\":0.025"));
+        assert!(json.contains("\"total_sweeps\":840"));
+        assert!(json.contains("\"makespan_s\":1.75"));
         let opens = json.matches(['{', '[']).count();
         let closes = json.matches(['}', ']']).count();
         assert_eq!(opens, closes, "{json}");

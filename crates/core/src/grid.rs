@@ -19,6 +19,9 @@ pub struct GridPoint {
     pub batch_frac: f64,
     /// SSP staleness (ignored by non-PS systems).
     pub staleness: u64,
+    /// Regularization strength λ (applied to the base config's
+    /// regularizer flavor; see [`GridSearch::run`]).
+    pub lambda: f64,
 }
 
 /// The search space.
@@ -30,29 +33,38 @@ pub struct GridSearch {
     pub batch_fracs: Vec<f64>,
     /// Candidate staleness bounds (use `[0]` for non-PS systems).
     pub stalenesses: Vec<u64>,
+    /// Candidate regularization strengths. Use `[base.reg.lambda()]` to
+    /// keep the base config's strength fixed.
+    pub lambdas: Vec<f64>,
 }
 
 impl GridSearch {
-    /// A small default grid.
+    /// A small default grid (λ fixed at 0, i.e. unregularized).
     pub fn small() -> Self {
         GridSearch {
             etas: vec![0.01, 0.05, 0.2],
             batch_fracs: vec![0.01, 0.1],
             stalenesses: vec![0],
+            lambdas: vec![0.0],
         }
     }
 
-    /// The cartesian product of the space.
+    /// The cartesian product of the space, enumerated in the fixed
+    /// deterministic nesting η → batch fraction → staleness → λ (λ is the
+    /// innermost, fastest-varying axis).
     pub fn points(&self) -> Vec<GridPoint> {
         let mut out = Vec::new();
         for &eta in &self.etas {
             for &batch_frac in &self.batch_fracs {
                 for &staleness in &self.stalenesses {
-                    out.push(GridPoint {
-                        eta,
-                        batch_frac,
-                        staleness,
-                    });
+                    for &lambda in &self.lambdas {
+                        out.push(GridPoint {
+                            eta,
+                            batch_frac,
+                            staleness,
+                            lambda,
+                        });
+                    }
                 }
             }
         }
@@ -62,6 +74,12 @@ impl GridSearch {
     /// Runs `train` for every point and picks the winner: the point that
     /// reaches `target` fastest in simulated time, falling back to lowest
     /// final objective if none reaches it.
+    ///
+    /// Each point's λ is threaded into the config via
+    /// [`mlstar_glm::Regularizer::with_lambda`]: the base regularizer
+    /// keeps its flavor (L2 stays L2, L1 stays L1) at the point's
+    /// strength, `λ = 0` collapses to `None`, and an unregularized base
+    /// with `λ > 0` becomes L2 (the paper's default flavor).
     ///
     /// # Panics
     ///
@@ -77,6 +95,7 @@ impl GridSearch {
             let cfg = TrainConfig {
                 lr: LearningRate::Constant(point.eta),
                 batch_frac: point.batch_frac,
+                reg: base.reg.with_lambda(point.lambda),
                 ..base.clone()
             };
             let output = train(&cfg, point);
@@ -152,8 +171,9 @@ mod tests {
             etas: vec![0.1, 0.2],
             batch_fracs: vec![0.01, 0.1, 1.0],
             stalenesses: vec![0, 2],
+            lambdas: vec![0.0, 0.1],
         };
-        assert_eq!(g.points().len(), 12);
+        assert_eq!(g.points().len(), 24);
         assert_eq!(GridSearch::small().points().len(), 6);
     }
 
@@ -175,6 +195,7 @@ mod tests {
             etas: vec![1000.0, 0.05],
             batch_fracs: vec![1.0],
             stalenesses: vec![0],
+            lambdas: vec![0.0],
         };
         let result = grid.run(&base, 0.2, |cfg, _point| {
             train_mllib_star(&ds, &cluster, cfg)
@@ -201,6 +222,7 @@ mod tests {
             etas: vec![0.05],
             batch_fracs: vec![0.5],
             stalenesses: vec![0, 3],
+            lambdas: vec![0.0],
         };
         let mut seen = Vec::new();
         let result = grid.run(&base, 0.0, |cfg, point| {
@@ -214,6 +236,43 @@ mod tests {
         });
         assert_eq!(seen, vec![0, 3]);
         assert_eq!(result.evaluated, 2);
+    }
+
+    #[test]
+    fn lambda_axis_is_threaded_into_the_config() {
+        let ds = SyntheticConfig::small("grid3", 80, 10).generate();
+        let cluster = ClusterSpec::uniform(
+            2,
+            mlstar_sim::NodeSpec::standard(),
+            mlstar_sim::NetworkSpec::gbps1(),
+        );
+        let base = TrainConfig {
+            reg: mlstar_glm::Regularizer::L2 { lambda: 0.5 },
+            max_rounds: 2,
+            ..TrainConfig::default()
+        };
+        let grid = GridSearch {
+            etas: vec![0.05],
+            batch_fracs: vec![1.0],
+            stalenesses: vec![0],
+            lambdas: vec![0.0, 0.1, 0.5],
+        };
+        let mut seen = Vec::new();
+        let result = grid.run(&base, 0.0, |cfg, point| {
+            seen.push((point.lambda, cfg.reg));
+            train_mllib_star(&ds, &cluster, cfg)
+        });
+        // Deterministic enumeration order, flavor preserved, 0 collapses.
+        assert_eq!(
+            seen,
+            vec![
+                (0.0, mlstar_glm::Regularizer::None),
+                (0.1, mlstar_glm::Regularizer::L2 { lambda: 0.1 }),
+                (0.5, mlstar_glm::Regularizer::L2 { lambda: 0.5 }),
+            ]
+        );
+        assert_eq!(result.evaluated, 3);
+        assert!(grid.lambdas.contains(&result.best_point.lambda));
     }
 
     #[test]

@@ -43,6 +43,7 @@ mod checkpoint;
 mod common;
 mod comparison;
 mod config;
+mod cv;
 mod engine;
 mod grid;
 mod local_pass;
@@ -65,6 +66,7 @@ pub use comparison::{Comparison, ComparisonReport, ComparisonRow};
 pub use config::{
     AngelConfig, MaWeighting, PsSystemConfig, TrainConfig, TrainOutput, TrainProvenance,
 };
+pub use cv::{cross_validate_path, CvConfig, CvError, CvFoldResult, CvJobStats, CvResult};
 pub use engine::{CommBytes, RoundStats};
 pub use grid::{GridPoint, GridResult, GridSearch};
 pub use mllib::train_mllib;

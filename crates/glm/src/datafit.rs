@@ -1,0 +1,108 @@
+//! The datafit side of the composable `Datafit` × `Penalty` architecture.
+//!
+//! A [`Datafit`] is a separable data-fitting term `l(m, y)` of the margin
+//! `m = w·x` — exactly the contract the [`Loss`] enum already satisfies.
+//! The enum stays the canonical implementation (its inherent methods are
+//! what every bit-pinned trainer dispatches on); the trait is the seam
+//! that lets the coordinate-descent solver and the lambda-path machinery
+//! stay generic without touching enum call sites.
+
+use crate::Loss;
+
+/// A separable data-fitting term `l(m, y)` of the margin `m = w·x`.
+///
+/// Beyond the value/derivative pair the SGD kernels use, a datafit
+/// declares its [`Datafit::curvature_bound`]: a global bound `L` on
+/// `∂²l/∂m²`. Proximal coordinate descent needs it to size steps
+/// (`L_j = L·‖x_j‖₂²/n` for feature `j`); a nonsmooth datafit returns
+/// `None` and is simply not eligible for CD.
+pub trait Datafit {
+    /// The loss value at margin `m` with label `y`.
+    fn value(&self, m: f64, y: f64) -> f64;
+
+    /// The derivative `∂l/∂m` at margin `m` with label `y`.
+    fn dloss(&self, m: f64, y: f64) -> f64;
+
+    /// A global upper bound on `∂²l/∂m²`, or `None` if the datafit is not
+    /// smooth in the margin (e.g. hinge).
+    fn curvature_bound(&self) -> Option<f64>;
+
+    /// Human-readable name used in reports.
+    fn name(&self) -> &'static str;
+}
+
+impl Datafit for Loss {
+    #[inline]
+    fn value(&self, m: f64, y: f64) -> f64 {
+        Loss::value(*self, m, y)
+    }
+
+    #[inline]
+    fn dloss(&self, m: f64, y: f64) -> f64 {
+        Loss::dloss(*self, m, y)
+    }
+
+    fn curvature_bound(&self) -> Option<f64> {
+        match self {
+            // ∂²/∂m² of ½(m − y)² is exactly 1.
+            Loss::Squared => Some(1.0),
+            // σ'(z) = σ(z)(1 − σ(z)) ≤ ¼.
+            Loss::Logistic => Some(0.25),
+            // Piecewise linear with a kink at y·m = 1: not smooth.
+            Loss::Hinge => None,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        Loss::name(*self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The trait impl must delegate to the enum's inherent methods — same
+    /// bits, not merely close values.
+    #[test]
+    fn trait_delegates_to_inherent_methods() {
+        for loss in [Loss::Hinge, Loss::Logistic, Loss::Squared] {
+            for &(m, y) in &[(0.0, 1.0), (0.7, -1.0), (-3.5, 1.0), (42.0, -1.0)] {
+                assert_eq!(
+                    Datafit::value(&loss, m, y).to_bits(),
+                    Loss::value(loss, m, y).to_bits()
+                );
+                assert_eq!(
+                    Datafit::dloss(&loss, m, y).to_bits(),
+                    Loss::dloss(loss, m, y).to_bits()
+                );
+            }
+            assert_eq!(Datafit::name(&loss), Loss::name(loss));
+        }
+    }
+
+    #[test]
+    fn curvature_bounds() {
+        assert_eq!(Loss::Squared.curvature_bound(), Some(1.0));
+        assert_eq!(Loss::Logistic.curvature_bound(), Some(0.25));
+        assert_eq!(Loss::Hinge.curvature_bound(), None);
+    }
+
+    /// The declared curvature bound really bounds the second derivative,
+    /// checked by finite differences of `dloss`.
+    #[test]
+    fn curvature_bound_holds_numerically() {
+        for loss in [Loss::Squared, Loss::Logistic] {
+            let bound = loss.curvature_bound().unwrap();
+            let h = 1e-5;
+            let mut m = -6.0;
+            while m <= 6.0 {
+                for y in [1.0, -1.0] {
+                    let dd = (loss.dloss(m + h, y) - loss.dloss(m - h, y)) / (2.0 * h);
+                    assert!(dd <= bound + 1e-6, "{loss:?} m={m} y={y}: {dd} > {bound}");
+                }
+                m += 0.25;
+            }
+        }
+    }
+}

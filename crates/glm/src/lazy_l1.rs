@@ -9,6 +9,8 @@
 
 use mlstar_linalg::DenseVector;
 
+use crate::penalty::soft_threshold;
+
 /// State for lazy (cumulative-penalty) L1 updates.
 #[derive(Debug, Clone)]
 pub struct LazyL1 {
@@ -39,24 +41,23 @@ impl LazyL1 {
         self.u += eta_lambda;
     }
 
-    /// Settles coordinate `i`'s penalty debt against the weight vector,
-    /// clipping at zero (soft-threshold semantics).
+    /// Settles coordinate `i`'s penalty debt against the weight vector by
+    /// soft-thresholding it with the outstanding debt `u − q[i]` (which is
+    /// always ≥ 0, so the threshold clips at zero exactly like the shared
+    /// kernel's dead zone).
     #[inline]
     pub fn apply_at(&mut self, w: &mut DenseVector, i: usize) {
         let z = w.get(i);
-        let applied = if z > 0.0 {
-            let nw = (z - (self.u - self.q[i])).max(0.0);
+        // lint:allow(float_eq): exactly-zero coordinates owe nothing — a sparsity fast path
+        let applied = if z != 0.0 {
+            let nw = soft_threshold(z, self.u - self.q[i]);
             w.set(i, nw);
-            nw - z
-        } else if z < 0.0 {
-            let nw = (z + (self.u - self.q[i])).min(0.0);
-            w.set(i, nw);
-            z - nw
+            (nw - z).abs()
         } else {
             0.0
         };
         // `applied` is the magnitude of penalty consumed this settlement.
-        self.q[i] += applied.abs();
+        self.q[i] += applied;
         // A zero coordinate owes nothing further until it becomes nonzero,
         // so mark its debt as settled.
         // lint:allow(float_eq): truncation clamps to exactly 0.0, so the check is exact

@@ -21,6 +21,13 @@
 //!   paper) used both standalone and as the reference solver that defines
 //!   the "optimum" for speedup-at-0.01-loss measurements.
 //!
+//! Layered on top is the composable [`Datafit`] × [`Penalty`] trait
+//! architecture: the enums above are the canonical implementations (the
+//! trainers keep dispatching on them, bit-identically), while
+//! [`ElasticNet`], the cyclic coordinate-descent solver [`cd_fit`], and
+//! the warm-started lambda paths of [`fit_path`] compose against the
+//! traits.
+//!
 //! # Example
 //!
 //! ```
@@ -48,6 +55,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cd;
+mod datafit;
 mod gradient;
 mod lazy_l1;
 mod lbfgs;
@@ -57,9 +66,13 @@ mod metrics;
 mod model;
 mod objective;
 mod optimizer;
+mod path;
+mod penalty;
 mod regularizer;
 mod sgd;
 
+pub use cd::{cd_fit, cd_objective, recompute_margins, CdConfig, CdError, CdStats};
+pub use datafit::Datafit;
 pub use gradient::{batch_gradient, batch_gradient_into};
 pub use lazy_l1::LazyL1;
 pub use lbfgs::{lbfgs_direction, Lbfgs, LbfgsConfig, LbfgsResult};
@@ -71,5 +84,10 @@ pub use metrics::{
 pub use model::GlmModel;
 pub use objective::{objective_value, objective_value_subset, training_loss};
 pub use optimizer::{MgdConfig, MiniBatchGd, OptimizerResult};
+pub use path::{
+    fit_path, fit_path_on_grid, lambda_grid, lambda_max, PathConfig, PathPoint, PathResult,
+    MIN_L1_RATIO_FOR_LAMBDA_MAX,
+};
+pub use penalty::{soft_threshold, ElasticNet, Penalty};
 pub use regularizer::Regularizer;
 pub use sgd::{mgd_step, sgd_epoch_eager, sgd_epoch_lazy};

@@ -72,6 +72,22 @@ impl Regularizer {
         }
     }
 
+    /// The same regularizer flavor at strength `lambda`: L2 stays L2, L1
+    /// stays L1, `lambda = 0` collapses any flavor to [`Regularizer::None`],
+    /// and `None` at a nonzero strength becomes L2 (the paper's default
+    /// flavor). This is the hook the grid search's regularization-strength
+    /// axis threads through.
+    pub fn with_lambda(&self, lambda: f64) -> Regularizer {
+        // lint:allow(float_eq): λ = 0.0 is an exact sentinel for "unregularized"
+        if lambda == 0.0 {
+            return Regularizer::None;
+        }
+        match self {
+            Regularizer::None | Regularizer::L2 { .. } => Regularizer::L2 { lambda },
+            Regularizer::L1 { .. } => Regularizer::L1 { lambda },
+        }
+    }
+
     /// The λ of an L1 penalty, if any.
     pub fn l1_lambda(&self) -> Option<f64> {
         match self {
@@ -107,7 +123,7 @@ impl Regularizer {
 
 /// `signum` that maps exact zero to zero (the standard L1 sub-gradient
 /// convention); `f64::signum(0.0)` would return `1.0`.
-trait SignumOrZero {
+pub(crate) trait SignumOrZero {
     fn signum_or_zero(self) -> f64;
 }
 
@@ -169,6 +185,29 @@ mod tests {
         assert!((r.l2_shrink(0.1) - 0.95).abs() < 1e-12);
         // Shrink never goes negative even for absurd steps.
         assert_eq!(r.l2_shrink(100.0), 0.0);
+    }
+
+    #[test]
+    fn with_lambda_keeps_flavor_and_collapses_zero() {
+        assert_eq!(
+            Regularizer::L2 { lambda: 0.1 }.with_lambda(0.5),
+            Regularizer::L2 { lambda: 0.5 }
+        );
+        assert_eq!(
+            Regularizer::L1 { lambda: 0.1 }.with_lambda(0.5),
+            Regularizer::L1 { lambda: 0.5 }
+        );
+        assert_eq!(
+            Regularizer::None.with_lambda(0.5),
+            Regularizer::L2 { lambda: 0.5 }
+        );
+        for base in [
+            Regularizer::None,
+            Regularizer::L2 { lambda: 0.1 },
+            Regularizer::L1 { lambda: 0.1 },
+        ] {
+            assert_eq!(base.with_lambda(0.0), Regularizer::None);
+        }
     }
 
     #[test]

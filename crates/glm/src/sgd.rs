@@ -14,7 +14,7 @@
 
 use mlstar_linalg::{DenseVector, ScaledVector, SparseVector};
 
-use crate::{LazyL1, LearningRate, Loss, Regularizer};
+use crate::{soft_threshold, LazyL1, LearningRate, Loss, Regularizer};
 
 /// Runs one pass of per-example SGD over `order`, using lazy regularization
 /// updates so each step costs `O(nnz(x))`.
@@ -118,18 +118,11 @@ pub fn sgd_epoch_eager(
             Regularizer::None => {}
             Regularizer::L2 { lambda } => w.scale((1.0 - eta * lambda).max(0.0)),
             Regularizer::L1 { lambda } => {
-                // Eager soft-threshold of every coordinate by η·λ.
+                // Eager soft-threshold of every coordinate by η·λ, through
+                // the same kernel the lazy form and the penalties use.
                 let tau = eta * lambda;
                 for j in 0..w.dim() {
-                    let z = w.get(j);
-                    let shrunk = if z > tau {
-                        z - tau
-                    } else if z < -tau {
-                        z + tau
-                    } else {
-                        0.0
-                    };
-                    w.set(j, shrunk);
+                    w.set(j, soft_threshold(w.get(j), tau));
                 }
             }
         }

@@ -1,13 +1,19 @@
 //! Property-based tests for the GLM kernels.
 
 use mlstar_glm::{
-    batch_gradient, mgd_step, objective_value, sgd_epoch_eager, sgd_epoch_lazy, LearningRate, Loss,
-    Regularizer,
+    batch_gradient, mgd_step, objective_value, sgd_epoch_eager, sgd_epoch_lazy, soft_threshold,
+    ElasticNet, LazyL1, LearningRate, Loss, Penalty, Regularizer,
 };
 use mlstar_linalg::{DenseVector, ScaledVector, SparseVector};
 use proptest::prelude::*;
 
 const DIM: usize = 12;
+
+/// A random sparse update sequence: each step bumps one coordinate by a
+/// gradient delta and accrues one step's worth of L1 penalty `η·λ`.
+fn update_sequence() -> impl Strategy<Value = Vec<(usize, f64, f64)>> {
+    proptest::collection::vec((0usize..DIM, -1.5f64..1.5, 0.0f64..0.2), 1..60)
+}
 
 fn sparse_row() -> impl Strategy<Value = SparseVector> {
     proptest::collection::vec((0u32..DIM as u32, -2.0f64..2.0), 1..6)
@@ -129,6 +135,73 @@ proptest! {
             lazy_dense.norm1(),
             free.to_dense().norm1()
         );
+    }
+
+    /// Every prox entry point is the *same* kernel, bit for bit: the L1
+    /// enum's `prox_1d`, the elastic net at α = 1, and the free function
+    /// must agree exactly (unit step and α = 1 make the internal
+    /// `step·λ·α` products exact, so any divergence is a real fork in the
+    /// kernel, not rounding).
+    #[test]
+    fn prox_1d_routes_through_the_shared_kernel(
+        z in -3.0f64..3.0,
+        tau in 0.0f64..2.0,
+    ) {
+        let direct = soft_threshold(z, tau);
+        let via_l1 = Regularizer::L1 { lambda: tau }.prox_1d(z, 1.0);
+        let via_enet = ElasticNet::new(tau, 1.0).prox_1d(z, 1.0);
+        prop_assert_eq!(direct.to_bits(), via_l1.to_bits(), "enum prox forked");
+        prop_assert_eq!(direct.to_bits(), via_enet.to_bits(), "elastic-net prox forked");
+    }
+
+    /// `LazyL1`'s deferred debt settlement is bit-identical to an eager
+    /// simulator that soft-thresholds each touched coordinate immediately
+    /// with its outstanding debt, going through the `Penalty` trait's
+    /// `prox_1d` (unit step, λ = debt, so the threshold is the debt
+    /// exactly). Guards the shared kernel: both sides must shrink, clip at
+    /// zero, and track consumed penalty identically over arbitrary sparse
+    /// update sequences.
+    #[test]
+    fn lazy_l1_settlement_is_bit_identical_to_eager_prox(steps in update_sequence()) {
+        let mut w_lazy = DenseVector::zeros(DIM);
+        let mut lazy = LazyL1::new(DIM);
+
+        let mut w_eager = DenseVector::zeros(DIM);
+        let mut u = 0.0f64;
+        let mut q = vec![0.0f64; DIM];
+        let settle = |w: &mut DenseVector, u: f64, q: &mut [f64], i: usize| {
+            let z = w.get(i);
+            if z != 0.0 {
+                let nw = Regularizer::L1 { lambda: u - q[i] }.prox_1d(z, 1.0);
+                w.set(i, nw);
+                q[i] += (nw - z).abs();
+            }
+            if w.get(i) == 0.0 {
+                q[i] = u;
+            }
+        };
+
+        for &(i, delta, eta_lambda) in &steps {
+            lazy.accumulate(eta_lambda);
+            w_lazy.set(i, w_lazy.get(i) + delta);
+            lazy.apply_at(&mut w_lazy, i);
+
+            u += eta_lambda;
+            w_eager.set(i, w_eager.get(i) + delta);
+            settle(&mut w_eager, u, &mut q, i);
+        }
+        // Epoch-boundary pass: both sides settle every coordinate.
+        lazy.finalize(&mut w_lazy);
+        for i in 0..DIM {
+            settle(&mut w_eager, u, &mut q, i);
+        }
+        for i in 0..DIM {
+            prop_assert_eq!(
+                w_lazy.get(i).to_bits(),
+                w_eager.get(i).to_bits(),
+                "coord {}: lazy {} vs eager {}", i, w_lazy.get(i), w_eager.get(i)
+            );
+        }
     }
 
     /// A full-batch MGD step with a small learning rate never increases a

@@ -14,6 +14,9 @@
 //!   coordinate by `(1 - η·λ)`, which would make each SGD step `O(d)`
 //!   instead of `O(nnz)`; folding the shrink into a scalar keeps steps
 //!   proportional to the number of nonzeros.
+//! * [`CscMatrix`] — a compressed-sparse-column transpose of the example
+//!   rows, with cached per-column norms. This is the feature-major view the
+//!   coordinate-descent solver in `mlstar-glm` sweeps over.
 //!
 //! All types are deterministic, `serde`-serializable, and carry explicit
 //! invariants that are checked in debug builds and exercised by property
@@ -22,12 +25,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod csc;
 mod dense;
 mod error;
 mod ops;
 mod scaled;
 mod sparse;
 
+pub use csc::{CscCol, CscMatrix};
 pub use dense::DenseVector;
 pub use error::LinalgError;
 pub use ops::{average, partition_ranges, sum, weighted_average};

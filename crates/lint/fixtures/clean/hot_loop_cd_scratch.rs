@@ -1,0 +1,19 @@
+//@ path: crates/glm/src/cd.rs
+//@ expect:
+
+//! The coordinate loop reads column views in place and reuses the caller's
+//! margin buffer — no per-coordinate allocation.
+
+pub fn sweep(cols: &[Vec<(usize, f64)>], w: &mut [f64], margins: &mut [f64]) {
+    for (j, col) in cols.iter().enumerate() {
+        let mut g = 0.0;
+        for &(i, x) in col {
+            g += x * margins[i];
+        }
+        let delta = -g;
+        w[j] += delta;
+        for &(i, x) in col {
+            margins[i] += delta * x;
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//@ path: crates/glm/src/cd.rs
+//@ expect: hot_loop_alloc
+
+//! Per-iteration allocation inside a coordinate-descent sweep: collecting
+//! a column's entries into a fresh Vec on every coordinate visit.
+
+pub fn sweep(cols: &[Vec<(usize, f64)>], w: &mut [f64], margins: &mut [f64]) {
+    for (j, col) in cols.iter().enumerate() {
+        let entries: Vec<(usize, f64)> = col.iter().copied().collect();
+        let mut g = 0.0;
+        for &(i, x) in &entries {
+            g += x * margins[i];
+        }
+        w[j] -= g;
+    }
+}

@@ -467,7 +467,18 @@ fn lock_key(crate_name: &str, item: &crate::parse::FnItem, receiver: &str) -> St
 /// list means the whole crate.
 pub const HOT_PATH_MODULES: &[(&str, &[&str])] = &[
     ("linalg", &[]),
-    ("glm", &["gradient", "lazy_l1", "lbfgs", "optimizer", "sgd"]),
+    (
+        "glm",
+        &[
+            "cd",
+            "gradient",
+            "lazy_l1",
+            "lbfgs",
+            "optimizer",
+            "path",
+            "sgd",
+        ],
+    ),
     ("serve", &["engine"]),
 ];
 

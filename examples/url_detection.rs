@@ -43,6 +43,7 @@ fn main() {
             etas: vec![0.005, 0.02, 0.1],
             batch_fracs: vec![1.0],
             stalenesses: vec![0],
+            lambdas: vec![reg.lambda()],
         };
         let result = grid.run(&base, 0.0, |cfg, _| {
             train_mllib_star(&dataset, &cluster, cfg)

@@ -7,6 +7,9 @@
 //!                 [--eta 0.05] [--rounds 20] [--executors 8] [--seed 42]
 //!                 [--model-out model.bin]
 //! mlstar predict  --data data.libsvm --model model.bin
+//! mlstar path     --data data.libsvm [--loss logistic] [--folds 5]
+//!                 [--lambdas 20] [--eps 0.01] [--l1-ratio 1.0]
+//!                 [--executors 8] [--seed 42] [--model-out model.bin]
 //! mlstar help
 //! ```
 
@@ -14,9 +17,16 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use mllib_star::collectives::wire;
-use mllib_star::core::{AngelConfig, PsSystemConfig, System, TrainCheckpoint, TrainConfig};
+use mllib_star::core::{
+    cross_validate_path, AngelConfig, CvConfig, PsSystemConfig, System, TrainCheckpoint,
+    TrainConfig,
+};
 use mllib_star::data::{catalog, libsvm, SparseDataset};
-use mllib_star::glm::{model_accuracy, model_auc, GlmModel, LearningRate, Loss, Regularizer};
+use mllib_star::glm::{
+    fit_path_on_grid, model_accuracy, model_auc, CdConfig, GlmModel, LearningRate, Loss,
+    PathConfig, Regularizer,
+};
+use mllib_star::linalg::CscMatrix;
 use mllib_star::sim::{ClusterSpec, NetworkSpec, NodeSpec};
 
 fn main() -> ExitCode {
@@ -88,6 +98,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "inspect" => cmd_inspect(&opts),
         "train" => cmd_train(&opts),
         "predict" => cmd_predict(&opts),
+        "path" => cmd_path(&opts),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -106,6 +117,14 @@ fn print_help() {
     println!("           [--checkpoint-every N --checkpoint-dir <dir>]");
     println!("           [--checkpoint-keep N] [--resume <file.ckpt>]");
     println!("  predict  --data <file.libsvm> --model <file.bin>");
+    println!("  path     --data <file.libsvm> [--loss <logistic|squared>] [--folds K]");
+    println!("           [--lambdas N] [--eps ε] [--l1-ratio α] [--executors K]");
+    println!("           [--seed S] [--model-out <file.bin>]");
+    println!();
+    println!("path: K-fold cross-validated, warm-started λ path solved by cyclic");
+    println!("coordinate descent, scheduled as parallel jobs on the simulated");
+    println!("cluster. Picks the λ with the lowest mean held-out loss, refits on");
+    println!("the full dataset, and optionally writes the refit model.");
     println!();
     println!("checkpointing: --checkpoint-every N writes a snapshot into");
     println!("--checkpoint-dir every N communication steps; --resume restores one");
@@ -287,6 +306,99 @@ fn cmd_predict(opts: &Options) -> Result<(), String> {
             model.margin(row),
             model.predict(row)
         );
+    }
+    Ok(())
+}
+
+fn cmd_path(opts: &Options) -> Result<(), String> {
+    let ds = load_dataset(opts)?;
+    let loss = match opts.get("loss").unwrap_or("logistic") {
+        "logistic" => Loss::Logistic,
+        "squared" => Loss::Squared,
+        // Let the solver explain why hinge is refused.
+        "hinge" => Loss::Hinge,
+        other => return Err(format!("unknown loss {other:?} (logistic|squared)")),
+    };
+    let folds: usize = opts.get_parsed("folds", 5)?;
+    let n_lambdas: usize = opts.get_parsed("lambdas", 20)?;
+    let eps: f64 = opts.get_parsed("eps", 1e-2)?;
+    let l1_ratio: f64 = opts.get_parsed("l1-ratio", 1.0)?;
+    let executors: usize = opts.get_parsed("executors", 8)?;
+    let seed: u64 = opts.get_parsed("seed", 42)?;
+    if executors == 0 {
+        return Err("--executors must be positive".into());
+    }
+    if !(0.0..=1.0).contains(&l1_ratio) {
+        return Err("--l1-ratio must be in [0, 1]".into());
+    }
+
+    let cluster = ClusterSpec::uniform(executors, NodeSpec::standard(), NetworkSpec::gbps1());
+    let cfg = CvConfig {
+        loss,
+        folds,
+        path: PathConfig {
+            n_lambdas,
+            eps,
+            l1_ratio,
+            cd: CdConfig::default(),
+        },
+        seed,
+    };
+    println!(
+        "cross-validating a {n_lambdas}-point λ path ({folds} folds, α={l1_ratio}) on {} \
+         examples × {} features over {executors} simulated executors…",
+        ds.len(),
+        ds.num_features()
+    );
+    let cv = cross_validate_path(&ds, &cluster, &cfg).map_err(|e| e.to_string())?;
+
+    println!("\n    k |        λ | mean val loss | mean nnz | sweeps");
+    for (k, &lambda) in cv.lambdas.iter().enumerate() {
+        let mean_nnz: f64 =
+            cv.folds.iter().map(|f| f.points[k].nnz as f64).sum::<f64>() / cv.folds.len() as f64;
+        let sweeps: usize = cv.folds.iter().map(|f| f.points[k].stats.sweeps).sum();
+        println!(
+            "{marker} {k:>3} | {lambda:>8.5} | {:>13.6} | {mean_nnz:>8.1} | {sweeps:>6}",
+            cv.mean_val_loss[k],
+            marker = if k == cv.best_lambda_idx { "→" } else { " " },
+        );
+    }
+    println!(
+        "\nλ_max {:.5}; best λ = {:.5} (index {}) at mean held-out loss {:.6}",
+        cv.lambda_max, cv.best_lambda, cv.best_lambda_idx, cv.mean_val_loss[cv.best_lambda_idx]
+    );
+    println!(
+        "{} jobs over {} rounds; simulated makespan {:.3}s",
+        cv.jobs.len(),
+        cv.round_phases.len(),
+        cv.makespan_s
+    );
+
+    // Refit on the full dataset, warm-starting down the grid to best λ.
+    let cols = CscMatrix::from_rows(ds.rows(), ds.num_features());
+    let refit = fit_path_on_grid(
+        &loss,
+        &cols,
+        ds.labels(),
+        &cv.lambdas[..=cv.best_lambda_idx],
+        l1_ratio,
+        &cfg.path.cd,
+    )
+    .map_err(|e| e.to_string())?;
+    let best = refit.last().expect("refit path is nonempty");
+    let model = GlmModel::from_weights(best.weights.clone());
+    println!(
+        "\nrefit at λ={:.5}: objective {:.6}, {} nonzero weights, accuracy {:.2}%, AUC {:.4}",
+        best.lambda,
+        best.objective,
+        best.nnz,
+        model_accuracy(&model, ds.rows(), ds.labels()) * 100.0,
+        model_auc(&model, ds.rows(), ds.labels())
+    );
+    if let Some(path) = opts.get("model-out") {
+        let frame = wire::encode_dense(model.weights());
+        std::fs::write(path, &frame).map_err(|e| e.to_string())?;
+        println!("wrote model to {path} ({} bytes)", frame.len());
     }
     Ok(())
 }
@@ -477,6 +589,42 @@ mod tests {
         assert_eq!(names, vec!["mllib-star-round-00006.ckpt".to_string()]);
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn path_cv_end_to_end() {
+        let dir = std::env::temp_dir().join("mlstar_cli_path_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("tiny.libsvm").to_string_lossy().into_owned();
+        let model = dir.join("path_model.bin").to_string_lossy().into_owned();
+
+        run(&args(&[
+            "generate", "--preset", "avazu", "--out", &data, "--scale", "256",
+        ]))
+        .expect("generate");
+        run(&args(&[
+            "path",
+            "--data",
+            &data,
+            "--folds",
+            "3",
+            "--lambdas",
+            "5",
+            "--executors",
+            "2",
+            "--model-out",
+            &model,
+        ]))
+        .expect("path");
+        run(&args(&["predict", "--data", &data, "--model", &model])).expect("predict");
+
+        // Hinge has no curvature bound; the CD solver refuses it loudly.
+        assert!(run(&args(&["path", "--data", &data, "--loss", "hinge"])).is_err());
+        assert!(run(&args(&["path", "--data", &data, "--loss", "huber"])).is_err());
+        assert!(run(&args(&["path", "--data", &data, "--l1-ratio", "1.5"])).is_err());
+
+        std::fs::remove_file(&data).ok();
+        std::fs::remove_file(&model).ok();
     }
 
     #[test]

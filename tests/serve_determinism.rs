@@ -12,10 +12,12 @@
 
 use std::str::FromStr;
 
-use mllib_star::core::{System, TrainConfig};
+use mllib_star::core::{System, TrainConfig, TrainProvenance};
 use mllib_star::data::SyntheticConfig;
+use mllib_star::glm::{fit_path, GlmModel, Loss, PathConfig, PathPoint};
+use mllib_star::linalg::CscMatrix;
 use mllib_star::serve::{
-    BatchPolicy, DatasetFingerprint, ModelArtifact, QueryWorkload, ScoringEngine,
+    BatchPolicy, DatasetFingerprint, ModelArtifact, ModelRegistry, QueryWorkload, ScoringEngine,
 };
 use mllib_star::sim::ClusterSpec;
 
@@ -141,5 +143,124 @@ fn artifact_roundtrip_is_exact_for_all_seven_systems() {
             "{system}: provenance string must round-trip through FromStr"
         );
         assert_eq!(decoded.provenance().seed, cfg.seed);
+    }
+}
+
+/// Wraps one lambda-path point as a serving artifact, recording the
+/// coordinate-descent work counters as its provenance.
+fn artifact_for_point(point: &PathPoint, ds: &mllib_star::data::SparseDataset) -> ModelArtifact {
+    let model = GlmModel::from_weights(point.weights.clone());
+    let provenance = TrainProvenance {
+        system: System::MllibStar.to_string(),
+        seed: 42,
+        rounds_run: point.stats.sweeps as u64,
+        total_updates: point.stats.coord_updates,
+        converged: point.stats.converged,
+        final_objective: Some(point.objective),
+        host_threads: 1,
+    };
+    ModelArtifact::new(&model, DatasetFingerprint::of(ds), provenance).expect("artifact")
+}
+
+/// A lasso-path model is the one model family whose weights contain
+/// *exact* zeros (the prox clamps, it doesn't round). The artifact codec
+/// and registry must carry those zeros — and everything else — bit-for-bit
+/// through encode/decode, a staged rollout, and scoring.
+#[test]
+fn path_trained_l1_model_roundtrips_through_registry_and_scoring() {
+    let ds = SyntheticConfig::small("serve-path", 300, 40).generate();
+    let cols = CscMatrix::from_rows(ds.rows(), ds.num_features());
+    let cfg = PathConfig {
+        n_lambdas: 8,
+        ..PathConfig::default()
+    };
+    let path = fit_path(&Loss::Logistic, &cols, ds.labels(), &cfg).expect("lasso path");
+
+    // A sparse point (strong λ, exact zeros present) and the densest one.
+    let sparse_point = path
+        .points
+        .iter()
+        .find(|p| p.nnz > 0 && p.nnz < ds.num_features())
+        .expect("a genuinely sparse path point");
+    #[allow(clippy::float_cmp)]
+    let zeros = |a: &ModelArtifact| a.weights().as_slice().iter().filter(|&&w| w == 0.0).count();
+    let dense_point = path.points.last().expect("path is nonempty");
+    let v1_artifact = artifact_for_point(sparse_point, &ds);
+    let v2_artifact = artifact_for_point(dense_point, &ds);
+    assert!(
+        zeros(&v1_artifact) > 0,
+        "sparse point must have exact zeros"
+    );
+
+    // Codec hash stability: encode → decode → encode is byte-identical,
+    // and every weight (zeros included) survives bit-exactly.
+    let bytes = v1_artifact.encode();
+    let decoded = ModelArtifact::decode(&bytes).expect("decode");
+    assert_eq!(decoded, v1_artifact, "artifact round trip");
+    assert_eq!(decoded.encode(), bytes, "re-encode must be byte-identical");
+    for (a, b) in v1_artifact
+        .weights()
+        .as_slice()
+        .iter()
+        .zip(decoded.weights().as_slice())
+    {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    assert_eq!(zeros(&decoded), zeros(&v1_artifact));
+
+    // Staged rollout: v1 activates, v2 stages, promotion swaps them in.
+    let mut registry = ModelRegistry::new();
+    let v1 = registry
+        .publish("path-l1", v1_artifact.clone())
+        .expect("publish v1");
+    let v2 = registry
+        .publish("path-l1", v2_artifact.clone())
+        .expect("publish v2");
+    assert_eq!(registry.active("path-l1").expect("active"), &v1_artifact);
+    assert_eq!(
+        registry.staged("path-l1").expect("staged"),
+        Some(&v2_artifact)
+    );
+    registry.promote("path-l1").expect("promote");
+    assert_eq!(registry.active("path-l1").expect("active"), &v2_artifact);
+
+    // The registry codec preserves both versions bit-exactly.
+    let thawed_registry = ModelRegistry::decode(&registry.encode()).expect("registry decode");
+    assert_eq!(
+        thawed_registry.get("path-l1", v1).expect("v1"),
+        &v1_artifact
+    );
+    assert_eq!(
+        thawed_registry.get("path-l1", v2).expect("v2"),
+        &v2_artifact
+    );
+
+    // Prediction stability: the model scored live, and the same model
+    // pulled back out of the round-tripped registry, agree to the bit.
+    let probe = QueryWorkload {
+        num_requests: 96,
+        ..QueryWorkload::default()
+    }
+    .generate(&ds);
+    let live = ScoringEngine::new(
+        GlmModel::from_weights(sparse_point.weights.clone()),
+        BatchPolicy::default(),
+        2,
+    )
+    .run(&probe)
+    .expect("live run");
+    let thawed = ScoringEngine::for_artifact(
+        thawed_registry.get("path-l1", v1).expect("v1"),
+        BatchPolicy::default(),
+        2,
+    )
+    .run(&probe)
+    .expect("thawed run");
+    assert_eq!(live.predictions.len(), probe.len());
+    for (a, b) in live.predictions.iter().zip(&thawed.predictions) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.margin.to_bits(), b.margin.to_bits());
+        assert_eq!(a.probability.to_bits(), b.probability.to_bits());
+        assert_eq!(a.label, b.label);
     }
 }
