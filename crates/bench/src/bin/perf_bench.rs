@@ -1,0 +1,190 @@
+//! End-to-end throughput snapshot across the stack, published as a CI
+//! artifact (`BENCH_perf.json`): training rows/s on the simulated path,
+//! serving predictions/s, codec encode+decode bytes/s, and measured
+//! dispatch rounds/s on the real-thread net backend.
+//!
+//! The numbers are wall-clock measurements of this host — they exist to
+//! catch order-of-magnitude regressions between commits, not to be
+//! portable benchmarks.
+
+use std::time::Instant;
+
+use mlstar_bench::report::{self, Table};
+use mlstar_core::{System, TrainConfig};
+use mlstar_data::SyntheticConfig;
+use mlstar_linalg::DenseVector;
+use mlstar_net::{train_net, NetConfig};
+use mlstar_serve::{BatchPolicy, ModelArtifact, QueryWorkload, ScoringEngine};
+use mlstar_sim::{ClusterSpec, NetworkSpec, NodeSpec};
+
+fn usage(code: i32) -> ! {
+    println!("perf_bench: whole-stack throughput snapshot (train/serve/codec/net)");
+    println!();
+    println!("USAGE:");
+    println!("    cargo run --release -p mlstar-bench --bin perf_bench -- [OPTIONS]");
+    println!();
+    println!("OPTIONS:");
+    println!("    --smoke       tiny CI configuration");
+    println!("    --json        also mirror the JSON report to stdout");
+    println!("    -h, --help    this message");
+    println!();
+    println!("Always writes bench_results/BENCH_perf.json (override dir with");
+    println!("MLSTAR_OUT).");
+    std::process::exit(code);
+}
+
+fn parse_args() -> bool {
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "-h" | "--help" => usage(0),
+            "--json" => report::set_json_mode(true),
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("perf_bench: unexpected argument {other:?} (see --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    smoke
+}
+
+fn main() {
+    let smoke = parse_args();
+    let (rows, feats, rounds, requests, codec_iters) = if smoke {
+        (240, 32, 6u64, 512usize, 2_000usize)
+    } else {
+        (2_000, 64, 12, 2_048, 20_000)
+    };
+    let ds = SyntheticConfig::small("perf-bench", rows, feats).generate();
+    let cluster = ClusterSpec::uniform(4, NodeSpec::standard(), NetworkSpec::gbps1());
+    let system = System::MllibStar;
+    let cfg = TrainConfig {
+        max_rounds: rounds,
+        ..TrainConfig::default()
+    };
+    report::banner(&format!(
+        "perf_bench — {} examples × {} features, {} rounds on {}",
+        ds.len(),
+        ds.num_features(),
+        rounds,
+        system.name(),
+    ));
+
+    // 1. Training throughput on the simulated path: every round sweeps
+    //    each partition once, so rows processed = rounds × dataset size.
+    let wall = Instant::now();
+    let out = system.train_default(&ds, &cluster, &cfg);
+    let train_s = wall.elapsed().as_secs_f64();
+    let rows_trained = out.rounds_run * ds.len() as u64;
+    let rows_per_sec = rows_trained as f64 / train_s;
+
+    // 2. Serving throughput: score a seeded open-loop workload.
+    let artifact = ModelArtifact::from_run(system, &cfg, &out, &ds).expect("serving artifact");
+    let workload = QueryWorkload {
+        num_requests: requests,
+        ..QueryWorkload::default()
+    };
+    let reqs = workload.generate(&ds);
+    let engine = ScoringEngine::for_artifact(&artifact, BatchPolicy::default(), 2);
+    let wall = Instant::now();
+    let run = engine.run(&reqs).expect("serve run");
+    let serve_s = wall.elapsed().as_secs_f64();
+    let preds_per_sec = run.predictions.len() as f64 / serve_s;
+
+    // 3. Codec throughput: dense-vector encode + decode round trips.
+    let v = DenseVector::from_vec((0..feats).map(|i| i as f64 * 0.25 - 1.0).collect());
+    let frame = mlstar_collectives::wire::encode_dense(&v);
+    let frame_bytes = frame.len();
+    let wall = Instant::now();
+    let mut checksum = 0.0f64;
+    for _ in 0..codec_iters {
+        let enc = mlstar_collectives::wire::encode_dense(&v);
+        let dec = mlstar_collectives::wire::decode_dense(&enc).expect("decode dense");
+        checksum += dec.as_slice()[0];
+    }
+    let codec_s = wall.elapsed().as_secs_f64();
+    assert!(checksum.is_finite());
+    // Each iteration writes the frame once and reads it once.
+    let codec_bytes = 2 * frame_bytes * codec_iters;
+    let codec_bytes_per_sec = codec_bytes as f64 / codec_s;
+
+    // 4. Net backend: measured dispatch rounds/s on real worker threads.
+    let net_run = train_net(
+        system,
+        &ds,
+        &cluster,
+        &cfg,
+        &Default::default(),
+        &Default::default(),
+        &NetConfig::default(),
+    )
+    .expect("net-backend run");
+    assert_eq!(
+        out.model.weights().as_slice(),
+        net_run.output.model.weights().as_slice(),
+        "net backend must match the simulated weights bit-for-bit"
+    );
+    let net_rounds_per_sec = net_run.batches_per_sec();
+
+    let mut table = Table::new(&["stage", "throughput", "detail"]);
+    table.row(&[
+        "train (sim path)".into(),
+        format!("{rows_per_sec:.0} rows/s"),
+        format!("{rows_trained} rows in {train_s:.3}s"),
+    ]);
+    table.row(&[
+        "serve".into(),
+        format!("{preds_per_sec:.0} preds/s"),
+        format!("{} predictions in {serve_s:.3}s", run.predictions.len()),
+    ]);
+    table.row(&[
+        "codec".into(),
+        format!("{:.1} MB/s", codec_bytes_per_sec / 1e6),
+        format!("{codec_iters} × {frame_bytes}B round trips in {codec_s:.3}s"),
+    ]);
+    table.row(&[
+        "net backend".into(),
+        format!("{net_rounds_per_sec:.1} rounds/s"),
+        format!(
+            "{} dispatch batches in {:.3}s",
+            net_run.batches.len(),
+            net_run.wall_s
+        ),
+    ]);
+    table.print();
+    println!("\nnet-backend weights match the simulated run bit-for-bit ✔");
+
+    let json = format!(
+        concat!(
+            "{{\"report\":\"perf_bench\",\"smoke\":{},",
+            "\"train\":{{\"system\":\"{}\",\"rows\":{},\"rounds\":{},",
+            "\"wall_s\":{},\"rows_per_sec\":{}}},",
+            "\"serve\":{{\"requests\":{},\"wall_s\":{},\"preds_per_sec\":{}}},",
+            "\"codec\":{{\"frame_bytes\":{},\"round_trips\":{},\"wall_s\":{},",
+            "\"bytes_per_sec\":{}}},",
+            "\"net\":{{\"dispatch_batches\":{},\"wall_s\":{},\"rounds_per_sec\":{}}}}}\n"
+        ),
+        smoke,
+        system.name(),
+        rows_trained,
+        out.rounds_run,
+        train_s,
+        rows_per_sec,
+        run.predictions.len(),
+        serve_s,
+        preds_per_sec,
+        frame_bytes,
+        codec_iters,
+        codec_s,
+        codec_bytes_per_sec,
+        net_run.batches.len(),
+        net_run.wall_s,
+        net_rounds_per_sec,
+    );
+    let path = report::write_artifact("BENCH_perf.json", &json);
+    println!("wrote {}", path.display());
+    if report::json_mode() {
+        print!("{json}");
+    }
+}

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 mod barrier;
+mod calibrate;
 mod cost;
 mod event;
 mod gantt;
@@ -51,6 +52,7 @@ mod spec;
 mod time;
 
 pub use barrier::{PhaseTotals, RoundBuilder};
+pub use calibrate::{fit_rates, FittedRates, RateSample};
 pub use cost::{dense_op_flops, pass_flops, CostModel};
 pub use event::EventQueue;
 pub use gantt::{Activity, ActivityKind, GanttRecorder, NodeId, Span};

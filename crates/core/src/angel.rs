@@ -61,23 +61,44 @@ impl WorkerLogic for AngelWorker<'_> {
             ((part.len() as f64 * self.batch_frac).round() as usize).clamp(1, part.len());
         let order = self.orders[worker].next_order(part);
 
-        let mut w = model.clone();
-        let mut n_batches = 0u64;
-        for chunk in order.chunks(batch_size) {
-            let eta = self.lr.eta(self.counters[worker]);
-            mgd_step(
-                self.loss,
-                self.reg,
-                &mut w,
-                self.ds.rows(),
-                self.ds.labels(),
-                chunk,
-                eta,
-                &mut self.grad_buf,
-            );
-            self.counters[worker] += 1;
-            n_batches += 1;
-        }
+        let (w, n_batches) = if crate::exec::backend_active() {
+            // The worker replays the same chunked mgd_step loop (it holds
+            // the learning-rate schedule from its assignment); the
+            // returned counter is t0 + #chunks, mirrored here.
+            let n_chunks = order.chunks(batch_size).count() as u64;
+            let res = crate::exec::dispatch(vec![(
+                worker,
+                crate::exec::WorkerOp::MgdEpoch {
+                    w: model.clone(),
+                    order: crate::exec::to_wire_indices(&order),
+                    batch_size: batch_size as u32,
+                    t0: self.counters[worker],
+                },
+            )]);
+            let (w, t) = crate::exec::expect_model(crate::exec::expect_single(res));
+            debug_assert_eq!(t, self.counters[worker] + n_chunks);
+            self.counters[worker] = t;
+            (w, n_chunks)
+        } else {
+            let mut w = model.clone();
+            let mut n_batches = 0u64;
+            for chunk in order.chunks(batch_size) {
+                let eta = self.lr.eta(self.counters[worker]);
+                mgd_step(
+                    self.loss,
+                    self.reg,
+                    &mut w,
+                    self.ds.rows(),
+                    self.ds.labels(),
+                    chunk,
+                    eta,
+                    &mut self.grad_buf,
+                );
+                self.counters[worker] += 1;
+                n_batches += 1;
+            }
+            (w, n_batches)
+        };
 
         // Push the accumulated delta; Angel's servers sum worker updates.
         // Without a regularizer the epoch's delta touches only the

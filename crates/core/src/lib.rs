@@ -45,6 +45,7 @@ mod comparison;
 mod config;
 mod cv;
 mod engine;
+mod exec;
 mod grid;
 mod local_pass;
 mod mllib;
@@ -68,6 +69,7 @@ pub use config::{
 };
 pub use cv::{cross_validate_path, CvConfig, CvError, CvFoldResult, CvJobStats, CvResult};
 pub use engine::{CommBytes, RoundStats};
+pub use exec::{system_partitions, with_backend, ComputeBackend, ExecAbort, OpResult, WorkerOp};
 pub use grid::{GridPoint, GridResult, GridSearch};
 pub use mllib::train_mllib;
 pub use mllib_ma::train_mllib_ma;

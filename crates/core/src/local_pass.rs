@@ -48,6 +48,10 @@ pub(crate) fn local_sgd_passes(
     assert_eq!(counters.len(), k, "one update counter per worker");
     assert_eq!(locals.len(), k, "one local buffer per worker");
 
+    if crate::exec::backend_active() {
+        return backend_sgd_passes(parts, w, orders, counters, locals);
+    }
+
     let one_worker = |part: &Vec<usize>,
                       order_gen: &mut EpochOrder,
                       counter: &mut u64,
@@ -134,6 +138,48 @@ pub(crate) fn local_sgd_passes(
         }
     });
     totals.iter().sum()
+}
+
+/// The dispatched twin of the inline pass loop: epoch orders are drawn
+/// here (the RNG streams never leave the orchestrating thread) and
+/// shipped as explicit index lists; workers with empty partitions copy
+/// `w` locally without a round trip.
+fn backend_sgd_passes(
+    parts: &[Vec<usize>],
+    w: &DenseVector,
+    orders: &mut [EpochOrder],
+    counters: &mut [u64],
+    locals: &mut [DenseVector],
+) -> u64 {
+    use crate::exec::{dispatch, expect_model, to_wire_indices, WorkerOp};
+    let mut total = 0u64;
+    let mut ops = Vec::new();
+    let mut targets = Vec::new();
+    for (r, part) in parts.iter().enumerate() {
+        if part.is_empty() {
+            locals[r].as_mut_slice().copy_from_slice(w.as_slice());
+            continue;
+        }
+        let order = orders[r].next_order(part);
+        total += order.len() as u64;
+        ops.push((
+            r,
+            WorkerOp::SgdPass {
+                w: w.clone(),
+                order: to_wire_indices(&order),
+                t0: counters[r],
+            },
+        ));
+        targets.push(r);
+    }
+    if !ops.is_empty() {
+        for (r, res) in targets.into_iter().zip(dispatch(ops)) {
+            let (model, t) = expect_model(res);
+            locals[r] = model;
+            counters[r] = t;
+        }
+    }
+    total
 }
 
 #[cfg(test)]

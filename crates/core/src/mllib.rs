@@ -84,7 +84,11 @@ impl RoundStrategy for MllibStrategy {
             // (1) Driver broadcasts the model.
             rd.broadcast(&h.cost, dim);
 
-            // (2) Executors compute batch gradients.
+            // (2) Executors compute batch gradients. Batches are always
+            // sampled here (the RNG streams stay with the round driver);
+            // with a backend installed the gradient math runs remotely.
+            let mut ops = Vec::new();
+            let mut targets = Vec::new();
             for r in 0..k {
                 if h.parts[r].is_empty() {
                     grads[r].clear();
@@ -93,7 +97,18 @@ impl RoundStrategy for MllibStrategy {
                 let batch_size = cfg.batch_size(h.parts[r].len());
                 let batch = samplers[r].sample(&h.parts[r], batch_size);
                 let batch_nnz: usize = batch.iter().map(|&i| ds.rows()[i].nnz()).sum();
-                batch_gradient_into(cfg.loss, w, ds.rows(), ds.labels(), &batch, &mut grads[r]);
+                if crate::exec::backend_active() {
+                    ops.push((
+                        r,
+                        crate::exec::WorkerOp::BatchGrad {
+                            w: w.clone(),
+                            batch: crate::exec::to_wire_indices(&batch),
+                        },
+                    ));
+                    targets.push(r);
+                } else {
+                    batch_gradient_into(cfg.loss, w, ds.rows(), ds.labels(), &batch, &mut grads[r]);
+                }
                 rd.charge_flops(pass_flops(batch_nnz));
                 rd.rb.work(
                     NodeId::Executor(r),
@@ -101,6 +116,11 @@ impl RoundStrategy for MllibStrategy {
                     h.cost
                         .executor_waves(r, pass_flops(batch_nnz), cfg.waves, rd.straggler_rng),
                 );
+            }
+            if !ops.is_empty() {
+                for (r, res) in targets.into_iter().zip(crate::exec::dispatch(ops)) {
+                    grads[r] = crate::exec::expect_grad(res);
+                }
             }
             rd.rb.barrier();
             rd.inject_failure(h, cfg, |r| pass_flops(h.part_nnz[r]) * cfg.batch_frac);

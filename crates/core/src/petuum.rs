@@ -82,38 +82,68 @@ impl WorkerLogic for PetuumWorker<'_> {
 
         let (w_local, n_updates, flops) = if self.reg.is_none() {
             // Parallel SGD over the batch: many updates per step.
-            let mut local = ScaledVector::from_dense(model.clone());
-            self.counters[worker] = sgd_epoch_lazy(
-                self.loss,
-                self.reg,
-                &mut local,
-                self.ds.rows(),
-                self.ds.labels(),
-                &batch,
-                self.lr,
-                self.counters[worker],
-            );
-            (
-                local.into_dense(),
-                batch.len() as u64,
-                pass_flops(batch_nnz),
-            )
+            let w_local = if crate::exec::backend_active() {
+                let res = crate::exec::dispatch(vec![(
+                    worker,
+                    crate::exec::WorkerOp::SgdBatch {
+                        w: model.clone(),
+                        batch: crate::exec::to_wire_indices(&batch),
+                        t0: self.counters[worker],
+                    },
+                )]);
+                let (w_local, t) = crate::exec::expect_model(crate::exec::expect_single(res));
+                self.counters[worker] = t;
+                w_local
+            } else {
+                let mut local = ScaledVector::from_dense(model.clone());
+                self.counters[worker] = sgd_epoch_lazy(
+                    self.loss,
+                    self.reg,
+                    &mut local,
+                    self.ds.rows(),
+                    self.ds.labels(),
+                    &batch,
+                    self.lr,
+                    self.counters[worker],
+                );
+                local.into_dense()
+            };
+            (w_local, batch.len() as u64, pass_flops(batch_nnz))
         } else {
             // One dense GD step over the batch: a single update per step.
-            let mut w = model.clone();
+            // The schedule is evaluated here either way, so the counter
+            // stream never leaves the orchestrator.
             let eta = self.lr.eta(self.counters[worker]);
-            mgd_step(
-                self.loss,
-                self.reg,
-                &mut w,
-                self.ds.rows(),
-                self.ds.labels(),
-                &batch,
-                eta,
-                &mut self.grad_buf,
-            );
+            let w_local = if crate::exec::backend_active() {
+                let res = crate::exec::dispatch(vec![(
+                    worker,
+                    crate::exec::WorkerOp::MgdStep {
+                        w: model.clone(),
+                        batch: crate::exec::to_wire_indices(&batch),
+                        eta,
+                    },
+                )]);
+                crate::exec::expect_model(crate::exec::expect_single(res)).0
+            } else {
+                let mut w = model.clone();
+                mgd_step(
+                    self.loss,
+                    self.reg,
+                    &mut w,
+                    self.ds.rows(),
+                    self.ds.labels(),
+                    &batch,
+                    eta,
+                    &mut self.grad_buf,
+                );
+                w
+            };
             self.counters[worker] += 1;
-            (w, 1, pass_flops(batch_nnz) + 2.0 * dense_op_flops(dim))
+            (
+                w_local,
+                1,
+                pass_flops(batch_nnz) + 2.0 * dense_op_flops(dim),
+            )
         };
 
         let payload = match self.aggregation {

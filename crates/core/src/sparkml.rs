@@ -107,13 +107,23 @@ fn distributed_gradient(
     ctx.round(&h.all_nodes, |rd| {
         rd.broadcast(&h.cost, dim);
         let mut partials: Vec<DenseVector> = Vec::with_capacity(k);
+        let mut ops = Vec::new();
+        let mut targets = Vec::new();
         for r in 0..k {
             let mut g_r = DenseVector::zeros(dim);
             if !h.parts[r].is_empty() {
-                batch_gradient_into(cfg.loss, w, ds.rows(), ds.labels(), &h.parts[r], &mut g_r);
-                // Weight by partition size so the sum over workers is
-                // the dataset-average gradient.
-                g_r.scale(h.parts[r].len() as f64 / ds.len() as f64);
+                if crate::exec::backend_active() {
+                    // The worker returns its unscaled partition gradient;
+                    // the partition weight is applied below with the same
+                    // factor, so the scaled bits match the inline path.
+                    ops.push((r, crate::exec::WorkerOp::PartitionGrad { w: w.clone() }));
+                    targets.push(r);
+                } else {
+                    batch_gradient_into(cfg.loss, w, ds.rows(), ds.labels(), &h.parts[r], &mut g_r);
+                    // Weight by partition size so the sum over workers is
+                    // the dataset-average gradient.
+                    g_r.scale(h.parts[r].len() as f64 / ds.len() as f64);
+                }
                 rd.charge_flops(pass_flops(h.part_nnz[r]));
                 rd.rb.work(
                     NodeId::Executor(r),
@@ -123,6 +133,13 @@ fn distributed_gradient(
                 );
             }
             partials.push(g_r);
+        }
+        if !ops.is_empty() {
+            for (r, res) in targets.into_iter().zip(crate::exec::dispatch(ops)) {
+                let mut g_r = crate::exec::expect_grad(res);
+                g_r.scale(h.parts[r].len() as f64 / ds.len() as f64);
+                partials[r] = g_r;
+            }
         }
         rd.rb.barrier();
         let sum = rd.tree_aggregate(&h.cost, &partials, cfg.tree_fanin, Activity::SendGradient);
@@ -151,19 +168,29 @@ fn distributed_objective(
     ctx.round(&h.all_nodes, |rd| {
         rd.broadcast(&h.cost, dim);
         let mut weighted = 0.0;
+        let mut ops = Vec::new();
+        let mut targets = Vec::new();
         for r in 0..k {
             if h.parts[r].is_empty() {
                 continue;
             }
-            let local = objective_value_subset(
-                cfg.loss,
-                mlstar_glm::Regularizer::None,
-                w,
-                ds.rows(),
-                ds.labels(),
-                &h.parts[r],
-            );
-            weighted += local * h.parts[r].len() as f64 / ds.len() as f64;
+            if crate::exec::backend_active() {
+                ops.push((
+                    r,
+                    crate::exec::WorkerOp::PartitionObjective { w: w.clone() },
+                ));
+                targets.push(r);
+            } else {
+                let local = objective_value_subset(
+                    cfg.loss,
+                    mlstar_glm::Regularizer::None,
+                    w,
+                    ds.rows(),
+                    ds.labels(),
+                    &h.parts[r],
+                );
+                weighted += local * h.parts[r].len() as f64 / ds.len() as f64;
+            }
             // Loss evaluation is ~half the flops of a gradient pass.
             rd.charge_flops(pass_flops(h.part_nnz[r]) / 2.0);
             rd.rb.work(
@@ -172,6 +199,13 @@ fn distributed_objective(
                 h.cost
                     .executor_compute(r, pass_flops(h.part_nnz[r]) / 2.0, rd.straggler_rng),
             );
+        }
+        if !ops.is_empty() {
+            // Accumulated in worker order, exactly like the inline loop.
+            for (r, res) in targets.into_iter().zip(crate::exec::dispatch(ops)) {
+                let local = crate::exec::expect_value(res);
+                weighted += local * h.parts[r].len() as f64 / ds.len() as f64;
+            }
         }
         rd.rb.barrier();
         // Scalar gather: k tiny messages through the driver NIC (counted

@@ -1,0 +1,11 @@
+//@ path: crates/net/src/measure.rs
+//@ expect:
+
+//! `net::measure` is the one non-bench module allowed to read wall
+//! clocks: readings feed measurement records, never control flow.
+
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,16 @@
+//@ path: crates/net/src/pool.rs
+//@ expect:
+
+//! The net backend's scoped worker pool is allowlisted for raw threads.
+
+pub fn run_workers(xs: &mut [u64]) {
+    std::thread::scope(|scope| {
+        for chunk in xs.chunks_mut(2) {
+            scope.spawn(move || {
+                for v in chunk.iter_mut() {
+                    *v += 1;
+                }
+            });
+        }
+    });
+}

@@ -1,0 +1,11 @@
+//@ path: crates/net/src/demo.rs
+//@ expect: determinism_taint
+
+//! Wall-clock reads in the net crate outside `net::measure`.
+
+use std::time::Instant;
+
+pub fn batch_seconds() -> f64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}

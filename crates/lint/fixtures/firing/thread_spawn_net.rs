@@ -1,0 +1,9 @@
+//@ path: crates/net/src/demo.rs
+//@ expect: thread_spawn
+
+//! Raw host threads in the net crate outside the scoped pool module.
+
+pub fn fan_out(n: u64) -> u64 {
+    let handle = std::thread::spawn(move || n + 1);
+    handle.join().unwrap_or(n)
+}

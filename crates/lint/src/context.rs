@@ -44,6 +44,7 @@ pub const SIM_CRITICAL_CRATES: &[&str] = &[
     "data",
     "linalg",
     "serve",
+    "net",
 ];
 
 /// The one crate allowed to read wall-clock time and hold measurement

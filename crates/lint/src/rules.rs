@@ -296,10 +296,12 @@ pub(crate) fn pass_ambient_rand(units: &mut [FileUnit], out: &mut Vec<Violation>
     }
 }
 
-/// Modules allowed to touch raw threads: the two host-parallelism shims
+/// Modules allowed to touch raw threads: the host-parallelism shims
 /// whose merge order is proven deterministic (fixed shard partitioning,
-/// ordered joins).
-pub const THREAD_ALLOWLIST: &[(&str, &str)] = &[("core", "local_pass"), ("serve", "engine")];
+/// ordered joins) and the net backend's scoped worker pool (rank-ordered
+/// spawn, join-all-before-return).
+pub const THREAD_ALLOWLIST: &[(&str, &str)] =
+    &[("core", "local_pass"), ("net", "pool"), ("serve", "engine")];
 
 pub(crate) fn pass_thread_spawn(units: &mut [FileUnit], out: &mut Vec<Violation>) {
     for unit in units.iter_mut() {
@@ -327,7 +329,7 @@ pub(crate) fn pass_thread_spawn(units: &mut [FileUnit], out: &mut Vec<Violation>
                         lineno,
                         RuleId::ThreadSpawn,
                         format!(
-                            "`{token}` outside the allowlisted modules (core::local_pass, serve::engine): raw threads bypass the deterministic merge order"
+                            "`{token}` outside the allowlisted modules (core::local_pass, net::pool, serve::engine): raw threads bypass the deterministic merge order"
                         ),
                         Vec::new(),
                     );

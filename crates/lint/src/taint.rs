@@ -16,6 +16,7 @@
 //!   crates always; any other non-bench crate when the enclosing function
 //!   is reachable from a sim-critical public API
 //! * `Instant::now` / `SystemTime::now` — everywhere except crates/bench
+//!   and `net::measure`, the net backend's single measurement-only clock
 //! * `env::var` / `env::vars` / `env::var_os` — lib/bin code of
 //!   sim-critical crates (ambient process state)
 //! * `thread::current` — lib/bin code of sim-critical crates (OS thread
@@ -28,6 +29,12 @@ use crate::context::{FileContext, FileRole};
 use crate::rules::{self, RuleId, Violation};
 use crate::scanner;
 use crate::FileUnit;
+
+/// Modules allowed to read wall clocks outside the timing crate: the net
+/// backend funnels every `Instant::now` through `net::measure`, where
+/// readings feed measurement records only — never control flow, RNG
+/// seeding, or model math.
+const CLOCK_ALLOWLIST: &[(&str, &str)] = &[("net", "measure")];
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SinkKind {
@@ -148,8 +155,14 @@ pub(crate) fn pass_determinism_taint(
                     SinkKind::Hash => {
                         lib_or_bin && (unit.ctx.is_sim_critical() || !chain.is_empty())
                     }
-                    // Wall clock: banned everywhere outside crates/bench.
-                    SinkKind::Clock => true,
+                    // Wall clock: banned everywhere outside crates/bench
+                    // and the net backend's measurement module.
+                    SinkKind::Clock => {
+                        let module = rules::file_module(&unit.ctx);
+                        !CLOCK_ALLOWLIST
+                            .iter()
+                            .any(|(c, m)| *c == unit.ctx.crate_name && *m == module)
+                    }
                     SinkKind::Env | SinkKind::ThreadId => lib_or_bin && unit.ctx.is_sim_critical(),
                 };
                 if !applies {
@@ -196,7 +209,7 @@ fn locality(kind: SinkKind, ctx: &FileContext) -> String {
             "in sim-critical crate `{}`: iteration order is seeded per-process",
             ctx.crate_name
         ),
-        SinkKind::Clock => "outside crates/bench".to_string(),
+        SinkKind::Clock => "outside crates/bench and net::measure".to_string(),
         SinkKind::Env | SinkKind::ThreadId => {
             format!("in sim-critical crate `{}`", ctx.crate_name)
         }

@@ -1,0 +1,71 @@
+//! The typed failure taxonomy of the real execution backend.
+
+use std::fmt;
+
+use mlstar_codec::CodecError;
+
+/// Why a net-backed training run failed. Every variant is a *clean* stop:
+/// the orchestrator never hangs on a dead worker and never publishes a
+/// partial model.
+#[derive(Debug)]
+pub enum NetError {
+    /// A worker's transport died mid-run (thread exited, socket closed).
+    WorkerLost {
+        /// Index of the lost worker.
+        worker: usize,
+    },
+    /// The handshake did not complete (bad hello, worker count mismatch).
+    Handshake(String),
+    /// A peer sent a frame that decodes but violates the protocol (wrong
+    /// message kind, batch id mismatch, result arity mismatch).
+    Protocol(String),
+    /// A frame failed to decode (bad magic, checksum, truncation).
+    Codec(CodecError),
+    /// Transport-level I/O failure (TCP bind/connect/read/write).
+    Io(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::WorkerLost { worker } => write!(f, "worker {worker} lost mid-run"),
+            NetError::Handshake(why) => write!(f, "handshake failed: {why}"),
+            NetError::Protocol(why) => write!(f, "protocol violation: {why}"),
+            NetError::Codec(e) => write!(f, "frame codec error: {e}"),
+            NetError::Io(why) => write!(f, "transport I/O error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for NetError {
+    fn from(e: CodecError) -> Self {
+        NetError::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_render() {
+        assert!(NetError::WorkerLost { worker: 3 }
+            .to_string()
+            .contains("worker 3"));
+        assert!(NetError::Handshake("x".into()).to_string().contains('x'));
+        assert!(NetError::Protocol("y".into()).to_string().contains('y'));
+        assert!(NetError::Io("z".into()).to_string().contains('z'));
+        let codec = NetError::Codec(CodecError::BadMagic(7));
+        assert!(codec.to_string().contains("magic"));
+        assert!(std::error::Error::source(&codec).is_some());
+    }
+}

@@ -88,7 +88,7 @@ mod workload;
 pub use artifact::{DatasetFingerprint, ModelArtifact, ARTIFACT_MAGIC, CODEC_VERSION};
 pub use engine::{BatchPolicy, Prediction, ScoreCostModel, ScoreRequest, ScoringEngine, ServeRun};
 pub use error::ServeError;
-pub use registry::{ModelRegistry, REGISTRY_MAGIC, REGISTRY_VERSION};
+pub use registry::{ModelRegistry, SnapshotWrite, REGISTRY_MAGIC, REGISTRY_VERSION};
 pub use telemetry::{BatchRecord, LatencyHistogram, ServeTelemetry};
 pub use workload::QueryWorkload;
 

@@ -18,10 +18,20 @@
 //! snapshots (an active pointer at a missing version, duplicate version
 //! numbers, dimension drift within a line) with distinct [`ServeError`]
 //! variants instead of serving from inconsistent state.
+//!
+//! Snapshots are **incremental**: a snapshot file is a chain of frames
+//! (each self-delimiting via the header's payload length), where the
+//! first frame is a full snapshot and each later frame is a delta holding
+//! only the versions published — plus any rollout-pointer moves — since
+//! the previous frame. [`ModelRegistry::append_file`] writes such a delta
+//! past the persisted state instead of rewriting the ever-growing
+//! artifact history; [`ModelRegistry::decode`] folds the chain back
+//! together and validates the merged result, so a chained file and a
+//! full rewrite decode to the same registry.
 
 use std::collections::BTreeMap;
 
-use mlstar_codec::{decode_frame, Reader, Writer};
+use mlstar_codec::{decode_frame, Reader, Writer, HEADER_LEN};
 
 use crate::{ModelArtifact, ServeError};
 
@@ -226,9 +236,23 @@ impl ModelRegistry {
     /// ([`ModelArtifact::encode`]), so an artifact extracted from a
     /// snapshot is byte-identical to one written standalone.
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_delta(None)
+    }
+
+    /// Encodes one frame holding everything in `self` that `base` lacks:
+    /// lines whose state changed, with only the versions `base` has not
+    /// persisted. With no base this is a full snapshot. Lines identical
+    /// in both are omitted entirely.
+    fn encode_delta(&self, base: Option<&ModelRegistry>) -> Vec<u8> {
+        let changed: Vec<(&String, &ModelEntry)> = self
+            .entries
+            .iter()
+            .filter(|(name, entry)| base.and_then(|b| b.entries.get(*name)) != Some(entry))
+            .collect();
         let mut w = Writer::new();
-        w.put_u64(self.entries.len() as u64);
-        for (name, entry) in &self.entries {
+        w.put_u64(changed.len() as u64);
+        for (name, entry) in changed {
+            let persisted = base.and_then(|b| b.entries.get(name));
             w.put_str16(name);
             w.put_u64(entry.active);
             match entry.staged {
@@ -238,8 +262,13 @@ impl ModelRegistry {
                 }
                 None => w.put_u8(0),
             }
-            w.put_u64(entry.versions.len() as u64);
-            for (&version, artifact) in &entry.versions {
+            let fresh: Vec<(&u64, &ModelArtifact)> = entry
+                .versions
+                .iter()
+                .filter(|(v, _)| !persisted.is_some_and(|p| p.versions.contains_key(v)))
+                .collect();
+            w.put_u64(fresh.len() as u64);
+            for (&version, artifact) in fresh {
                 w.put_u64(version);
                 w.put_blob64(&artifact.encode());
             }
@@ -247,84 +276,196 @@ impl ModelRegistry {
         w.into_frame(REGISTRY_MAGIC, REGISTRY_VERSION)
     }
 
-    /// Decodes a registry snapshot, verifying the frame envelope and then
-    /// the structural invariants [`ModelRegistry::publish`] maintains:
-    /// version numbers unique within a line, active and staged pointers
-    /// resolving to retained versions, and one feature dimension per line.
+    /// Decodes a snapshot chain — a full frame optionally followed by
+    /// delta frames (see [`ModelRegistry::append_file`]) — verifying each
+    /// frame envelope, folding the deltas together, and then checking the
+    /// structural invariants [`ModelRegistry::publish`] maintains:
+    /// version numbers unique across the chain, active and staged
+    /// pointers resolving to retained versions, and one feature dimension
+    /// per line.
     pub fn decode(bytes: &[u8]) -> Result<ModelRegistry, ServeError> {
-        let payload = decode_frame(bytes, REGISTRY_MAGIC, REGISTRY_VERSION)?;
-        let mut r = Reader::new(payload);
-        let n_entries = r.u64()?;
-        let mut entries = BTreeMap::new();
-        for _ in 0..n_entries {
-            let name = r.str16()?;
-            let active = r.u64()?;
-            let staged = match r.u8()? {
-                0 => None,
-                1 => Some(r.u64()?),
-                tag => {
-                    return Err(ServeError::Corrupt(format!(
-                        "staged flag must be 0 or 1, found {tag}"
-                    )))
-                }
-            };
-            let n_versions = r.u64()?;
-            let mut versions: BTreeMap<u64, ModelArtifact> = BTreeMap::new();
-            for _ in 0..n_versions {
-                let version = r.u64()?;
-                let artifact = ModelArtifact::decode(r.blob64()?)?;
-                if let Some(first) = versions.values().next() {
-                    if artifact.dim() != first.dim() {
-                        return Err(ServeError::Corrupt(format!(
-                            "model {name:?} mixes dimensions {} and {}",
-                            first.dim(),
-                            artifact.dim()
-                        )));
-                    }
-                }
-                if versions.insert(version, artifact).is_some() {
-                    return Err(ServeError::Corrupt(format!(
-                        "model {name:?} repeats version {version}"
-                    )));
-                }
-            }
-            if !versions.contains_key(&active) {
+        let mut entries: BTreeMap<String, ModelEntry> = BTreeMap::new();
+        let mut offset = 0;
+        let mut first = true;
+        while offset < bytes.len() {
+            let chunk = &bytes[offset..];
+            let span = frame_span(chunk);
+            let payload = decode_frame(&chunk[..span], REGISTRY_MAGIC, REGISTRY_VERSION)?;
+            apply_frame(&mut entries, payload, first)?;
+            first = false;
+            offset += span;
+        }
+        for (name, entry) in &entries {
+            if !entry.versions.contains_key(&entry.active) {
                 return Err(ServeError::Corrupt(format!(
-                    "model {name:?} activates missing version {active}"
+                    "model {name:?} activates missing version {}",
+                    entry.active
                 )));
             }
-            if let Some(s) = staged {
-                if !versions.contains_key(&s) {
+            if let Some(s) = entry.staged {
+                if !entry.versions.contains_key(&s) {
                     return Err(ServeError::Corrupt(format!(
                         "model {name:?} stages missing version {s}"
                     )));
                 }
             }
-            let entry = ModelEntry {
-                versions,
-                active,
-                staged,
-            };
-            if entries.insert(name.clone(), entry).is_some() {
-                return Err(ServeError::Corrupt(format!(
-                    "registry repeats model name {name:?}"
-                )));
-            }
         }
-        r.finish()?;
         Ok(ModelRegistry { entries })
     }
 
-    /// Writes the encoded snapshot to a file.
+    /// Writes the full snapshot to a file, replacing any existing chain.
     pub fn write_file(&self, path: impl AsRef<std::path::Path>) -> Result<(), ServeError> {
         std::fs::write(path, self.encode())?;
         Ok(())
     }
 
-    /// Reads and decodes a registry snapshot file.
+    /// Persists this registry into `path` incrementally: decodes the
+    /// existing snapshot chain and appends one delta frame carrying only
+    /// what changed since — newly published versions plus rollout-pointer
+    /// moves — leaving the already-persisted bytes untouched.
+    ///
+    /// Falls back to a full rewrite when the file does not exist or its
+    /// persisted state is not a subset of this registry (a retained
+    /// version was mutated or belongs to a different history — append
+    /// cannot express that). Returns what was done; reading the file back
+    /// yields a registry equal to `self` in every case.
+    pub fn append_file(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<SnapshotWrite, ServeError> {
+        let path = path.as_ref();
+        let existing = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.write_file(path)?;
+                return Ok(SnapshotWrite::Rewritten);
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let base = ModelRegistry::decode(&existing)?;
+        if base == *self {
+            return Ok(SnapshotWrite::Unchanged);
+        }
+        if !base.subset_of(self) {
+            self.write_file(path)?;
+            return Ok(SnapshotWrite::Rewritten);
+        }
+        let delta = self.encode_delta(Some(&base));
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new().append(true).open(path)?;
+        f.write_all(&delta)?;
+        Ok(SnapshotWrite::Appended)
+    }
+
+    /// True when every artifact version retained in `self` is present and
+    /// identical in `other` — i.e. `other` extends `self` by publishes
+    /// and pointer moves only, which is what a delta frame can express.
+    fn subset_of(&self, other: &ModelRegistry) -> bool {
+        self.entries.iter().all(|(name, entry)| {
+            other.entries.get(name).is_some_and(|o| {
+                entry
+                    .versions
+                    .iter()
+                    .all(|(v, artifact)| o.versions.get(v) == Some(artifact))
+            })
+        })
+    }
+
+    /// Reads and decodes a registry snapshot file (full or chained).
     pub fn read_file(path: impl AsRef<std::path::Path>) -> Result<ModelRegistry, ServeError> {
         ModelRegistry::decode(&std::fs::read(path)?)
     }
+}
+
+/// How [`ModelRegistry::append_file`] persisted the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotWrite {
+    /// A delta frame was appended past the existing chain.
+    Appended,
+    /// The file was (re)written as a single full snapshot.
+    Rewritten,
+    /// The persisted state already matched; nothing was written.
+    Unchanged,
+}
+
+/// The byte length of the frame starting at `chunk[0]`, from the
+/// self-delimiting header. Returns the whole remainder when the header is
+/// short or inconsistent so `decode_frame` reports the precise error.
+fn frame_span(chunk: &[u8]) -> usize {
+    if chunk.len() < HEADER_LEN {
+        return chunk.len();
+    }
+    let payload_len = u64::from_le_bytes(
+        chunk[8..16]
+            .try_into()
+            // lint:allow(panic_in_lib): an 8-byte slice always converts
+            // to [u8; 8].
+            .expect("an 8-byte slice of a bounds-checked header"),
+    );
+    usize::try_from(payload_len)
+        .ok()
+        .and_then(|p| p.checked_add(HEADER_LEN))
+        .filter(|&total| total <= chunk.len())
+        .unwrap_or(chunk.len())
+}
+
+/// Decodes one frame payload and folds it into `entries`. The base frame
+/// must introduce each name once; delta frames may revisit a line to move
+/// its pointers and add versions, but never to re-publish a version the
+/// chain already holds.
+fn apply_frame(
+    entries: &mut BTreeMap<String, ModelEntry>,
+    payload: &[u8],
+    is_base: bool,
+) -> Result<(), ServeError> {
+    let mut r = Reader::new(payload);
+    let n_entries = r.u64()?;
+    for _ in 0..n_entries {
+        let name = r.str16()?;
+        let active = r.u64()?;
+        let staged = match r.u8()? {
+            0 => None,
+            1 => Some(r.u64()?),
+            tag => {
+                return Err(ServeError::Corrupt(format!(
+                    "staged flag must be 0 or 1, found {tag}"
+                )))
+            }
+        };
+        if is_base && entries.contains_key(&name) {
+            return Err(ServeError::Corrupt(format!(
+                "registry repeats model name {name:?}"
+            )));
+        }
+        let entry = entries.entry(name.clone()).or_insert_with(|| ModelEntry {
+            versions: BTreeMap::new(),
+            active,
+            staged,
+        });
+        entry.active = active;
+        entry.staged = staged;
+        let n_versions = r.u64()?;
+        for _ in 0..n_versions {
+            let version = r.u64()?;
+            let artifact = ModelArtifact::decode(r.blob64()?)?;
+            if let Some(first) = entry.versions.values().next() {
+                if artifact.dim() != first.dim() {
+                    return Err(ServeError::Corrupt(format!(
+                        "model {name:?} mixes dimensions {} and {}",
+                        first.dim(),
+                        artifact.dim()
+                    )));
+                }
+            }
+            if entry.versions.insert(version, artifact).is_some() {
+                return Err(ServeError::Corrupt(format!(
+                    "model {name:?} repeats version {version}"
+                )));
+            }
+        }
+    }
+    r.finish()?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -529,6 +670,142 @@ mod tests {
         let frame = w.into_frame(REGISTRY_MAGIC, REGISTRY_VERSION);
         match ModelRegistry::decode(&frame) {
             Err(ServeError::Corrupt(msg)) => assert!(msg.contains("missing version 5"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("mlstar_serve_registry_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn append_matches_rewrite_and_preserves_persisted_bytes() {
+        let appended = temp_path("chain.mlsr");
+        let rewritten = temp_path("full.mlsr");
+        std::fs::remove_file(&appended).ok();
+
+        // First persist: no file yet → full snapshot.
+        let mut reg = populated();
+        assert_eq!(
+            reg.append_file(&appended).unwrap(),
+            SnapshotWrite::Rewritten
+        );
+        let base_bytes = std::fs::read(&appended).unwrap();
+
+        // Publish, promote, and add a new line; append the delta.
+        reg.promote("ctr").unwrap();
+        reg.publish("ctr", artifact(4, 4.0)).unwrap();
+        reg.publish("fraud", artifact(8, 1.0)).unwrap();
+        assert_eq!(reg.append_file(&appended).unwrap(), SnapshotWrite::Appended);
+
+        // The chain extends — never rewrites — the persisted prefix.
+        let chain_bytes = std::fs::read(&appended).unwrap();
+        assert!(chain_bytes.len() > base_bytes.len());
+        assert_eq!(&chain_bytes[..base_bytes.len()], &base_bytes[..]);
+
+        // Chained file and full rewrite decode to the same registry.
+        reg.write_file(&rewritten).unwrap();
+        assert_eq!(ModelRegistry::read_file(&appended).unwrap(), reg);
+        assert_eq!(
+            ModelRegistry::read_file(&appended).unwrap(),
+            ModelRegistry::read_file(&rewritten).unwrap()
+        );
+
+        std::fs::remove_file(&appended).ok();
+        std::fs::remove_file(&rewritten).ok();
+    }
+
+    #[test]
+    fn append_pointer_move_only_and_unchanged() {
+        let path = temp_path("pointers.mlsr");
+        std::fs::remove_file(&path).ok();
+        let mut reg = populated();
+        reg.append_file(&path).unwrap();
+
+        // No change → nothing written.
+        let before = std::fs::read(&path).unwrap();
+        assert_eq!(reg.append_file(&path).unwrap(), SnapshotWrite::Unchanged);
+        assert_eq!(std::fs::read(&path).unwrap(), before);
+
+        // A promote moves pointers without publishing: the delta carries
+        // no artifacts but the decoded chain reflects the new rollout.
+        reg.promote("ctr").unwrap();
+        assert_eq!(reg.append_file(&path).unwrap(), SnapshotWrite::Appended);
+        let back = ModelRegistry::read_file(&path).unwrap();
+        assert_eq!(back, reg);
+        assert_eq!(back.active_version("ctr").unwrap(), 3);
+        assert!(back.staged("ctr").unwrap().is_none());
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn append_over_diverged_history_falls_back_to_rewrite() {
+        let path = temp_path("diverged.mlsr");
+        std::fs::remove_file(&path).ok();
+        // Persist a registry whose version 1 differs from ours.
+        let mut other = ModelRegistry::new();
+        other.publish("ctr", artifact(4, 99.0)).unwrap();
+        other.write_file(&path).unwrap();
+
+        let reg = populated();
+        assert_eq!(reg.append_file(&path).unwrap(), SnapshotWrite::Rewritten);
+        assert_eq!(ModelRegistry::read_file(&path).unwrap(), reg);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn long_append_chain_roundtrips() {
+        let path = temp_path("long-chain.mlsr");
+        std::fs::remove_file(&path).ok();
+        let mut reg = ModelRegistry::new();
+        reg.publish("m", artifact(3, 0.0)).unwrap();
+        reg.append_file(&path).unwrap();
+        for i in 1..6 {
+            reg.publish("m", artifact(3, i as f64)).unwrap();
+            reg.promote("m").unwrap();
+            assert_eq!(reg.append_file(&path).unwrap(), SnapshotWrite::Appended);
+        }
+        let back = ModelRegistry::read_file(&path).unwrap();
+        assert_eq!(back, reg);
+        assert_eq!(back.versions("m").unwrap(), vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(back.active_version("m").unwrap(), 6);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_chain_tail_is_refused() {
+        let mut reg = populated();
+        let mut bytes = reg.encode();
+        let base = ModelRegistry::decode(&bytes).unwrap();
+        reg.promote("ctr").unwrap();
+        reg.publish("ctr", artifact(4, 4.0)).unwrap();
+        let delta = reg.encode_delta(Some(&base));
+        bytes.extend_from_slice(&delta[..delta.len() - 2]);
+        assert!(matches!(
+            ModelRegistry::decode(&bytes),
+            Err(ServeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn delta_repeating_a_version_is_corrupt() {
+        let reg = populated();
+        let mut bytes = reg.encode();
+        // A "delta" that republishes version 1 of ctr.
+        let mut w = Writer::new();
+        w.put_u64(1);
+        w.put_str16("ctr");
+        w.put_u64(1); // active
+        w.put_u8(0);
+        w.put_u64(1); // one version
+        w.put_u64(1); // ... that already exists
+        w.put_blob64(&artifact(4, 5.0).encode());
+        bytes.extend_from_slice(&w.into_frame(REGISTRY_MAGIC, REGISTRY_VERSION));
+        match ModelRegistry::decode(&bytes) {
+            Err(ServeError::Corrupt(msg)) => assert!(msg.contains("repeats version 1"), "{msg}"),
             other => panic!("expected Corrupt, got {other:?}"),
         }
     }

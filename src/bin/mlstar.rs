@@ -27,6 +27,7 @@ use mllib_star::glm::{
     PathConfig, Regularizer,
 };
 use mllib_star::linalg::CscMatrix;
+use mllib_star::net::{train_net, NetConfig, TransportKind};
 use mllib_star::sim::{ClusterSpec, NetworkSpec, NodeSpec};
 
 fn main() -> ExitCode {
@@ -116,6 +117,7 @@ fn print_help() {
     println!("           [--batch-frac F] [--seed S] [--model-out <file.bin>]");
     println!("           [--checkpoint-every N --checkpoint-dir <dir>]");
     println!("           [--checkpoint-keep N] [--resume <file.ckpt>]");
+    println!("           [--backend <sim|net>] [--net-transport <channel|tcp>]");
     println!("  predict  --data <file.libsvm> --model <file.bin>");
     println!("  path     --data <file.libsvm> [--loss <logistic|squared>] [--folds K]");
     println!("           [--lambdas N] [--eps ε] [--l1-ratio α] [--executors K]");
@@ -132,6 +134,11 @@ fn print_help() {
     println!("--checkpoint-keep N rotates the directory, deleting all but the");
     println!("newest N snapshots of the trained system (default 0 = keep all).");
     println!("The other train options must match the original run exactly.");
+    println!();
+    println!("backend: --backend sim (default) runs the per-worker math inline");
+    println!("under the simulated clock; --backend net runs it on real worker");
+    println!("threads over the command protocol (--net-transport channel|tcp)");
+    println!("with bit-identical results plus measured per-round wall-clock.");
 }
 
 fn load_dataset(opts: &Options) -> Result<SparseDataset, String> {
@@ -213,7 +220,61 @@ fn cmd_train(opts: &Options) -> Result<(), String> {
     let ps = PsSystemConfig::default();
     let angel = AngelConfig::default();
 
-    let out = if let Some(ckpt_path) = opts.get("resume") {
+    let backend = opts.get("backend").unwrap_or("sim");
+    let net_transport = match opts.get("net-transport") {
+        None | Some("channel") => TransportKind::Channel,
+        Some("tcp") => TransportKind::Tcp,
+        Some(other) => return Err(format!("unknown --net-transport {other:?}")),
+    };
+    match backend {
+        "sim" => {}
+        "net" => {
+            if opts.get("resume").is_some() || checkpoint_every > 0 {
+                return Err(
+                    "--backend net does not support --resume/--checkpoint-every \
+                     (checkpoint on the sim backend; the results are bit-identical)"
+                        .into(),
+                );
+            }
+        }
+        other => return Err(format!("unknown --backend {other:?}")),
+    }
+
+    let out = if backend == "net" {
+        println!(
+            "training {system} on {} examples × {} features over {executors} real \
+             worker threads ({})…",
+            ds.len(),
+            ds.num_features(),
+            match net_transport {
+                TransportKind::Channel => "in-process channels",
+                TransportKind::Tcp => "loopback TCP",
+            }
+        );
+        let net_cfg = NetConfig {
+            transport: net_transport,
+            ..NetConfig::default()
+        };
+        let run = train_net(system, &ds, &cluster, &cfg, &ps, &angel, &net_cfg)
+            .map_err(|e| format!("net backend: {e}"))?;
+        let compute_s: f64 = run
+            .batches
+            .iter()
+            .flat_map(|b| b.workers.iter())
+            .map(|w| w.compute_s)
+            .sum();
+        let round_s: f64 = run.batches.iter().map(|b| b.wall_s).sum();
+        println!(
+            "measured: {} dispatch batches in {:.3}s wall ({:.1} batches/s); \
+             {:.4}s inside rounds, {:.4}s summed worker compute",
+            run.batches.len(),
+            run.wall_s,
+            run.batches_per_sec(),
+            round_s,
+            compute_s,
+        );
+        run.output
+    } else if let Some(ckpt_path) = opts.get("resume") {
         let ckpt = TrainCheckpoint::read_file(Path::new(ckpt_path))
             .map_err(|e| format!("reading {ckpt_path}: {e}"))?;
         // Keep checkpointing into the directory the snapshot came from

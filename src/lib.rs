@@ -16,7 +16,11 @@
 //!   MLlib\*, Petuum, Petuum\*, Angel), traces, grid search and runners,
 //! * [`serve`] — deterministic model serving: versioned artifacts, a
 //!   registry with staged rollout, micro-batched sharded scoring, and
-//!   latency telemetry.
+//!   latency telemetry,
+//! * [`net`] — the real-thread execution backend: the same trainers,
+//!   bit-identical, over an orchestrator/worker command protocol on
+//!   in-process channels or loopback TCP, with per-round wall-clock
+//!   measurements for cost-model calibration.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory and the per-experiment index.
@@ -29,6 +33,7 @@ pub use mlstar_core as core;
 pub use mlstar_data as data;
 pub use mlstar_glm as glm;
 pub use mlstar_linalg as linalg;
+pub use mlstar_net as net;
 pub use mlstar_ps as ps;
 pub use mlstar_serve as serve;
 pub use mlstar_sim as sim;
