@@ -1,0 +1,55 @@
+//@ path: crates/serve/src/demo_codec.rs
+//@ expect:
+
+//! A symmetric codec pair exercising every sequence feature: a tagged
+//! branch whose arms share the leading tag byte, a counted loop, a
+//! same-file helper that gets inlined, and envelope ops (invisible).
+
+use mlstar_codec::{CodecError, Reader, Writer};
+
+const DEMO_MAGIC: u32 = 0x4D4C_5344;
+
+pub fn put_record(w: &mut Writer, name: &str, values: &[f64], staged: Option<u64>) {
+    w.put_str16(name);
+    match staged {
+        Some(v) => {
+            w.put_u8(1);
+            w.put_u64(v);
+        }
+        None => {
+            w.put_u8(0);
+        }
+    }
+    w.put_u64(values.len() as u64);
+    for &v in values {
+        put_value(w, v);
+    }
+}
+
+fn put_value(w: &mut Writer, v: f64) {
+    w.put_f64(v);
+}
+
+pub fn get_record(r: &mut Reader<'_>) -> Result<(String, Vec<f64>, Option<u64>), CodecError> {
+    let name = r.str16()?;
+    let staged = match r.u8()? {
+        1 => Some(r.u64()?),
+        _ => None,
+    };
+    let n = r.u64()? as usize;
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        values.push(read_value(r)?);
+    }
+    Ok((name, values, staged))
+}
+
+fn read_value(r: &mut Reader<'_>) -> Result<f64, CodecError> {
+    r.f64()
+}
+
+pub fn encode_record(name: &str, values: &[f64]) -> Vec<u8> {
+    let mut w = Writer::new();
+    put_record(&mut w, name, values, None);
+    w.into_frame(DEMO_MAGIC, 1)
+}

@@ -1,0 +1,19 @@
+//@ path: crates/core/src/exec.rs
+//@ expect:
+
+//! Orchestrator-side sampling is the designed home for every RNG: no
+//! worker entry point (`net::worker` pub fn or `run_ops` impl) reaches
+//! this, so rng_placement stays quiet.
+
+use mlstar_cluster::rng::SeedStream;
+
+pub fn plan_partition_rows(seed: u64, rows: usize, take: usize) -> Vec<u64> {
+    let stream = SeedStream::new(seed).child("partition");
+    let mut out = Vec::with_capacity(take.min(rows));
+    let mut state = stream.seed();
+    for _ in 0..take.min(rows) {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        out.push(state % rows.max(1) as u64);
+    }
+    out
+}

@@ -1,0 +1,38 @@
+//@ path: crates/serve/src/demo_codec.rs
+//@ expect: codec_symmetry
+
+//! Two broken writer/reader pairs: `put_header`/`get_header` read two
+//! fields in swapped order, and `put_trace`/`get_trace` drift on the
+//! loop-guard width (u64 count written, u32 count read). Each pair gets
+//! its own side-by-side sequence diff anchored at the writer.
+
+use mlstar_codec::{CodecError, Reader, Writer};
+
+pub fn put_header(w: &mut Writer, epoch: u32, digest: u64) {
+    w.put_u32(epoch);
+    w.put_u64(digest);
+}
+
+pub fn get_header(r: &mut Reader<'_>) -> Result<(u32, u64), CodecError> {
+    // Swapped: reads the digest before the epoch.
+    let digest = r.u64()?;
+    let epoch = r.u32()?;
+    Ok((epoch, digest))
+}
+
+pub fn put_trace(w: &mut Writer, points: &[f64]) {
+    w.put_u64(points.len() as u64);
+    for &p in points {
+        w.put_f64(p);
+    }
+}
+
+pub fn get_trace(r: &mut Reader<'_>) -> Result<Vec<f64>, CodecError> {
+    // Width drift: the count was written as u64.
+    let n = r.u32()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.f64()?);
+    }
+    Ok(out)
+}

@@ -1,0 +1,21 @@
+//@ path: crates/net/src/worker.rs
+//@ expect: rng_placement
+
+//! Worker-side sampling, three calls below the worker entry point. The
+//! orchestrator-side-RNG invariant says workers receive explicit row
+//! indices and never sample; the diagnostic must carry the whole chain.
+
+use mlstar_cluster::rng::SeedStream;
+
+pub(crate) fn run_worker(seed: u64, rows: usize) -> usize {
+    refill_batch(seed, rows)
+}
+
+fn refill_batch(seed: u64, rows: usize) -> usize {
+    draw_row(seed, rows)
+}
+
+fn draw_row(seed: u64, rows: usize) -> usize {
+    let stream = SeedStream::new(seed).child("row");
+    (stream.seed() as usize) % rows.max(1)
+}

@@ -30,6 +30,8 @@
 //! | `float_eq` | non-test lib/bin code (literal/constant comparisons) |
 //! | `print_in_lib` | library code outside crates/bench |
 //! | `invalid_waiver` | waiver comments themselves |
+//! | `codec_symmetry` | paired encode/decode fns in codec, serve, core::checkpoint, net::protocol |
+//! | `rng_placement` | functions reachable from worker-side entry points |
 //!
 //! Waive a finding with `// lint:allow(<rule>): <reason>` on the same
 //! line or the line above. Stale or malformed waivers are violations, so
@@ -43,6 +45,7 @@
 
 pub mod callgraph;
 pub mod context;
+pub mod dataflow;
 pub mod parse;
 pub mod report;
 pub mod rules;
@@ -164,6 +167,12 @@ pub fn analyze_sources(sources: Vec<(FileContext, String)>) -> ScanReport {
     timed("print_in_lib", &mut timings, || {
         rules::pass_print_in_lib(&mut units, &mut violations)
     });
+    timed("codec_symmetry", &mut timings, || {
+        dataflow::pass_codec_symmetry(&mut units, &mut violations)
+    });
+    timed("rng_placement", &mut timings, || {
+        taint::pass_rng_placement(&mut units, &graph, &mut violations)
+    });
 
     // Every waiver must have suppressed something.
     for unit in &units {
@@ -183,7 +192,12 @@ pub fn analyze_sources(sources: Vec<(FileContext, String)>) -> ScanReport {
         }
     }
 
-    violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    // Fully deterministic emit order: file → line → rule → message. The
+    // message tiebreaker matters when one pass emits several diagnostics
+    // on the same line (e.g. two asymmetric pairs sharing a writer).
+    violations.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
     ScanReport {
         violations,
         files_scanned,

@@ -56,25 +56,6 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-fn rule_summary(rule: RuleId) -> &'static str {
-    match rule {
-        RuleId::DeterminismTaint => {
-            "nondeterminism sink (HashMap/clock/env/thread-id) in or reachable from sim-critical APIs, with call path"
-        }
-        RuleId::AmbientRand => "thread_rng/rand::random/from_entropy outside crates/bench",
-        RuleId::ThreadSpawn => "thread::spawn/scope outside allowlisted host-parallelism modules",
-        RuleId::LockUnwrap => ".lock().unwrap()/.expect( on a mutex in library code",
-        RuleId::LockOrder => "two functions acquire the same lock pair in opposite orders",
-        RuleId::HotLoopAlloc => "allocation inside a loop body in a hot-path module",
-        RuleId::DuplicateHashImpl => "private FNV-1a implementation outside mlstar-codec",
-        RuleId::ForbidUnsafeMissing => "crate root missing #![forbid(unsafe_code)]",
-        RuleId::PanicInLib => ".unwrap()/.expect( in non-test library code (waivable)",
-        RuleId::FloatEq => "bare ==/!= against float literals/constants outside tests",
-        RuleId::PrintInLib => "print!/println! in library code outside crates/bench",
-        RuleId::InvalidWaiver => "malformed, unknown, or stale lint:allow waiver",
-    }
-}
-
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_args(&args) {
@@ -90,7 +71,7 @@ fn main() -> ExitCode {
     }
     if opts.list_rules {
         for rule in RuleId::ALL {
-            println!("{:<22} {}", rule.name(), rule_summary(*rule));
+            println!("{:<22} {}", rule.name(), rule.summary());
         }
         return ExitCode::SUCCESS;
     }

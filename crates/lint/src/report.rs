@@ -42,6 +42,8 @@ pub fn json_report(scan: &ScanReport) -> String {
         out.push_str("\n  ");
     }
     out.push_str("],\n");
+    let total_us: u128 = scan.timings.iter().map(|t| t.micros).sum();
+    out.push_str(&format!("  \"total_us\": {total_us},\n"));
     out.push_str("  \"timings_us\": {");
     for (i, t) in scan.timings.iter().enumerate() {
         if i > 0 {
@@ -119,6 +121,7 @@ mod tests {
         assert!(json.contains("\"path\": [\"glm::train\", \"HashMap\"]"));
         assert!(json.contains("\"functions\": 12"));
         assert!(json.contains("\"callgraph\": 42"));
+        assert!(json.contains("\"total_us\": 42"));
         assert!(!json.contains('\u{7}'));
     }
 

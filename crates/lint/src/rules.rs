@@ -57,6 +57,16 @@ pub enum RuleId {
     /// A waiver comment that is malformed, names an unknown rule, or
     /// suppresses nothing.
     InvalidWaiver,
+    /// A writer/reader pair of one of the four wire formats whose
+    /// normalized field-effect sequences diverge (order, width, loop
+    /// guard, or missing field). Diagnostics carry both sequences
+    /// side by side.
+    CodecSymmetry,
+    /// A `SeedStream`/`ChaCha`/`StdRng` sampling site reachable from a
+    /// worker-side entry point (`net::worker` public fns or a
+    /// `ComputeBackend::run_ops` impl) — all RNG must stay on the
+    /// orchestrator. Diagnostics carry the call chain.
+    RngPlacement,
 }
 
 impl RuleId {
@@ -73,6 +83,8 @@ impl RuleId {
         RuleId::FloatEq,
         RuleId::PrintInLib,
         RuleId::InvalidWaiver,
+        RuleId::CodecSymmetry,
+        RuleId::RngPlacement,
     ];
 
     /// The name used in diagnostics and in `lint:allow(<name>)` waivers.
@@ -90,12 +102,85 @@ impl RuleId {
             RuleId::FloatEq => "float_eq",
             RuleId::PrintInLib => "print_in_lib",
             RuleId::InvalidWaiver => "invalid_waiver",
+            RuleId::CodecSymmetry => "codec_symmetry",
+            RuleId::RngPlacement => "rng_placement",
         }
     }
 
     pub fn from_name(name: &str) -> Option<RuleId> {
         RuleId::ALL.iter().copied().find(|r| r.name() == name)
     }
+
+    /// One-line description used by `--list-rules` and the generated
+    /// DESIGN.md §9 rule table — the single source of truth for what each
+    /// rule means.
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleId::DeterminismTaint => {
+                "nondeterminism sink (HashMap/clock/env/thread-id) in or reachable from sim-critical APIs, with call path"
+            }
+            RuleId::AmbientRand => "thread_rng/rand::random/from_entropy outside crates/bench",
+            RuleId::ThreadSpawn => "thread::spawn/scope outside allowlisted host-parallelism modules",
+            RuleId::LockUnwrap => ".lock().unwrap()/.expect( on a mutex in library code",
+            RuleId::LockOrder => "two functions acquire the same lock pair in opposite orders",
+            RuleId::HotLoopAlloc => "allocation inside a loop body in a hot-path module",
+            RuleId::DuplicateHashImpl => "private FNV-1a implementation outside mlstar-codec",
+            RuleId::ForbidUnsafeMissing => "crate root missing #![forbid(unsafe_code)]",
+            RuleId::PanicInLib => ".unwrap()/.expect( in non-test library code (waivable)",
+            RuleId::FloatEq => "bare ==/!= against float literals/constants outside tests",
+            RuleId::PrintInLib => "print!/println! in library code outside crates/bench",
+            RuleId::InvalidWaiver => "malformed, unknown, or stale lint:allow waiver",
+            RuleId::CodecSymmetry => {
+                "writer/reader effect sequences of a paired codec diverge (order/width/loop-guard/missing field)"
+            }
+            RuleId::RngPlacement => {
+                "SeedStream/ChaCha/StdRng sampling reachable from worker-side code, with call chain"
+            }
+        }
+    }
+
+    /// Where the rule applies, for the generated DESIGN.md §9 table.
+    pub fn scope(self) -> &'static str {
+        match self {
+            RuleId::DeterminismTaint => {
+                "sim-critical lib/bin code, plus anything its public APIs reach"
+            }
+            RuleId::AmbientRand => "everywhere except crates/bench",
+            RuleId::ThreadSpawn => "lib/bin code outside `core::local_pass`, `serve::engine`, `net::pool`",
+            RuleId::LockUnwrap => "non-test library code",
+            RuleId::LockOrder => "per-function first-acquisition sequences, workspace-wide",
+            RuleId::HotLoopAlloc => {
+                "loop bodies in `linalg`, `glm::{cd, gradient, lazy_l1, lbfgs, optimizer, path, sgd}`, `serve::engine`"
+            }
+            RuleId::DuplicateHashImpl => "every crate except `codec`",
+            RuleId::ForbidUnsafeMissing => "every crate root",
+            RuleId::PanicInLib => "non-test library code",
+            RuleId::FloatEq => "non-test lib/bin code",
+            RuleId::PrintInLib => "library code except crates/bench",
+            RuleId::InvalidWaiver => "waiver comments",
+            RuleId::CodecSymmetry => {
+                "paired encode/decode fns in `codec`, `serve`, `core::checkpoint`, `net::protocol`"
+            }
+            RuleId::RngPlacement => {
+                "functions reachable from `net::worker` pub fns or `run_ops` impls"
+            }
+        }
+    }
+}
+
+/// Renders the DESIGN.md §9 rule table from the registry, so the docs
+/// cannot drift from the rule set (`tests/docs_sync.rs` pins the match).
+pub fn design_rule_table() -> String {
+    let mut out = String::from("| Rule | Scope | Enforces |\n|---|---|---|\n");
+    for rule in RuleId::ALL {
+        out.push_str(&format!(
+            "| `{}` | {} | {} |\n",
+            rule.name(),
+            rule.scope(),
+            rule.summary()
+        ));
+    }
+    out
 }
 
 /// One diagnostic: a rule fired at a file:line. `path` carries the call

@@ -202,6 +202,95 @@ pub(crate) fn pass_determinism_taint(
     }
 }
 
+/// RNG constructors/streams that must never run worker-side. `ChaCha`
+/// is matched as a substring so `ChaCha12Rng`, `ChaCha20Rng`, … all hit.
+const RNG_SINKS: &[(&str, bool)] = &[("SeedStream", true), ("ChaCha", false), ("StdRng", true)];
+
+/// Runs the rng_placement rule: any RNG sink reachable from a worker-side
+/// entry point (public fns of `net::worker`, or a `run_ops` backend impl)
+/// fires with the full call chain. This is the static form of the
+/// orchestrator-side-RNG invariant: workers receive explicit row indices
+/// and never sample, so sim and net backends stay bit-identical.
+pub(crate) fn pass_rng_placement(
+    units: &mut [FileUnit],
+    graph: &CallGraph,
+    out: &mut Vec<Violation>,
+) {
+    let ctx_by_file: BTreeMap<&str, &FileContext> = units
+        .iter()
+        .map(|u| (u.ctx.rel_path.as_str(), &u.ctx))
+        .collect();
+
+    // Worker-side entry points: everything a remote worker process or an
+    // op-dispatch backend can execute.
+    let roots: Vec<usize> = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| {
+            if n.item.in_test {
+                return false;
+            }
+            let Some(ctx) = ctx_by_file.get(n.file.as_str()) else {
+                return false;
+            };
+            let worker_entry = ctx.crate_name == "net"
+                && n.item.modules.first().map(String::as_str) == Some("worker")
+                && n.item.is_pub;
+            let op_handler = n.item.is_method() && n.item.bare_name() == "run_ops";
+            worker_entry || op_handler
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let reach = graph.reach_from(&roots);
+
+    for unit in units.iter_mut() {
+        if unit.ctx.is_timing_crate() || !matches!(unit.ctx.role, FileRole::Lib | FileRole::Bin) {
+            continue;
+        }
+        let rel_path = unit.ctx.rel_path.clone();
+        for idx in 0..unit.lines.len() {
+            let lineno = idx + 1;
+            if unit.lines[idx].in_test {
+                continue;
+            }
+            let code = unit.lines[idx].code.clone();
+            for &(token, word) in RNG_SINKS {
+                let hit = if word {
+                    scanner::contains_word(&code, token)
+                } else {
+                    code.contains(token)
+                };
+                if !hit {
+                    continue;
+                }
+                // Only sinks whose enclosing function a worker-side entry
+                // point reaches matter; orchestrator-side sampling is the
+                // designed home for all of these.
+                let chain: Vec<String> = graph
+                    .fn_at(&rel_path, lineno)
+                    .map(|f| graph.path_to(&reach, f))
+                    .unwrap_or_default()
+                    .iter()
+                    .map(|&i| graph.nodes[i].item.display())
+                    .collect();
+                if chain.is_empty() {
+                    continue;
+                }
+                let rendered: Vec<String> = chain.iter().map(|d| format!("`{d}`")).collect();
+                let mut path = chain;
+                path.push(token.to_string());
+                let message = format!(
+                    "worker-side RNG: {} → `{token}` [sampling off the orchestrator]; \
+                     sample on the orchestrator and ship explicit indices to workers",
+                    rendered.join(" → ")
+                );
+                rules::push(unit, out, lineno, RuleId::RngPlacement, message, path);
+            }
+        }
+    }
+}
+
 /// The "where/why" clause for pathless sink diagnostics.
 fn locality(kind: SinkKind, ctx: &FileContext) -> String {
     match kind {

@@ -124,3 +124,24 @@ fn unknown_flag_exits_two() {
         .expect("run mlstar-lint");
     assert_eq!(out.status.code(), Some(2));
 }
+
+/// `--list-rules` is generated from the registry, so every registered
+/// rule id must appear — a new RuleId variant cannot ship half-wired.
+#[test]
+fn list_rules_covers_every_registered_rule() {
+    let out = Command::new(lint_bin())
+        .arg("--list-rules")
+        .output()
+        .expect("run mlstar-lint");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in mlstar_lint::RuleId::ALL {
+        assert!(
+            stdout
+                .lines()
+                .any(|l| l.split_whitespace().next() == Some(rule.name())),
+            "rule `{}` missing from --list-rules output:\n{stdout}",
+            rule.name()
+        );
+    }
+}

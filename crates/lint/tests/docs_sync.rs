@@ -1,0 +1,38 @@
+//! Docs stay generated, not transcribed: the DESIGN.md §9 rule table must
+//! match `rules::design_rule_table()` byte-for-byte, so adding a rule
+//! without regenerating the docs fails the build instead of drifting.
+
+use std::fs;
+use std::path::Path;
+
+use mlstar_lint::{rules, walk, RuleId};
+
+fn design_md() -> String {
+    let root = walk::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("lint crate lives inside the workspace");
+    fs::read_to_string(root.join("DESIGN.md")).expect("DESIGN.md readable")
+}
+
+#[test]
+fn design_rule_table_matches_the_registry() {
+    let design = design_md();
+    let table = rules::design_rule_table();
+    assert!(
+        design.contains(&table),
+        "DESIGN.md §9 rule table drifted from the registry.\n\
+         Replace the table with the exact output of\n\
+         `mlstar_lint::rules::design_rule_table()`:\n\n{table}"
+    );
+}
+
+#[test]
+fn every_rule_is_documented_in_design_md() {
+    let design = design_md();
+    for rule in RuleId::ALL {
+        assert!(
+            design.contains(&format!("`{}`", rule.name())),
+            "rule `{}` is not mentioned anywhere in DESIGN.md",
+            rule.name()
+        );
+    }
+}

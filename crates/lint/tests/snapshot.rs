@@ -81,3 +81,62 @@ fn snapshot_pins_a_multi_hop_taint_path() {
         "expected the three-hop taint chain {chain:?} in:\n{rendered}"
     );
 }
+
+/// Diagnostics must come out sorted (file → line → rule → message) from
+/// every entry point, so snapshot diffs and CI logs never churn from
+/// emit-order drift.
+#[test]
+fn diagnostics_are_emitted_in_sorted_order() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("firing");
+    let mut checked = 0usize;
+    for entry in fs::read_dir(&dir).expect("firing dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|x| x != "rs") {
+            continue;
+        }
+        let text = fs::read_to_string(&path).expect("fixture readable");
+        let declared = text
+            .lines()
+            .find_map(|l| l.strip_prefix("//@ path:"))
+            .expect("declared path")
+            .trim()
+            .to_string();
+        let ctx = classify(&declared).expect("policed path");
+        let keys: Vec<_> = check_file(&ctx, &text)
+            .into_iter()
+            .map(|v| (v.file, v.line, v.rule, v.message))
+            .collect();
+        checked += keys.len();
+        for w in keys.windows(2) {
+            assert!(
+                w[0] <= w[1],
+                "unsorted diagnostics in {path:?}: {:?} before {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+    assert!(
+        checked > 10,
+        "only {checked} diagnostics checked — corpus missing?"
+    );
+}
+
+/// The multi-hop rng_placement chain and the codec sequence diff are
+/// pinned the same way as the taint chain: the new passes must keep
+/// reporting *why*, not just *where*.
+#[test]
+fn snapshot_pins_dataflow_and_rng_diagnostics() {
+    let rendered = render_corpus();
+    let rng_chain = "`net::run_worker` → `net::refill_batch` → `net::draw_row` → `SeedStream`";
+    assert!(
+        rendered.contains(rng_chain),
+        "expected the worker RNG chain {rng_chain:?} in:\n{rendered}"
+    );
+    assert!(
+        rendered.contains("writer: [u32 u64] reader: [u64 u32]"),
+        "expected the swapped-field sequence diff in:\n{rendered}"
+    );
+}

@@ -27,3 +27,29 @@ fn workspace_has_zero_violations() {
         rendered.join("\n")
     );
 }
+
+/// The perf budget: the dataflow pass (and everything else) must keep
+/// `cargo lint` interactive. Counters go to stderr so a budget failure
+/// comes with context.
+#[test]
+fn self_lint_fits_the_perf_budget() {
+    let root = walk::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("lint crate lives inside the workspace");
+    let t0 = std::time::Instant::now();
+    let scan = scan_workspace(&root).expect("workspace is readable");
+    let elapsed = t0.elapsed();
+    eprintln!(
+        "self-lint: {} file(s), {} fn(s), {} edge(s) in {:?}",
+        scan.files_scanned, scan.functions, scan.edges, elapsed
+    );
+    assert!(
+        scan.functions > 100,
+        "parser found only {} fns",
+        scan.functions
+    );
+    assert!(scan.edges > 100, "call graph has only {} edges", scan.edges);
+    assert!(
+        elapsed < std::time::Duration::from_secs(2),
+        "full workspace self-lint took {elapsed:?} (budget 2s)"
+    );
+}

@@ -82,12 +82,11 @@ use mlstar_sim::ClusterSpec;
 
 pub use error::NetError;
 pub use orchestrator::{NetBatchStats, WorkerBatchStats};
-pub use protocol::{AssignedRow, Msg, NET_MAGIC, NET_VERSION};
+pub use protocol::{decode_msg, encode_msg, AssignedRow, Msg, NET_MAGIC, NET_VERSION};
 pub use transport::{channel_pair, ChannelTransport, TcpTransport, Transport};
 
 use measure::Stopwatch;
 use orchestrator::{Orchestrator, SharedFailure, SharedLinks, SharedStats};
-use protocol::{decode_msg, encode_msg};
 
 /// Which transport carries the command protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

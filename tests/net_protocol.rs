@@ -1,0 +1,201 @@
+//! Property and KAT tests on the `net::protocol` frame codec ("MLSN"),
+//! mirroring `tests/codec_properties.rs` for the newest wire format: a
+//! full Hello/Assign/Ops/OpDone/Shutdown exchange round-trips exactly,
+//! every truncation point is detected, and any single flipped bit is
+//! refused by the FNV-1a frame check.
+
+use mllib_star::core::{OpResult, WorkerOp};
+use mllib_star::glm::{LearningRate, Loss, Regularizer};
+use mllib_star::linalg::{DenseVector, SparseVector};
+use mllib_star::net::{decode_msg, encode_msg, AssignedRow, Msg, NET_MAGIC};
+use proptest::prelude::*;
+
+fn sparse_row(seed: u64, dim: usize) -> SparseVector {
+    let nnz = (seed as usize % dim.max(1)).min(8);
+    let pairs: Vec<(u32, f64)> = (0..nnz)
+        .map(|i| {
+            let idx = ((seed >> (i % 8)) as usize + i * 3) % dim;
+            (idx as u32, f64::from_bits(seed.rotate_left(i as u32) | 1))
+        })
+        .collect();
+    let mut sorted: Vec<(u32, f64)> = Vec::new();
+    for (i, v) in pairs {
+        if sorted.iter().all(|&(j, _)| j != i) {
+            sorted.push((i, v));
+        }
+    }
+    sorted.sort_by_key(|&(i, _)| i);
+    SparseVector::from_pairs(dim, &sorted).expect("valid sparse row")
+}
+
+/// One message of every variant, parameterized so proptest explores the
+/// field space.
+fn exchange(seed: u64, dim: usize) -> Vec<Msg> {
+    let w = DenseVector::from_vec(
+        (0..dim)
+            .map(|i| f64::from_bits(seed.wrapping_add(i as u64).wrapping_mul(0x9E37)))
+            .collect(),
+    );
+    vec![
+        Msg::Hello {
+            worker: seed as u32,
+        },
+        Msg::Assign {
+            worker: seed as u32,
+            dim: dim as u32,
+            loss: match seed % 3 {
+                0 => Loss::Hinge,
+                1 => Loss::Logistic,
+                _ => Loss::Squared,
+            },
+            reg: match seed % 3 {
+                0 => Regularizer::None,
+                1 => Regularizer::L2 { lambda: 0.125 },
+                _ => Regularizer::L1 { lambda: 0.25 },
+            },
+            lr: match seed % 3 {
+                0 => LearningRate::Constant(0.5),
+                1 => LearningRate::InvSqrt(1.0),
+                _ => LearningRate::InvT {
+                    eta0: 1.0,
+                    decay: 0.01,
+                },
+            },
+            rows: (0..(seed % 4))
+                .map(|i| AssignedRow {
+                    global: i as u32,
+                    label: if i % 2 == 0 { 1.0 } else { -1.0 },
+                    row: sparse_row(seed.wrapping_add(i), dim),
+                })
+                .collect(),
+        },
+        Msg::Ops {
+            batch: seed,
+            ops: vec![
+                WorkerOp::SgdPass {
+                    w: w.clone(),
+                    order: (0..(seed % 5) as u32).collect(),
+                    t0: seed,
+                },
+                WorkerOp::BatchGrad {
+                    w: w.clone(),
+                    batch: vec![0, 2, 1],
+                },
+                WorkerOp::MgdStep {
+                    w: w.clone(),
+                    batch: vec![1],
+                    eta: 0.5,
+                },
+                WorkerOp::PartitionObjective { w: w.clone() },
+            ],
+        },
+        Msg::OpDone {
+            batch: seed,
+            compute_nanos: seed.rotate_left(17),
+            results: vec![
+                OpResult::Model {
+                    w: w.clone(),
+                    t: seed.wrapping_add(3),
+                },
+                OpResult::Grad(w),
+                OpResult::Value(f64::from_bits(seed | 1)),
+            ],
+        },
+        Msg::Shutdown,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every message of the exchange survives its frame bit for bit,
+    /// including adversarial f64 payloads.
+    #[test]
+    fn exchange_roundtrip_is_exact(seed in 0u64..10_000, dim in 1usize..24) {
+        for msg in exchange(seed, dim) {
+            let frame = encode_msg(&msg);
+            let back = decode_msg(&frame).expect("decode own frame");
+            prop_assert_eq!(back, msg);
+        }
+    }
+
+    /// Cutting any frame of the exchange anywhere is refused — never
+    /// misparsed into a different message.
+    #[test]
+    fn every_truncation_point_is_detected(seed in 0u64..10_000, cut in 0usize..4096) {
+        for msg in exchange(seed, 6) {
+            let frame = encode_msg(&msg);
+            let cut = cut % frame.len();
+            prop_assert!(
+                decode_msg(&frame[..cut]).is_err(),
+                "truncation at {cut}/{} decoded", frame.len()
+            );
+        }
+    }
+
+    /// Any single flipped bit anywhere in any frame of the exchange is
+    /// refused (FNV-1a catches payload flips; header flips break
+    /// magic/version/length checks).
+    #[test]
+    fn every_single_bit_flip_is_refused(
+        seed in 0u64..10_000,
+        pos in 0usize..4096,
+        bit in 0u32..8,
+    ) {
+        for msg in exchange(seed, 5) {
+            let mut frame = encode_msg(&msg);
+            let pos = pos % frame.len();
+            frame[pos] ^= 1 << bit;
+            prop_assert!(
+                decode_msg(&frame).is_err(),
+                "bit {bit} at {pos}/{} still decoded", frame.len()
+            );
+        }
+    }
+}
+
+/// KAT: the Hello frame layout is pinned byte for byte. Any change to
+/// the envelope (magic, version, length, FNV-1a) or the Hello payload
+/// encoding is a wire-format break and must be versioned, not slipped in.
+#[test]
+fn hello_frame_bytes_are_pinned() {
+    let frame = encode_msg(&Msg::Hello { worker: 7 });
+    assert_eq!(&frame[0..4], &NET_MAGIC.to_le_bytes());
+    // tag MSG_HELLO=1 (u8) + worker (u32 LE) = 5 payload bytes.
+    let expected_payload = [1u8, 7, 0, 0, 0];
+    assert_eq!(&frame[frame.len() - 5..], &expected_payload);
+    assert_eq!(
+        decode_msg(&frame).expect("pinned frame decodes"),
+        Msg::Hello { worker: 7 }
+    );
+    // The whole frame, pinned: header (magic, version, payload_len,
+    // fnv1a of payload) + payload.
+    let mut expected = Vec::new();
+    expected.extend_from_slice(&NET_MAGIC.to_le_bytes());
+    expected.extend_from_slice(&1u32.to_le_bytes());
+    expected.extend_from_slice(&5u64.to_le_bytes());
+    expected.extend_from_slice(&fnv1a(&expected_payload).to_le_bytes());
+    expected.extend_from_slice(&expected_payload);
+    assert_eq!(frame, expected, "MLSN frame layout drifted");
+}
+
+/// Shutdown is the smallest frame: tag byte only.
+#[test]
+fn shutdown_frame_is_one_tag_byte() {
+    let frame = encode_msg(&Msg::Shutdown);
+    let payload_len = u64::from_le_bytes(frame[8..16].try_into().expect("8 bytes"));
+    assert_eq!(payload_len, 1);
+    assert_eq!(decode_msg(&frame).expect("shutdown decodes"), Msg::Shutdown);
+}
+
+/// Published-vector FNV-1a (64-bit), reimplemented independently of
+/// `mlstar-codec` so the KAT does not assume the code under test.
+// lint:allow(duplicate_hash_impl): KAT must not trust mlstar-codec's own hash
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // lint:allow(duplicate_hash_impl): KAT must not trust mlstar-codec's own hash
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
