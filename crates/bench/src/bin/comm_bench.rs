@@ -1,0 +1,336 @@
+//! Convergence vs. communicated bytes for the compressed wire path.
+//!
+//! Trains MLlib\* on an L1-regularized workload once per communication
+//! mode — the forced-dense baseline, the lossless adaptive dense↔sparse
+//! switch, and the lossy sparsified/quantized encodings with error
+//! feedback — and reports, for each mode, the total bytes the encoders
+//! actually put on the wire and the final objective.
+//!
+//! Two contracts are asserted, not just reported:
+//!
+//! * the lossless adaptive mode must reproduce the dense baseline's model
+//!   **bit for bit** (objective gap exactly zero), and
+//! * at that matched objective it must move at least 5× fewer bytes.
+//!
+//! Always writes `bench_results/comm_bench.json` (override the directory
+//! with `MLSTAR_OUT`) with the per-mode totals and the full
+//! objective-vs-cumulative-bytes curve of every mode.
+
+use mlstar_bench::report::{self, Table};
+use mlstar_collectives::{CompressionConfig, FrameSwitch, Sparsifier};
+use mlstar_core::{AngelConfig, PsSystemConfig, System, TrainConfig, TrainOutput};
+use mlstar_data::SyntheticConfig;
+use mlstar_glm::{LearningRate, Loss, Regularizer};
+use mlstar_sim::{ClusterSpec, NetworkSpec, NodeSpec};
+
+fn usage(code: i32) -> ! {
+    println!("comm_bench: convergence vs. communicated bytes for compressed collectives");
+    println!();
+    println!("USAGE:");
+    println!("    cargo run --release -p mlstar-bench --bin comm_bench -- [OPTIONS]");
+    println!();
+    println!("OPTIONS:");
+    println!("    --workers <k>        simulated executors (default 4)");
+    println!("    --rounds <n>         communication rounds (default 12)");
+    println!("    --lambda <x>         L1 strength (default 0.2)");
+    println!("    --smoke              tiny CI configuration (6 rounds, small data)");
+    println!("    --json               also mirror the JSON report to stdout");
+    println!("    -h, --help           this message");
+    println!();
+    println!("Always writes bench_results/comm_bench.json (override dir with");
+    println!("MLSTAR_OUT) with per-mode byte totals and convergence-vs-bytes curves.");
+    std::process::exit(code);
+}
+
+struct Args {
+    workers: usize,
+    rounds: u64,
+    lambda: f64,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        workers: 4,
+        rounds: 12,
+        lambda: 0.2,
+        smoke: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let value = |args: &[String], i: usize, what: &str| -> String {
+        args.get(i).cloned().unwrap_or_else(|| {
+            eprintln!("comm_bench: {what} needs a value");
+            std::process::exit(2);
+        })
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-h" | "--help" => usage(0),
+            "--json" => report::set_json_mode(true),
+            "--smoke" => out.smoke = true,
+            "--workers" => {
+                i += 1;
+                out.workers = value(&args, i, "--workers").parse().unwrap_or_else(|_| {
+                    eprintln!("comm_bench: --workers needs a positive integer");
+                    std::process::exit(2);
+                });
+            }
+            "--rounds" => {
+                i += 1;
+                out.rounds = value(&args, i, "--rounds").parse().unwrap_or_else(|_| {
+                    eprintln!("comm_bench: --rounds needs a positive integer");
+                    std::process::exit(2);
+                });
+            }
+            "--lambda" => {
+                i += 1;
+                out.lambda = value(&args, i, "--lambda").parse().unwrap_or_else(|_| {
+                    eprintln!("comm_bench: --lambda needs a number");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("comm_bench: unexpected argument {other:?} (see --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if out.smoke {
+        out.rounds = 6;
+    }
+    out
+}
+
+/// One communication policy under test.
+struct Mode {
+    name: &'static str,
+    comp: CompressionConfig,
+}
+
+fn modes(k: usize) -> Vec<Mode> {
+    let adaptive = CompressionConfig {
+        switch: FrameSwitch::Adaptive,
+        ..CompressionConfig::default()
+    };
+    vec![
+        Mode {
+            name: "dense",
+            comp: CompressionConfig::default(),
+        },
+        Mode {
+            name: "adaptive_exact",
+            comp: adaptive,
+        },
+        Mode {
+            name: "topk",
+            comp: CompressionConfig {
+                sparsifier: Sparsifier::TopK { k },
+                ..adaptive
+            },
+        },
+        Mode {
+            name: "topk_q8",
+            comp: CompressionConfig {
+                sparsifier: Sparsifier::TopK { k },
+                quantize: true,
+                ..adaptive
+            },
+        },
+        Mode {
+            name: "threshold_q8",
+            comp: CompressionConfig {
+                sparsifier: Sparsifier::Threshold { tau: 1e-3 },
+                quantize: true,
+                ..adaptive
+            },
+        },
+    ]
+}
+
+/// Per-mode results: the run plus its derived byte totals.
+struct ModeRun {
+    name: &'static str,
+    out: TrainOutput,
+    total_bytes: u64,
+}
+
+fn final_objective(run: &TrainOutput) -> f64 {
+    run.trace
+        .points
+        .last()
+        .map(|p| p.objective)
+        .unwrap_or(f64::INFINITY)
+}
+
+/// `objective` joined with the bytes moved up to each evaluation step.
+fn curve_json(run: &ModeRun) -> String {
+    let mut cum: Vec<u64> = Vec::with_capacity(run.out.round_stats.len());
+    let mut total = 0u64;
+    for rs in &run.out.round_stats {
+        total += rs.bytes.total();
+        cum.push(total);
+    }
+    let points: Vec<String> = run
+        .out
+        .trace
+        .points
+        .iter()
+        .map(|p| {
+            let idx = (p.step as usize).min(cum.len().saturating_sub(1));
+            let bytes = if cum.is_empty() { 0 } else { cum[idx] };
+            format!(
+                "{{\"step\":{},\"cum_bytes\":{},\"objective\":{}}}",
+                p.step, bytes, p.objective
+            )
+        })
+        .collect();
+    format!("[{}]", points.join(","))
+}
+
+fn json_report(args: &Args, dense: &ModeRun, runs: &[ModeRun]) -> String {
+    let dense_obj = final_objective(&dense.out);
+    let entries: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            let reduction = dense.total_bytes as f64 / r.total_bytes.max(1) as f64;
+            format!(
+                concat!(
+                    "{{\"mode\":\"{}\",\"total_bytes\":{},\"byte_reduction\":{},",
+                    "\"final_objective\":{},\"objective_gap\":{},\"curve\":{}}}"
+                ),
+                r.name,
+                r.total_bytes,
+                reduction,
+                final_objective(&r.out),
+                (final_objective(&r.out) - dense_obj).abs(),
+                curve_json(r),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"report\":\"comm_bench\",\"system\":\"{}\",\"workers\":{},\"rounds\":{},\
+         \"lambda\":{},\"modes\":[{}]}}\n",
+        System::MllibStar.name(),
+        args.workers,
+        args.rounds,
+        args.lambda,
+        entries.join(","),
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let (rows, feats) = if args.smoke { (240, 256) } else { (600, 1024) };
+    // Signal concentrated on a small informative set, like the paper's
+    // CTR-style workloads: the L1 run then converges onto a sparse
+    // support, which is what the adaptive switch exploits.
+    let mut syn = SyntheticConfig::small("comm-bench", rows, feats);
+    syn.informative_features = feats / 32;
+    syn.popular_fraction = 0.9;
+    let ds = syn.generate();
+    let cluster = ClusterSpec::uniform(args.workers, NodeSpec::standard(), NetworkSpec::gbps1());
+    let ps = PsSystemConfig::default();
+    let angel = AngelConfig::default();
+    report::banner(&format!(
+        "comm_bench — MLlib* with L1 λ={}: {} examples × {} features, {} workers × {} rounds",
+        args.lambda,
+        ds.len(),
+        ds.num_features(),
+        args.workers,
+        args.rounds,
+    ));
+
+    let base_cfg = TrainConfig {
+        loss: Loss::Hinge,
+        reg: Regularizer::L1 {
+            lambda: args.lambda,
+        },
+        lr: LearningRate::InvSqrt(0.1),
+        max_rounds: args.rounds,
+        seed: 42,
+        ..TrainConfig::default()
+    };
+
+    let runs: Vec<ModeRun> = modes(feats / 64)
+        .into_iter()
+        .map(|m| {
+            let cfg = TrainConfig {
+                compression: m.comp,
+                ..base_cfg.clone()
+            };
+            let out = System::MllibStar.train(&ds, &cluster, &cfg, &ps, &angel);
+            let total_bytes = out.round_stats.iter().map(|rs| rs.bytes.total()).sum();
+            ModeRun {
+                name: m.name,
+                out,
+                total_bytes,
+            }
+        })
+        .collect();
+    let dense = &runs[0];
+    let dense_obj = final_objective(&dense.out);
+
+    let mut table = Table::new(&[
+        "mode",
+        "total bytes",
+        "reduction",
+        "objective",
+        "gap vs dense",
+    ]);
+    for r in &runs {
+        let reduction = dense.total_bytes as f64 / r.total_bytes.max(1) as f64;
+        table.row(&[
+            r.name.into(),
+            format!("{}", r.total_bytes),
+            format!("{reduction:.2}x"),
+            format!("{:.6}", final_objective(&r.out)),
+            format!("{:.3e}", (final_objective(&r.out) - dense_obj).abs()),
+        ]);
+    }
+    table.print();
+
+    // Contract 1: the lossless switch changes bytes, never math.
+    let exact = &runs[1];
+    let dense_bits: Vec<u64> = dense
+        .out
+        .model
+        .weights()
+        .as_slice()
+        .iter()
+        .map(|x| x.to_bits())
+        .collect();
+    let exact_bits: Vec<u64> = exact
+        .out
+        .model
+        .weights()
+        .as_slice()
+        .iter()
+        .map(|x| x.to_bits())
+        .collect();
+    if dense_bits != exact_bits {
+        eprintln!("comm_bench: adaptive_exact model is not bit-identical to the dense baseline");
+        std::process::exit(1);
+    }
+    println!("\nadaptive_exact model is bit-identical to the dense baseline ✔");
+
+    // Contract 2: at that matched objective, ≥5× fewer bytes on the wire.
+    let reduction = dense.total_bytes as f64 / exact.total_bytes.max(1) as f64;
+    if reduction < 5.0 {
+        eprintln!(
+            "comm_bench: adaptive_exact moved {} bytes vs dense {} — only {reduction:.2}x \
+             reduction (need ≥5x at matched objective)",
+            exact.total_bytes, dense.total_bytes
+        );
+        std::process::exit(1);
+    }
+    println!("adaptive_exact moves {reduction:.2}x fewer bytes at a matched objective ✔");
+
+    let json = json_report(&args, dense, &runs);
+    let path = report::write_artifact("comm_bench.json", &json);
+    println!("wrote {}", path.display());
+    if report::json_mode() {
+        print!("{json}");
+    }
+}

@@ -129,6 +129,17 @@ impl CostModel {
             )
     }
 
+    /// A batch of differently-sized transfers totalling `total_bytes`
+    /// that must serialize through a single NIC — the heterogeneous-size
+    /// counterpart of [`CostModel::serialized_transfers`], used by the
+    /// compressed collectives where every peer's frame has its own
+    /// encoded length. One latency is paid up front; the payloads queue
+    /// on the link.
+    pub fn serialized_transfer_total(&self, total_bytes: usize) -> SimDuration {
+        self.spec.network.latency
+            + SimDuration::from_secs_f64(total_bytes as f64 / self.spec.network.bandwidth_bps)
+    }
+
     /// `count` transfers of `bytes` each that proceed in parallel over
     /// distinct links (e.g. the shuffle phases of Reduce-Scatter /
     /// AllGather where every executor talks to a different peer
@@ -209,6 +220,20 @@ mod tests {
         // Four payloads through one NIC ≈ 4× the payload time, one latency.
         assert!((four.as_secs_f64() - (4.0 + 0.001)).abs() < 1e-6, "{four}");
         assert!(four.as_secs_f64() > 3.9 * one.as_secs_f64());
+    }
+
+    #[test]
+    fn serialized_transfer_total_matches_equal_sized_batches() {
+        let m = model();
+        // The heterogeneous form agrees with the uniform one when sizes
+        // happen to be equal, and charges only the bytes actually sent.
+        assert_eq!(
+            m.serialized_transfer_total(4 * 125_000_000),
+            m.serialized_transfers(125_000_000, 4)
+        );
+        let small = m.serialized_transfer_total(1_000);
+        let big = m.serialized_transfer_total(125_000_000);
+        assert!(small.as_secs_f64() < big.as_secs_f64());
     }
 
     #[test]

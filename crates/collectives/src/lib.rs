@@ -22,6 +22,12 @@
 //! driver NIC), not on volume. Every collective returns the bytes it moved
 //! so tests can assert this.
 //!
+//! [`compressed_all_reduce_average`] breaks the `2·k·m` floor when models
+//! are sparse: workers exchange SparCML-style compressed frames (exact or
+//! lossy sparsified, optionally 8-bit quantized — see [`CompressionConfig`])
+//! whose sizes are the *actual* encoded lengths from [`wire`], with
+//! per-worker error feedback re-injecting whatever the wire dropped.
+//!
 //! # Example
 //!
 //! ```
@@ -51,14 +57,19 @@
 mod allgather;
 mod allreduce;
 mod broadcast;
+mod compress;
 mod ring;
 mod size;
 mod tree;
 pub mod wire;
 
 pub use allgather::all_gather;
-pub use allreduce::{all_reduce_average, reduce_scatter_average};
+pub use allreduce::{all_reduce_average, compressed_all_reduce_average, reduce_scatter_average};
 pub use broadcast::broadcast_model;
+pub use compress::{compress_update, CompressionConfig, EncodedUpdate, Sparsifier};
 pub use ring::ring_all_reduce_average;
-pub use size::{dense_bytes, partition_bytes, sparse_bytes};
+pub use size::{
+    dense_bytes, partition_bytes, quantized_dense_bytes, quantized_sparse_bytes, sparse_bytes,
+};
 pub use tree::tree_aggregate;
+pub use wire::FrameSwitch;

@@ -12,6 +12,20 @@ pub fn sparse_bytes(nnz: usize) -> usize {
     nnz * 12 + 16
 }
 
+/// Serialized size of an 8-bit quantized dense vector: one level byte
+/// per coordinate, plus the frame header and the 16-byte `[lo, hi]`
+/// dequantization range.
+pub fn quantized_dense_bytes(dim: usize) -> usize {
+    dim + 32
+}
+
+/// Serialized size of an 8-bit quantized sparse vector with `nnz`
+/// stored entries (4-byte index + 1-byte level each), plus the frame
+/// header and the 16-byte `[lo, hi]` dequantization range.
+pub fn quantized_sparse_bytes(nnz: usize) -> usize {
+    nnz * 5 + 32
+}
+
 /// Size of one model partition when a `dim`-dimensional model is split
 /// across `k` owners (the largest partition's size, which is what the
 /// slowest link carries).
@@ -51,5 +65,20 @@ mod tests {
     #[should_panic(expected = "zero owners")]
     fn zero_owners_panics() {
         let _ = partition_bytes(10, 0);
+    }
+
+    #[test]
+    fn quantized_dense_is_an_eighth_plus_range_overhead() {
+        assert_eq!(quantized_dense_bytes(0), 32);
+        assert_eq!(quantized_dense_bytes(1000), 1032);
+        // 8x payload reduction: 1 byte per coordinate instead of 8.
+        assert!(quantized_dense_bytes(10_000) < dense_bytes(10_000) / 7);
+    }
+
+    #[test]
+    fn quantized_sparse_beats_exact_sparse() {
+        assert_eq!(quantized_sparse_bytes(0), 32);
+        assert_eq!(quantized_sparse_bytes(2), 42);
+        assert!(quantized_sparse_bytes(1000) < sparse_bytes(1000));
     }
 }

@@ -1,17 +1,35 @@
 //! Wire encoding for vectors crossing the (simulated) network.
 //!
-//! The size model in [`crate::dense_bytes`] / [`crate::sparse_bytes`] is
+//! The size model in [`crate::dense_bytes`] / [`crate::sparse_bytes`] /
+//! [`crate::quantized_dense_bytes`] / [`crate::quantized_sparse_bytes`] is
 //! not a guess: it is the exact length of this encoding (16-byte header +
 //! packed little-endian payload). The collectives charge simulated time
 //! from those sizes; this module provides the actual round-trippable
 //! bytes for users persisting models or bridging to real transports.
 //!
-//! Layout (all little-endian):
+//! Layout (all little-endian; `pad` and `reserved` must be zero):
 //!
 //! ```text
-//! dense:  magic u32 | kind=1 u8 | pad [u8;3] | dim u32 | reserved u32 | dim × f64
-//! sparse: magic u32 | kind=2 u8 | pad [u8;3] | dim u32 | nnz u32      | nnz × u32 | nnz × f64
+//! dense:   magic u32 | kind=1 u8 | pad [u8;3] | dim u32 | reserved u32 | dim × f64
+//! sparse:  magic u32 | kind=2 u8 | pad [u8;3] | dim u32 | nnz u32      | nnz × u32 | nnz × f64
+//! qdense:  magic u32 | kind=3 u8 | pad [u8;3] | dim u32 | reserved u32 | lo f64 | hi f64 | dim × u8
+//! qsparse: magic u32 | kind=4 u8 | pad [u8;3] | dim u32 | nnz u32      | lo f64 | hi f64 | nnz × u32 | nnz × u8
 //! ```
+//!
+//! The quantized kinds store each value as one of 256 evenly spaced
+//! levels over `[lo, hi]` (`level = round((x − lo)/step)` with
+//! `step = (hi − lo)/255`, decoded as `lo + level·step`), so the
+//! round-trip error per coordinate is at most `step/2`. Compression with
+//! error feedback ([`crate::compress_update`]) re-injects that rounding
+//! error into the next round's update.
+//!
+//! [`encode_adaptive`] / [`decode_adaptive`] implement the *lossless*
+//! per-payload dense↔sparse switch used by the real transport
+//! (`net::protocol`): the encoder picks whichever of the two exact
+//! encodings is smaller by actual encoded length, and the decoder
+//! dispatches on the frame's kind byte. Lossy kinds never travel through
+//! the adaptive path — they are produced only inside the compressed
+//! collectives, where the error-feedback accumulators live.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use mlstar_linalg::{DenseVector, LinalgError, SparseVector};
@@ -19,9 +37,18 @@ use mlstar_linalg::{DenseVector, LinalgError, SparseVector};
 /// `"MLS*"` — the frame magic.
 pub const WIRE_MAGIC: u32 = 0x4D4C_532A;
 
-const KIND_DENSE: u8 = 1;
-const KIND_SPARSE: u8 = 2;
+/// Kind byte of a dense frame.
+pub const KIND_DENSE: u8 = 1;
+/// Kind byte of a sparse frame.
+pub const KIND_SPARSE: u8 = 2;
+/// Kind byte of an 8-bit quantized dense frame.
+pub const KIND_QDENSE: u8 = 3;
+/// Kind byte of an 8-bit quantized sparse frame.
+pub const KIND_QSPARSE: u8 = 4;
+
 const HEADER_LEN: usize = 16;
+/// Quantization resolution: 256 levels → 255 steps across `[lo, hi]`.
+const QUANT_STEPS: f64 = 255.0;
 
 /// Errors produced when decoding a wire frame.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +64,37 @@ pub enum WireError {
         /// Bytes actually present.
         actual: usize,
     },
+    /// The frame is longer than its header declares (trailing garbage).
+    TrailingBytes {
+        /// Bytes expected from the header.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+    /// A pad or reserved field holds a nonzero value. Reserved space must
+    /// stay zero so a future format revision can repurpose it without
+    /// old decoders silently misreading new frames.
+    ReservedNonzero {
+        /// Byte offset of the offending field within the frame.
+        offset: usize,
+        /// The nonzero value found there.
+        value: u32,
+    },
+    /// A sparse header declares more entries than the vector has
+    /// coordinates — rejected before any payload allocation.
+    NnzExceedsDim {
+        /// Declared entry count.
+        nnz: usize,
+        /// Declared dimension.
+        dim: usize,
+    },
+    /// A quantized frame's `[lo, hi]` range is non-finite or inverted.
+    BadQuantRange {
+        /// Declared lower bound.
+        lo: f64,
+        /// Declared upper bound.
+        hi: f64,
+    },
     /// The payload violates a vector invariant (unsorted indices, NaN…).
     Invalid(LinalgError),
 }
@@ -51,6 +109,21 @@ impl std::fmt::Display for WireError {
                     f,
                     "truncated frame: expected {expected} bytes, got {actual}"
                 )
+            }
+            WireError::TrailingBytes { expected, actual } => {
+                write!(
+                    f,
+                    "over-long frame: expected {expected} bytes, got {actual} (trailing garbage)"
+                )
+            }
+            WireError::ReservedNonzero { offset, value } => {
+                write!(f, "reserved field at byte {offset} is nonzero ({value})")
+            }
+            WireError::NnzExceedsDim { nnz, dim } => {
+                write!(f, "sparse header declares {nnz} entries in dimension {dim}")
+            }
+            WireError::BadQuantRange { lo, hi } => {
+                write!(f, "invalid quantization range [{lo}, {hi}]")
             }
             WireError::Invalid(e) => write!(f, "invalid payload: {e}"),
         }
@@ -71,6 +144,69 @@ pub fn encoded_sparse_len(nnz: usize) -> usize {
     HEADER_LEN + nnz * 12
 }
 
+/// Exact encoded length of a quantized dense vector — equals
+/// [`crate::quantized_dense_bytes`]`(dim)`.
+pub fn encoded_qdense_len(dim: usize) -> usize {
+    HEADER_LEN + 16 + dim
+}
+
+/// Exact encoded length of a quantized sparse vector — equals
+/// [`crate::quantized_sparse_bytes`]`(nnz)`.
+pub fn encoded_qsparse_len(nnz: usize) -> usize {
+    HEADER_LEN + 16 + nnz * 5
+}
+
+/// Exact-vs-declared length check shared by every decoder: short frames
+/// are [`WireError::Truncated`], over-long frames are
+/// [`WireError::TrailingBytes`].
+fn check_len(expected: usize, actual: usize) -> Result<(), WireError> {
+    match actual.cmp(&expected) {
+        std::cmp::Ordering::Less => Err(WireError::Truncated { expected, actual }),
+        std::cmp::Ordering::Greater => Err(WireError::TrailingBytes { expected, actual }),
+        std::cmp::Ordering::Equal => Ok(()),
+    }
+}
+
+/// Writes the 16-byte header.
+fn put_header(buf: &mut BytesMut, kind: u8, dim: u32, aux: u32) {
+    buf.put_u32_le(WIRE_MAGIC);
+    buf.put_u8(kind);
+    buf.put_u8(0);
+    buf.put_u8(0);
+    buf.put_u8(0);
+    buf.put_u32_le(dim);
+    buf.put_u32_le(aux);
+}
+
+/// Parses and validates the 16-byte header (magic, zero pad), returning
+/// `(kind, dim, aux, payload)`.
+fn decode_header(frame: &Bytes) -> Result<(u8, usize, usize, Bytes), WireError> {
+    if frame.len() < HEADER_LEN {
+        return Err(WireError::Truncated {
+            expected: HEADER_LEN,
+            actual: frame.len(),
+        });
+    }
+    let mut header = frame.slice(..HEADER_LEN);
+    let magic = header.get_u32_le();
+    if magic != WIRE_MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let kind = header.get_u8();
+    let pad0 = header.get_u8();
+    let pad1 = header.get_u8();
+    let pad2 = header.get_u8();
+    if pad0 != 0 || pad1 != 0 || pad2 != 0 {
+        return Err(WireError::ReservedNonzero {
+            offset: 5,
+            value: u32::from_le_bytes([pad0, pad1, pad2, 0]),
+        });
+    }
+    let dim = header.get_u32_le() as usize;
+    let aux = header.get_u32_le() as usize;
+    Ok((kind, dim, aux, frame.slice(HEADER_LEN..)))
+}
+
 /// Encodes a dense vector.
 ///
 /// # Panics
@@ -79,11 +215,7 @@ pub fn encoded_sparse_len(nnz: usize) -> usize {
 pub fn encode_dense(v: &DenseVector) -> Bytes {
     assert!(v.dim() <= u32::MAX as usize, "dimension exceeds wire limit");
     let mut buf = BytesMut::with_capacity(encoded_dense_len(v.dim()));
-    buf.put_u32_le(WIRE_MAGIC);
-    buf.put_u8(KIND_DENSE);
-    buf.put_bytes(0, 3);
-    buf.put_u32_le(v.dim() as u32);
-    buf.put_u32_le(0); // reserved
+    put_header(&mut buf, KIND_DENSE, v.dim() as u32, 0);
     for &x in v.as_slice() {
         buf.put_f64_le(x);
     }
@@ -99,11 +231,7 @@ pub fn encode_sparse(v: &SparseVector) -> Bytes {
     assert!(v.dim() <= u32::MAX as usize, "dimension exceeds wire limit");
     assert!(v.nnz() <= u32::MAX as usize, "nnz exceeds wire limit");
     let mut buf = BytesMut::with_capacity(encoded_sparse_len(v.nnz()));
-    buf.put_u32_le(WIRE_MAGIC);
-    buf.put_u8(KIND_SPARSE);
-    buf.put_bytes(0, 3);
-    buf.put_u32_le(v.dim() as u32);
-    buf.put_u32_le(v.nnz() as u32);
+    put_header(&mut buf, KIND_SPARSE, v.dim() as u32, v.nnz() as u32);
     for &i in v.indices() {
         buf.put_u32_le(i);
     }
@@ -113,19 +241,67 @@ pub fn encode_sparse(v: &SparseVector) -> Bytes {
     buf.freeze()
 }
 
-/// Decodes a dense vector frame.
+/// Encodes a dense vector with 8-bit linear quantization over its value
+/// range.
+///
+/// # Panics
+///
+/// Panics if `dim > u32::MAX` or any value is non-finite (quantization
+/// has no representation for NaN/∞ — callers gate on
+/// [`DenseVector::is_finite`]).
+pub fn encode_qdense(v: &DenseVector) -> Bytes {
+    assert!(v.dim() <= u32::MAX as usize, "dimension exceeds wire limit");
+    assert!(v.is_finite(), "quantization requires finite values");
+    let (lo, hi) = value_range(v.as_slice());
+    let step = quant_step(lo, hi);
+    let mut buf = BytesMut::with_capacity(encoded_qdense_len(v.dim()));
+    put_header(&mut buf, KIND_QDENSE, v.dim() as u32, 0);
+    buf.put_f64_le(lo);
+    buf.put_f64_le(hi);
+    for &x in v.as_slice() {
+        buf.put_u8(quant_level(x, lo, step));
+    }
+    buf.freeze()
+}
+
+/// Encodes a sparse vector with 8-bit linear quantization over its
+/// stored-value range.
+///
+/// # Panics
+///
+/// Panics if `dim` or `nnz` exceeds `u32::MAX` (values are already
+/// finite by the [`SparseVector`] invariant).
+pub fn encode_qsparse(v: &SparseVector) -> Bytes {
+    assert!(v.dim() <= u32::MAX as usize, "dimension exceeds wire limit");
+    assert!(v.nnz() <= u32::MAX as usize, "nnz exceeds wire limit");
+    let (lo, hi) = value_range(v.values());
+    let step = quant_step(lo, hi);
+    let mut buf = BytesMut::with_capacity(encoded_qsparse_len(v.nnz()));
+    put_header(&mut buf, KIND_QSPARSE, v.dim() as u32, v.nnz() as u32);
+    buf.put_f64_le(lo);
+    buf.put_f64_le(hi);
+    for &i in v.indices() {
+        buf.put_u32_le(i);
+    }
+    for &x in v.values() {
+        buf.put_u8(quant_level(x, lo, step));
+    }
+    buf.freeze()
+}
+
+/// Decodes a dense vector frame, rejecting a nonzero reserved word.
 pub fn decode_dense(frame: &Bytes) -> Result<DenseVector, WireError> {
-    let (kind, dim, _aux, mut payload) = decode_header(frame)?;
+    let (kind, dim, aux, mut payload) = decode_header(frame)?;
     if kind != KIND_DENSE {
         return Err(WireError::BadKind(kind));
     }
-    let expected = encoded_dense_len(dim);
-    if frame.len() != expected {
-        return Err(WireError::Truncated {
-            expected,
-            actual: frame.len(),
+    if aux != 0 {
+        return Err(WireError::ReservedNonzero {
+            offset: 12,
+            value: aux as u32,
         });
     }
+    check_len(encoded_dense_len(dim), frame.len())?;
     let mut values = Vec::with_capacity(dim);
     for _ in 0..dim {
         values.push(payload.get_f64_le());
@@ -139,13 +315,10 @@ pub fn decode_sparse(frame: &Bytes) -> Result<SparseVector, WireError> {
     if kind != KIND_SPARSE {
         return Err(WireError::BadKind(kind));
     }
-    let expected = encoded_sparse_len(nnz);
-    if frame.len() != expected {
-        return Err(WireError::Truncated {
-            expected,
-            actual: frame.len(),
-        });
+    if nnz > dim {
+        return Err(WireError::NnzExceedsDim { nnz, dim });
     }
+    check_len(encoded_sparse_len(nnz), frame.len())?;
     let mut indices = Vec::with_capacity(nnz);
     for _ in 0..nnz {
         indices.push(payload.get_u32_le());
@@ -157,25 +330,164 @@ pub fn decode_sparse(frame: &Bytes) -> Result<SparseVector, WireError> {
     SparseVector::new(dim, indices, values).map_err(WireError::Invalid)
 }
 
-/// Parses and validates the 16-byte header, returning
-/// `(kind, dim, aux, payload)`.
-fn decode_header(frame: &Bytes) -> Result<(u8, usize, usize, Bytes), WireError> {
-    if frame.len() < HEADER_LEN {
-        return Err(WireError::Truncated {
-            expected: HEADER_LEN,
-            actual: frame.len(),
+/// Decodes a quantized dense frame back to the dequantized values.
+pub fn decode_qdense(frame: &Bytes) -> Result<DenseVector, WireError> {
+    let (kind, dim, aux, mut payload) = decode_header(frame)?;
+    if kind != KIND_QDENSE {
+        return Err(WireError::BadKind(kind));
+    }
+    if aux != 0 {
+        return Err(WireError::ReservedNonzero {
+            offset: 12,
+            value: aux as u32,
         });
     }
-    let mut header = frame.slice(..HEADER_LEN);
-    let magic = header.get_u32_le();
-    if magic != WIRE_MAGIC {
-        return Err(WireError::BadMagic(magic));
+    check_len(encoded_qdense_len(dim), frame.len())?;
+    let lo = payload.get_f64_le();
+    let hi = payload.get_f64_le();
+    let step = checked_quant_step(lo, hi)?;
+    let mut values = Vec::with_capacity(dim);
+    for _ in 0..dim {
+        values.push(dequant(payload.get_u8(), lo, step));
     }
-    let kind = header.get_u8();
-    header.advance(3);
-    let dim = header.get_u32_le() as usize;
-    let aux = header.get_u32_le() as usize;
-    Ok((kind, dim, aux, frame.slice(HEADER_LEN..)))
+    Ok(DenseVector::from_vec(values))
+}
+
+/// Decodes a quantized sparse frame back to the dequantized values,
+/// validating all sparse invariants.
+pub fn decode_qsparse(frame: &Bytes) -> Result<SparseVector, WireError> {
+    let (kind, dim, nnz, mut payload) = decode_header(frame)?;
+    if kind != KIND_QSPARSE {
+        return Err(WireError::BadKind(kind));
+    }
+    if nnz > dim {
+        return Err(WireError::NnzExceedsDim { nnz, dim });
+    }
+    check_len(encoded_qsparse_len(nnz), frame.len())?;
+    let lo = payload.get_f64_le();
+    let hi = payload.get_f64_le();
+    let step = checked_quant_step(lo, hi)?;
+    let mut indices = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        indices.push(payload.get_u32_le());
+    }
+    let mut values = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        values.push(dequant(payload.get_u8(), lo, step));
+    }
+    SparseVector::new(dim, indices, values).map_err(WireError::Invalid)
+}
+
+/// Encodes a vector for the real wire path: losslessly, as whichever of
+/// the dense / exact-sparse frames is smaller by actual encoded length
+/// (only when `switch` allows the sparse form). Non-finite vectors fall
+/// back to the dense frame, which represents every bit pattern.
+pub fn encode_adaptive(v: &DenseVector, switch: FrameSwitch) -> Bytes {
+    match sparse_candidate(v, switch) {
+        Some(s) => encode_sparse(&s),
+        None => encode_dense(v),
+    }
+}
+
+/// Decodes either frame kind produced by [`encode_adaptive`].
+pub fn decode_adaptive(frame: &Bytes) -> Result<DenseVector, WireError> {
+    match frame_kind(frame) {
+        Some(KIND_SPARSE) => Ok(materialize_exact(&decode_sparse(frame)?)),
+        _ => decode_dense(frame),
+    }
+}
+
+/// Materializes a sparse vector bit-exactly: stored values are written
+/// verbatim, so a `-0.0` entry survives (unlike
+/// [`SparseVector::to_dense`], whose `axpy` normalizes `0 + (-0.0)` to
+/// `+0.0`). This keeps the adaptive dense↔sparse round trip lossless
+/// down to the bit pattern.
+pub(crate) fn materialize_exact(s: &SparseVector) -> DenseVector {
+    let mut d = DenseVector::zeros(s.dim());
+    for (i, x) in s.iter() {
+        d.set(i, x);
+    }
+    d
+}
+
+/// Peeks at a frame's kind byte without consuming anything. `None` if the
+/// frame is shorter than a header.
+pub fn frame_kind(frame: &Bytes) -> Option<u8> {
+    if frame.len() < HEADER_LEN {
+        return None;
+    }
+    Some(frame.as_ref_slice()[4])
+}
+
+/// Per-payload dense↔sparse switch for the real wire path
+/// ([`encode_adaptive`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum FrameSwitch {
+    /// Always ship the dense frame (the legacy format; bit-compatible
+    /// with every pre-compression decoder).
+    #[default]
+    Dense,
+    /// Per payload, ship the exact sparse frame whenever it is strictly
+    /// smaller than the dense frame by actual encoded length.
+    Adaptive,
+}
+
+/// The exact sparse form of `v`, iff the switch allows it, it is strictly
+/// smaller on the wire, and `v` is representable (finite).
+fn sparse_candidate(v: &DenseVector, switch: FrameSwitch) -> Option<SparseVector> {
+    if switch != FrameSwitch::Adaptive {
+        return None;
+    }
+    let s = v.to_sparse().ok()?;
+    if encoded_sparse_len(s.nnz()) < encoded_dense_len(v.dim()) {
+        Some(s)
+    } else {
+        None
+    }
+}
+
+/// `(min, max)` over `values`; `(0, 0)` when empty.
+fn value_range(values: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in values {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    if lo > hi {
+        (0.0, 0.0)
+    } else {
+        (lo, hi)
+    }
+}
+
+/// Quantization step for a `[lo, hi]` range: 255 steps across it, `0` for
+/// a degenerate (constant) range.
+fn quant_step(lo: f64, hi: f64) -> f64 {
+    (hi - lo) / QUANT_STEPS
+}
+
+/// [`quant_step`] with wire-side validation of an untrusted range.
+fn checked_quant_step(lo: f64, hi: f64) -> Result<f64, WireError> {
+    if !lo.is_finite() || !hi.is_finite() || lo > hi {
+        return Err(WireError::BadQuantRange { lo, hi });
+    }
+    Ok(quant_step(lo, hi))
+}
+
+/// Nearest quantization level for `x` (deterministic `round`, saturating
+/// into `0..=255`).
+fn quant_level(x: f64, lo: f64, step: f64) -> u8 {
+    if step > 0.0 {
+        ((x - lo) / step).round() as u8
+    } else {
+        0
+    }
+}
+
+/// Reconstructs the value of a quantization level.
+fn dequant(level: u8, lo: f64, step: f64) -> f64 {
+    lo + f64::from(level) * step
 }
 
 #[cfg(test)]
@@ -201,14 +513,105 @@ mod tests {
     }
 
     #[test]
+    fn quantized_dense_roundtrip_is_within_half_a_step() {
+        let v = DenseVector::from_vec(vec![-3.0, -1.25, 0.0, 0.5, 2.0, 7.5]);
+        let frame = encode_qdense(&v);
+        assert_eq!(frame.len(), encoded_qdense_len(6));
+        let back = decode_qdense(&frame).unwrap();
+        let step = (7.5 - (-3.0)) / 255.0;
+        for (i, &x) in v.as_slice().iter().enumerate() {
+            assert!(
+                (back.get(i) - x).abs() <= step * 0.5 + 1e-12,
+                "coord {i}: {x} decoded as {}",
+                back.get(i)
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_sparse_roundtrip_preserves_indices() {
+        let v = SparseVector::from_pairs(500, &[(2, -1.0), (40, 0.25), (499, 3.0)]).unwrap();
+        let frame = encode_qsparse(&v);
+        assert_eq!(frame.len(), encoded_qsparse_len(3));
+        let back = decode_qsparse(&frame).unwrap();
+        assert_eq!(back.indices(), v.indices());
+        let step = (3.0 - (-1.0)) / 255.0;
+        for ((_, want), (_, got)) in v.iter().zip(back.iter()) {
+            assert!((want - got).abs() <= step * 0.5 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_vector_quantizes_exactly() {
+        let v = DenseVector::filled(9, 4.25);
+        let back = decode_qdense(&encode_qdense(&v)).unwrap();
+        assert_eq!(back.as_slice(), v.as_slice());
+    }
+
+    #[test]
     fn sizes_match_the_cost_model() {
         // The collectives' size model is the exact wire length.
         for dim in [0usize, 1, 17, 4096] {
             assert_eq!(encoded_dense_len(dim), crate::dense_bytes(dim));
+            assert_eq!(encoded_qdense_len(dim), crate::quantized_dense_bytes(dim));
         }
         for nnz in [0usize, 1, 23, 999] {
             assert_eq!(encoded_sparse_len(nnz), crate::sparse_bytes(nnz));
+            assert_eq!(encoded_qsparse_len(nnz), crate::quantized_sparse_bytes(nnz));
         }
+    }
+
+    #[test]
+    fn adaptive_picks_the_cheaper_encoding() {
+        // 2 nonzeros in 100 dims: sparse wins.
+        let mut v = DenseVector::zeros(100);
+        v.set(3, 1.0);
+        v.set(64, -2.0);
+        let frame = encode_adaptive(&v, FrameSwitch::Adaptive);
+        assert_eq!(frame_kind(&frame), Some(KIND_SPARSE));
+        assert_eq!(frame.len(), encoded_sparse_len(2));
+        assert_eq!(decode_adaptive(&frame).unwrap().as_slice(), v.as_slice());
+
+        // Dense vector: dense frame wins.
+        let dense = DenseVector::filled(100, 1.0);
+        let frame = encode_adaptive(&dense, FrameSwitch::Adaptive);
+        assert_eq!(frame_kind(&frame), Some(KIND_DENSE));
+        assert_eq!(frame.len(), encoded_dense_len(100));
+        assert_eq!(
+            decode_adaptive(&frame).unwrap().as_slice(),
+            dense.as_slice()
+        );
+    }
+
+    #[test]
+    fn adaptive_forced_dense_matches_legacy_frames() {
+        let mut v = DenseVector::zeros(50);
+        v.set(7, 2.5);
+        let forced = encode_adaptive(&v, FrameSwitch::Dense);
+        assert_eq!(forced.as_ref_slice(), encode_dense(&v).as_ref_slice());
+    }
+
+    #[test]
+    fn adaptive_roundtrip_is_bit_exact_including_negative_zero() {
+        let mut v = DenseVector::zeros(40);
+        v.set(1, -0.0);
+        v.set(5, 1.5);
+        let frame = encode_adaptive(&v, FrameSwitch::Adaptive);
+        assert_eq!(frame_kind(&frame), Some(KIND_SPARSE));
+        let back = decode_adaptive(&frame).unwrap();
+        let want: Vec<u64> = v.as_slice().iter().map(|x| x.to_bits()).collect();
+        let got: Vec<u64> = back.as_slice().iter().map(|x| x.to_bits()).collect();
+        assert_eq!(want, got, "-0.0 must survive the sparse round trip");
+    }
+
+    #[test]
+    fn adaptive_falls_back_to_dense_for_non_finite() {
+        let mut v = DenseVector::zeros(64);
+        v.set(0, f64::INFINITY);
+        let frame = encode_adaptive(&v, FrameSwitch::Adaptive);
+        assert_eq!(frame_kind(&frame), Some(KIND_DENSE));
+        let back = decode_adaptive(&frame).unwrap();
+        assert!(back.get(0).is_infinite());
     }
 
     #[test]
@@ -226,6 +629,16 @@ mod tests {
             decode_sparse(&frame),
             Err(WireError::BadKind(KIND_DENSE))
         ));
+        // Quantized frames through the wrong decoders.
+        let q = encode_qdense(&v);
+        assert!(matches!(
+            decode_qsparse(&q),
+            Err(WireError::BadKind(KIND_QDENSE))
+        ));
+        assert!(matches!(
+            decode_dense(&q),
+            Err(WireError::BadKind(KIND_QDENSE))
+        ));
     }
 
     #[test]
@@ -241,6 +654,81 @@ mod tests {
         assert!(matches!(
             decode_dense(&tiny),
             Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_over_long_frames_as_trailing_bytes() {
+        let v = DenseVector::zeros(4);
+        let mut padded = encode_dense(&v).to_vec();
+        padded.push(0xAB);
+        let err = decode_dense(&Bytes::from(padded)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                WireError::TrailingBytes {
+                    expected: 48,
+                    actual: 49
+                }
+            ),
+            "got {err:?}"
+        );
+
+        let s = SparseVector::from_pairs(10, &[(1, 1.0)]).unwrap();
+        let mut padded = encode_sparse(&s).to_vec();
+        padded.extend_from_slice(&[0, 0, 0]);
+        assert!(matches!(
+            decode_sparse(&Bytes::from(padded)),
+            Err(WireError::TrailingBytes { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_nonzero_reserved_word() {
+        let v = DenseVector::zeros(2);
+        let mut bytes = encode_dense(&v).to_vec();
+        bytes[12] = 1; // reserved u32 at offset 12
+        assert!(matches!(
+            decode_dense(&Bytes::from(bytes)),
+            Err(WireError::ReservedNonzero { offset: 12, .. })
+        ));
+        let mut bytes = encode_dense(&v).to_vec();
+        bytes[6] = 9; // pad byte
+        assert!(matches!(
+            decode_dense(&Bytes::from(bytes)),
+            Err(WireError::ReservedNonzero { offset: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_nnz_exceeding_dim_before_allocation() {
+        let s = SparseVector::from_pairs(4, &[(0, 1.0), (3, 2.0)]).unwrap();
+        let mut bytes = encode_sparse(&s).to_vec();
+        // Rewrite nnz (offset 12) to a huge count; the typed error must
+        // surface before any length/alloc logic touches it.
+        bytes[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_sparse(&Bytes::from(bytes)),
+            Err(WireError::NnzExceedsDim { dim: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_quantization_range() {
+        let v = DenseVector::from_vec(vec![1.0, 2.0]);
+        let mut bytes = encode_qdense(&v).to_vec();
+        // lo (offset 16) := NaN.
+        bytes[16..24].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert!(matches!(
+            decode_qdense(&Bytes::from(bytes)),
+            Err(WireError::BadQuantRange { .. })
+        ));
+        // lo > hi.
+        let mut bytes = encode_qdense(&v).to_vec();
+        bytes[16..24].copy_from_slice(&5.0f64.to_bits().to_le_bytes());
+        assert!(matches!(
+            decode_qdense(&Bytes::from(bytes)),
+            Err(WireError::BadQuantRange { lo, hi }) if lo > hi
         ));
     }
 
@@ -270,6 +758,20 @@ mod tests {
             actual: 3,
         };
         assert!(e.to_string().contains("10"));
+        let e = WireError::TrailingBytes {
+            expected: 10,
+            actual: 12,
+        };
+        assert!(e.to_string().contains("trailing"));
+        let e = WireError::ReservedNonzero {
+            offset: 12,
+            value: 3,
+        };
+        assert!(e.to_string().contains("12"));
+        let e = WireError::NnzExceedsDim { nnz: 9, dim: 4 };
+        assert!(e.to_string().contains('9'));
+        let e = WireError::BadQuantRange { lo: 2.0, hi: 1.0 };
+        assert!(e.to_string().contains("range"));
         let e = WireError::BadKind(9);
         assert!(e.to_string().contains('9'));
     }
@@ -281,5 +783,9 @@ mod tests {
         let s = decode_sparse(&encode_sparse(&SparseVector::empty(5))).unwrap();
         assert_eq!(s.dim(), 5);
         assert_eq!(s.nnz(), 0);
+        let q = decode_qdense(&encode_qdense(&DenseVector::zeros(0))).unwrap();
+        assert_eq!(q.dim(), 0);
+        let qs = decode_qsparse(&encode_qsparse(&SparseVector::empty(3))).unwrap();
+        assert_eq!(qs.nnz(), 0);
     }
 }

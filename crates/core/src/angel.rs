@@ -50,7 +50,7 @@ impl WorkerLogic for AngelWorker<'_> {
         let part = &self.parts[worker];
         if part.is_empty() {
             return WorkerStep {
-                payload_nnz: None,
+                payload_bytes: None,
                 payload: DenseVector::zeros(dim),
                 flops: 0.0,
                 extra_overhead: SimDuration::ZERO,
@@ -102,9 +102,12 @@ impl WorkerLogic for AngelWorker<'_> {
 
         // Push the accumulated delta; Angel's servers sum worker updates.
         // Without a regularizer the epoch's delta touches only the
-        // partition's active coordinates.
-        let payload_nnz = if self.sparse_messages && self.reg.is_none() {
-            Some(self.part_active[worker])
+        // partition's active coordinates, and the push is sized from the
+        // *actual* delta's encoded sparse frame rather than that guess.
+        let payload_bytes = if self.sparse_messages && self.reg.is_none() {
+            mlstar_glm::sparse_delta(&w, model)
+                .ok()
+                .map(|d| mlstar_collectives::wire::encoded_sparse_len(d.nnz()))
         } else {
             None
         };
@@ -112,7 +115,7 @@ impl WorkerLogic for AngelWorker<'_> {
         delta.axpy(-1.0, model);
         self.updates.set(self.updates.get() + n_batches);
         WorkerStep {
-            payload_nnz,
+            payload_bytes,
             payload: delta,
             // Sparse gradient work for the whole pass plus a dense
             // gradient-apply per batch.
@@ -124,9 +127,13 @@ impl WorkerLogic for AngelWorker<'_> {
         }
     }
 
-    fn pull_nnz(&self, worker: usize) -> Option<usize> {
+    fn pull_bytes(&self, worker: usize) -> Option<usize> {
         if self.sparse_messages {
-            Some(self.part_active[worker])
+            // A pull of only the partition's active coordinates travels as
+            // a sparse frame; the engine clamps it to the dense model size.
+            Some(mlstar_collectives::wire::encoded_sparse_len(
+                self.part_active[worker],
+            ))
         } else {
             None
         }

@@ -1,5 +1,6 @@
 //! Shared training configuration and run output.
 
+use mlstar_collectives::CompressionConfig;
 use mlstar_glm::{GlmModel, LearningRate, Loss, Regularizer};
 use mlstar_sim::GanttRecorder;
 use serde::{Deserialize, Serialize};
@@ -70,6 +71,13 @@ pub struct TrainConfig {
     /// math nor the simulated time, so it is excluded from the
     /// checkpoint's config digest.
     pub checkpoint_keep: u64,
+    /// Compressed-collective policy for the AllReduce systems (MLlib\*):
+    /// with [`CompressionConfig::enabled`], model exchange ships
+    /// SparCML-style sparse/quantized frames with per-worker error
+    /// feedback instead of the dense Reduce-Scatter + AllGather. The
+    /// default ([`mlstar_collectives::FrameSwitch::Dense`]) keeps the
+    /// legacy dense path bit-for-bit.
+    pub compression: CompressionConfig,
     /// Experiment seed (drives partitioning, batch sampling, stragglers).
     pub seed: u64,
 }
@@ -91,6 +99,7 @@ impl Default for TrainConfig {
             partition_skew: None,
             checkpoint_every: 0,
             checkpoint_keep: 0,
+            compression: CompressionConfig::default(),
             seed: 42,
         }
     }
@@ -138,6 +147,7 @@ impl TrainConfig {
                 self.failure_prob
             ));
         }
+        self.compression.validate()?;
         Ok(())
     }
 

@@ -161,6 +161,30 @@ impl BspRound<'_, '_> {
         model
     }
 
+    /// Compressed AllReduce: a single all-to-all exchange of
+    /// sparse/quantized frames with per-worker error feedback (see
+    /// `mlstar_collectives::compressed_all_reduce_average`). The bytes
+    /// charged are the *actual* encoded frame lengths, booked against the
+    /// `all_gather` counter — the exchange is one AllGather-shaped phase,
+    /// and [`CommBytes`] is checkpoint-serialized, so no new field.
+    pub fn compressed_all_reduce_average(
+        &mut self,
+        cost: &CostModel,
+        locals: &[DenseVector],
+        comm: &mlstar_collectives::CompressionConfig,
+        residuals: &mut Vec<DenseVector>,
+    ) -> DenseVector {
+        let (model, b) = mlstar_collectives::compressed_all_reduce_average(
+            &mut self.rb,
+            cost,
+            locals,
+            comm,
+            residuals,
+        );
+        self.bytes.all_gather += b as u64;
+        model
+    }
+
     /// Spark-style lineage failure injection; the recovery work and the
     /// barrier wait it causes are charged to [`RoundStats::recovery_s`],
     /// and the recomputed flops to the step's flop counter.
@@ -205,7 +229,7 @@ pub(crate) struct StepCtx {
 }
 
 impl StepCtx {
-    fn new(seed: u64) -> Self {
+    pub(crate) fn new(seed: u64) -> Self {
         let seeds = SeedStream::new(seed);
         StepCtx {
             gantt: GanttRecorder::new(),

@@ -74,6 +74,7 @@ pub use grid::{GridPoint, GridResult, GridSearch};
 pub use mllib::train_mllib;
 pub use mllib_ma::train_mllib_ma;
 pub use mllib_star::train_mllib_star;
+pub use mlstar_collectives::{CompressionConfig, FrameSwitch, Sparsifier};
 pub use ovr::{OneVsRest, OvrModel, OvrOutput};
 pub use petuum::{train_petuum, train_petuum_star};
 pub use sequential::reference_optimum;

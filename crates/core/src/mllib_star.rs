@@ -15,6 +15,7 @@
 //! driver-centric pattern but without NIC serialization.
 
 use mlstar_codec::{CodecError, Reader, Writer};
+use mlstar_collectives::CompressionConfig;
 use mlstar_data::{EpochOrder, SparseDataset};
 use mlstar_linalg::DenseVector;
 use mlstar_sim::{pass_flops, Activity, ClusterSpec, NodeId, SeedStream};
@@ -36,6 +37,12 @@ pub(crate) struct MllibStarStrategy {
     w: DenseVector,
     /// Per-worker local-model buffers, reused across rounds.
     locals: Vec<DenseVector>,
+    /// Compressed-collective policy (captured from the config; the
+    /// default is the legacy dense path).
+    comm: CompressionConfig,
+    /// Per-worker error-feedback accumulators for the compressed
+    /// collective — part of the training state, so checkpointed.
+    residuals: Vec<DenseVector>,
 }
 
 impl MllibStarStrategy {
@@ -52,6 +59,8 @@ impl MllibStarStrategy {
             update_counters: vec![0u64; k],
             w: DenseVector::zeros(dim),
             locals: (0..k).map(|_| DenseVector::zeros(dim)).collect(),
+            comm: cfg.compression,
+            residuals: Vec::new(),
         }
     }
 }
@@ -82,6 +91,8 @@ impl RoundStrategy for MllibStarStrategy {
             update_counters,
             w,
             locals,
+            comm,
+            residuals,
         } = self;
         let k = h.k();
         // Note: executors only — there is no driver in this pattern.
@@ -129,8 +140,16 @@ impl RoundStrategy for MllibStarStrategy {
             rd.rb.barrier();
             rd.inject_failure(h, cfg, |r| pass_flops(h.part_nnz[r]));
 
-            // (2) + (3) Reduce-Scatter then AllGather.
-            *w = rd.all_reduce_average(&h.cost, locals);
+            // (2) + (3) Reduce-Scatter then AllGather — or, with
+            // compression enabled, one all-to-all exchange of
+            // sparse/quantized frames with error feedback. The dense
+            // branch is untouched, keeping the default bit-identical to
+            // the golden traces.
+            *w = if comm.enabled() {
+                rd.compressed_all_reduce_average(&h.cost, locals, comm, residuals)
+            } else {
+                rd.all_reduce_average(&h.cost, locals)
+            };
             updates
         });
         Some(updates)
@@ -147,6 +166,12 @@ impl RoundStrategy for MllibStarStrategy {
         }
         for &count in &self.update_counters {
             w.put_u64(count);
+        }
+        // Error-feedback residuals carry un-shipped gradient mass across
+        // rounds, so a restore without them would change the math.
+        w.put_u64(self.residuals.len() as u64);
+        for res in &self.residuals {
+            put_vector(w, res);
         }
     }
 
@@ -167,6 +192,16 @@ impl RoundStrategy for MllibStarStrategy {
         for count in &mut self.update_counters {
             *count = r.u64()?;
         }
+        let res_count = r.u64()? as usize;
+        if res_count != 0 && res_count != self.orders.len() {
+            return Err(CodecError::Corrupt(format!(
+                "checkpoint has {res_count} error-feedback residuals, run has {} workers",
+                self.orders.len()
+            )));
+        }
+        self.residuals = (0..res_count)
+            .map(|_| read_vector(r, self.w.dim()))
+            .collect::<Result<_, _>>()?;
         Ok(())
     }
 
@@ -360,6 +395,158 @@ mod tests {
                 "phases must tile the round: {rs:?}"
             );
         }
+    }
+
+    fn compressed_cfg(base: TrainConfig) -> TrainConfig {
+        TrainConfig {
+            compression: CompressionConfig {
+                switch: mlstar_collectives::FrameSwitch::Adaptive,
+                ..CompressionConfig::default()
+            },
+            ..base
+        }
+    }
+
+    #[test]
+    fn lossless_compression_is_bit_identical_to_the_dense_path() {
+        // With the Exact sparsifier and no quantization, the compressed
+        // all-to-all folds the same values in the same worker order as
+        // Reduce-Scatter + AllGather, so the entire run must match
+        // bit-for-bit — only the byte accounting may differ.
+        let ds = tiny_ds();
+        let cfg = TrainConfig {
+            reg: Regularizer::L1 { lambda: 0.01 },
+            max_rounds: 6,
+            ..quick_cfg()
+        };
+        let dense = train_mllib_star(&ds, &ClusterSpec::cluster1(), &cfg);
+        let compressed = train_mllib_star(&ds, &ClusterSpec::cluster1(), &compressed_cfg(cfg));
+        // Simulated *time* differs (one all-to-all phase instead of two
+        // shuffle phases); every mathematical quantity must not.
+        assert_eq!(dense.trace.points.len(), compressed.trace.points.len());
+        for (a, b) in dense
+            .trace
+            .points
+            .iter()
+            .zip(compressed.trace.points.iter())
+        {
+            assert_eq!(a.step, b.step);
+            assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+            assert_eq!(a.total_updates, b.total_updates);
+        }
+        let a: Vec<u64> = dense
+            .model
+            .weights()
+            .as_slice()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
+        let b: Vec<u64> = compressed
+            .model
+            .weights()
+            .as_slice()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
+        assert_eq!(
+            a, b,
+            "model must be bit-identical under lossless compression"
+        );
+        assert_eq!(dense.total_updates, compressed.total_updates);
+    }
+
+    #[test]
+    fn compression_books_actual_bytes_to_all_gather() {
+        let ds = tiny_ds();
+        let cfg = compressed_cfg(TrainConfig {
+            max_rounds: 3,
+            ..quick_cfg()
+        });
+        let out = train_mllib_star(&ds, &ClusterSpec::cluster1(), &cfg);
+        for rs in &out.round_stats {
+            assert_eq!(
+                rs.bytes.reduce_scatter, 0,
+                "the compressed exchange has no Reduce-Scatter phase"
+            );
+            assert!(rs.bytes.all_gather > 0);
+        }
+    }
+
+    #[test]
+    fn lossy_compression_with_feedback_still_converges() {
+        let ds = tiny_ds();
+        let cfg = TrainConfig {
+            max_rounds: 15,
+            compression: CompressionConfig {
+                switch: mlstar_collectives::FrameSwitch::Adaptive,
+                sparsifier: mlstar_collectives::Sparsifier::TopK { k: 8 },
+                quantize: true,
+                error_feedback: true,
+            },
+            ..quick_cfg()
+        };
+        let out = train_mllib_star(&ds, &ClusterSpec::cluster1(), &cfg);
+        let first = out.trace.points.first().unwrap().objective;
+        let best = out.trace.best_objective().unwrap();
+        assert!(
+            best < first * 0.6,
+            "error feedback should preserve convergence: {first} → {best}"
+        );
+    }
+
+    #[test]
+    fn compressed_runs_are_deterministic() {
+        let ds = tiny_ds();
+        let cfg = TrainConfig {
+            max_rounds: 5,
+            compression: CompressionConfig {
+                switch: mlstar_collectives::FrameSwitch::Adaptive,
+                sparsifier: mlstar_collectives::Sparsifier::Threshold { tau: 1e-3 },
+                quantize: true,
+                error_feedback: true,
+            },
+            ..quick_cfg()
+        };
+        let a = train_mllib_star(&ds, &ClusterSpec::cluster1(), &cfg);
+        let b = train_mllib_star(&ds, &ClusterSpec::cluster1(), &cfg);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.model.weights().as_slice(), b.model.weights().as_slice());
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_error_feedback_residuals() {
+        let ds = tiny_ds();
+        let cfg = TrainConfig {
+            max_rounds: 4,
+            compression: CompressionConfig {
+                switch: mlstar_collectives::FrameSwitch::Adaptive,
+                sparsifier: mlstar_collectives::Sparsifier::TopK { k: 4 },
+                quantize: false,
+                error_feedback: true,
+            },
+            ..quick_cfg()
+        };
+        let mut strat = MllibStarStrategy::new(&ds, &ClusterSpec::cluster1(), &cfg);
+        let mut ctx = crate::engine::StepCtx::new(cfg.seed);
+        strat.step(&mut ctx, &ds, &cfg, 0);
+        strat.step(&mut ctx, &ds, &cfg, 1);
+        assert!(
+            strat.residuals.iter().any(|r| r.norm1() > 0.0),
+            "top-k should leave residual mass behind"
+        );
+
+        let mut w = Writer::new();
+        strat.save_state(&mut w);
+        let saved = w.into_payload();
+
+        let mut fresh = MllibStarStrategy::new(&ds, &ClusterSpec::cluster1(), &cfg);
+        let mut r = Reader::new(&saved);
+        fresh.restore_state(&mut r).unwrap();
+        assert_eq!(fresh.residuals.len(), strat.residuals.len());
+        for (a, b) in fresh.residuals.iter().zip(strat.residuals.iter()) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+        assert_eq!(fresh.w.as_slice(), strat.w.as_slice());
     }
 
     #[test]

@@ -58,7 +58,7 @@ impl WorkerLogic for PetuumWorker<'_> {
                 Aggregation::Average { .. } => model.clone(),
             };
             return WorkerStep {
-                payload_nnz: None,
+                payload_bytes: None,
                 payload,
                 flops: 0.0,
                 extra_overhead: SimDuration::ZERO,
@@ -71,14 +71,9 @@ impl WorkerLogic for PetuumWorker<'_> {
         let batch_nnz: usize = batch.iter().map(|&i| self.ds.rows()[i].nnz()).sum();
         // Sparse pushes are only sound for summation of loss-only deltas
         // (the regularizer's gradient and averaged models are dense).
-        let payload_nnz = if self.sparse_messages
+        let sparse_push = self.sparse_messages
             && self.reg.is_none()
-            && matches!(self.aggregation, Aggregation::Sum)
-        {
-            Some(batch_nnz)
-        } else {
-            None
-        };
+            && matches!(self.aggregation, Aggregation::Sum);
 
         let (w_local, n_updates, flops) = if self.reg.is_none() {
             // Parallel SGD over the batch: many updates per step.
@@ -146,6 +141,17 @@ impl WorkerLogic for PetuumWorker<'_> {
             )
         };
 
+        // Size the sparse push from the *actual* delta the worker ships,
+        // not the batch's summed nnz (which counts a feature once per
+        // example it appears in). The encoded length is what the wire
+        // codec would produce for that delta's index/value frame.
+        let payload_bytes = if sparse_push {
+            mlstar_glm::sparse_delta(&w_local, model)
+                .ok()
+                .map(|d| mlstar_collectives::wire::encoded_sparse_len(d.nnz()))
+        } else {
+            None
+        };
         let payload = match self.aggregation {
             Aggregation::Sum => {
                 let mut delta = w_local;
@@ -156,7 +162,7 @@ impl WorkerLogic for PetuumWorker<'_> {
         };
         self.updates.set(self.updates.get() + n_updates);
         WorkerStep {
-            payload_nnz,
+            payload_bytes,
             payload,
             flops,
             extra_overhead: SimDuration::ZERO,
@@ -164,9 +170,13 @@ impl WorkerLogic for PetuumWorker<'_> {
         }
     }
 
-    fn pull_nnz(&self, worker: usize) -> Option<usize> {
+    fn pull_bytes(&self, worker: usize) -> Option<usize> {
         if self.sparse_messages {
-            Some(self.part_active[worker])
+            // A pull of only the partition's active coordinates travels as
+            // a sparse frame; the engine clamps it to the dense model size.
+            Some(mlstar_collectives::wire::encoded_sparse_len(
+                self.part_active[worker],
+            ))
         } else {
             None
         }
@@ -448,12 +458,18 @@ mod tests {
             max_rounds: 8,
             ..quick_cfg()
         };
+        // BSP: under SSP the smaller (actual) sparse frames shift event
+        // timing enough to change which pushes a stale pull admits, so the
+        // two runs would be different (both valid) SSP executions. The
+        // barrier pins admission; only within-clock summation order at the
+        // servers can differ with timing.
         let dense = train_petuum(
             &ds,
             &ClusterSpec::cluster1(),
             &cfg,
             &PsSystemConfig {
                 sparse_messages: false,
+                staleness: 0,
                 ..PsSystemConfig::default()
             },
         );
@@ -463,12 +479,13 @@ mod tests {
             &cfg,
             &PsSystemConfig {
                 sparse_messages: true,
+                staleness: 0,
                 ..PsSystemConfig::default()
             },
         );
         // Near-identical final models: the wire volume only shifts event
         // timing, which can reorder floating-point summation at the
-        // servers (ulp-level differences under SSP).
+        // servers (ulp-level differences).
         for (a, b) in dense
             .model
             .weights()

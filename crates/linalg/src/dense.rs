@@ -233,6 +233,23 @@ impl DenseVector {
     pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
         self.values.iter().copied().enumerate()
     }
+
+    /// The exact sparse form: every coordinate whose bit pattern is not
+    /// `+0.0` becomes a stored entry, so the round trip through
+    /// [`SparseVector::to_dense`] is bitwise-identical (`-0.0` is kept as
+    /// an explicit entry). Fails if any value is non-finite, which sparse
+    /// vectors cannot represent.
+    pub fn to_sparse(&self) -> Result<SparseVector, LinalgError> {
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for (i, v) in self.values.iter().enumerate() {
+            if v.to_bits() != 0 {
+                indices.push(i as u32);
+                values.push(*v);
+            }
+        }
+        SparseVector::new(self.dim(), indices, values)
+    }
 }
 
 impl std::ops::Index<usize> for DenseVector {
@@ -290,6 +307,29 @@ mod tests {
         let b = DenseVector::from_vec(vec![2.0, -4.0]);
         a.axpy(0.5, &b);
         assert_eq!(a.as_slice(), &[2.0, -1.0]);
+    }
+
+    #[test]
+    fn to_sparse_keeps_every_stored_bit_pattern() {
+        let v = DenseVector::from_vec(vec![0.0, 1.5, -0.0, 0.0, -2.25]);
+        let s = v.to_sparse().unwrap();
+        // -0.0 has a nonzero bit pattern and must be kept as an entry,
+        // with its sign bit intact in the stored values.
+        assert_eq!(s.indices(), &[1, 2, 4]);
+        let stored: Vec<u64> = s.values().iter().map(|x| x.to_bits()).collect();
+        assert_eq!(
+            stored,
+            vec![1.5f64.to_bits(), (-0.0f64).to_bits(), (-2.25f64).to_bits()]
+        );
+        // Note `to_dense` materializes via axpy, which normalizes
+        // 0 + (-0.0) to +0.0 — value-equal, not bit-equal.
+        assert_eq!(s.to_dense().as_slice(), v.as_slice());
+    }
+
+    #[test]
+    fn to_sparse_rejects_non_finite() {
+        let v = DenseVector::from_vec(vec![0.0, f64::NAN]);
+        assert!(v.to_sparse().is_err());
     }
 
     #[test]

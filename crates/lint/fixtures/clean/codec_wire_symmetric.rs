@@ -1,0 +1,70 @@
+//@ path: crates/collectives/src/wire.rs
+//@ expect:
+
+//! A symmetric model-frame pair over the `bytes` prims, shaped like the
+//! real `collectives::wire` codec: a shared header helper inlined on both
+//! sides, effect-free validation branches, and an adaptive dense↔sparse
+//! dispatch whose arms share the hoisted header prefix — the writer's
+//! `if` over the encoding choice and the reader's `match` over the kind
+//! byte normalize to the same branch node.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const DEMO_MAGIC: u32 = 0x4D4C_5344;
+
+fn put_head(buf: &mut BytesMut, kind: u8, dim: u32) {
+    buf.put_u32_le(DEMO_MAGIC);
+    buf.put_u8(kind);
+    buf.put_u32_le(dim);
+}
+
+fn read_head(payload: &mut Bytes) -> Option<(u8, u32)> {
+    if payload.len() < 9 {
+        return None;
+    }
+    let magic = payload.get_u32_le();
+    if magic != DEMO_MAGIC {
+        return None;
+    }
+    let kind = payload.get_u8();
+    let dim = payload.get_u32_le();
+    Some((kind, dim))
+}
+
+pub fn encode_vals(v: &[f64], sparse: bool) -> Bytes {
+    let mut buf = BytesMut::new();
+    if sparse {
+        put_head(&mut buf, 2, v.len() as u32);
+        for (i, &x) in v.iter().enumerate() {
+            buf.put_u32_le(i as u32);
+            buf.put_f64_le(x);
+        }
+    } else {
+        put_head(&mut buf, 1, v.len() as u32);
+        for &x in v {
+            buf.put_f64_le(x);
+        }
+    }
+    buf.freeze()
+}
+
+pub fn decode_vals(frame: &Bytes) -> Option<Vec<f64>> {
+    let mut payload = frame.clone();
+    let (kind, dim) = read_head(&mut payload)?;
+    let mut out = vec![0.0; dim as usize];
+    match kind {
+        1 => {
+            for x in out.iter_mut() {
+                *x = payload.get_f64_le();
+            }
+        }
+        2 => {
+            for _ in 0..dim {
+                let i = payload.get_u32_le() as usize;
+                out[i] = payload.get_f64_le();
+            }
+        }
+        _ => return None,
+    }
+    Some(out)
+}

@@ -1,0 +1,49 @@
+//@ path: crates/collectives/src/wire.rs
+//@ expect: codec_symmetry
+
+//! Two broken model-frame pairs over the `bytes` prims: `put_update`/
+//! `get_update` drift on the loop-guard width (u32 count written, u64
+//! count read), and `encode_range`/`decode_range` read the flag byte
+//! before the bounds the writer put after them. Both pairs exercise the
+//! `_le` spellings of the primitive alphabet.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+pub fn put_update(buf: &mut BytesMut, indices: &[u32], values: &[f64]) {
+    buf.put_u32_le(indices.len() as u32);
+    for &i in indices {
+        buf.put_u32_le(i);
+    }
+    for &x in values {
+        buf.put_f64_le(x);
+    }
+}
+
+pub fn get_update(frame: &Bytes) -> (Vec<u32>, Vec<f64>) {
+    let mut payload = frame.clone();
+    // Width drift: the count was written as u32.
+    let nnz = payload.get_u64_le() as usize;
+    let mut indices = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        indices.push(payload.get_u32_le());
+    }
+    let mut values = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        values.push(payload.get_f64_le());
+    }
+    (indices, values)
+}
+
+pub fn encode_range(buf: &mut BytesMut, lo: f64, hi: f64, clamped: bool) {
+    buf.put_f64_le(lo);
+    buf.put_f64_le(hi);
+    buf.put_u8(u8::from(clamped));
+}
+
+pub fn decode_range(payload: &mut Bytes) -> (f64, f64, bool) {
+    // Swapped: reads the flag byte before the bounds.
+    let clamped = payload.get_u8() != 0;
+    let lo = payload.get_f64_le();
+    let hi = payload.get_f64_le();
+    (lo, hi, clamped)
+}

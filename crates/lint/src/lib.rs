@@ -30,7 +30,7 @@
 //! | `float_eq` | non-test lib/bin code (literal/constant comparisons) |
 //! | `print_in_lib` | library code outside crates/bench |
 //! | `invalid_waiver` | waiver comments themselves |
-//! | `codec_symmetry` | paired encode/decode fns in codec, serve, core::checkpoint, net::protocol |
+//! | `codec_symmetry` | paired encode/decode fns in codec, serve, core::checkpoint, net::protocol, collectives::wire |
 //! | `rng_placement` | functions reachable from worker-side entry points |
 //!
 //! Waive a finding with `// lint:allow(<rule>): <reason>` on the same

@@ -159,7 +159,7 @@ impl RuleId {
             RuleId::PrintInLib => "library code except crates/bench",
             RuleId::InvalidWaiver => "waiver comments",
             RuleId::CodecSymmetry => {
-                "paired encode/decode fns in `codec`, `serve`, `core::checkpoint`, `net::protocol`"
+                "paired encode/decode fns in `codec`, `serve`, `core::checkpoint`, `net::protocol`, `collectives::wire`"
             }
             RuleId::RngPlacement => {
                 "functions reachable from `net::worker` pub fns or `run_ops` impls"

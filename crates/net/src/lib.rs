@@ -268,7 +268,10 @@ pub fn train_net(
             .map(|s| s.expect("k links with k distinct in-range ids fill every slot"))
             .collect();
 
-        // Partition assignment.
+        // Partition assignment. The frame switch for all model payloads
+        // of the session comes from the training config's compression
+        // settings and is announced to every worker here.
+        let switch = cfg.compression.switch;
         for (w, link) in links.iter_mut().enumerate() {
             let rows = parts[w]
                 .iter()
@@ -280,16 +283,20 @@ pub fn train_net(
                     row: ds.rows()[i].clone(),
                 })
                 .collect();
-            link.send(&encode_msg(&Msg::Assign {
-                worker: w as u32,
-                // lint:allow(panic_in_lib): feature dimensions are bounded
-                // far below u32::MAX by construction.
-                dim: u32::try_from(dim).expect("dimension exceeds wire width"),
-                loss: cfg.loss,
-                reg: cfg.reg,
-                lr: cfg.lr,
-                rows,
-            }))?;
+            link.send(&encode_msg(
+                &Msg::Assign {
+                    worker: w as u32,
+                    // lint:allow(panic_in_lib): feature dimensions are
+                    // bounded far below u32::MAX by construction.
+                    dim: u32::try_from(dim).expect("dimension exceeds wire width"),
+                    loss: cfg.loss,
+                    reg: cfg.reg,
+                    lr: cfg.lr,
+                    switch,
+                    rows,
+                },
+                switch,
+            ))?;
         }
 
         // Train with the orchestrator installed as the compute backend.
@@ -303,6 +310,7 @@ pub fn train_net(
             row_nnz,
             part_nnz,
             dim,
+            switch,
         );
         let trained = with_backend(Box::new(backend), || {
             catch_unwind(AssertUnwindSafe(|| {
@@ -312,7 +320,7 @@ pub fn train_net(
 
         // Orderly shutdown, dead links ignored (their workers are gone).
         for link in links.borrow_mut().iter_mut() {
-            let _ = link.send(&encode_msg(&Msg::Shutdown));
+            let _ = link.send(&encode_msg(&Msg::Shutdown, switch));
         }
 
         match trained {

@@ -12,6 +12,7 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
+use mlstar_collectives::FrameSwitch;
 use mlstar_core::{ComputeBackend, OpResult, WorkerOp};
 use mlstar_sim::{dense_op_flops, pass_flops};
 
@@ -86,6 +87,9 @@ pub(crate) struct Orchestrator {
     /// Total nnz per worker partition.
     part_nnz: Vec<usize>,
     dim: usize,
+    /// Model-payload encoding for outgoing `Ops` frames (the same switch
+    /// the workers were told in `Assign`).
+    switch: FrameSwitch,
     next_batch: u64,
 }
 
@@ -97,6 +101,7 @@ impl Orchestrator {
         row_nnz: Vec<usize>,
         part_nnz: Vec<usize>,
         dim: usize,
+        switch: FrameSwitch,
     ) -> Self {
         Orchestrator {
             links,
@@ -105,6 +110,7 @@ impl Orchestrator {
             row_nnz,
             part_nnz,
             dim,
+            switch,
             next_batch: 0,
         }
     }
@@ -168,10 +174,13 @@ impl ComputeBackend for Orchestrator {
         // Send phase: every worker gets its ops before any reply is
         // awaited, so workers genuinely compute concurrently.
         for (&worker, (pos, ops, flops)) in per_worker.iter_mut() {
-            let frame = encode_msg(&Msg::Ops {
-                batch,
-                ops: std::mem::take(ops),
-            });
+            let frame = encode_msg(
+                &Msg::Ops {
+                    batch,
+                    ops: std::mem::take(ops),
+                },
+                self.switch,
+            );
             if links[worker].send(&frame).is_err() {
                 return Err(self.fail(NetError::WorkerLost { worker }));
             }

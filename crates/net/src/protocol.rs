@@ -3,14 +3,25 @@
 //! Every message is one `mlstar-codec` frame (magic `"MLSN"`,
 //! checksummed payload). Vector payloads reuse `collectives::wire` — the
 //! exact encoding whose byte counts the simulator charges for — embedded
-//! as length-prefixed blobs. `f64` round-trips through little-endian
-//! bytes exactly, so nothing a worker computes is perturbed by the hop.
+//! as length-prefixed blobs. Model payloads go through the adaptive
+//! dense↔sparse switch ([`wire::encode_adaptive`]): under
+//! [`FrameSwitch::Adaptive`] a model whose exact-sparse frame is smaller
+//! travels sparsely, and the decoder materializes it back bit-for-bit
+//! (the sparse path is lossless). Under [`FrameSwitch::Dense`] every
+//! frame is byte-identical to the legacy dense encoding. `f64`
+//! round-trips through little-endian bytes exactly, so nothing a worker
+//! computes is perturbed by the hop.
+//!
+//! The orchestrator announces the switch in `Assign`; the worker encodes
+//! its `OpDone` results with the same switch, so both directions of the
+//! link move the same frames the simulator charges for. Decoding is
+//! switch-agnostic — the frame kind byte selects the decoder.
 //!
 //! Message flow:
 //!
 //! ```text
 //! worker → orchestrator   Hello { worker }
-//! orchestrator → worker   Assign { worker, dim, loss, reg, lr, rows }
+//! orchestrator → worker   Assign { worker, dim, loss, reg, lr, switch, rows }
 //! orchestrator → worker   Ops { batch, ops }          (repeated)
 //! worker → orchestrator   OpDone { batch, results }   (one per Ops)
 //! orchestrator → worker   Shutdown
@@ -18,7 +29,7 @@
 
 use bytes::Bytes;
 use mlstar_codec::{decode_frame, CodecError, Reader, Writer};
-use mlstar_collectives::wire;
+use mlstar_collectives::{wire, FrameSwitch};
 use mlstar_core::{OpResult, WorkerOp};
 use mlstar_glm::{LearningRate, Loss, Regularizer};
 use mlstar_linalg::{DenseVector, SparseVector};
@@ -80,6 +91,9 @@ pub enum Msg {
         /// Learning-rate schedule (workers evaluate it only where the op
         /// semantics say so — e.g. per-chunk inside `MgdEpoch`).
         lr: LearningRate,
+        /// The frame switch both ends encode model payloads with for the
+        /// rest of the session.
+        switch: FrameSwitch,
         /// The rows of this worker's partition, in partition order.
         rows: Vec<AssignedRow>,
     },
@@ -103,14 +117,29 @@ pub enum Msg {
     Shutdown,
 }
 
-fn put_dense(w: &mut Writer, v: &DenseVector) {
-    w.put_blob64(&wire::encode_dense(v));
+fn put_model(w: &mut Writer, v: &DenseVector, switch: FrameSwitch) {
+    w.put_blob64(&wire::encode_adaptive(v, switch));
 }
 
-fn get_dense(r: &mut Reader<'_>) -> Result<DenseVector, NetError> {
+fn get_model(r: &mut Reader<'_>) -> Result<DenseVector, NetError> {
     let raw = r.blob64()?;
-    wire::decode_dense(&Bytes::from(raw.to_vec()))
-        .map_err(|e| NetError::Protocol(format!("dense payload: {e}")))
+    wire::decode_adaptive(&Bytes::from(raw.to_vec()))
+        .map_err(|e| NetError::Protocol(format!("model payload: {e}")))
+}
+
+fn put_switch(w: &mut Writer, switch: FrameSwitch) {
+    w.put_u8(match switch {
+        FrameSwitch::Dense => 0,
+        FrameSwitch::Adaptive => 1,
+    });
+}
+
+fn get_switch(r: &mut Reader<'_>) -> Result<FrameSwitch, NetError> {
+    match r.u8()? {
+        0 => Ok(FrameSwitch::Dense),
+        1 => Ok(FrameSwitch::Adaptive),
+        t => Err(NetError::Protocol(format!("unknown frame-switch tag {t}"))),
+    }
 }
 
 fn put_indices(w: &mut Writer, idx: &[u32]) {
@@ -214,7 +243,7 @@ fn get_lr(r: &mut Reader<'_>) -> Result<LearningRate, NetError> {
     }
 }
 
-fn put_op(w: &mut Writer, op: &WorkerOp) {
+fn put_op(w: &mut Writer, op: &WorkerOp, switch: FrameSwitch) {
     match op {
         WorkerOp::SgdPass {
             w: model,
@@ -222,7 +251,7 @@ fn put_op(w: &mut Writer, op: &WorkerOp) {
             t0,
         } => {
             w.put_u8(OP_SGD_PASS);
-            put_dense(w, model);
+            put_model(w, model, switch);
             w.put_u64(*t0);
             put_indices(w, order);
         }
@@ -232,17 +261,17 @@ fn put_op(w: &mut Writer, op: &WorkerOp) {
             t0,
         } => {
             w.put_u8(OP_SGD_BATCH);
-            put_dense(w, model);
+            put_model(w, model, switch);
             w.put_u64(*t0);
             put_indices(w, batch);
         }
         WorkerOp::PartitionGrad { w: model } => {
             w.put_u8(OP_PARTITION_GRAD);
-            put_dense(w, model);
+            put_model(w, model, switch);
         }
         WorkerOp::BatchGrad { w: model, batch } => {
             w.put_u8(OP_BATCH_GRAD);
-            put_dense(w, model);
+            put_model(w, model, switch);
             put_indices(w, batch);
         }
         WorkerOp::MgdStep {
@@ -251,7 +280,7 @@ fn put_op(w: &mut Writer, op: &WorkerOp) {
             eta,
         } => {
             w.put_u8(OP_MGD_STEP);
-            put_dense(w, model);
+            put_model(w, model, switch);
             w.put_f64(*eta);
             put_indices(w, batch);
         }
@@ -262,14 +291,14 @@ fn put_op(w: &mut Writer, op: &WorkerOp) {
             t0,
         } => {
             w.put_u8(OP_MGD_EPOCH);
-            put_dense(w, model);
+            put_model(w, model, switch);
             w.put_u64(*t0);
             w.put_u32(*batch_size);
             put_indices(w, order);
         }
         WorkerOp::PartitionObjective { w: model } => {
             w.put_u8(OP_PARTITION_OBJECTIVE);
-            put_dense(w, model);
+            put_model(w, model, switch);
         }
     }
 }
@@ -277,46 +306,46 @@ fn put_op(w: &mut Writer, op: &WorkerOp) {
 fn get_op(r: &mut Reader<'_>) -> Result<WorkerOp, NetError> {
     match r.u8()? {
         OP_SGD_PASS => Ok(WorkerOp::SgdPass {
-            w: get_dense(r)?,
+            w: get_model(r)?,
             t0: r.u64()?,
             order: get_indices(r)?,
         }),
         OP_SGD_BATCH => Ok(WorkerOp::SgdBatch {
-            w: get_dense(r)?,
+            w: get_model(r)?,
             t0: r.u64()?,
             batch: get_indices(r)?,
         }),
-        OP_PARTITION_GRAD => Ok(WorkerOp::PartitionGrad { w: get_dense(r)? }),
+        OP_PARTITION_GRAD => Ok(WorkerOp::PartitionGrad { w: get_model(r)? }),
         OP_BATCH_GRAD => Ok(WorkerOp::BatchGrad {
-            w: get_dense(r)?,
+            w: get_model(r)?,
             batch: get_indices(r)?,
         }),
         OP_MGD_STEP => Ok(WorkerOp::MgdStep {
-            w: get_dense(r)?,
+            w: get_model(r)?,
             eta: r.f64()?,
             batch: get_indices(r)?,
         }),
         OP_MGD_EPOCH => Ok(WorkerOp::MgdEpoch {
-            w: get_dense(r)?,
+            w: get_model(r)?,
             t0: r.u64()?,
             batch_size: r.u32()?,
             order: get_indices(r)?,
         }),
-        OP_PARTITION_OBJECTIVE => Ok(WorkerOp::PartitionObjective { w: get_dense(r)? }),
+        OP_PARTITION_OBJECTIVE => Ok(WorkerOp::PartitionObjective { w: get_model(r)? }),
         t => Err(NetError::Protocol(format!("unknown op tag {t}"))),
     }
 }
 
-fn put_result(w: &mut Writer, res: &OpResult) {
+fn put_result(w: &mut Writer, res: &OpResult, switch: FrameSwitch) {
     match res {
         OpResult::Model { w: model, t } => {
             w.put_u8(RES_MODEL);
-            put_dense(w, model);
+            put_model(w, model, switch);
             w.put_u64(*t);
         }
         OpResult::Grad(g) => {
             w.put_u8(RES_GRAD);
-            put_dense(w, g);
+            put_model(w, g, switch);
         }
         OpResult::Value(v) => {
             w.put_u8(RES_VALUE);
@@ -328,17 +357,22 @@ fn put_result(w: &mut Writer, res: &OpResult) {
 fn get_result(r: &mut Reader<'_>) -> Result<OpResult, NetError> {
     match r.u8()? {
         RES_MODEL => Ok(OpResult::Model {
-            w: get_dense(r)?,
+            w: get_model(r)?,
             t: r.u64()?,
         }),
-        RES_GRAD => Ok(OpResult::Grad(get_dense(r)?)),
+        RES_GRAD => Ok(OpResult::Grad(get_model(r)?)),
         RES_VALUE => Ok(OpResult::Value(r.f64()?)),
         t => Err(NetError::Protocol(format!("unknown result tag {t}"))),
     }
 }
 
 /// Encodes a message as one checksummed frame.
-pub fn encode_msg(msg: &Msg) -> Vec<u8> {
+///
+/// `switch` selects the model-payload encoding for `Ops` and `OpDone`
+/// (an `Assign` carries its own switch field; `Hello` and `Shutdown`
+/// have no model payloads). [`FrameSwitch::Dense`] reproduces the legacy
+/// all-dense frames byte for byte.
+pub fn encode_msg(msg: &Msg, switch: FrameSwitch) -> Vec<u8> {
     let mut w = Writer::new();
     match msg {
         Msg::Hello { worker } => {
@@ -351,6 +385,7 @@ pub fn encode_msg(msg: &Msg) -> Vec<u8> {
             loss,
             reg,
             lr,
+            switch: assigned,
             rows,
         } => {
             w.put_u8(MSG_ASSIGN);
@@ -359,6 +394,7 @@ pub fn encode_msg(msg: &Msg) -> Vec<u8> {
             put_loss(&mut w, *loss);
             put_reg(&mut w, *reg);
             put_lr(&mut w, *lr);
+            put_switch(&mut w, *assigned);
             w.put_u64(rows.len() as u64);
             for r in rows {
                 w.put_u32(r.global);
@@ -371,7 +407,7 @@ pub fn encode_msg(msg: &Msg) -> Vec<u8> {
             w.put_u64(*batch);
             w.put_u64(ops.len() as u64);
             for op in ops {
-                put_op(&mut w, op);
+                put_op(&mut w, op, switch);
             }
         }
         Msg::OpDone {
@@ -384,7 +420,7 @@ pub fn encode_msg(msg: &Msg) -> Vec<u8> {
             w.put_u64(*compute_nanos);
             w.put_u64(results.len() as u64);
             for res in results {
-                put_result(&mut w, res);
+                put_result(&mut w, res, switch);
             }
         }
         Msg::Shutdown => {
@@ -407,6 +443,7 @@ pub fn decode_msg(frame: &[u8]) -> Result<Msg, NetError> {
             let loss = get_loss(&mut r)?;
             let reg = get_reg(&mut r)?;
             let lr = get_lr(&mut r)?;
+            let switch = get_switch(&mut r)?;
             let n = r.u64()? as usize;
             let mut rows = Vec::with_capacity(n);
             for _ in 0..n {
@@ -423,6 +460,7 @@ pub fn decode_msg(frame: &[u8]) -> Result<Msg, NetError> {
                 loss,
                 reg,
                 lr,
+                switch,
                 rows,
             }
         }
@@ -461,9 +499,13 @@ mod tests {
     use super::*;
 
     fn roundtrip(msg: Msg) {
-        let frame = encode_msg(&msg);
-        let back = decode_msg(&frame).unwrap();
-        assert_eq!(back, msg);
+        // Both switch settings must round-trip to the identical message:
+        // the adaptive sparse path is lossless by construction.
+        for switch in [FrameSwitch::Dense, FrameSwitch::Adaptive] {
+            let frame = encode_msg(&msg, switch);
+            let back = decode_msg(&frame).unwrap();
+            assert_eq!(back, msg);
+        }
     }
 
     #[test]
@@ -480,6 +522,7 @@ mod tests {
                 factor: 0.5,
                 period: 7,
             },
+            switch: FrameSwitch::Adaptive,
             rows: vec![AssignedRow {
                 global: 9,
                 label: -1.0,
@@ -552,6 +595,7 @@ mod tests {
                 loss: Loss::Hinge,
                 reg: Regularizer::None,
                 lr,
+                switch: FrameSwitch::Dense,
                 rows: vec![],
             });
         }
@@ -561,13 +605,14 @@ mod tests {
             loss: Loss::Squared,
             reg: Regularizer::L1 { lambda: 0.5 },
             lr: LearningRate::Constant(0.1),
+            switch: FrameSwitch::Dense,
             rows: vec![],
         });
     }
 
     #[test]
     fn rejects_corrupt_frames() {
-        let mut frame = encode_msg(&Msg::Hello { worker: 1 });
+        let mut frame = encode_msg(&Msg::Hello { worker: 1 }, FrameSwitch::Dense);
         let last = frame.len() - 1;
         frame[last] ^= 0xFF;
         assert!(matches!(decode_msg(&frame), Err(NetError::Codec(_))));
@@ -579,5 +624,41 @@ mod tests {
         w.put_u8(99);
         let frame = w.into_frame(NET_MAGIC, NET_VERSION);
         assert!(matches!(decode_msg(&frame), Err(NetError::Protocol(_))));
+    }
+
+    #[test]
+    fn rejects_unknown_switch_tag() {
+        let mut w = Writer::new();
+        w.put_u8(MSG_ASSIGN);
+        w.put_u32(0);
+        w.put_u32(1);
+        put_loss(&mut w, Loss::Hinge);
+        put_reg(&mut w, Regularizer::None);
+        put_lr(&mut w, LearningRate::Constant(0.1));
+        w.put_u8(7); // not a valid frame-switch tag
+        w.put_u64(0);
+        let frame = w.into_frame(NET_MAGIC, NET_VERSION);
+        assert!(matches!(decode_msg(&frame), Err(NetError::Protocol(_))));
+    }
+
+    #[test]
+    fn adaptive_switch_shrinks_mostly_zero_models() {
+        let mut model = DenseVector::zeros(256);
+        model.set(3, 1.5);
+        model.set(100, -2.0);
+        let msg = Msg::Ops {
+            batch: 1,
+            ops: vec![WorkerOp::PartitionGrad { w: model }],
+        };
+        let dense = encode_msg(&msg, FrameSwitch::Dense);
+        let adaptive = encode_msg(&msg, FrameSwitch::Adaptive);
+        assert!(
+            adaptive.len() < dense.len(),
+            "adaptive {} vs dense {}",
+            adaptive.len(),
+            dense.len()
+        );
+        // Same decoded message either way — the sparse hop is lossless.
+        assert_eq!(decode_msg(&adaptive).unwrap(), decode_msg(&dense).unwrap());
     }
 }

@@ -9,6 +9,7 @@
 
 use std::collections::BTreeMap;
 
+use mlstar_collectives::FrameSwitch;
 use mlstar_core::{OpResult, WorkerOp};
 use mlstar_glm::{
     batch_gradient_into, mgd_step, objective_value_subset, sgd_epoch_lazy, LearningRate, Loss,
@@ -33,15 +34,21 @@ fn worker_loop(
     worker: usize,
     kill_at_batch: Option<u64>,
 ) -> Result<(), NetError> {
-    link.send(&encode_msg(&Msg::Hello {
-        worker: worker as u32,
-    }))?;
+    // Hello precedes the assignment, so it is always encoded dense (it
+    // carries no model payloads either way).
+    link.send(&encode_msg(
+        &Msg::Hello {
+            worker: worker as u32,
+        },
+        FrameSwitch::Dense,
+    ))?;
     let Msg::Assign {
         worker: echoed,
         dim,
         loss,
         reg,
         lr,
+        switch,
         rows,
     } = decode_msg(&link.recv()?)?
     else {
@@ -67,11 +74,16 @@ fn worker_loop(
                     results.push(rt.execute(op)?);
                 }
                 let compute_nanos = sw.elapsed_nanos();
-                link.send(&encode_msg(&Msg::OpDone {
-                    batch,
-                    compute_nanos,
-                    results,
-                }))?;
+                // Replies use the switch announced in Assign, so both
+                // directions of the link move the same frame kinds.
+                link.send(&encode_msg(
+                    &Msg::OpDone {
+                        batch,
+                        compute_nanos,
+                        results,
+                    },
+                    switch,
+                ))?;
             }
             Msg::Shutdown => return Ok(()),
             other => {

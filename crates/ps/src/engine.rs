@@ -15,10 +15,11 @@ pub struct WorkerStep {
     /// [`Aggregation::Sum`], the local model under
     /// [`Aggregation::Average`].
     pub payload: DenseVector,
-    /// If set, the push is transmitted sparsely with this many stored
-    /// entries (real PS systems ship index/value pairs for sparse
-    /// updates); `None` sends the dense payload.
-    pub payload_nnz: Option<usize>,
+    /// If set, the push is transmitted compressed and this is the
+    /// *actual encoded size* of its wire frame (callers compute it with
+    /// `mlstar_collectives::wire::encoded_sparse_len` over the real
+    /// sparse delta — never a guess); `None` sends the dense payload.
+    pub payload_bytes: Option<usize>,
     /// Estimated floating-point work of the tick (drives simulated time).
     pub flops: f64,
     /// Additional fixed overhead for the tick (e.g. Angel's per-batch
@@ -36,10 +37,11 @@ pub trait WorkerLogic {
     /// Computes one tick for `worker` at `clock`, given the pulled model.
     fn compute(&mut self, worker: usize, clock: u64, model: &DenseVector) -> WorkerStep;
 
-    /// Number of model coordinates this worker actually needs from a pull
-    /// (Angel-style sparse pull of the partition's active features);
+    /// Encoded wire size of this worker's pull, if it pulls sparsely
+    /// (Angel-style sparse pull of the partition's active features —
+    /// callers compute the actual frame length of that index set);
     /// `None` pulls the full dense model.
-    fn pull_nnz(&self, _worker: usize) -> Option<usize> {
+    fn pull_bytes(&self, _worker: usize) -> Option<usize> {
         None
     }
 }
@@ -117,12 +119,6 @@ fn clock_slot(per_clock: &mut Vec<PsClockStats>, clock: u64) -> &mut PsClockStat
     &mut per_clock[idx]
 }
 
-/// Wire size of a sparse message with `nnz` entries (u32 index + f64
-/// value each, 16-byte header — matches `mlstar-collectives::wire`).
-fn sparse_wire_bytes(nnz: usize) -> usize {
-    nnz * 12 + 16
-}
-
 /// A deterministic event-driven parameter-server run.
 ///
 /// Workers cycle through pull → compute → push; pushes apply to the
@@ -181,7 +177,7 @@ impl<'a> PsEngine<'a> {
     {
         let k = self.cost.num_executors();
         let dim = w0.dim();
-        let model_bytes = dim * 8 + 16;
+        let model_bytes = mlstar_collectives::wire::encoded_dense_len(dim);
         let mut servers = ServerGroup::new(dim, self.cfg.num_servers, self.cfg.aggregation);
         servers.initialize(w0);
 
@@ -211,8 +207,8 @@ impl<'a> PsEngine<'a> {
                     // Pull: the worker receives the model (or only its
                     // active coordinates) through its NIC; shards serve in
                     // parallel.
-                    let pull_bytes = match logic.pull_nnz(worker) {
-                        Some(nnz) => sparse_wire_bytes(nnz).min(model_bytes),
+                    let pull_bytes = match logic.pull_bytes(worker) {
+                        Some(bytes) => bytes.min(model_bytes),
                         None => model_bytes,
                     };
                     let pull_dur = self.cost.transfer(pull_bytes);
@@ -227,8 +223,8 @@ impl<'a> PsEngine<'a> {
                         &mut rng,
                         self.cfg.tick_overhead,
                     ) + step.extra_overhead;
-                    let push_bytes = match step.payload_nnz {
-                        Some(nnz) => sparse_wire_bytes(nnz).min(model_bytes),
+                    let push_bytes = match step.payload_bytes {
+                        Some(bytes) => bytes.min(model_bytes),
                         None => model_bytes,
                     };
                     let push_dur = self.cost.transfer(push_bytes);
@@ -357,7 +353,7 @@ mod tests {
             payload.set(0, 1.0);
             WorkerStep {
                 payload,
-                payload_nnz: None,
+                payload_bytes: None,
                 flops: 1e6,
                 extra_overhead: SimDuration::ZERO,
                 local_updates: 1,
@@ -415,7 +411,7 @@ mod tests {
                 self.clocks_seen.push(clock);
                 WorkerStep {
                     payload: DenseVector::zeros(self.dim),
-                    payload_nnz: None,
+                    payload_bytes: None,
                     flops: 1e6,
                     extra_overhead: SimDuration::ZERO,
                     local_updates: 1,
@@ -485,7 +481,7 @@ mod tests {
             fn compute(&mut self, _w: usize, _c: u64, m: &DenseVector) -> WorkerStep {
                 WorkerStep {
                     payload: DenseVector::filled(m.dim(), 1.0),
-                    payload_nnz: None,
+                    payload_bytes: None,
                     flops: 1e6,
                     extra_overhead: SimDuration::ZERO,
                     local_updates: 1,

@@ -37,7 +37,7 @@
 //!         delta.set(worker, 1.0);
 //!         WorkerStep {
 //!             payload: delta,
-//!             payload_nnz: Some(1),
+//!             payload_bytes: Some(mlstar_collectives::wire::encoded_sparse_len(1)),
 //!             flops: 1e6,
 //!             extra_overhead: SimDuration::ZERO,
 //!             local_updates: 1,

@@ -19,7 +19,7 @@ impl WorkerLogic for Recorder {
         let mut payload = DenseVector::zeros(self.dim);
         payload.set(worker % self.dim, 1.0);
         WorkerStep {
-            payload_nnz: None,
+            payload_bytes: None,
             payload,
             flops: 5e5,
             extra_overhead: SimDuration::ZERO,
@@ -129,7 +129,7 @@ fn ssp_bounds_worker_lead() {
             let min = *self.completed.iter().min().expect("nonempty");
             self.max_gap = self.max_gap.max(clock - min);
             WorkerStep {
-                payload_nnz: None,
+                payload_bytes: None,
                 payload: DenseVector::zeros(self.dim),
                 flops: 5e5,
                 extra_overhead: SimDuration::ZERO,

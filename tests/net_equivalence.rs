@@ -5,7 +5,9 @@
 //! worker must surface as a typed error, without a hang and without a
 //! partial `TrainOutput`, and must not poison subsequent runs.
 
-use mllib_star::core::{AngelConfig, PsSystemConfig, System, TrainConfig};
+use mllib_star::core::{
+    AngelConfig, CompressionConfig, FrameSwitch, PsSystemConfig, Sparsifier, System, TrainConfig,
+};
 use mllib_star::data::{SparseDataset, SyntheticConfig};
 use mllib_star::glm::{LearningRate, Loss, Regularizer};
 use mllib_star::net::{train_net, KillSpec, NetConfig, NetError, TransportKind};
@@ -113,6 +115,49 @@ fn skewed_partitions_bit_identical() {
     for system in [System::MllibMa, System::MllibStar] {
         assert_sim_net_identical(system, &ds, &cluster, &cfg, &NetConfig::default());
     }
+}
+
+#[test]
+fn compressed_runs_bit_identical_sim_vs_net() {
+    // With compression on, the trainer folds *decoded* frames on both
+    // paths and the protocol ships adaptively-encoded model payloads, so
+    // sim and net must still agree bit for bit — first with the lossless
+    // exact-sparse switch (L1 keeps the model genuinely sparse), then
+    // with lossy top-k + quantization + error feedback (the residual
+    // state lives with the orchestrator either way).
+    let ds = dataset();
+    let cluster = cluster();
+    let exact = TrainConfig {
+        reg: Regularizer::L1 { lambda: 0.01 },
+        compression: CompressionConfig {
+            switch: FrameSwitch::Adaptive,
+            ..CompressionConfig::default()
+        },
+        ..cfg(42)
+    };
+    assert_sim_net_identical(
+        System::MllibStar,
+        &ds,
+        &cluster,
+        &exact,
+        &NetConfig::default(),
+    );
+    let lossy = TrainConfig {
+        compression: CompressionConfig {
+            switch: FrameSwitch::Adaptive,
+            sparsifier: Sparsifier::TopK { k: 8 },
+            quantize: true,
+            ..CompressionConfig::default()
+        },
+        ..cfg(7)
+    };
+    assert_sim_net_identical(
+        System::MllibStar,
+        &ds,
+        &cluster,
+        &lossy,
+        &NetConfig::default(),
+    );
 }
 
 #[test]

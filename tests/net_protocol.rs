@@ -4,6 +4,7 @@
 //! every truncation point is detected, and any single flipped bit is
 //! refused by the FNV-1a frame check.
 
+use mllib_star::collectives::FrameSwitch;
 use mllib_star::core::{OpResult, WorkerOp};
 use mllib_star::glm::{LearningRate, Loss, Regularizer};
 use mllib_star::linalg::{DenseVector, SparseVector};
@@ -26,6 +27,16 @@ fn sparse_row(seed: u64, dim: usize) -> SparseVector {
     }
     sorted.sort_by_key(|&(i, _)| i);
     SparseVector::from_pairs(dim, &sorted).expect("valid sparse row")
+}
+
+/// The frame switch explored for a given seed (both model-payload
+/// encodings must satisfy every property).
+fn switch_for(seed: u64) -> FrameSwitch {
+    if seed.is_multiple_of(2) {
+        FrameSwitch::Dense
+    } else {
+        FrameSwitch::Adaptive
+    }
 }
 
 /// One message of every variant, parameterized so proptest explores the
@@ -61,6 +72,7 @@ fn exchange(seed: u64, dim: usize) -> Vec<Msg> {
                     decay: 0.01,
                 },
             },
+            switch: switch_for(seed),
             rows: (0..(seed % 4))
                 .map(|i| AssignedRow {
                     global: i as u32,
@@ -113,7 +125,7 @@ proptest! {
     #[test]
     fn exchange_roundtrip_is_exact(seed in 0u64..10_000, dim in 1usize..24) {
         for msg in exchange(seed, dim) {
-            let frame = encode_msg(&msg);
+            let frame = encode_msg(&msg, switch_for(seed));
             let back = decode_msg(&frame).expect("decode own frame");
             prop_assert_eq!(back, msg);
         }
@@ -124,7 +136,7 @@ proptest! {
     #[test]
     fn every_truncation_point_is_detected(seed in 0u64..10_000, cut in 0usize..4096) {
         for msg in exchange(seed, 6) {
-            let frame = encode_msg(&msg);
+            let frame = encode_msg(&msg, switch_for(seed));
             let cut = cut % frame.len();
             prop_assert!(
                 decode_msg(&frame[..cut]).is_err(),
@@ -143,7 +155,7 @@ proptest! {
         bit in 0u32..8,
     ) {
         for msg in exchange(seed, 5) {
-            let mut frame = encode_msg(&msg);
+            let mut frame = encode_msg(&msg, switch_for(seed));
             let pos = pos % frame.len();
             frame[pos] ^= 1 << bit;
             prop_assert!(
@@ -159,7 +171,7 @@ proptest! {
 /// encoding is a wire-format break and must be versioned, not slipped in.
 #[test]
 fn hello_frame_bytes_are_pinned() {
-    let frame = encode_msg(&Msg::Hello { worker: 7 });
+    let frame = encode_msg(&Msg::Hello { worker: 7 }, FrameSwitch::Dense);
     assert_eq!(&frame[0..4], &NET_MAGIC.to_le_bytes());
     // tag MSG_HELLO=1 (u8) + worker (u32 LE) = 5 payload bytes.
     let expected_payload = [1u8, 7, 0, 0, 0];
@@ -182,7 +194,7 @@ fn hello_frame_bytes_are_pinned() {
 /// Shutdown is the smallest frame: tag byte only.
 #[test]
 fn shutdown_frame_is_one_tag_byte() {
-    let frame = encode_msg(&Msg::Shutdown);
+    let frame = encode_msg(&Msg::Shutdown, FrameSwitch::Dense);
     let payload_len = u64::from_le_bytes(frame[8..16].try_into().expect("8 bytes"));
     assert_eq!(payload_len, 1);
     assert_eq!(decode_msg(&frame).expect("shutdown decodes"), Msg::Shutdown);
